@@ -1,0 +1,93 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure: these isolate the mechanisms behind the paper's
+results by turning individual knobs.
+
+1. Profitability filter (paper III-B): without the average-trip-count
+   filter, profile-guided selection still parallelises leslie3d's
+   10-iteration kernels and loses time.
+2. STM cost (paper II-E2/3: "we use it sparingly"): bwaves' speedup decays
+   as per-access STM instrumentation gets more expensive.
+3. Bounds-check cost (paper III-C: "dynamic checks add significant
+   overheads for half the benchmarks"): milc's marginal speedup flips to
+   a slowdown when checks are expensive.
+"""
+
+from repro.dbm.executor import run_native
+from repro.isa.costs import CostModel
+from repro.jbin.loader import load
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.workloads import compile_workload, get_workload
+
+from conftest import run_once
+
+
+def janus_speedup(name, config):
+    workload = get_workload(name)
+    image = compile_workload(name)
+    native = run_native(load(image, inputs=list(workload.ref_inputs)))
+    janus = Janus(image, config)
+    training = janus.train(train_inputs=list(workload.train_inputs))
+    result = janus.run(SelectionMode.JANUS,
+                       inputs=list(workload.ref_inputs), training=training)
+    return native.cycles / result.cycles
+
+
+def test_ablation_profitability_filter(benchmark):
+    """Remove the min-average-trips filter: leslie3d regresses."""
+
+    def run():
+        with_filter = janus_speedup(
+            "437.leslie3d", JanusConfig(n_threads=8))
+        without_filter = janus_speedup(
+            "437.leslie3d",
+            JanusConfig(n_threads=8, min_average_trips=0.0))
+        return with_filter, without_filter
+
+    with_filter, without_filter = run_once(benchmark, run)
+    print(f"\nleslie3d: with filter {with_filter:.2f}x, "
+          f"without {without_filter:.2f}x")
+    assert without_filter < with_filter
+    assert without_filter < 0.95  # actively harmful without the filter
+
+
+def test_ablation_stm_cost(benchmark):
+    """bwaves' speedup decays with per-access STM cost."""
+
+    def run():
+        speedups = {}
+        for read_cost in (2, 4, 16, 48):
+            cost = CostModel()
+            cost.stm_read_cycles = read_cost
+            cost.stm_write_cycles = read_cost * 2
+            config = JanusConfig(n_threads=8, cost_model=cost)
+            speedups[read_cost] = janus_speedup("410.bwaves", config)
+        return speedups
+
+    speedups = run_once(benchmark, run)
+    print("\nbwaves speedup vs STM read cost:",
+          {k: f"{v:.2f}x" for k, v in speedups.items()})
+    costs = sorted(speedups)
+    values = [speedups[c] for c in costs]
+    assert all(a >= b - 0.02 for a, b in zip(values, values[1:]))  # monotone
+    assert values[0] - values[-1] > 0.3  # the knob matters
+    assert values[0] > 2.0  # cheap STM: the paper's ~2.9x regime
+
+
+def test_ablation_bounds_check_cost(benchmark):
+    """milc (12 checks/loop, short loops) is check-cost sensitive."""
+
+    def run():
+        speedups = {}
+        for pair_cost in (0, 55, 700):
+            cost = CostModel()
+            cost.bounds_check_pair_cycles = pair_cost
+            config = JanusConfig(n_threads=8, cost_model=cost)
+            speedups[pair_cost] = janus_speedup("433.milc", config)
+        return speedups
+
+    speedups = run_once(benchmark, run)
+    print("\nmilc speedup vs per-pair check cost:",
+          {k: f"{v:.2f}x" for k, v in speedups.items()})
+    assert speedups[0] >= speedups[55] >= speedups[700]
+    assert speedups[0] - speedups[700] > 0.1

@@ -1,0 +1,37 @@
+"""Regenerates paper Figure 10: rewrite-schedule size overhead.
+
+The paper reports schedules averaging 3.7% of the binary size, exceeding
+10% when many transformations apply.  Our synthetic binaries are ~1000x
+smaller than SPEC's (they carry no statically linked runtime, strings or
+data), so the *ratios* run higher; the shape preserved is that schedules
+are a modest fraction of the binary and vary by an order of magnitude
+with the number of transformations (see EXPERIMENTS.md).
+"""
+
+from repro.eval import figures, reporting
+
+from conftest import run_once
+
+
+def test_fig10_schedule_size(benchmark, harness):
+    rows = run_once(benchmark,
+                    lambda: figures.fig10_schedule_size(harness))
+    print()
+    print(reporting.render_fig10(rows))
+
+    named = [r for r in rows if r["benchmark"] != "Geomean"]
+    geomean = [r for r in rows if r["benchmark"] == "Geomean"][0]
+
+    for row in named:
+        # Schedules never dominate the binary.
+        assert row["overhead"] < 0.5
+        assert row["schedule_bytes"] > 0
+    # The most transformed benchmark (GemsFDTD: most checks + loops)
+    # carries the biggest schedule, as in the paper's >10% outliers.
+    biggest = max(named, key=lambda r: r["overhead"])
+    assert biggest["benchmark"] in ("459.GemsFDTD", "482.sphinx3",
+                                    "410.bwaves")
+    # Spread of an order of magnitude between lightest and heaviest.
+    lightest = min(named, key=lambda r: r["overhead"])
+    assert biggest["overhead"] / lightest["overhead"] > 5
+    assert geomean["overhead"] < 0.3

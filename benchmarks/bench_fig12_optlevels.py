@@ -1,0 +1,36 @@
+"""Regenerates paper Figure 12: Janus on O2 / O3 / O3 -mavx binaries.
+
+Shape (paper section III-F): O2 and O3 speedups are close (O2 slightly
+friendlier to the analysis); adding -mavx *generally limits* what Janus
+can obtain — fewer iterations per invocation after vectorisation, peeled
+tails, and a faster native baseline.  (The paper's bwaves counter-example,
+where AVX relieves false sharing and raises the speedup, reproduces only
+partially here: our false-sharing model charges chunk-boundary lines
+only — see EXPERIMENTS.md.)
+"""
+
+from repro.eval import figures, reporting
+
+from conftest import run_once
+
+
+def test_fig12_opt_levels(benchmark, harness):
+    rows = run_once(benchmark, lambda: figures.fig12_opt_levels(harness))
+    print()
+    print(reporting.render_fig12(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+    geo = by_name["Geomean"]
+
+    # O2 and O3 land close together, O2 marginally ahead.
+    assert abs(geo["O2"] - geo["O3"]) < 0.5
+    assert geo["O2"] >= geo["O3"] - 0.05
+    # -mavx generally limits the attainable speedup.
+    assert geo["O3 -mavx"] <= geo["O3"] + 0.05
+    mavx_not_better = sum(
+        1 for name, row in by_name.items()
+        if name != "Geomean" and row["O3 -mavx"] <= row["O3"] + 0.05)
+    assert mavx_not_better >= 7  # "generally"
+    # The stars keep their speedups across opt levels.
+    assert by_name["462.libquantum"]["O2"] > 4.5
+    assert by_name["470.lbm"]["O3"] > 4.5

@@ -1,0 +1,33 @@
+"""Regenerates paper Figure 6: loop classification across the suite.
+
+Shape assertions: most benchmarks have over half their loops analysable
+(not incompatible); lbm is nearly all-DOALL by time; xalancbmk's DOALL
+time is negligible; exactly the nine Fig. 7 benchmarks clear the paper's
+20%-DOALL-time bar (give or take the two borderline ones).
+"""
+
+from repro.eval import figures, reporting
+from repro.workloads import FIG7_BENCHMARKS
+
+from conftest import run_once
+
+
+def test_fig6_classification(benchmark, harness):
+    rows = run_once(benchmark, lambda: figures.fig6_classification(harness))
+    print()
+    print(reporting.render_fig6(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+    assert len(rows) == 25
+
+    # lbm: almost all execution in DOALL loops (paper: ~98%).
+    assert by_name["470.lbm"]["doall_time"] > 0.85
+    # libquantum similar.
+    assert by_name["462.libquantum"]["doall_time"] > 0.8
+    # xalancbmk: DOALL loops exist but cover ~1% of time.
+    assert by_name["483.xalancbmk"]["doall_time"] < 0.1
+    # The Fig. 7 set must be exactly the high-DOALL benchmarks, allowing
+    # the borderline cases either way.
+    high = {row["benchmark"] for row in rows if row["doall_time"] >= 0.2}
+    assert high & set(FIG7_BENCHMARKS) == high
+    assert len(high) >= 6

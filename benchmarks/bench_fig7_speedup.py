@@ -1,0 +1,51 @@
+"""Regenerates paper Figure 7: speedups of the four configurations.
+
+Shape assertions (paper section III-B): libquantum and lbm are the big
+winners (~6x); bwaves needs checks+STM to reach ~2.8x; GemsFDTD only
+gains with checks; Statically-Driven alone *loses* on leslie3d and
+GemsFDTD and profile-guided selection rescues them; h264ref stays below
+native; the Janus geomean is around 2x.
+"""
+
+from repro.eval import figures, reporting
+
+from conftest import run_once
+
+
+def test_fig7_speedups(benchmark, harness):
+    rows = run_once(benchmark, lambda: figures.fig7_speedups(harness))
+    print()
+    print(reporting.render_fig7(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+    janus = {n: r["Janus"] for n, r in by_name.items()}
+    static = {n: r["Statically-Driven"] for n, r in by_name.items()}
+    profile = {n: r["Statically-Driven + Profile"] for n, r in by_name.items()}
+    dbm = {n: r["DynamoRIO"] for n, r in by_name.items()}
+
+    # DynamoRIO alone: overhead, worst for h264ref (paper: -32%).
+    assert all(v <= 1.05 for n, v in dbm.items() if n != "Geomean")
+    assert dbm["464.h264ref"] == min(v for n, v in dbm.items()
+                                     if n != "Geomean")
+
+    # The stars: libquantum ~6x, lbm ~5.8x.
+    assert janus["462.libquantum"] > 4.5
+    assert janus["470.lbm"] > 4.5
+    # bwaves: checks + speculation unlock ~2.8x over ~1.1x without.
+    assert janus["410.bwaves"] > 2.0
+    assert janus["410.bwaves"] > profile["410.bwaves"] + 1.0
+    # GemsFDTD only gains with runtime checks.
+    assert janus["459.GemsFDTD"] > 1.3
+    assert profile["459.GemsFDTD"] < 1.1
+    # Statically-Driven *hurts* leslie3d and GemsFDTD (paper: -13%/-23%).
+    assert static["437.leslie3d"] < 0.95
+    assert static["459.GemsFDTD"] < 0.95
+    # ... and profile-guided selection rescues them to about native.
+    assert profile["437.leslie3d"] > static["437.leslie3d"]
+    assert profile["459.GemsFDTD"] > static["459.GemsFDTD"]
+    # Profile selection beats static selection for the stars too.
+    assert profile["462.libquantum"] > static["462.libquantum"] + 1.0
+    # h264ref cannot claw back the DBM overhead.
+    assert janus["464.h264ref"] < 1.0
+    # Overall factor ~2x (paper: 2.1x geomean).
+    assert 1.6 <= janus["Geomean"] <= 2.6

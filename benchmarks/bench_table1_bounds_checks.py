@@ -1,0 +1,29 @@
+"""Regenerates paper Table I: array bounds checks per loop requiring them.
+
+Paper values: bwaves 1, cactusADM 3, milc 12, GemsFDTD 19.5, h264ref 12.
+Shape: the same benchmarks carry checks, milc/GemsFDTD/h264ref carry many
+(~10+), bwaves/cactusADM carry few.
+"""
+
+from repro.eval import figures, reporting
+
+from conftest import run_once
+
+
+def test_table1_bounds_checks(benchmark, harness):
+    rows = run_once(benchmark,
+                    lambda: figures.table1_bounds_checks(harness))
+    print()
+    print(reporting.render_table1(rows))
+
+    by_name = {row["benchmark"]: row["avg_checks"] for row in rows}
+    # Every benchmark the paper lists carries checks here too.
+    for name in ("410.bwaves", "436.cactusADM", "433.milc",
+                 "459.GemsFDTD", "464.h264ref"):
+        assert name in by_name
+    # Few checks for bwaves/cactusADM; many for milc/GemsFDTD/h264ref.
+    assert by_name["410.bwaves"] <= 4
+    assert by_name["436.cactusADM"] <= 6
+    assert by_name["433.milc"] >= 8
+    assert by_name["459.GemsFDTD"] >= 8
+    assert by_name["464.h264ref"] >= 8

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one paper table or figure.  The
+harness is session-scoped so figures share each other's runs (the full
+evaluation behind the paper is ~250 executions; each happens once).
+Benchmarks are run with a single round: the interesting output is the
+regenerated figure, which is printed so `pytest benchmarks/
+--benchmark-only -s` reproduces the paper's evaluation section.
+"""
+
+import pytest
+
+from repro.eval.harness import EvalHarness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return EvalHarness()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Janus vs compiler auto-parallelisation on one workload (paper Fig. 11).
+
+Compiles the cactusADM-like workload with both compiler personalities,
+with and without ``-parallel``, and compares against Janus operating on
+the stripped serial binaries.
+
+Run:  python examples/compiler_comparison.py
+"""
+
+from repro.dbm.executor import run_native
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions
+from repro.pipeline import SelectionMode
+from repro.eval.harness import EvalHarness
+
+BENCH = "436.cactusADM"
+
+
+def main() -> None:
+    harness = EvalHarness(n_threads=8)
+
+    gcc = CompileOptions(opt_level=3, personality="gcc")
+    gcc_par = CompileOptions(opt_level=3, personality="gcc", parallel=True)
+    icc = CompileOptions(opt_level=3, personality="icc")
+    icc_par = CompileOptions(opt_level=3, personality="icc", parallel=True)
+
+    gcc_native = harness.native(BENCH, gcc).cycles
+    icc_native = harness.native(BENCH, icc).cycles
+
+    print(f"{BENCH}, normalised to each compiler's own -O3:")
+    print(f"  gcc -O3 native:          {gcc_native:9d} cycles (1.00x)")
+    print(f"  gcc -parallel:           "
+          f"{gcc_native / harness.native(BENCH, gcc_par).cycles:9.2f}x")
+    print(f"  Janus on the gcc binary: "
+          f"{harness.speedup(BENCH, SelectionMode.JANUS, gcc):9.2f}x")
+    print(f"  icc -O3 native:          {icc_native:9d} cycles (1.00x; "
+          f"{gcc_native / icc_native:.2f}x faster than gcc's)")
+    print(f"  icc -parallel:           "
+          f"{icc_native / harness.native(BENCH, icc_par).cycles:9.2f}x")
+    print(f"  Janus on the icc binary: "
+          f"{harness.speedup(BENCH, SelectionMode.JANUS, icc):9.2f}x")
+
+    print("\nWhy: icc's personality unrolls x4 and vectorises more loops, "
+          "so its serial baseline is faster and each thread executes fewer "
+          "iterations -- both shrink what Janus can add (paper III-E).")
+
+
+if __name__ == "__main__":
+    main()

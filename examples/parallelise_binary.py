@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Parallelising an opaque, stripped binary — the paper's core use case.
+
+Here the "user" has no source: we deserialize a stripped JELF from bytes
+(as if received as a file), inspect what the static analyser can prove
+about it, look at the generated rewrite schedule rule by rule, and watch
+the runtime checks gate parallel execution.
+
+The binary is bwaves-like: its hot loop calls ``pow`` through the PLT
+(dynamically discovered code -> STM speculation) and its bound arrives at
+runtime (-> array-extent checks).
+
+Run:  python examples/parallelise_binary.py
+"""
+
+from repro.dbm.executor import run_native
+from repro.jbin.image import JELF
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+
+SOURCE = """
+double field[2048];
+double flux[2048];
+int n = 2048;
+int steps = 3;
+
+int main() {
+    int t;
+    int i;
+    steps = read_int();
+    for (i = 0; i < n; i++) {
+        field[i] = 0.001 * i;
+    }
+    for (t = 0; t < steps; t++) {
+        for (i = 0; i < n; i++) {
+            flux[i] = pow(field[i], 2.0) + 0.5 * field[i];
+        }
+        for (i = 0; i < n; i++) {
+            field[i] = field[i] * 0.99 + flux[i] * 0.01;
+        }
+    }
+    double total = 0.0;
+    for (i = 0; i < n; i++) {
+        total += field[i];
+    }
+    print_double(total);
+    return 0;
+}
+"""
+
+
+def obtain_stripped_binary() -> bytes:
+    """Stand-in for 'a binary arrived from somewhere': bytes on the wire."""
+    image = compile_source(SOURCE, CompileOptions(opt_level=3))
+    return image.serialize()
+
+
+def main() -> None:
+    raw = obtain_stripped_binary()
+    image = JELF.deserialize(raw)
+    print(f"received binary: {len(raw)} bytes, stripped={image.stripped}, "
+          f"imports={sorted(image.imports.values())}")
+
+    janus = Janus(image, JanusConfig(n_threads=8))
+    analysis = janus.analysis
+    print(f"\nstatic analysis: {len(analysis.functions)} functions, "
+          f"{len(analysis.loops)} loops")
+    for loop in analysis.loops:
+        iterator = loop.induction.iterator if loop.induction else None
+        trips = iterator.static_trip_count if iterator else None
+        print(f"  loop {loop.loop_id}: {loop.category.value:18s} "
+              f"trips={'runtime' if trips in (None, -1) else trips}"
+              + (f"  checks={len(loop.alias.bounds_checks)}"
+                 if loop.alias and loop.alias.bounds_checks else "")
+              + ("  STM-speculated call" if loop.stm_call_sites else ""))
+
+    training = janus.train(train_inputs=[1])
+    schedule = janus.build_schedule(SelectionMode.JANUS, training)
+    print(f"\nrewrite schedule ({schedule.size_bytes} bytes, "
+          f"{len(schedule)} rules):")
+    for rule in schedule.rules:
+        print(f"  {rule}")
+
+    inputs = [3]
+    native = run_native(load(image, inputs=inputs))
+    result = janus.run(SelectionMode.JANUS, inputs=inputs,
+                       training=training)
+    print(f"\nnative output: {native.output_text}")
+    print(f"janus  output: {result.output_text}")
+    print(f"speedup: {native.cycles / result.cycles:.2f}x | "
+          f"checks passed: {result.stats['checks_passed']} | "
+          f"STM cycles: {result.stats['stm_cycles']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Janus reproduction: automatic dynamic binary parallelisation.
+
+A from-scratch Python implementation of *Janus: Statically-Driven and
+Profile-Guided Automatic Dynamic Binary Parallelisation* (Zhou & Jones,
+CGO 2019), together with every substrate its evaluation needs.  See
+``README.md`` for the tour and ``DESIGN.md`` for the architecture and the
+substitution map.
+
+The 30-second version::
+
+    from repro import CompileOptions, Janus, JanusConfig, SelectionMode
+    from repro import compile_source
+
+    image = compile_source(source_text, CompileOptions(opt_level=3))
+    janus = Janus(image, JanusConfig(n_threads=8))
+    training = janus.train(train_inputs=[...])
+    result = janus.run(SelectionMode.JANUS, inputs=[...],
+                       training=training)
+
+Subpackage map:
+
+==================  =====================================================
+``repro.isa``       the synthetic x86-64-like JX instruction set
+``repro.jbin``      JELF binaries, assembler, loader, JX shared library
+``repro.jcc``       the mini-C compiler (gcc/icc personalities)
+``repro.analysis``  the static binary analyser
+``repro.rewrite``   rewrite schedules (the static–dynamic interface)
+``repro.dbm``       the dynamic binary modifier and parallel runtime
+``repro.stm``       the JIT software transactional memory
+``repro.profiling`` statically-driven coverage/dependence profiling
+``repro.pipeline``  the end-to-end ``Janus`` facade
+``repro.workloads`` the 25-benchmark SPEC-like suite
+``repro.eval``      experiment harness regenerating every paper figure
+==================  =====================================================
+"""
+
+from repro.analysis import BinaryAnalysis, LoopCategory, analyze_image
+from repro.dbm.executor import ExecutionResult, run_native
+from repro.jbin.image import JELF
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.rewrite import RewriteSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryAnalysis",
+    "LoopCategory",
+    "analyze_image",
+    "ExecutionResult",
+    "run_native",
+    "JELF",
+    "load",
+    "CompileOptions",
+    "compile_source",
+    "Janus",
+    "JanusConfig",
+    "SelectionMode",
+    "RewriteSchedule",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""The Janus static binary analyser (paper section II-D).
+
+The analyser consumes a *stripped* JELF image — bytes, an entry point, and
+the dynamic import table — and produces, per loop, everything the rewrite-
+schedule generators need:
+
+* recovered control flow (functions, basic blocks, dominators, natural
+  loops with nesting),
+* SSA form over registers and spilled stack slots,
+* canonicalised symbolic polynomials for every value and memory address,
+* induction variables with solved symbolic iteration ranges,
+* distance-vector alias analysis and the bounds-check plan,
+* loop categories (Static DOALL / Static Dependence / Dynamic DOALL /
+  Dynamic Dependence / Incompatible) and per-variable classes
+  ("private", "read-only", "induction", "reduction").
+
+Nothing in this package may look at symbol tables, the ``.comment`` string,
+or any compiler metadata: the boundary is enforced by tests.
+"""
+
+from repro.analysis.analyzer import (
+    BinaryAnalysis,
+    BinaryAnalyzer,
+    analyze_image,
+)
+from repro.analysis.classify import (
+    LoopAnalysisResult,
+    LoopCategory,
+    VariableClass,
+    VariableInfo,
+)
+from repro.analysis.dataflow import compute_liveness, compute_reaching
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.expr import ExprBuilder, Poly
+from repro.analysis.loops import Loop
+
+__all__ = [
+    "BinaryAnalysis",
+    "BinaryAnalyzer",
+    "analyze_image",
+    "LoopAnalysisResult",
+    "LoopCategory",
+    "VariableClass",
+    "VariableInfo",
+    "compute_liveness",
+    "compute_reaching",
+    "compute_dominators",
+    "ExprBuilder",
+    "Poly",
+    "Loop",
+]

@@ -1,0 +1,108 @@
+"""The top-level static binary analyser facade.
+
+``analyze_image`` runs the entire pipeline of paper section II-D on a
+stripped JELF image:
+
+    disassemble -> CFGs -> dominators -> stack tracking -> SSA ->
+    loops -> induction -> alias -> classification
+
+and returns a :class:`BinaryAnalysis` holding per-function artefacts and a
+flat, stably numbered list of :class:`LoopAnalysisResult` — the input to
+both the profiling and the parallelisation rewrite-schedule generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jbin.image import JELF
+from repro.analysis.cfg import FunctionCFG, build_cfgs
+from repro.analysis.classify import (
+    LoopAnalysisResult,
+    LoopCategory,
+    classify_loop,
+)
+from repro.analysis.disasm import Disassembly, disassemble
+from repro.analysis.dominators import DominatorInfo, compute_dominators
+from repro.analysis.loops import Loop, find_loops
+from repro.analysis.ssa import SSAForm, build_ssa
+from repro.analysis.stack import track_stack
+from repro.analysis.summaries import FunctionSummary, summarise_functions
+
+
+@dataclass
+class FunctionAnalysis:
+    """Per-function analysis artefacts."""
+
+    cfg: FunctionCFG
+    dom: DominatorInfo
+    ssa: SSAForm | None  # None when the stack discipline is irregular
+    loops: list[Loop] = field(default_factory=list)
+
+
+@dataclass
+class BinaryAnalysis:
+    """The complete static view of one binary."""
+
+    image: JELF
+    disassembly: Disassembly
+    functions: dict[int, FunctionAnalysis]
+    summaries: dict[int, FunctionSummary]
+    loops: list[LoopAnalysisResult] = field(default_factory=list)
+
+    def loop(self, loop_id: int) -> LoopAnalysisResult:
+        return self.loops[loop_id]
+
+    def loops_in_category(self, category: LoopCategory
+                          ) -> list[LoopAnalysisResult]:
+        return [l for l in self.loops if l.category is category]
+
+    def function_of_loop(self, result: LoopAnalysisResult) -> FunctionAnalysis:
+        return self.functions[result.loop.function_entry]
+
+    def category_histogram(self) -> dict[LoopCategory, int]:
+        histogram = {category: 0 for category in LoopCategory}
+        for result in self.loops:
+            histogram[result.category] += 1
+        return histogram
+
+
+class BinaryAnalyzer:
+    """Runs the static analysis pipeline over one image."""
+
+    def __init__(self, image: JELF) -> None:
+        self.image = image
+
+    def run(self) -> BinaryAnalysis:
+        dis = disassemble(self.image)
+        cfgs = build_cfgs(dis)
+        summaries = summarise_functions(cfgs)
+        functions: dict[int, FunctionAnalysis] = {}
+        all_loops: list[tuple[Loop, FunctionAnalysis]] = []
+
+        for entry, cfg in cfgs.items():
+            dom = compute_dominators(cfg)
+            deltas = track_stack(cfg)
+            ssa = None
+            if deltas is not None:
+                ssa = build_ssa(cfg, dom, deltas)
+            fa = FunctionAnalysis(cfg=cfg, dom=dom, ssa=ssa)
+            fa.loops = find_loops(cfg, dom)
+            functions[entry] = fa
+            for loop in fa.loops:
+                all_loops.append((loop, fa))
+
+        # Stable loop ids in header-address order across the whole binary.
+        all_loops.sort(key=lambda pair: pair[0].header)
+        analysis = BinaryAnalysis(image=self.image, disassembly=dis,
+                                  functions=functions, summaries=summaries)
+        for loop_id, (loop, fa) in enumerate(all_loops):
+            loop.loop_id = loop_id
+            result = classify_loop(loop, fa.cfg, fa.dom, fa.ssa, summaries)
+            analysis.loops.append(result)
+        return analysis
+
+
+def analyze_image(image: JELF) -> BinaryAnalysis:
+    """Convenience wrapper: run the full static analysis on an image."""
+    return BinaryAnalyzer(image).run()

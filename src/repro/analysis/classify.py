@@ -1,0 +1,433 @@
+"""Loop categorisation and variable classification (paper II-D).
+
+Loops fall into the paper's five categories:
+
+* **Type A — Static DOALL**: no cross-iteration dependences except through
+  induction variables and add/sub reductions; everything proven statically.
+* **Type B — Static Dependence**: a cross-iteration dependence proven
+  statically (register loop-carried value or memory distance vector).
+* **Type C — Dynamic DOALL**: induction variable recognised, but some
+  accesses escape static analysis (unprovable bases, calls into unknown
+  code); runtime checks / STM make parallelisation safe, and dependence
+  profiling is expected to show no aliasing.
+* **Type D — Dynamic Dependence**: like C but profiling observed an actual
+  cross-iteration dependence.
+* **Incompatible**: IO/syscalls, indirect control flow, irregular stacks,
+  unrecognisable induction variables.
+
+Static classification distinguishes A / B / dynamic-candidate /
+incompatible; the C/D split is made once dependence-profile data exists
+(:meth:`LoopAnalysisResult.apply_dependence_profile`), exactly as in the
+paper's training stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Opcode
+from repro.analysis.alias import AliasAnalysis, analyse_aliases
+from repro.analysis.cfg import FunctionCFG
+from repro.analysis.dominators import DominatorInfo
+from repro.analysis.expr import ExprBuilder, Poly, runtime_evaluable
+from repro.analysis.induction import InductionAnalysis, analyse_induction
+from repro.analysis.loops import Loop
+from repro.analysis.ssa import Phi, SSAForm
+from repro.analysis.summaries import FunctionSummary
+
+
+class LoopCategory(enum.Enum):
+    STATIC_DOALL = "static_doall"
+    STATIC_DEPENDENCE = "static_dependence"
+    DYNAMIC_DOALL = "dynamic_doall"
+    DYNAMIC_DEPENDENCE = "dynamic_dependence"
+    INCOMPATIBLE = "incompatible"
+
+
+class VariableClass(enum.Enum):
+    INDUCTION = "induction"
+    REDUCTION = "reduction"
+    PRIVATE = "private"
+    READ_ONLY = "read_only"
+
+
+@dataclass
+class VariableInfo:
+    """Classification of one register or stack-slot variable in a loop."""
+
+    var: object
+    vclass: VariableClass
+    # Induction extras.
+    step: int | None = None
+    # Reduction extras ("+" covers add/sub since the sign folds into the
+    # accumulated polynomial, matching the paper's add/sub-only reductions).
+    reduction_op: str | None = None
+    is_float: bool = False
+
+
+@dataclass
+class LoopAnalysisResult:
+    """Everything the rewrite-schedule generators need for one loop."""
+
+    loop: Loop
+    category: LoopCategory
+    reasons: list[str] = field(default_factory=list)
+    induction: InductionAnalysis | None = None
+    alias: AliasAnalysis | None = None
+    variables: dict = field(default_factory=dict)  # var -> VariableInfo
+    # Stack slot offsets only read in the loop -> list of reader addresses.
+    readonly_slot_readers: dict[int, list[int]] = field(default_factory=dict)
+    written_slots: set[int] = field(default_factory=set)
+    # Calls inside the body.
+    external_calls: list[tuple[int, str]] = field(default_factory=list)
+    internal_calls: list[tuple[int, int]] = field(default_factory=list)
+    # Call sites (addresses) that must run under the JIT STM.
+    stm_call_sites: list[int] = field(default_factory=list)
+    # True when some unprovable base pair exists (cannot even bounds-check).
+    has_unprovable_aliasing: bool = False
+    static_instruction_count: int = 0
+    # Filled by the profiling stages.
+    coverage_fraction: float | None = None
+    profiled_dependence: bool | None = None
+
+    @property
+    def loop_id(self) -> int:
+        return self.loop.loop_id
+
+    @property
+    def is_parallelisable(self) -> bool:
+        """Can the Janus runtime actually run this loop in parallel?"""
+        if self.category not in (LoopCategory.STATIC_DOALL,
+                                 LoopCategory.DYNAMIC_DOALL):
+            return False
+        if self.induction is None or self.induction.iterator is None:
+            return False
+        if self.induction.has_side_exits:
+            return False
+        if self.has_unprovable_aliasing:
+            return False
+        return True
+
+    def apply_dependence_profile(self, has_dependence: bool) -> None:
+        """Resolve the C/D split from dependence-profiling results."""
+        self.profiled_dependence = has_dependence
+        if self.category is LoopCategory.DYNAMIC_DOALL and has_dependence:
+            self.category = LoopCategory.DYNAMIC_DEPENDENCE
+            self.reasons.append("dependence observed during profiling")
+
+
+def classify_loop(loop: Loop, cfg: FunctionCFG, dom: DominatorInfo,
+                  ssa: SSAForm | None,
+                  summaries: dict[int, FunctionSummary]
+                  ) -> LoopAnalysisResult:
+    """Full static classification of one loop."""
+    result = LoopAnalysisResult(loop=loop,
+                                category=LoopCategory.STATIC_DOALL)
+    body_instructions = []
+    if ssa is not None:
+        for start in loop.body:
+            body_instructions.extend(cfg.blocks[start].instructions)
+    result.static_instruction_count = len(body_instructions)
+
+    # -- hard incompatibilities ------------------------------------------------
+    if ssa is None:
+        _mark_incompatible(result, "irregular stack discipline")
+        return result
+    if cfg.has_indirect:
+        _mark_incompatible(result, "indirect control flow in function")
+        return result
+    for ins in body_instructions:
+        if ins.opcode is Opcode.SYSCALL:
+            _mark_incompatible(result, "system call in loop body")
+            return result
+        if ins.is_indirect:
+            _mark_incompatible(result, "indirect branch in loop body")
+            return result
+    # The Janus runtime steals r14 (scratch) and r15 (TLS base) for its
+    # rewrites; application code touching them inside a candidate loop
+    # would be corrupted.  The paper's MEM_SPILL_REG/RECOVER_REG rules
+    # exist for this; we take the conservative route and reject.
+    from repro.isa.registers import SCRATCH_REG, TLS_REG
+
+    reserved = {SCRATCH_REG, TLS_REG}
+    for ins in body_instructions:
+        if (ins.reg_uses() | ins.reg_defs()) & reserved:
+            _mark_incompatible(
+                result, "loop uses the Janus-reserved registers r14/r15")
+            return result
+
+    for start in loop.body:
+        for addr, target in cfg.internal_calls.items():
+            if _addr_in_block(cfg, start, addr):
+                result.internal_calls.append((addr, target))
+        for addr, name in cfg.external_calls.items():
+            if _addr_in_block(cfg, start, addr):
+                result.external_calls.append((addr, name))
+
+    for _, target in result.internal_calls:
+        summary = summaries.get(target)
+        if summary is None or summary.has_syscall or summary.has_indirect:
+            _mark_incompatible(
+                result, f"call to unanalysable function {target:#x}")
+            return result
+    for addr, name in result.external_calls:
+        # IO-flavoured library calls inherit the syscall incompatibility.
+        if name in ("print_int", "print_double", "read_int", "exit"):
+            _mark_incompatible(result, f"IO library call {name}")
+            return result
+
+    # -- induction --------------------------------------------------------------
+    induction = analyse_induction(ssa, loop)
+    result.induction = induction
+    if induction.iterator is None:
+        _mark_incompatible(result, "no recognisable induction variable")
+        return result
+
+    builder = ExprBuilder(ssa, loop)
+    result.alias = analyse_aliases(ssa, loop, dom, induction, builder)
+
+    dynamic = False
+    dependent = False
+
+    # -- register-level loop-carried values -------------------------------------
+    # SSA here is unpruned: a variable that is simply re-defined every
+    # iteration gets a *dead* header phi.  Dead phis carry nothing across
+    # iterations; the variable is private.
+    live_phis = [phi for phi in induction.other_phis
+                 if _phi_is_live(ssa, phi)]
+    induction.other_phis = live_phis
+    _classify_variables(result, ssa, loop, builder)
+    for phi in live_phis:
+        info = result.variables.get(phi.var)
+        if info is None or info.vclass is not VariableClass.REDUCTION:
+            dependent = True
+            result.reasons.append(
+                f"loop-carried register value {phi.var!r}")
+
+    # -- memory ------------------------------------------------------------------
+    alias = result.alias
+    if alias.dependences:
+        dependent = True
+        result.reasons.extend(d.reason for d in alias.dependences[:4])
+    if alias.unanalysable:
+        dynamic = True
+        result.reasons.append(
+            f"{len(alias.unanalysable)} unanalysable memory accesses")
+    if alias.bounds_checks:
+        dynamic = True
+        result.reasons.append(
+            f"{len(alias.bounds_checks)} array-base pairs need runtime checks")
+    if alias.unprovable_pairs:
+        dynamic = True
+        result.has_unprovable_aliasing = True
+        result.reasons.append("base separation cannot be checked at runtime")
+    for priv in alias.privatisable:
+        if not runtime_evaluable(priv.group.base_struct):
+            dependent = True
+            result.reasons.append("privatisable group address not evaluable")
+
+    # -- calls become STM sites ----------------------------------------------------
+    for addr, name in result.external_calls:
+        result.stm_call_sites.append(addr)
+        dynamic = True
+        result.reasons.append(f"shared-library call {name} needs speculation")
+    for addr, target in result.internal_calls:
+        summary = summaries[target]
+        if not summary.is_pure_enough:
+            result.stm_call_sites.append(addr)
+            dynamic = True
+            result.reasons.append(
+                f"call to memory-writing function {target:#x}")
+
+    if dependent:
+        result.category = LoopCategory.STATIC_DEPENDENCE
+    elif dynamic:
+        result.category = LoopCategory.DYNAMIC_DOALL
+    else:
+        result.category = LoopCategory.STATIC_DOALL
+    return result
+
+
+def _phi_is_live(ssa: SSAForm, phi: Phi) -> bool:
+    """True if the phi's value can reach a real instruction use.
+
+    Transitive over the phi graph: a phi consumed only by other *dead*
+    phis is dead too (unpruned SSA plants chains of phantom phis for
+    variables that are simply re-defined every iteration — e.g. an inner
+    loop's temporaries seen from the outer loop's header).
+    """
+    live = _live_phi_names(ssa)
+    return (phi.var, phi.dest) in live
+
+
+def _live_phi_names(ssa: SSAForm) -> frozenset:
+    cached = getattr(ssa, "_live_phi_cache", None)
+    if cached is not None:
+        return cached
+    used_versions = set()
+    for fact in ssa.facts.values():
+        for var, version in fact.uses.items():
+            used_versions.add((var, version))
+    all_phis = [phi for phis in ssa.phis.values() for phi in phis]
+    by_name = {(phi.var, phi.dest): phi for phi in all_phis}
+    live: set = set()
+    worklist = [phi for phi in all_phis
+                if (phi.var, phi.dest) in used_versions]
+    while worklist:
+        phi = worklist.pop()
+        name = (phi.var, phi.dest)
+        if name in live:
+            continue
+        live.add(name)
+        # Phis feeding a live phi become live in turn.
+        for source_version in phi.sources.values():
+            producer = by_name.get((phi.var, source_version))
+            if producer is not None \
+                    and (producer.var, producer.dest) not in live:
+                worklist.append(producer)
+    result = frozenset(live)
+    ssa._live_phi_cache = result
+    return result
+
+
+def _mark_incompatible(result: LoopAnalysisResult, reason: str) -> None:
+    result.category = LoopCategory.INCOMPATIBLE
+    result.reasons.append(reason)
+
+
+def _addr_in_block(cfg: FunctionCFG, start: int, addr: int) -> bool:
+    block = cfg.blocks[start]
+    return block.start <= addr < block.end
+
+
+def _classify_variables(result: LoopAnalysisResult, ssa: SSAForm,
+                        loop: Loop, builder: ExprBuilder) -> None:
+    """Assign induction/reduction/private/read-only classes (paper II-D)."""
+    from repro.isa.registers import STACK_REG, is_xmm
+
+    induction = result.induction
+    assert induction is not None
+
+    defined: set = set()
+    used: set = set()
+    livein_used: set = set()
+    for start in loop.body:
+        block = ssa.cfg.blocks[start]
+        for index in range(len(block.instructions)):
+            fact = ssa.facts.get((start, index))
+            if fact is None:
+                continue
+            for var, version in fact.uses.items():
+                used.add(var)
+                site = ssa.def_sites.get((var, version), ("entry",))
+                if site[0] == "entry" or (
+                        site[0] == "phi" and site[1] not in loop.body) or (
+                        site[0] == "ins" and site[1] not in loop.body):
+                    livein_used.add(var)
+            defined.update(fact.defs)
+    for phi in ssa.phis.get(loop.header, []):
+        defined.add(phi.var)
+
+    for iv in induction.basic_ivs:
+        result.variables[iv.var] = VariableInfo(
+            var=iv.var, vclass=VariableClass.INDUCTION, step=iv.step)
+
+    for phi in induction.other_phis:
+        if _is_reduction_phi(ssa, loop, builder, phi):
+            result.variables[phi.var] = VariableInfo(
+                var=phi.var, vclass=VariableClass.REDUCTION,
+                reduction_op="+",
+                is_float=_reduction_is_float(ssa, loop, phi))
+
+    for var in sorted(used | defined, key=repr):
+        if var in result.variables or var == STACK_REG:
+            continue
+        if isinstance(var, tuple) and var[0] == "stack":
+            continue  # slots handled below
+        if var in defined:
+            result.variables[var] = VariableInfo(
+                var=var, vclass=VariableClass.PRIVATE)
+        else:
+            result.variables[var] = VariableInfo(
+                var=var, vclass=VariableClass.READ_ONLY)
+
+    # Stack slots: read-only ones are redirected to the main stack
+    # (MEM_MAIN_STACK); written ones live on each thread's private stack.
+    readonly_slots = set()
+    for var in used:
+        if isinstance(var, tuple) and var[0] == "stack":
+            if var in defined:
+                result.written_slots.add(var[1])
+            else:
+                readonly_slots.add(var[1])
+    for start in loop.body:
+        block = ssa.cfg.blocks[start]
+        for index, ins in enumerate(block.instructions):
+            delta = ssa.delta_at(start, index)
+            from repro.analysis.stack import slot_of
+
+            for mem in ins.mem_reads():
+                slot = slot_of(delta, mem)
+                if slot is not None and slot in readonly_slots:
+                    result.readonly_slot_readers.setdefault(
+                        slot, []).append(ins.address)
+
+
+def _reduction_is_float(ssa: SSAForm, loop: Loop, phi: Phi) -> bool:
+    """Is the reduction's value a double?
+
+    xmm registers are trivially float.  A *spilled* accumulator lives in a
+    stack slot: the slot is float-valued when the in-loop definition that
+    feeds the latch is a floating-point store (``movsd [rsp+k], xmm``).
+    """
+    from repro.isa.registers import is_xmm
+
+    if isinstance(phi.var, int):
+        return is_xmm(phi.var)
+    float_ops = {Opcode.MOVSD, Opcode.ADDSD, Opcode.SUBSD, Opcode.MULSD,
+                 Opcode.DIVSD}
+    for pred, version in phi.sources.items():
+        if pred not in loop.body:
+            continue
+        site = ssa.def_sites.get((phi.var, version))
+        if site is not None and site[0] == "ins":
+            ins = ssa.cfg.blocks[site[1]].instructions[site[2]]
+            if ins.opcode in float_ops:
+                return True
+    return False
+
+
+def _is_reduction_phi(ssa: SSAForm, loop: Loop, builder: ExprBuilder,
+                      phi: Phi) -> bool:
+    """update == phi + delta (delta free of phi), and the running value is
+    consumed only by its own accumulation chain inside the loop."""
+    theta = ("phi", phi.var, phi.dest)
+    latch_versions = {v for pred, v in phi.sources.items()
+                      if pred in loop.body}
+    init_versions = {v for pred, v in phi.sources.items()
+                     if pred not in loop.body}
+    if len(init_versions) != 1 or not latch_versions:
+        return False
+    for version in latch_versions:
+        poly = builder.value_of((phi.var, version))
+        decomposed = poly.linear_in(theta)
+        if decomposed is None:
+            return False
+        coeff, rest = decomposed
+        if coeff != 1 or rest.mentions(theta) or rest.is_zero:
+            return False
+        # Note: ``rest`` may contain opaque symbols (e.g. an
+        # iteration-varying load like a[i]); that is the common
+        # ``sum += a[i]`` shape and is fine.  A pathological a[sum]-style
+        # self-reference would add a second use of the running value and
+        # is rejected by the use count below.
+    # The running value must feed only the accumulation itself.
+    uses = 0
+    for start in loop.body:
+        block = ssa.cfg.blocks[start]
+        for index in range(len(block.instructions)):
+            fact = ssa.facts.get((start, index))
+            if fact is not None and fact.uses.get(phi.var) == phi.dest:
+                uses += 1
+    return uses <= 1

@@ -1,0 +1,137 @@
+"""Classic iterative data-flow analyses over a recovered CFG.
+
+The Janus paper lists "domination, liveness, reaching, dependence and
+memory-alias analyses" as the standard toolbox (section II-D).  Dominance
+lives in :mod:`repro.analysis.dominators` and dependence/alias in
+:mod:`repro.analysis.alias`; this module provides block-level liveness and
+reaching definitions over the same variable abstraction SSA uses
+(registers + canonical stack slots).
+
+They are exposed as public analyses — useful for clients building further
+transformations — and serve as an independent cross-check of the SSA
+construction in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import FunctionCFG
+from repro.analysis.ssa import instruction_vars
+from repro.analysis.stack import rsp_effect
+
+
+@dataclass
+class LivenessInfo:
+    """Live variable sets at block boundaries."""
+
+    live_in: dict[int, frozenset] = field(default_factory=dict)
+    live_out: dict[int, frozenset] = field(default_factory=dict)
+
+    def is_live_in(self, block: int, var) -> bool:
+        return var in self.live_in.get(block, frozenset())
+
+    def is_live_out(self, block: int, var) -> bool:
+        return var in self.live_out.get(block, frozenset())
+
+
+def _block_use_def(cfg: FunctionCFG, start: int,
+                   rsp_deltas: dict[int, int] | None) -> tuple[set, set]:
+    """(upward-exposed uses, definitions) of one block."""
+    uses: set = set()
+    defs: set = set()
+    delta = rsp_deltas.get(start, 0) if rsp_deltas else 0
+    for ins in cfg.blocks[start].instructions:
+        ins_uses, ins_defs = instruction_vars(ins, delta)
+        uses |= (ins_uses - defs)
+        defs |= ins_defs
+        effect = rsp_effect(ins)
+        delta += effect if effect is not None else 0
+    return uses, defs
+
+
+def compute_liveness(cfg: FunctionCFG,
+                     rsp_deltas: dict[int, int] | None = None
+                     ) -> LivenessInfo:
+    """Backward may-analysis: which variables are live at block edges."""
+    use_def = {start: _block_use_def(cfg, start, rsp_deltas)
+               for start in cfg.blocks}
+    info = LivenessInfo()
+    for start in cfg.blocks:
+        info.live_in[start] = frozenset()
+        info.live_out[start] = frozenset()
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for start in reversed(order):
+            block = cfg.blocks[start]
+            out: set = set()
+            for succ in block.succs:
+                out |= info.live_in.get(succ, frozenset())
+            uses, defs = use_def[start]
+            new_in = frozenset(uses | (out - defs))
+            new_out = frozenset(out)
+            if new_in != info.live_in[start] \
+                    or new_out != info.live_out[start]:
+                info.live_in[start] = new_in
+                info.live_out[start] = new_out
+                changed = True
+    return info
+
+
+@dataclass
+class ReachingInfo:
+    """Reaching definitions: which (block, index) defs reach block entry."""
+
+    reach_in: dict[int, frozenset] = field(default_factory=dict)
+    reach_out: dict[int, frozenset] = field(default_factory=dict)
+
+    def definitions_of(self, block: int, var) -> set:
+        """Definition sites of ``var`` reaching the entry of ``block``."""
+        return {site for site in self.reach_in.get(block, frozenset())
+                if site[0] == var}
+
+
+def compute_reaching(cfg: FunctionCFG,
+                     rsp_deltas: dict[int, int] | None = None
+                     ) -> ReachingInfo:
+    """Forward may-analysis over definition sites (var, block, index)."""
+    gen: dict[int, set] = {}
+    kill_vars: dict[int, set] = {}
+    all_defs_of: dict = {}
+    for start in cfg.blocks:
+        delta = rsp_deltas.get(start, 0) if rsp_deltas else 0
+        block_gen: dict = {}
+        for index, ins in enumerate(cfg.blocks[start].instructions):
+            _, defs = instruction_vars(ins, delta)
+            for var in defs:
+                block_gen[var] = (var, start, index)
+                all_defs_of.setdefault(var, set()).add((var, start, index))
+            effect = rsp_effect(ins)
+            delta += effect if effect is not None else 0
+        gen[start] = set(block_gen.values())
+        kill_vars[start] = set(block_gen)
+
+    info = ReachingInfo()
+    for start in cfg.blocks:
+        info.reach_in[start] = frozenset()
+        info.reach_out[start] = frozenset()
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for start in order:
+            incoming: set = set()
+            for pred in cfg.blocks[start].preds:
+                incoming |= info.reach_out.get(pred, frozenset())
+            survivors = {site for site in incoming
+                         if site[0] not in kill_vars[start]}
+            new_out = frozenset(survivors | gen[start])
+            new_in = frozenset(incoming)
+            if new_in != info.reach_in[start] \
+                    or new_out != info.reach_out[start]:
+                info.reach_in[start] = new_in
+                info.reach_out[start] = new_out
+                changed = True
+    return info

@@ -1,0 +1,91 @@
+"""Recursive-traversal disassembly of a stripped image.
+
+Starting from the entry point, follows direct branches and calls to discover
+all statically reachable code.  Indirect jumps/calls have undetermined
+targets (paper section II-G: "all indirect jumps are marked as having
+undetermined targets"); the enclosing function is flagged and its loops will
+be classified incompatible rather than guessed at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.decoder import DecodingError, decode_instruction
+from repro.isa.instructions import Instruction, Opcode
+from repro.jbin.image import JELF
+
+
+@dataclass
+class Disassembly:
+    """All reachable instructions of an image, plus discovery metadata."""
+
+    image: JELF
+    # address -> instruction, for every decoded instruction.
+    instructions: dict[int, Instruction] = field(default_factory=dict)
+    # Function entry points: image entry + every direct call target.
+    function_entries: set[int] = field(default_factory=set)
+    # Addresses of indirect jumps/calls found.
+    indirect_sites: set[int] = field(default_factory=set)
+    # Direct call targets that are PLT slots (external calls).
+    external_call_sites: dict[int, str] = field(default_factory=dict)
+
+    def at(self, addr: int) -> Instruction:
+        return self.instructions[addr]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def disassemble(image: JELF) -> Disassembly:
+    """Recursively disassemble every statically reachable instruction."""
+    result = Disassembly(image=image)
+    text = image.text
+    worklist: list[int] = [image.entry]
+    result.function_entries.add(image.entry)
+    seen_starts: set[int] = set()
+
+    while worklist:
+        addr = worklist.pop()
+        if addr in seen_starts:
+            continue
+        seen_starts.add(addr)
+        # Linear sweep from addr until an unconditional control transfer.
+        while addr not in result.instructions:
+            if not text.contains(addr):
+                break
+            try:
+                ins = decode_instruction(text.data, addr - text.addr, addr)
+            except DecodingError:
+                break
+            result.instructions[addr] = ins
+            opcode = ins.opcode
+
+            if opcode is Opcode.CALL:
+                target = ins.branch_target()
+                name = image.import_name(target)
+                if name is not None:
+                    result.external_call_sites[addr] = name
+                elif text.contains(target):
+                    result.function_entries.add(target)
+                    if target not in seen_starts:
+                        worklist.append(target)
+                addr += ins.size
+            elif ins.is_cond_branch:
+                target = ins.branch_target()
+                if target is not None and text.contains(target):
+                    worklist.append(target)
+                addr += ins.size
+            elif opcode is Opcode.JMP:
+                target = ins.branch_target()
+                if target is not None and text.contains(target):
+                    worklist.append(target)
+                break
+            elif ins.is_indirect:
+                result.indirect_sites.add(addr)
+                break
+            elif opcode in (Opcode.RET, Opcode.HLT):
+                break
+            else:
+                addr += ins.size
+    return result

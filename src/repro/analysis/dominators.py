@@ -1,0 +1,84 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Produces immediate dominators, the dominator tree, and dominance frontiers —
+the inputs for natural-loop detection and SSA phi placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import FunctionCFG
+
+
+@dataclass
+class DominatorInfo:
+    """Dominator facts for one function CFG."""
+
+    idom: dict[int, int | None]
+    rpo: list[int]
+    children: dict[int, list[int]] = field(default_factory=dict)
+    frontier: dict[int, set[int]] = field(default_factory=dict)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        node: int | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+
+def compute_dominators(cfg: FunctionCFG) -> DominatorInfo:
+    """Compute idom/children/frontiers for every reachable block."""
+    rpo = cfg.reverse_postorder()
+    index = {b: i for i, b in enumerate(rpo)}
+    idom: dict[int, int | None] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == cfg.entry:
+                continue
+            preds = [p for p in cfg.blocks[node].preds
+                     if p in idom and p in index]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    idom[cfg.entry] = None
+    info = DominatorInfo(idom=idom, rpo=rpo)
+
+    for node in rpo:
+        info.children.setdefault(node, [])
+        info.frontier.setdefault(node, set())
+    for node, parent in idom.items():
+        if parent is not None:
+            info.children.setdefault(parent, []).append(node)
+
+    # Dominance frontiers (Cooper-Harvey-Kennedy).
+    for node in rpo:
+        preds = [p for p in cfg.blocks[node].preds if p in idom]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner: int | None = pred
+            while runner is not None and runner != idom[node]:
+                info.frontier.setdefault(runner, set()).add(node)
+                runner = idom[runner]
+    return info

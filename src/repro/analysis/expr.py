@@ -1,0 +1,381 @@
+"""Symbolic expression trees canonicalised as polynomials (paper II-D).
+
+Every SSA value reachable inside a loop is abstracted as a *canonicalised
+symbolic polynomial*: an integer-coefficient sum of monomials over opaque
+symbols.  Symbols are:
+
+* ``("livein", var, version)`` — a value defined outside the loop and used
+  inside it.  Because SSA guarantees no intervening definition, the value of
+  ``var`` *at loop entry* equals this symbol, which is what makes runtime
+  bounds checks evaluable (paper Fig. 4 reads ``rcx_0`` at runtime).
+* ``("phi", var, version)`` — an unresolved loop-header phi.  Induction
+  analysis substitutes these; a polynomial linear in one of them is a
+  (derived) induction expression.
+* ``("load", key)`` — the value loaded from a loop-invariant address.
+* ``("opaque", ...)`` — anything the analysis cannot or may not model
+  (call results, conversions, depth-capped chains).
+
+The paper's trick for heavily optimised binaries — proving the expressions
+for all predecessors of a non-header phi equal and flagging the phi as
+*duplicated* — falls out directly: ``value_of`` a conditional-join phi
+returns the shared polynomial when all sources canonicalise identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.analysis.loops import Loop
+from repro.analysis.ssa import SSAForm, SSAName
+from repro.analysis.stack import slot_of
+
+_MAX_DEPTH = 48
+_MAX_MONOMIAL_DEGREE = 3
+_MAX_TERMS = 24
+
+
+class Poly:
+    """An integer-coefficient multivariate polynomial over hashable symbols.
+
+    Immutable by convention.  The zero polynomial has no terms; a constant
+    has the empty monomial ``()``.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict | None = None) -> None:
+        self.terms: dict[tuple, int] = terms if terms is not None else {}
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def const(cls, value: int) -> "Poly":
+        return cls({(): value} if value else {})
+
+    @classmethod
+    def sym(cls, symbol) -> "Poly":
+        return cls({(symbol,): 1})
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Poly") -> "Poly":
+        terms = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            new = terms.get(mono, 0) + coeff
+            if new:
+                terms[mono] = new
+            else:
+                terms.pop(mono, None)
+        return Poly(terms)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "Poly":
+        if factor == 0:
+            return Poly()
+        return Poly({m: c * factor for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Poly") -> "Poly | None":
+        """Product, or None if it exceeds the degree/size caps."""
+        terms: dict[tuple, int] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                mono = tuple(sorted(m1 + m2, key=repr))
+                if len(mono) > _MAX_MONOMIAL_DEGREE:
+                    return None
+                new = terms.get(mono, 0) + c1 * c2
+                if new:
+                    terms[mono] = new
+                else:
+                    terms.pop(mono, None)
+        if len(terms) > _MAX_TERMS:
+            return None
+        return Poly(terms)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms or (len(self.terms) == 1 and () in self.terms)
+
+    @property
+    def constant_value(self) -> int:
+        return self.terms.get((), 0)
+
+    def symbols(self) -> set:
+        out = set()
+        for mono in self.terms:
+            out.update(mono)
+        return out
+
+    def linear_in(self, symbol) -> "tuple[int, Poly] | None":
+        """Decompose as ``a*symbol + rest`` with constant ``a``.
+
+        Returns ``(a, rest)`` where ``rest`` does not mention ``symbol``,
+        or ``None`` if the polynomial is non-linear in ``symbol``.
+        """
+        coeff = 0
+        rest: dict[tuple, int] = {}
+        for mono, c in self.terms.items():
+            count = mono.count(symbol)
+            if count == 0:
+                rest[mono] = c
+            elif count == 1 and len(mono) == 1:
+                coeff = c
+            else:
+                return None
+        return coeff, Poly(rest)
+
+    def mentions(self, symbol) -> bool:
+        return any(symbol in mono for mono in self.terms)
+
+    def substitute(self, symbol, replacement: "Poly") -> "Poly | None":
+        """Replace a (linear-occurring) symbol with another polynomial."""
+        decomposed = self.linear_in(symbol)
+        if decomposed is None:
+            return None
+        coeff, rest = decomposed
+        scaled = replacement.scale(coeff)
+        return rest + scaled
+
+    def key(self) -> tuple:
+        """A canonical hashable form (used for equality and load symbols)."""
+        return tuple(sorted(self.terms.items(), key=repr))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self.terms.items(), key=repr):
+            if not mono:
+                parts.append(str(coeff))
+            else:
+                names = "*".join(_sym_repr(s) for s in mono)
+                parts.append(names if coeff == 1 else f"{coeff}*{names}")
+        return " + ".join(parts)
+
+
+def _sym_repr(symbol) -> str:
+    kind = symbol[0]
+    if kind == "livein":
+        from repro.isa.registers import reg_name
+
+        var = symbol[1]
+        if isinstance(var, tuple):
+            return f"stack[{var[1]}]_0"
+        return f"{reg_name(var)}_0"
+    if kind == "phi":
+        return f"phi{symbol[2]}"
+    if kind == "load":
+        return "load(...)"
+    return "opaque"
+
+
+_ADDSUB = {Opcode.ADD: 1, Opcode.SUB: -1,
+           Opcode.ADDSD: 1, Opcode.SUBSD: -1}
+
+
+@dataclass
+class ExprBuilder:
+    """Builds loop-relative polynomials for SSA values.
+
+    One builder per (function SSA, loop).  Results are memoised; recursion
+    is depth-capped and falls back to opaque symbols rather than failing.
+
+    ``scope`` selects the canonicalisation boundary: ``"loop"`` (the
+    default) stops at definitions outside the loop, yielding symbols that
+    are runtime-evaluable at loop entry; ``"function"`` keeps walking to
+    the function entry, which resolves preheader constants and is used to
+    answer "is the trip count statically known?".
+    """
+
+    ssa: SSAForm
+    loop: Loop
+    scope: str = "loop"
+
+    def __post_init__(self) -> None:
+        self._memo: dict[SSAName, Poly] = {}
+        self._in_progress: set[SSAName] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def value_of(self, name: SSAName, depth: int = 0) -> Poly:
+        """The canonical polynomial for an SSA value, loop-relative."""
+        cached = self._memo.get(name)
+        if cached is not None:
+            return cached
+        if depth > _MAX_DEPTH or name in self._in_progress:
+            return Poly.sym(("opaque", "depth", name))
+        self._in_progress.add(name)
+        try:
+            poly = self._compute(name, depth)
+        finally:
+            self._in_progress.discard(name)
+        self._memo[name] = poly
+        return poly
+
+    def address_of(self, block: int, index: int, mem: Mem,
+                   depth: int = 0) -> Poly:
+        """Polynomial for a memory operand's effective address."""
+        fact = self.ssa.facts[(block, index)]
+        poly = Poly.const(mem.disp)
+        if mem.base is not None:
+            poly = poly + self.value_of((mem.base, fact.uses[mem.base]),
+                                        depth + 1)
+        if mem.index is not None:
+            idx = self.value_of((mem.index, fact.uses[mem.index]), depth + 1)
+            poly = poly + idx.scale(mem.scale)
+        return poly
+
+    def operand_value(self, block: int, index: int, operand,
+                      depth: int = 0) -> Poly:
+        """Polynomial of an operand's *value* at an instruction."""
+        fact = self.ssa.facts[(block, index)]
+        if isinstance(operand, Imm):
+            return Poly.const(operand.value)
+        if isinstance(operand, Reg):
+            return self.value_of((operand.id, fact.uses[operand.id]),
+                                 depth + 1)
+        # Memory operand: a stack slot is an SSA variable; other memory
+        # becomes a load symbol keyed by its canonical address.
+        delta = self.ssa.delta_at(block, index)
+        slot = slot_of(delta, operand)
+        if slot is not None:
+            var = ("stack", slot)
+            version = fact.uses.get(var)
+            if version is not None:
+                return self.value_of((var, version), depth + 1)
+        addr = self.address_of(block, index, operand, depth)
+        return self._load_symbol(addr, block, index)
+
+    # -- internals ---------------------------------------------------------
+
+    def _load_symbol(self, addr: Poly, block: int, index: int) -> Poly:
+        invariant = not any(s[0] in ("phi", "opaque") for s in addr.symbols())
+        if invariant:
+            return Poly.sym(("load", addr.key()))
+        return Poly.sym(("opaque", "load", block, index))
+
+    def _compute(self, name: SSAName, depth: int) -> Poly:
+        var, version = name
+        site = self.ssa.def_sites.get(name)
+        if site is None or site[0] == "entry":
+            return Poly.sym(("livein", var, version))
+        if site[0] == "phi":
+            return self._phi_value(name, site[1], depth)
+        _, block, index = site
+        if self.scope == "loop" and block not in self.loop.body:
+            return Poly.sym(("livein", var, version))
+        ins = self.ssa.cfg.blocks[block].instructions[index]
+        return self._instruction_value(name, ins, block, index, depth)
+
+    def _phi_value(self, name: SSAName, block: int, depth: int) -> Poly:
+        if block == self.loop.header:
+            # Loop-carried value: left for induction analysis to resolve.
+            return Poly.sym(("phi",) + name)
+        if self.scope == "loop" and block not in self.loop.body:
+            return Poly.sym(("livein",) + name)
+        # Conditional join inside the loop: prove the paths duplicated
+        # (paper: "flags the path (phi node) as duplicated") or give up.
+        phi = self.ssa.phi_for(block, name[0])
+        if phi is None or not phi.sources:
+            return Poly.sym(("opaque", "phi") + name)
+        polys = [self.value_of((name[0], v), depth + 1)
+                 for v in phi.sources.values()]
+        first = polys[0]
+        if all(p == first for p in polys[1:]):
+            return first
+        return Poly.sym(("opaque", "phi") + name)
+
+    def _instruction_value(self, name: SSAName, ins: Instruction,
+                           block: int, index: int, depth: int) -> Poly:
+        op = ins.opcode
+        ops = ins.operands
+        var = name[0]
+
+        if op in (Opcode.MOV, Opcode.MOVSD):
+            return self.operand_value(block, index, ops[1], depth)
+        if op is Opcode.LEA:
+            return self.address_of(block, index, ops[1], depth)
+        if op in _ADDSUB:
+            lhs = self._dest_previous(block, index, ops[0], depth)
+            rhs = self.operand_value(block, index, ops[1], depth)
+            return lhs + rhs.scale(_ADDSUB[op])
+        if op is Opcode.INC or op is Opcode.DEC:
+            lhs = self._dest_previous(block, index, ops[0], depth)
+            return lhs + Poly.const(1 if op is Opcode.INC else -1)
+        if op is Opcode.NEG:
+            return self._dest_previous(block, index, ops[0], depth).scale(-1)
+        if op in (Opcode.IMUL, Opcode.MULSD):
+            lhs = self._dest_previous(block, index, ops[0], depth)
+            rhs = self.operand_value(block, index, ops[1], depth)
+            product = lhs * rhs
+            if product is not None:
+                return product
+            return Poly.sym(("opaque", "mul", block, index))
+        if op is Opcode.SHL and isinstance(ops[1], Imm):
+            lhs = self._dest_previous(block, index, ops[0], depth)
+            return lhs.scale(1 << (ops[1].value & 63))
+        if op is Opcode.XOR and ops[0] == ops[1]:
+            return Poly()
+        if op is Opcode.XORPD and ops[0] == ops[1]:
+            return Poly()
+        if op is Opcode.POP:
+            return Poly.sym(("opaque", "pop", block, index))
+        if op in (Opcode.CALL, Opcode.CALLI, Opcode.SYSCALL):
+            return Poly.sym(("opaque", "call", block, index, var))
+        return Poly.sym(("opaque", op.name.lower(), block, index, var))
+
+    def _dest_previous(self, block: int, index: int, operand,
+                       depth: int) -> Poly:
+        """Value of a read-modify-write destination *before* the write."""
+        return self.operand_value(block, index, operand, depth)
+
+
+def livein_symbols_evaluable(poly: Poly) -> bool:
+    """True if every symbol is a live-in variable readable at loop entry.
+
+    Such polynomials can be evaluated by the Janus runtime just before the
+    loop executes, which is the requirement for emitting a
+    ``MEM_BOUNDS_CHECK`` over them (paper section II-E1).
+    """
+    return all(symbol[0] == "livein" for symbol in poly.symbols())
+
+
+def poly_from_key(key: tuple) -> Poly:
+    """Reconstruct a polynomial from its canonical ``key()`` form."""
+    return Poly({tuple(mono): coeff for mono, coeff in key})
+
+
+def runtime_evaluable(poly: Poly, depth: int = 0) -> bool:
+    """True if the runtime can evaluate the polynomial at loop entry.
+
+    Live-in variables are read from the context; a loop-invariant ``load``
+    symbol is evaluable when its *address* polynomial is — the runtime
+    evaluates the address and dereferences it (the paper's bases "held in
+    a register or on the stack" generalised to memory-held values).
+    """
+    if depth > 4:
+        return False
+    for symbol in poly.symbols():
+        if symbol[0] == "livein":
+            continue
+        if symbol[0] == "load":
+            if runtime_evaluable(poly_from_key(symbol[1]), depth + 1):
+                continue
+            return False
+        return False
+    return True

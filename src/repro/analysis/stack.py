@@ -1,0 +1,76 @@
+"""Stack-pointer tracking.
+
+Janus abstracts stack locations into versioned variables (paper section
+II-D); to do that from bytes we must know the rsp offset at every
+instruction.  This pass computes, per block, the rsp delta relative to the
+function entry (where ``[rsp]`` holds the return address, delta 0), and
+flags functions whose stack behaviour it cannot prove consistent — their
+loops are later classified incompatible, mirroring the paper's "indirect
+stack accesses ... obfuscate the data-flow graph".
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import STACK_REG
+from repro.analysis.cfg import FunctionCFG
+
+
+def rsp_effect(ins: Instruction) -> int | None:
+    """The static change to rsp caused by ``ins``; None when unknowable."""
+    op = ins.opcode
+    ops = ins.operands
+    if op is Opcode.PUSH:
+        return -8
+    if op is Opcode.POP:
+        return 8
+    if op in (Opcode.CALL, Opcode.CALLI):
+        return 0  # push of the return address is undone by the callee's ret
+    if ops and isinstance(ops[0], Reg) and ops[0].id == STACK_REG:
+        if op is Opcode.SUB and isinstance(ops[1], Imm):
+            return -ops[1].value
+        if op is Opcode.ADD and isinstance(ops[1], Imm):
+            return ops[1].value
+        if op in (Opcode.MOV, Opcode.LEA) or op in (
+                Opcode.IMUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+                Opcode.SHL, Opcode.SHR, Opcode.SAR, Opcode.INC,
+                Opcode.DEC, Opcode.NEG, Opcode.NOT, Opcode.IDIV,
+                Opcode.IMOD, Opcode.SUB, Opcode.ADD):
+            return None  # arbitrary rsp manipulation
+    return 0
+
+
+def track_stack(cfg: FunctionCFG) -> dict[int, int] | None:
+    """rsp delta at entry of every reachable block, or None if irregular."""
+    deltas: dict[int, int] = {cfg.entry: 0}
+    worklist = [cfg.entry]
+    while worklist:
+        start = worklist.pop()
+        delta = deltas[start]
+        for ins in cfg.blocks[start].instructions:
+            effect = rsp_effect(ins)
+            if effect is None:
+                return None
+            delta += effect
+        for succ in cfg.blocks[start].succs:
+            if succ not in cfg.blocks:
+                continue
+            if succ in deltas:
+                if deltas[succ] != delta:
+                    return None  # inconsistent stack depth at a join
+            else:
+                deltas[succ] = delta
+                worklist.append(succ)
+    return deltas
+
+
+def slot_of(ins_delta: int, mem: Mem) -> int | None:
+    """Canonical stack-slot offset of a memory operand, if it is one.
+
+    Returns the offset relative to the function-entry rsp for plain
+    ``[rsp+disp]`` operands; indexed stack accesses are not slots.
+    """
+    if mem.base == STACK_REG and mem.index is None:
+        return ins_delta + mem.disp
+    return None

@@ -1,0 +1,89 @@
+"""Interprocedural function summaries.
+
+A loop containing a call needs to know what the callee might do: write
+non-local memory (then the call must be speculated via the JIT STM), perform
+IO/syscalls or indirect control flow (then the loop is incompatible).
+Summaries are computed bottom-up over the call graph with a fixpoint for
+recursion; anything unresolvable is treated conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import FunctionCFG
+from repro.analysis.stack import slot_of, rsp_effect, track_stack
+
+
+@dataclass
+class FunctionSummary:
+    """Conservative behaviour summary of one function."""
+
+    entry: int
+    writes_memory: bool = False  # writes anything that is not its own frame
+    has_syscall: bool = False
+    has_indirect: bool = False
+    irregular_stack: bool = False
+    external_calls: set[str] = field(default_factory=set)
+    internal_calls: set[int] = field(default_factory=set)
+
+    @property
+    def is_pure_enough(self) -> bool:
+        """Safe to treat as an opaque value producer inside a DOALL loop."""
+        return not (self.writes_memory or self.has_syscall
+                    or self.has_indirect or self.external_calls)
+
+
+def summarise_functions(cfgs: dict[int, FunctionCFG]
+                        ) -> dict[int, FunctionSummary]:
+    """Local summaries followed by transitive propagation to a fixpoint."""
+    summaries: dict[int, FunctionSummary] = {}
+    for entry, cfg in cfgs.items():
+        summaries[entry] = _local_summary(cfg)
+
+    changed = True
+    while changed:
+        changed = False
+        for summary in summaries.values():
+            for callee_entry in summary.internal_calls:
+                callee = summaries.get(callee_entry)
+                if callee is None:
+                    # Call into undiscovered code: assume the worst.
+                    updates = dict(writes_memory=True, has_syscall=True,
+                                   has_indirect=True)
+                else:
+                    updates = dict(
+                        writes_memory=callee.writes_memory,
+                        has_syscall=callee.has_syscall,
+                        has_indirect=callee.has_indirect,
+                    )
+                    if callee.external_calls - summary.external_calls:
+                        summary.external_calls |= callee.external_calls
+                        changed = True
+                for attr, value in updates.items():
+                    if value and not getattr(summary, attr):
+                        setattr(summary, attr, value)
+                        changed = True
+    return summaries
+
+
+def _local_summary(cfg: FunctionCFG) -> FunctionSummary:
+    summary = FunctionSummary(entry=cfg.entry)
+    summary.has_syscall = cfg.has_syscall
+    summary.has_indirect = cfg.has_indirect
+    summary.external_calls = set(cfg.external_calls.values())
+    summary.internal_calls = set(cfg.internal_calls.values())
+    deltas = track_stack(cfg)
+    if deltas is None:
+        summary.irregular_stack = True
+        summary.writes_memory = True
+        return summary
+    for start, block in cfg.blocks.items():
+        delta = deltas[start]
+        for ins in block.instructions:
+            for mem in ins.mem_writes():
+                if slot_of(delta, mem) is None:
+                    summary.writes_memory = True
+            effect = rsp_effect(ins)
+            delta += effect if effect is not None else 0
+    return summary

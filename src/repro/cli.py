@@ -1,0 +1,191 @@
+"""Command-line interface: the analyser and DBM as separate tools.
+
+Mirrors the paper's deployment: the static side produces artefacts
+(`compile`, `analyze`, `schedule`), the dynamic side consumes them (`run`),
+and `figures` regenerates the evaluation.
+
+    python -m repro compile program.jc -o app.jelf -O3 --personality gcc
+    python -m repro analyze app.jelf
+    python -m repro schedule app.jelf -o app.jrs --train-input 2
+    python -m repro run app.jelf --mode native --input 4
+    python -m repro run app.jelf --schedule app.jrs --threads 8 --input 4
+    python -m repro figures fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import analyze_image
+from repro.dbm.executor import run_native
+from repro.dbm.modifier import JanusDBM, run_under_dbm
+from repro.dbm.runtime import ParallelRuntime
+from repro.jbin.image import JELF
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.rewrite.schedule import RewriteSchedule
+
+
+def _cmd_compile(args) -> int:
+    source = open(args.source).read()
+    options = CompileOptions(opt_level=args.opt_level,
+                             personality=args.personality,
+                             mavx=args.mavx, parallel=args.parallel)
+    image = compile_source(source, options)
+    with open(args.output, "wb") as handle:
+        handle.write(image.serialize())
+    print(f"wrote {args.output}: {len(image.text.data)} bytes of code, "
+          f"{len(image.imports)} imports [{options.comment}]")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    image = JELF.deserialize(open(args.binary, "rb").read())
+    analysis = analyze_image(image)
+    print(f"{args.binary}: {len(analysis.functions)} functions, "
+          f"{len(analysis.loops)} loops")
+    print(f"{'loop':>4s} {'function':>10s} {'header':>10s} "
+          f"{'category':20s} {'trips':>8s} {'checks':>6s} notes")
+    for result in analysis.loops:
+        iterator = result.induction.iterator if result.induction else None
+        trips = "-"
+        if iterator is not None:
+            trips = (str(iterator.static_trip_count)
+                     if iterator.static_trip_count is not None
+                     else "runtime")
+        checks = (len(result.alias.bounds_checks)
+                  if result.alias is not None else 0)
+        note = result.reasons[0] if result.reasons else ""
+        print(f"{result.loop_id:4d} {result.loop.function_entry:#10x} "
+              f"{result.loop.header:#10x} {result.category.value:20s} "
+              f"{trips:>8s} {checks:6d} {note}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    image = JELF.deserialize(open(args.binary, "rb").read())
+    janus = Janus(image, JanusConfig(n_threads=args.threads))
+    training = None
+    if not args.no_train:
+        training = janus.train(train_inputs=args.train_input)
+    mode = SelectionMode(args.mode)
+    schedule = janus.build_schedule(mode, training)
+    with open(args.output, "wb") as handle:
+        handle.write(schedule.serialize())
+    selected = janus.select_loops(mode, training)
+    print(f"wrote {args.output}: {len(schedule)} rules, "
+          f"{schedule.size_bytes} bytes, loops {selected}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    image = JELF.deserialize(open(args.binary, "rb").read())
+    process = load(image, inputs=args.input)
+    if args.schedule:
+        schedule = RewriteSchedule.deserialize(
+            open(args.schedule, "rb").read())
+        dbm = JanusDBM(process, schedule=schedule, n_threads=args.threads,
+                       scheduling=args.scheduling)
+        ParallelRuntime(dbm)
+        result = dbm.run()
+        label = f"janus x{args.threads}"
+    elif args.mode == "dbm":
+        result = run_under_dbm(process)
+        label = "dbm"
+    else:
+        result = run_native(process)
+        label = "native"
+    print(result.output_text)
+    print(f"[{label}] {result.cycles} cycles, "
+          f"{result.instructions} instructions, exit {result.exit_code}",
+          file=sys.stderr)
+    if result.stats:
+        interesting = {k: v for k, v in result.stats.items() if v}
+        print(f"[stats] {interesting}", file=sys.stderr)
+    return result.exit_code
+
+
+def _cmd_figures(args) -> int:
+    from repro.eval import figures, reporting
+    from repro.eval.harness import default_harness
+
+    harness = default_harness()
+    producers = {
+        "fig6": (figures.fig6_classification, reporting.render_fig6),
+        "fig7": (figures.fig7_speedups, reporting.render_fig7),
+        "fig8": (figures.fig8_breakdown, reporting.render_fig8),
+        "fig9": (figures.fig9_scaling, reporting.render_fig9),
+        "fig10": (figures.fig10_schedule_size, reporting.render_fig10),
+        "fig11": (figures.fig11_compiler_comparison,
+                  reporting.render_fig11),
+        "fig12": (figures.fig12_opt_levels, reporting.render_fig12),
+        "table1": (figures.table1_bounds_checks, reporting.render_table1),
+        "table2": (lambda _h=None: figures.table2_features(),
+                   reporting.render_table2),
+    }
+    for name in args.which or sorted(producers):
+        produce, render = producers[name]
+        rows = produce(harness) if name != "table2" else produce()
+        print(render(rows))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Janus reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compile", help="compile JC source to a JELF binary")
+    c.add_argument("source")
+    c.add_argument("-o", "--output", required=True)
+    c.add_argument("-O", "--opt-level", type=int, default=3,
+                   choices=(0, 2, 3))
+    c.add_argument("--personality", default="gcc", choices=("gcc", "icc"))
+    c.add_argument("--mavx", action="store_true")
+    c.add_argument("--parallel", action="store_true",
+                   help="compiler auto-parallelisation baseline")
+    c.set_defaults(func=_cmd_compile)
+
+    a = sub.add_parser("analyze", help="static loop analysis of a binary")
+    a.add_argument("binary")
+    a.set_defaults(func=_cmd_analyze)
+
+    s = sub.add_parser("schedule",
+                       help="generate a parallelisation rewrite schedule")
+    s.add_argument("binary")
+    s.add_argument("-o", "--output", required=True)
+    s.add_argument("--mode", default="janus",
+                   choices=("static", "static_profile", "janus"))
+    s.add_argument("--threads", type=int, default=8)
+    s.add_argument("--train-input", type=int, action="append", default=[])
+    s.add_argument("--no-train", action="store_true")
+    s.set_defaults(func=_cmd_schedule)
+
+    r = sub.add_parser("run", help="execute a binary")
+    r.add_argument("binary")
+    r.add_argument("--schedule", help="rewrite schedule (enables Janus)")
+    r.add_argument("--mode", default="native", choices=("native", "dbm"))
+    r.add_argument("--threads", type=int, default=8)
+    r.add_argument("--scheduling", default="chunk",
+                   choices=("chunk", "round_robin"),
+                   help="iteration scheduling policy (paper II-E)")
+    r.add_argument("--input", type=int, action="append", default=[])
+    r.set_defaults(func=_cmd_run)
+
+    f = sub.add_parser("figures", help="regenerate paper figures/tables")
+    f.add_argument("which", nargs="*",
+                   help="fig6..fig12, table1, table2 (default: all)")
+    f.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

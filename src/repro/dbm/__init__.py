@@ -1,0 +1,40 @@
+"""JDBM: the dynamic binary modifier and the Janus parallel runtime.
+
+This package is the reproduction of both DynamoRIO (block discovery, code
+caches, translation) and the Janus client inside it (rewrite-rule handlers,
+thread pool, parallel loop runtime, runtime checks, JIT STM glue).
+
+Module map:
+
+* :mod:`repro.dbm.memory` — sparse 64-bit word memory with bit-cast helpers.
+* :mod:`repro.dbm.machine` — register files, flags, thread contexts.
+* :mod:`repro.dbm.interp` — instruction semantics + cycle accounting.
+* :mod:`repro.dbm.blocks` — basic-block containers shared by executors.
+* :mod:`repro.dbm.codecache` — per-thread code caches.
+* :mod:`repro.dbm.modifier` — block discovery and rewrite-rule application.
+* :mod:`repro.dbm.handlers` — one handler per rewrite-rule ID (paper Fig. 3).
+* :mod:`repro.dbm.runtime` — parallel loop execution (paper section II-E).
+* :mod:`repro.dbm.checks` — runtime array-base bounds checks (II-E1).
+* :mod:`repro.dbm.executor` — ``run_native`` / ``run_under_dbm`` entry points.
+"""
+
+from repro.dbm.memory import Memory, f64_to_i64, i64_to_f64, s64
+from repro.dbm.machine import Machine, ThreadContext
+from repro.dbm.executor import ExecutionResult, run_native
+from repro.dbm.modifier import JanusDBM, run_under_dbm
+from repro.dbm.runtime import ParallelRuntime, run_parallel
+
+__all__ = [
+    "Memory",
+    "f64_to_i64",
+    "i64_to_f64",
+    "s64",
+    "Machine",
+    "ThreadContext",
+    "ExecutionResult",
+    "run_native",
+    "JanusDBM",
+    "run_under_dbm",
+    "ParallelRuntime",
+    "run_parallel",
+]

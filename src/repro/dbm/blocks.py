@@ -1,0 +1,68 @@
+"""Basic-block containers shared by the native executor and the DBM.
+
+A :class:`Block` is the unit of translation: instructions from one entry
+address up to (and including) the first control-transfer instruction.  The
+DBM stores *modified* blocks in its code caches; the native executor stores
+unmodified ones.  ``cost`` is the static cycle cost of executing the whole
+block once, precomputed so the interpreter charges cycles in O(1) per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.costs import instruction_cycles
+from repro.isa.decoder import decode_instruction
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class Block:
+    """A translated basic block ready for execution."""
+
+    start: int
+    instructions: list[Instruction]
+    end: int  # fall-through address (address after the last instruction)
+    cost: int = 0
+    # Lazily compiled closure form (see repro.dbm.jit); never compared.
+    fast: list | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.cost:
+            self.recompute_cost()
+
+    def recompute_cost(self) -> None:
+        self.cost = sum(instruction_cycles(i) for i in self.instructions)
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<block {self.start:#x} n={len(self.instructions)}>"
+
+
+def discover_block(process, pc: int, stop_addresses=frozenset()) -> Block:
+    """Decode a basic block starting at ``pc`` from the process image.
+
+    Decoding stops after the first control-transfer instruction, or *before*
+    any address in ``stop_addresses`` (the DBM splits blocks at addresses
+    that carry rewrite rules targeting block entries).
+    """
+    data, base = process.code_at(pc)
+    instructions: list[Instruction] = []
+    addr = pc
+    while True:
+        ins = decode_instruction(data, addr - base, addr)
+        instructions.append(ins)
+        addr += ins.size
+        if ins.is_control:
+            break
+        if addr in stop_addresses:
+            break
+        if addr - base >= len(data):
+            break
+    return Block(start=pc, instructions=instructions, end=addr)

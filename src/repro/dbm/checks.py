@@ -1,0 +1,62 @@
+"""Runtime array-base bounds checks (paper section II-E1, Fig. 4).
+
+Static analysis identified each array's symbolic base and the per-iteration
+extents of its accesses; at loop entry the runtime evaluates the bases with
+live register/stack values, extends them over the concrete iteration space,
+and verifies that every written range is disjoint from every other range it
+was paired with.  If any check fails the loop runs sequentially.
+"""
+
+from __future__ import annotations
+
+from repro.rewrite.metadata import (
+    BoundsCheckDesc,
+    RangeSide,
+    evaluate_runtime_poly,
+)
+
+WORD = 8
+
+
+def side_range(side: RangeSide, read_var, theta_first: int,
+               theta_last: int, read_mem=None) -> tuple[int, int]:
+    """Concrete [lo, hi) byte range a group touches over the iteration space."""
+    base = evaluate_runtime_poly(side.base_form, read_var, read_mem)
+    lo = None
+    hi = None
+    for coeff, const, lanes in side.extents:
+        for theta in (theta_first, theta_last):
+            start = base + coeff * theta + const
+            end = start + WORD * lanes
+            lo = start if lo is None else min(lo, start)
+            hi = end if hi is None else max(hi, end)
+    assert lo is not None and hi is not None
+    return lo, hi
+
+
+def ranges_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def evaluate_bounds_check(desc: BoundsCheckDesc, read_var,
+                          theta_first: int, theta_last: int,
+                          read_mem=None) -> bool:
+    """True when the two ranges are disjoint (parallelisation is safe)."""
+    write_range = side_range(desc.write_side, read_var, theta_first,
+                             theta_last, read_mem)
+    other_range = side_range(desc.other_side, read_var, theta_first,
+                             theta_last, read_mem)
+    return not ranges_overlap(write_range, other_range)
+
+
+def make_read_var(ctx, memory, rsp0: int):
+    """Variable reader for runtime polynomials: registers and stack slots."""
+
+    def read_var(var):
+        if isinstance(var, int):
+            return ctx.gregs[var]
+        if isinstance(var, tuple) and var[0] == "stack":
+            return memory.read(rsp0 + var[1])
+        raise ValueError(f"unreadable variable {var!r}")
+
+    return read_var

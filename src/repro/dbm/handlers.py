@@ -1,0 +1,244 @@
+"""Rewrite-rule handlers: one per rule ID (paper section II-A2).
+
+"Each rewrite rule ID has a corresponding runtime handler within the DBM
+which is responsible for carrying out the transformation."  Handlers run at
+*translation time*, when a block is copied into a thread's code cache, and
+are thread-aware: the same rule produces different code in the main thread's
+cache and in a pool thread's cache ("independent interpretation of rewrite
+rules to specialise computation for each thread", paper section II-E).
+
+TLS layout (offsets from r15): word 0 = main thread's rsp, word 1 = this
+thread's patched loop bound, words 2+ = privatised storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import SCRATCH_REG, STACK_REG, TLS_REG
+from repro.dbm.editor import BlockEditor
+from repro.dbm.rtcalls import RTCallID
+from repro.rewrite.rules import RewriteRule, RuleID
+
+TLS_MAIN_RSP = 0
+TLS_BOUND = 1
+WORD = 8
+
+
+@dataclass
+class TranslationContext:
+    """What a handler may know while transforming a block."""
+
+    dbm: object
+    thread_id: int  # 0 = main thread
+    worker: object | None = None  # WorkerState for pool threads
+
+    @property
+    def is_main(self) -> bool:
+        return self.thread_id == 0
+
+    def record(self, index: int):
+        return self.dbm.schedule.record(index)
+
+
+# -- parallelisation handlers ---------------------------------------------------
+
+def _h_bounds_check(editor: BlockEditor, rule: RewriteRule,
+                    tctx: TranslationContext) -> None:
+    # The rule anchors at the last instruction of the loop's preheader
+    # (the DBM may have split the analyser's preheader block at calls).
+    if not tctx.is_main:
+        return
+    editor.insert_at_anchor(rule.address,
+                            editor.rtcall(RTCallID.BOUNDS_CHECK, rule.data))
+
+
+def _h_loop_init(editor: BlockEditor, rule: RewriteRule,
+                 tctx: TranslationContext) -> None:
+    if not tctx.is_main:
+        return
+    editor.insert_at_anchor(rule.address,
+                            editor.rtcall(RTCallID.LOOP_ENTER, rule.data))
+
+
+def _h_thread_schedule(editor: BlockEditor, rule: RewriteRule,
+                       tctx: TranslationContext) -> None:
+    # The rule's address *is* the payload: the runtime schedules pool
+    # threads to start executing at this address.  No code change.
+    return
+
+
+def _h_loop_update_bound(editor: BlockEditor, rule: RewriteRule,
+                         tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    from repro.rewrite.metadata import LoopMeta
+
+    meta = LoopMeta.from_record(tctx.record(rule.data))
+    cmp_ins = editor.instruction_at(meta.cmp_address)
+    bound_position = 1 - meta.iv_operand_index
+    # Each thread reads its own chunk bound from TLS, so the cached block
+    # stays valid across loop invocations with different bounds.
+    new_ops = list(cmp_ins.operands)
+    new_ops[bound_position] = Mem(base=TLS_REG, disp=WORD * TLS_BOUND)
+    editor.replace(meta.cmp_address,
+                   Instruction(cmp_ins.opcode, tuple(new_ops)))
+
+
+def _h_thread_yield(editor: BlockEditor, rule: RewriteRule,
+                    tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    editor.insert_at_start(editor.rtcall(RTCallID.THREAD_YIELD, rule.data))
+
+
+def _h_loop_finish(editor: BlockEditor, rule: RewriteRule,
+                   tctx: TranslationContext) -> None:
+    if not tctx.is_main:
+        return
+    editor.insert_at_start(
+        editor.rtcall(RTCallID.LOOP_FINISH_MARK, rule.data))
+
+
+def _h_mem_main_stack(editor: BlockEditor, rule: RewriteRule,
+                      tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    record = tctx.record(rule.data)  # ("ms", disp)
+    disp = record[1]
+    # Fig. 2b: load the main thread's stack pointer into the scratch
+    # register once per block, then redirect the read through it.
+    editor.ensure_prelude(
+        "main_rsp",
+        Instruction(Opcode.MOV, (Reg(SCRATCH_REG),
+                                 Mem(base=TLS_REG, disp=WORD * TLS_MAIN_RSP))))
+    target = editor.instruction_at(rule.address)
+    new_ops = []
+    for operand in target.operands:
+        if isinstance(operand, Mem) and operand.base == STACK_REG \
+                and operand.index is None:
+            new_ops.append(Mem(base=SCRATCH_REG, disp=disp))
+        else:
+            new_ops.append(operand)
+    editor.replace(rule.address, Instruction(target.opcode, tuple(new_ops)))
+
+
+def _h_mem_privatise(editor: BlockEditor, rule: RewriteRule,
+                     tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    record = tctx.record(rule.data)  # ("mp", tls_slot)
+    tls_slot = record[1]
+    target = editor.instruction_at(rule.address)
+    new_ops = []
+    replaced = False
+    for operand in target.operands:
+        if isinstance(operand, Mem) and operand.base != STACK_REG \
+                and not replaced:
+            new_ops.append(Mem(base=TLS_REG, disp=WORD * tls_slot))
+            replaced = True
+        else:
+            new_ops.append(operand)
+    editor.replace(rule.address, Instruction(target.opcode, tuple(new_ops)))
+
+
+def _h_tx_start(editor: BlockEditor, rule: RewriteRule,
+                tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    editor.insert_before(rule.address,
+                         editor.rtcall(RTCallID.TX_START, rule.data))
+
+
+def _h_tx_finish(editor: BlockEditor, rule: RewriteRule,
+                 tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    editor.insert_at_start(editor.rtcall(RTCallID.TX_FINISH, rule.data))
+
+
+def _h_mem_spill_reg(editor: BlockEditor, rule: RewriteRule,
+                     tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    record = tctx.record(rule.data)  # ("spill", [reg ids], base slot)
+    _, regs, base_slot = record
+    for offset, reg in enumerate(regs):
+        editor.insert_before(rule.address, Instruction(
+            Opcode.MOV,
+            (Mem(base=TLS_REG, disp=WORD * (base_slot + offset)), Reg(reg))))
+
+
+def _h_mem_recover_reg(editor: BlockEditor, rule: RewriteRule,
+                       tctx: TranslationContext) -> None:
+    if tctx.worker is None:
+        return
+    record = tctx.record(rule.data)
+    _, regs, base_slot = record
+    for offset, reg in enumerate(regs):
+        editor.insert_before(rule.address, Instruction(
+            Opcode.MOV,
+            (Reg(reg), Mem(base=TLS_REG, disp=WORD * (base_slot + offset)))))
+
+
+# -- profiling handlers (main thread only; profiling is single-threaded) --------
+
+def _h_prof_loop_start(editor, rule, tctx) -> None:
+    if tctx.is_main:
+        editor.insert_at_anchor(
+            rule.address, editor.rtcall(RTCallID.PROF_LOOP_START, rule.data))
+
+
+def _h_prof_loop_iter(editor, rule, tctx) -> None:
+    if tctx.is_main:
+        editor.insert_at_start(
+            editor.rtcall(RTCallID.PROF_LOOP_ITER, rule.data))
+
+
+def _h_prof_loop_finish(editor, rule, tctx) -> None:
+    if tctx.is_main:
+        editor.insert_at_start(
+            editor.rtcall(RTCallID.PROF_LOOP_FINISH, rule.data))
+
+
+def _h_prof_mem_access(editor, rule, tctx) -> None:
+    if tctx.is_main:
+        editor.insert_before(rule.address,
+                             editor.rtcall(RTCallID.PROF_MEM, rule.data))
+
+
+def _h_prof_excall_start(editor, rule, tctx) -> None:
+    if tctx.is_main:
+        editor.insert_before(
+            rule.address, editor.rtcall(RTCallID.PROF_EXCALL_START,
+                                        rule.data))
+
+
+def _h_prof_excall_finish(editor, rule, tctx) -> None:
+    if tctx.is_main:
+        editor.insert_at_start(
+            editor.rtcall(RTCallID.PROF_EXCALL_FINISH, rule.data))
+
+
+HANDLERS = {
+    RuleID.MEM_BOUNDS_CHECK: _h_bounds_check,
+    RuleID.LOOP_INIT: _h_loop_init,
+    RuleID.THREAD_SCHEDULE: _h_thread_schedule,
+    RuleID.LOOP_UPDATE_BOUND: _h_loop_update_bound,
+    RuleID.THREAD_YIELD: _h_thread_yield,
+    RuleID.LOOP_FINISH: _h_loop_finish,
+    RuleID.MEM_MAIN_STACK: _h_mem_main_stack,
+    RuleID.MEM_PRIVATISE: _h_mem_privatise,
+    RuleID.TX_START: _h_tx_start,
+    RuleID.TX_FINISH: _h_tx_finish,
+    RuleID.MEM_SPILL_REG: _h_mem_spill_reg,
+    RuleID.MEM_RECOVER_REG: _h_mem_recover_reg,
+    RuleID.PROF_LOOP_START: _h_prof_loop_start,
+    RuleID.PROF_LOOP_ITER: _h_prof_loop_iter,
+    RuleID.PROF_LOOP_FINISH: _h_prof_loop_finish,
+    RuleID.PROF_MEM_ACCESS: _h_prof_mem_access,
+    RuleID.PROF_EXCALL_START: _h_prof_excall_start,
+    RuleID.PROF_EXCALL_FINISH: _h_prof_excall_finish,
+}

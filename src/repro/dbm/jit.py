@@ -1,0 +1,236 @@
+"""Closure compilation of code-cache blocks ("JIT recompilation").
+
+DynamoRIO does not interpret: it re-encodes translated blocks as native
+code.  The closest honest Python analogue is compiling each block into a
+list of specialised closures — operand kinds, register indices and
+addresses are resolved once at translation time, so steady-state execution
+skips all operand dispatch.
+
+The fast path is only legal when no instrumentation is active: the
+interpreter uses it iff ``mem_hook`` is unset and no transaction is open
+(profiling windows and STM regions fall back to the reference
+interpreter).  Semantics are defined by :mod:`repro.dbm.interp`; the
+differential property test in ``tests/dbm/test_jit.py`` pins the two paths
+together.  Opcodes without a specialised template fall back to the
+reference ``_exec`` per instruction.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import CONDITION_OF, Instruction, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import STACK_REG, XMM_BASE
+from repro.dbm.machine import HALT_ADDRESS
+from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
+
+_I64_MAX = 9223372036854775807
+_I64_MIN = -9223372036854775808
+
+_COND = {
+    "e": lambda f: f == 0,
+    "ne": lambda f: f != 0,
+    "l": lambda f: f < 0,
+    "le": lambda f: f <= 0,
+    "g": lambda f: f > 0,
+    "ge": lambda f: f >= 0,
+}
+
+
+def _sign(value) -> int:
+    return 1 if value > 0 else (-1 if value < 0 else 0)
+
+
+def _ea_fn(mem: Mem):
+    """Specialised effective-address computation."""
+    base, index, scale, disp = mem.base, mem.index, mem.scale, mem.disp
+    if base is None and index is None:
+        return lambda gregs: disp
+    if index is None:
+        return lambda gregs: gregs[base] + disp
+    if base is None:
+        return lambda gregs: gregs[index] * scale + disp
+    return lambda gregs: gregs[base] + gregs[index] * scale + disp
+
+
+def _int_read_fn(op, memory):
+    """value(ctx) for an integer-valued operand."""
+    if type(op) is Reg:
+        rid = op.id
+        return lambda ctx: ctx.gregs[rid]
+    if type(op) is Imm:
+        value = op.value
+        return lambda ctx: value
+    ea = _ea_fn(op)
+    read = memory.read
+    return lambda ctx: read(ea(ctx.gregs))
+
+
+def _int_write_fn(op, memory):
+    """store(ctx, value) for an integer destination."""
+    if type(op) is Reg:
+        rid = op.id
+        def store(ctx, value, _rid=rid):
+            ctx.gregs[_rid] = value
+        return store
+    ea = _ea_fn(op)
+    write = memory.write
+    return lambda ctx, value: write(ea(ctx.gregs), value)
+
+
+def _f64_read_fn(op, memory):
+    if type(op) is Reg:
+        lane = (op.id - XMM_BASE) * 4
+        return lambda ctx: ctx.fregs[lane]
+    ea = _ea_fn(op)
+    read = memory.read
+    return lambda ctx: i64_to_f64(read(ea(ctx.gregs)))
+
+
+def _f64_write_fn(op, memory):
+    if type(op) is Reg:
+        lane = (op.id - XMM_BASE) * 4
+        def store(ctx, value, _lane=lane):
+            ctx.fregs[_lane] = value
+        return store
+    ea = _ea_fn(op)
+    write = memory.write
+    return lambda ctx, value: write(ea(ctx.gregs), f64_to_i64(value))
+
+
+def compile_block(block, interp) -> list:
+    """Compile a block's instructions into closures bound to ``interp``.
+
+    Each closure takes the thread context and returns ``None`` to continue,
+    a program counter to transfer to, or -1 to halt.
+    """
+    memory = interp.machine.memory
+    compiled = []
+    for ins in block.instructions:
+        fn = _compile_instruction(ins, interp, memory)
+        compiled.append(fn)
+    return compiled
+
+
+def _compile_instruction(ins: Instruction, interp, memory):  # noqa: C901
+    op = ins.opcode
+    ops = ins.operands
+
+    if op is Opcode.MOV:
+        src = _int_read_fn(ops[1], memory)
+        dst = _int_write_fn(ops[0], memory)
+        def mov(ctx, src=src, dst=dst):
+            dst(ctx, src(ctx))
+        return mov
+
+    if op in (Opcode.ADD, Opcode.SUB):
+        negate = op is Opcode.SUB
+        src = _int_read_fn(ops[1], memory)
+        cur = _int_read_fn(ops[0], memory)
+        dst = _int_write_fn(ops[0], memory)
+        def addsub(ctx, src=src, cur=cur, dst=dst, negate=negate):
+            result = cur(ctx) - src(ctx) if negate else cur(ctx) + src(ctx)
+            if result > _I64_MAX or result < _I64_MIN:
+                result = s64(result)
+            dst(ctx, result)
+            ctx.flags = 1 if result > 0 else (-1 if result < 0 else 0)
+        return addsub
+
+    if op is Opcode.CMP:
+        lhs = _int_read_fn(ops[0], memory)
+        rhs = _int_read_fn(ops[1], memory)
+        def cmp(ctx, lhs=lhs, rhs=rhs):
+            diff = lhs(ctx) - rhs(ctx)
+            ctx.flags = 1 if diff > 0 else (-1 if diff < 0 else 0)
+        return cmp
+
+    if ins.is_cond_branch:
+        check = _COND[CONDITION_OF[op]]
+        target = interp.process.resolve_target(ops[0].value) \
+            if interp.process else ops[0].value
+        def jcc(ctx, check=check, target=target):
+            if check(ctx.flags):
+                return target
+            return None
+        return jcc
+
+    if op is Opcode.JMP:
+        target = interp.process.resolve_target(ops[0].value) \
+            if interp.process else ops[0].value
+        return lambda ctx, target=target: target
+
+    if op is Opcode.INC or op is Opcode.DEC:
+        delta = 1 if op is Opcode.INC else -1
+        cur = _int_read_fn(ops[0], memory)
+        dst = _int_write_fn(ops[0], memory)
+        def incdec(ctx, cur=cur, dst=dst, delta=delta):
+            result = cur(ctx) + delta
+            if result > _I64_MAX or result < _I64_MIN:
+                result = s64(result)
+            dst(ctx, result)
+            ctx.flags = 1 if result > 0 else (-1 if result < 0 else 0)
+        return incdec
+
+    if op is Opcode.IMUL:
+        src = _int_read_fn(ops[1], memory)
+        cur = _int_read_fn(ops[0], memory)
+        dst = _int_write_fn(ops[0], memory)
+        def imul(ctx, src=src, cur=cur, dst=dst):
+            result = cur(ctx) * src(ctx)
+            if result > _I64_MAX or result < _I64_MIN:
+                result = s64(result)
+            dst(ctx, result)
+            ctx.flags = 1 if result > 0 else (-1 if result < 0 else 0)
+        return imul
+
+    if op is Opcode.LEA:
+        ea = _ea_fn(ops[1])
+        rid = ops[0].id
+        def lea(ctx, ea=ea, rid=rid):
+            ctx.gregs[rid] = s64(ea(ctx.gregs))
+        return lea
+
+    if op is Opcode.MOVSD:
+        src = _f64_read_fn(ops[1], memory)
+        dst = _f64_write_fn(ops[0], memory)
+        def movsd(ctx, src=src, dst=dst):
+            dst(ctx, src(ctx))
+        return movsd
+
+    if op in (Opcode.ADDSD, Opcode.SUBSD, Opcode.MULSD):
+        src = _f64_read_fn(ops[1], memory)
+        cur = _f64_read_fn(ops[0], memory)
+        dst = _f64_write_fn(ops[0], memory)
+        if op is Opcode.ADDSD:
+            return lambda ctx, s=src, c=cur, d=dst: d(ctx, c(ctx) + s(ctx))
+        if op is Opcode.SUBSD:
+            return lambda ctx, s=src, c=cur, d=dst: d(ctx, c(ctx) - s(ctx))
+        return lambda ctx, s=src, c=cur, d=dst: d(ctx, c(ctx) * s(ctx))
+
+    if op is Opcode.CALL:
+        target = interp.process.resolve_target(ops[0].value) \
+            if interp.process else ops[0].value
+        return_address = ins.address + ins.size
+        write = memory.write
+        def call(ctx, target=target, return_address=return_address,
+                 write=write):
+            sp = ctx.gregs[STACK_REG] - 8
+            ctx.gregs[STACK_REG] = sp
+            write(sp, return_address)
+            return target
+        return call
+
+    if op is Opcode.RET:
+        read = memory.read
+        def ret(ctx, read=read):
+            sp = ctx.gregs[STACK_REG]
+            target = read(sp)
+            ctx.gregs[STACK_REG] = sp + 8
+            if target == HALT_ADDRESS:
+                ctx.halted = True
+                return -1
+            return target
+        return ret
+
+    # Anything else: fall back to the reference interpreter.
+    exec_ref = interp._exec
+    return lambda ctx, exec_ref=exec_ref, ins=ins: exec_ref(ctx, ins)

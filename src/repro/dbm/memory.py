@@ -1,0 +1,82 @@
+"""Sparse word-addressed memory and 64-bit value helpers.
+
+Memory stores signed 64-bit integers at 8-byte-aligned addresses.  Doubles
+live in memory as their IEEE-754 bit patterns (exactly like hardware), so an
+integer ``mov`` moves a double's bits untouched — which is what lets the
+library ``memcpy`` copy arrays of doubles, and what makes the STM's
+*value-based* conflict checking (paper section II-E2) meaningful: it compares
+bit patterns, not typed values.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_PACK_D = struct.Struct("<d").pack
+_UNPACK_Q = struct.Struct("<q").unpack
+_PACK_Q = struct.Struct("<q").pack
+_UNPACK_D = struct.Struct("<d").unpack
+
+_U64 = (1 << 64) - 1
+_S64_SIGN = 1 << 63
+
+
+def s64(value: int) -> int:
+    """Wrap an arbitrary Python int to signed 64-bit two's complement."""
+    value &= _U64
+    if value & _S64_SIGN:
+        value -= 1 << 64
+    return value
+
+
+def f64_to_i64(value: float) -> int:
+    """Bit-cast a double to its signed 64-bit pattern."""
+    return _UNPACK_Q(_PACK_D(value))[0]
+
+
+def i64_to_f64(value: int) -> float:
+    """Bit-cast a signed 64-bit pattern to a double."""
+    return _UNPACK_D(_PACK_Q(value))[0]
+
+
+class MemoryFault(Exception):
+    """Raised on misaligned accesses."""
+
+
+class Memory:
+    """Flat sparse memory of 64-bit words; unmapped words read as zero."""
+
+    __slots__ = ("words",)
+
+    def __init__(self) -> None:
+        self.words: dict[int, int] = {}
+
+    def read(self, addr: int) -> int:
+        if addr & 7:
+            raise MemoryFault(f"misaligned read at {addr:#x}")
+        return self.words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        if addr & 7:
+            raise MemoryFault(f"misaligned write at {addr:#x}")
+        self.words[addr] = value
+
+    def read_f64(self, addr: int) -> float:
+        return i64_to_f64(self.read(addr))
+
+    def write_f64(self, addr: int, value: float) -> None:
+        self.write(addr, f64_to_i64(value))
+
+    def load_words(self, pairs) -> None:
+        """Bulk-initialise from (address, value) pairs (loader output)."""
+        for addr, value in pairs:
+            self.write(addr, value)
+
+    def snapshot(self) -> dict[int, int]:
+        """A copy of all non-zero words (the correctness-oracle state)."""
+        return {a: v for a, v in self.words.items() if v != 0}
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone.words = dict(self.words)
+        return clone

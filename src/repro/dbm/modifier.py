@@ -1,0 +1,201 @@
+"""JDBM: the dynamic binary modifier core (DynamoRIO + rewrite interpreter).
+
+The modifier owns per-thread code caches.  Translating a block means:
+discover it from the image (lazy decode), look every instruction address up
+in the rewrite-rule hash table, run the matching handlers in schedule order
+(paper Fig. 2b), recompute the block's cycle cost, and charge translation
+overhead to the translating thread.
+
+The cost model also charges the DBM's dispatch overhead: blocks ending in
+indirect control transfers (ret / indirect jump or call) pay the
+indirect-branch-lookup cost on every execution, while direct transfers are
+almost always linked block-to-block (DynamoRIO's trace optimisation), which
+is what makes call/return-heavy applications slow under a DBM (the paper's
+h264ref, section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbm.blocks import Block, discover_block
+from repro.dbm.editor import BlockEditor
+from repro.dbm.executor import DEFAULT_INSTRUCTION_LIMIT, ExecutionResult
+from repro.dbm.handlers import HANDLERS, TranslationContext
+from repro.dbm.interp import ExecutionLimitExceeded, Interpreter
+from repro.dbm.machine import Machine, ThreadContext, make_main_context
+from repro.isa.costs import DEFAULT_COST_MODEL, CostModel
+from repro.jbin.loader import Process
+from repro.rewrite.schedule import RewriteSchedule
+
+
+@dataclass
+class DBMStats:
+    """Counters for the execution-time breakdown (paper Fig. 8)."""
+
+    translated_blocks: int = 0
+    translated_instructions: int = 0
+    translation_cycles: int = 0
+    worker_translation_cycles: int = 0
+    check_cycles: int = 0
+    checks_passed: int = 0
+    checks_failed: int = 0
+    init_finish_cycles: int = 0
+    parallel_cycles: int = 0
+    loop_invocations_parallel: int = 0
+    loop_invocations_sequential: int = 0
+    loop_finish_marks: int = 0
+    stm_cycles: int = 0
+    false_sharing_cycles: int = 0
+    rules_applied: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class JanusDBM:
+    """A process executing under dynamic binary modification."""
+
+    def __init__(self, process: Process,
+                 schedule: RewriteSchedule | None = None,
+                 cost_model: CostModel | None = None,
+                 n_threads: int = 1,
+                 strict: bool = True,
+                 scheduling: str = "chunk",
+                 rr_block: int = 8) -> None:
+        self.process = process
+        self.schedule = schedule
+        self.rule_index = schedule.build_index() if schedule else {}
+        self.cost = cost_model or DEFAULT_COST_MODEL.copy()
+        self.n_threads = n_threads
+        self.strict = strict
+        # Iteration scheduling policy (paper II-E): "chunk" = equal
+        # contiguous chunks (default); "round_robin" = small contiguous
+        # blocks handed out cyclically.
+        self.scheduling = scheduling
+        self.rr_block = rr_block
+        self.machine = Machine()
+        self.machine.memory.load_words(process.initial_data())
+        self.machine.inputs = list(process.inputs)
+        self.interp = Interpreter(self.machine, process)
+        self.interp.rtcall_handler = self._dispatch_rtcall
+        self.rtcall_handlers: dict[int, object] = {}
+        self.caches: dict[int, dict[int, Block]] = {0: {}}
+        self.stats = DBMStats()
+        # Listeners invoked after every main-thread block execution
+        # (the coverage profiler counts instructions this way).
+        self.block_listeners: list = []
+        if schedule is not None and schedule.rules:
+            self._check_schedule()
+
+    def _check_schedule(self) -> None:
+        if not self.schedule.verify_against(self.process.image):
+            raise ValueError(
+                "rewrite schedule does not match this binary "
+                "(text checksum mismatch)")
+
+    # -- rtcall plumbing -----------------------------------------------------
+
+    def register_rtcall(self, rtcall_id: int, handler) -> None:
+        self.rtcall_handlers[int(rtcall_id)] = handler
+
+    def _dispatch_rtcall(self, ctx: ThreadContext, rtcall_id: int, arg: int):
+        handler = self.rtcall_handlers.get(rtcall_id)
+        if handler is None:
+            raise RuntimeError(f"no runtime handler for RTCALL {rtcall_id}")
+        return handler(ctx, arg)
+
+    # -- translation ------------------------------------------------------------
+
+    def get_block(self, pc: int, ctx: ThreadContext,
+                  worker=None) -> Block:
+        thread_id = ctx.thread_id
+        cache = self.caches.setdefault(thread_id, {})
+        block = cache.get(pc)
+        if block is None:
+            block = self._translate(pc, ctx, worker)
+            cache[pc] = block
+        return block
+
+    def _translate(self, pc: int, ctx: ThreadContext, worker) -> Block:
+        block = discover_block(self.process, pc,
+                               stop_addresses=self.rule_index.keys())
+        cycles = (self.cost.translate_cycles_per_block
+                  + len(block) * self.cost.translate_cycles_per_instruction)
+        ctx.cycles += cycles
+        self.stats.translated_blocks += 1
+        self.stats.translated_instructions += len(block)
+        self.stats.translation_cycles += cycles
+        if ctx.thread_id != 0:
+            self.stats.worker_translation_cycles += cycles
+
+        rules = []
+        for ins in block.instructions:
+            rules.extend(self.rule_index.get(ins.address, ()))
+        if rules:
+            editor = BlockEditor(block)
+            tctx = TranslationContext(dbm=self, thread_id=ctx.thread_id,
+                                      worker=worker)
+            for rule in rules:
+                HANDLERS[rule.rule_id](editor, rule, tctx)
+                self.stats.rules_applied += 1
+            block = editor.finish()
+        # Dispatch overhead on every execution of this block: indirect
+        # terminators always pay the lookup; direct ones are nearly always
+        # linked (trace optimisation).
+        terminator = block.terminator
+        if terminator.is_indirect or terminator.is_ret:
+            block.cost += self.cost.context_switch_cycles
+        else:
+            # Direct transfers are linked block-to-block by the trace
+            # optimisation; the residual miss rate rounds to zero cost
+            # for typical blocks.
+            linked = self.cost.trace_link_rate
+            block.cost += int(self.cost.context_switch_cycles * (1.0 - linked))
+        return block
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, max_instructions: int = DEFAULT_INSTRUCTION_LIMIT
+            ) -> ExecutionResult:
+        """Execute the whole program under the DBM on the main thread."""
+        ctx = make_main_context(self.process.entry, self.machine.memory)
+        pc: int | None = ctx.pc
+        listeners = self.block_listeners
+        while pc is not None:
+            block = self.get_block(pc, ctx)
+            pc = self.interp.execute_block(ctx, block)
+            if listeners:
+                for listener in listeners:
+                    listener(ctx, block)
+            if ctx.instructions > max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions")
+        self.machine.cycles = ctx.cycles
+        return ExecutionResult(
+            cycles=ctx.cycles,
+            instructions=ctx.instructions,
+            outputs=self.machine.outputs,
+            exit_code=ctx.exit_code,
+            machine=self.machine,
+            stats=self.stats.as_dict(),
+        )
+
+
+def run_under_dbm(process: Process,
+                  schedule: RewriteSchedule | None = None,
+                  cost_model: CostModel | None = None,
+                  max_instructions: int = DEFAULT_INSTRUCTION_LIMIT
+                  ) -> ExecutionResult:
+    """Run a process under the plain DBM (no parallelisation runtime).
+
+    With ``schedule=None`` this is the paper's "DynamoRIO" baseline bar:
+    pure translation/dispatch overhead, no modification.
+    """
+    dbm = JanusDBM(process, schedule=schedule, cost_model=cost_model)
+    if schedule is not None:
+        # Attach runtimes so schedule rtcalls resolve even without threads.
+        from repro.dbm.runtime import ParallelRuntime
+
+        ParallelRuntime(dbm)
+    return dbm.run(max_instructions=max_instructions)

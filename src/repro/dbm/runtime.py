@@ -1,0 +1,582 @@
+"""The Janus parallel runtime: thread pool and parallel loop execution
+(paper section II-E).
+
+When the main thread executes the ``LOOP_INIT`` trap at a selected loop's
+preheader, the runtime
+
+1. evaluates any pending array-base bounds checks (section II-E1) — on
+   failure the loop falls back to sequential execution in the main thread's
+   (unmodified) code cache;
+2. reads the iterator's init value and the loop bound from the live
+   context, computes the concrete iteration count, and splits it into
+   contiguous per-thread chunks (the paper's default scheduling policy);
+3. builds one pool-thread context per non-empty chunk: registers copied
+   from main, a private stack with the written slots copied in, TLS
+   populated (main rsp, chunk bound, privatised words), the iterator and
+   every derived induction variable set to their chunk-start values, and
+   reduction registers reset to the identity;
+4. executes the threads in commit order through their private code caches
+   (worker-specialised rewrite rules apply: patched bounds, privatised
+   operands, main-stack redirection, STM around dynamically discovered
+   code);
+5. detects cross-thread conflicts on the shadow access maps — a conflict
+   outside the STM means an unsound parallelisation and raises in strict
+   mode; STM conflicts with later threads are modelled as abort + retry;
+6. merges: last thread's registers and written slots become the main
+   context, reductions combine associatively, privatised words write back,
+   and the loop's elapsed time is the slowest thread plus init/finish
+   overheads.
+
+Timing: per-thread cycle counters start at zero for the invocation; the
+invocation's wall-cycles are ``max`` over threads, charged to the main
+thread's clock along with the modelled overheads (DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.induction import (
+    chunk_bounds,
+    loop_iterations,
+    patched_bound,
+    round_robin_bounds,
+)
+from repro.dbm.checks import evaluate_bounds_check, make_read_var
+from repro.dbm.machine import ThreadContext
+from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
+from repro.dbm.rtcalls import DependenceViolationError, RTCallID, WorkerYield
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import SCRATCH_REG, STACK_REG, TLS_REG, XMM_BASE
+from repro.jbin import layout
+from repro.rewrite.metadata import (
+    BoundsCheckDesc,
+    LoopMeta,
+    decode_operand,
+    decode_var,
+    evaluate_runtime_poly,
+)
+from repro.rewrite.rules import RuleID
+from repro.stm.stm import STMManager
+
+WORD = 8
+TLS_MAIN_RSP = 0
+TLS_BOUND = 1
+
+
+def run_parallel(process, schedule, n_threads: int = 8, cost_model=None,
+                 strict: bool = True, max_instructions: int | None = None):
+    """Execute a process under Janus with the parallelisation schedule.
+
+    This is the paper's full system: DBM + rewrite schedule + thread pool +
+    runtime checks + STM.  Returns an :class:`ExecutionResult` whose stats
+    carry the Fig. 8 breakdown counters.
+    """
+    from repro.dbm.executor import DEFAULT_INSTRUCTION_LIMIT
+    from repro.dbm.modifier import JanusDBM
+
+    dbm = JanusDBM(process, schedule=schedule, cost_model=cost_model,
+                   n_threads=n_threads, strict=strict)
+    ParallelRuntime(dbm)
+    limit = max_instructions if max_instructions is not None \
+        else DEFAULT_INSTRUCTION_LIMIT
+    return dbm.run(max_instructions=limit)
+
+# Refuse to parallelise invocations with fewer iterations than this:
+# thread dispatch would dominate (the runtime's only greedy heuristic).
+MIN_PARALLEL_ITERATIONS = 2
+
+_CACHE_LINE_SHIFT = 6  # 64-byte lines for the false-sharing model
+
+
+class RuntimeError_(Exception):
+    """An internal Janus runtime error (bad metadata, worker misbehaviour)."""
+
+
+def _cond_holds(left: int, right: int, cond: str) -> bool:
+    if cond == "l":
+        return left < right
+    if cond == "le":
+        return left <= right
+    if cond == "g":
+        return left > right
+    if cond == "ge":
+        return left >= right
+    return left != right  # "ne"
+
+
+@dataclass
+class WorkerState:
+    """One pool thread executing one chunk of one loop invocation."""
+
+    thread_id: int
+    ctx: ThreadContext
+    # Ordered (start, end) iteration blocks this thread executes: a single
+    # chunk under the default policy, several under round-robin.
+    chunks: list
+    meta: LoopMeta
+    # Shadow access sets for violation detection (word addresses).
+    reads: set[int] = field(default_factory=set)
+    writes: set[int] = field(default_factory=set)
+    tx_covered: set[int] = field(default_factory=set)
+    # write counts per cache line for the false-sharing model.
+    line_writes: dict[int, int] = field(default_factory=dict)
+    # (n_reads, n_writes, had_conflict_candidate) per finished transaction.
+    tx_log: list = field(default_factory=list)
+
+
+class ParallelRuntime:
+    """Owns the thread pool and implements the parallel rtcalls."""
+
+    def __init__(self, dbm) -> None:
+        self.dbm = dbm
+        self.stm = STMManager(memory=dbm.machine.memory, cost=dbm.cost)
+        self.pool_started = False
+        self.pending_checks: list[int] = []
+        self.active_workers: list[WorkerState] = []
+        self._current_worker: WorkerState | None = None
+        dbm.register_rtcall(RTCallID.BOUNDS_CHECK, self._rt_bounds_check)
+        dbm.register_rtcall(RTCallID.LOOP_ENTER, self._rt_loop_enter)
+        dbm.register_rtcall(RTCallID.THREAD_YIELD, self._rt_thread_yield)
+        dbm.register_rtcall(RTCallID.LOOP_FINISH_MARK, self._rt_finish_mark)
+        dbm.register_rtcall(RTCallID.TX_START, self._rt_tx_start)
+        dbm.register_rtcall(RTCallID.TX_FINISH, self._rt_tx_finish)
+        dbm.runtime = self
+
+    # -- small rtcalls -----------------------------------------------------
+
+    def _rt_bounds_check(self, ctx, arg):
+        self.pending_checks.append(arg)
+        return None
+
+    def _rt_thread_yield(self, ctx, arg):
+        raise WorkerYield()
+
+    def _rt_finish_mark(self, ctx, arg):
+        self.dbm.stats.loop_finish_marks += 1
+        return None
+
+    def _rt_tx_start(self, ctx, arg):
+        worker = self._current_worker
+        if worker is None:
+            return None  # main thread never speculates
+        checkpoint = (list(ctx.gregs), list(ctx.fregs), ctx.flags)
+        tx = self.stm.begin(worker.thread_id, checkpoint)
+        self.dbm.interp.active_tx = tx
+        return None
+
+    def _rt_tx_finish(self, ctx, arg):
+        worker = self._current_worker
+        tx = self.dbm.interp.active_tx
+        if worker is None or tx is None:
+            return None
+        self.dbm.interp.active_tx = None
+        worker.tx_covered.update(tx.read_log)
+        worker.tx_covered.update(tx.write_buffer)
+        before = ctx.cycles
+        self.stm.finish(tx, ctx)
+        self.dbm.stats.stm_cycles += ctx.cycles - before
+        worker.tx_log.append((set(tx.read_log), set(tx.write_buffer)))
+        return None
+
+    # -- the main event ------------------------------------------------------
+
+    def _rt_loop_enter(self, ctx, arg):
+        meta = LoopMeta.from_record(self.dbm.schedule.record(arg))
+        checks = self.pending_checks
+        self.pending_checks = []
+
+        rsp0 = ctx.gregs[STACK_REG] - meta.delta_header
+        read_var = make_read_var(ctx, self.dbm.machine.memory, rsp0)
+        init = self._read_iterator(ctx, meta, rsp0)
+        bound = self._read_bound(ctx, meta, rsp0)
+        # The LOOP_INIT trap sits before the preheader's guard branch: a
+        # not-taken guard (zero-trip loop) must fall through sequentially.
+        if not _cond_holds(init, bound, meta.cond):
+            self.dbm.stats.loop_invocations_sequential += 1
+            return None
+        trips = loop_iterations(init, bound, meta.step, meta.cond,
+                                meta.test_offset, meta.test_position)
+
+        if not self._checks_pass(checks, read_var, init, trips, meta, ctx):
+            self.dbm.stats.loop_invocations_sequential += 1
+            return None
+        if trips < max(MIN_PARALLEL_ITERATIONS, 2):
+            self.dbm.stats.loop_invocations_sequential += 1
+            return None
+
+        cost = self.dbm.cost
+        if not self.pool_started:
+            self.pool_started = True
+            ctx.cycles += cost.thread_pool_startup_cycles
+            self.dbm.stats.init_finish_cycles += \
+                cost.thread_pool_startup_cycles
+
+        workers = self._spawn_workers(ctx, meta, init, trips, rsp0)
+        self.active_workers = workers
+        start_pc = self._thread_start_pc(meta)
+        # Base values of the derived induction variables at loop entry
+        # (needed to point each chunk at its starting values).
+        memory = self.dbm.machine.memory
+        iv_bases = {}
+        for derived in meta.derived_ivs:
+            var = decode_var(derived.var)
+            iv_bases[repr(var)] = self._get_var(ctx, memory, rsp0, var)
+        for worker in workers:
+            self._run_worker(worker, start_pc, meta, init, iv_bases)
+
+        self._charge_stm_late_conflicts(workers)
+        self._detect_violations(workers)
+        self._charge_false_sharing(workers)
+
+        ctx.instructions += sum(w.ctx.instructions for w in workers)
+        elapsed = max(worker.ctx.cycles for worker in workers)
+        overhead = (cost.loop_init_cycles + cost.loop_finish_cycles
+                    + len(workers) * (cost.loop_init_per_thread_cycles
+                                      + cost.loop_finish_per_thread_cycles))
+        ctx.cycles += elapsed + overhead
+        self.dbm.stats.parallel_cycles += elapsed
+        self.dbm.stats.init_finish_cycles += overhead
+        self.dbm.stats.loop_invocations_parallel += 1
+
+        self._merge(ctx, meta, workers, rsp0)
+        self.active_workers = []
+        return meta.exit_target
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _checks_pass(self, checks, read_var, init, trips, meta, ctx) -> bool:
+        if not checks:
+            return True
+        cost = self.dbm.cost
+        theta_first = init
+        theta_last = init + meta.step * max(trips - 1, 0)
+        for index in checks:
+            desc = BoundsCheckDesc.from_record(self.dbm.schedule.record(index))
+            ctx.cycles += cost.bounds_check_pair_cycles
+            self.dbm.stats.check_cycles += cost.bounds_check_pair_cycles
+            if not evaluate_bounds_check(desc, read_var, theta_first,
+                                         theta_last,
+                                         self.dbm.machine.memory.read):
+                self.dbm.stats.checks_failed += 1
+                return False
+        self.dbm.stats.checks_passed += len(checks)
+        return True
+
+    def _read_iterator(self, ctx, meta: LoopMeta, rsp0: int) -> int:
+        var = decode_var(meta.iterator_var)
+        if isinstance(var, int):
+            return ctx.gregs[var]
+        return self.dbm.machine.memory.read(rsp0 + var[1])
+
+    def _read_bound(self, ctx, meta: LoopMeta, rsp0: int) -> int:
+        kind = meta.bound_form[0]
+        if kind == "imm":
+            return meta.bound_form[1]
+        if kind == "poly":
+            read_var = make_read_var(ctx, self.dbm.machine.memory, rsp0)
+            return evaluate_runtime_poly(meta.bound_form[1], read_var,
+                                         self.dbm.machine.memory.read)
+        operand = decode_operand(tuple(meta.bound_form[1]))
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            return ctx.gregs[operand.id]
+        return self.dbm.machine.memory.read(self.dbm.interp.ea(ctx, operand))
+
+    def _thread_start_pc(self, meta: LoopMeta) -> int:
+        for rule in self.dbm.schedule.rules_of_kind(RuleID.THREAD_SCHEDULE):
+            if rule.address == meta.header_addr:
+                return rule.address
+        return meta.header_addr
+
+    def _chunk_assignments(self, trips: int) -> list[list[tuple[int, int]]]:
+        """Iteration blocks per thread under the configured policy."""
+        policy = getattr(self.dbm, "scheduling", "chunk")
+        if policy == "round_robin":
+            block = getattr(self.dbm, "rr_block", 8)
+            return round_robin_bounds(trips, self.dbm.n_threads, block)
+        return [[chunk] for chunk in chunk_bounds(trips, self.dbm.n_threads)]
+
+    def _spawn_workers(self, ctx, meta: LoopMeta, init: int, trips: int,
+                       rsp0: int) -> list[WorkerState]:
+        memory = self.dbm.machine.memory
+        assignments = self._chunk_assignments(trips)
+        workers: list[WorkerState] = []
+        main_rsp = ctx.gregs[STACK_REG]
+
+        for index, blocks in enumerate(assignments):
+            blocks = [(s, e) for s, e in blocks if e > s]
+            if not blocks:
+                continue
+            thread_id = index + 1
+            wctx = ThreadContext(thread_id=thread_id)
+            wctx.copy_registers_from(ctx)
+            wctx.cycles = 0
+            wctx.instructions = 0
+            wctx.install_tls()
+            # Private stack at the same depth as the main thread's.
+            depth = layout.STACK_TOP - main_rsp
+            wctx.gregs[STACK_REG] = wctx.stack_top - depth
+            worker_rsp0 = wctx.gregs[STACK_REG] - meta.delta_header
+            for slot in meta.written_slots:
+                memory.write(worker_rsp0 + slot, memory.read(rsp0 + slot))
+
+            for red in meta.reductions:
+                var = decode_var(red.var)
+                if red.is_float and isinstance(var, int):
+                    wctx.fregs[(var - XMM_BASE) * 4] = 0.0
+                else:
+                    # Integer identity, and also the float identity for
+                    # spilled accumulators: zero bits are 0.0.
+                    self._set_var(wctx, memory, worker_rsp0, var, 0)
+
+            tls = wctx.tls_base
+            memory.write(tls + WORD * TLS_MAIN_RSP, main_rsp)
+            read_var = make_read_var(ctx, memory, rsp0)
+            for group in meta.priv_groups:
+                addr = evaluate_runtime_poly(group.address_form, read_var,
+                                             memory.read)
+                slot_addr = tls + WORD * group.tls_slot
+                if group.kind == "reduce":
+                    memory.write(slot_addr, 0)  # identity (0 == 0.0 bits)
+                else:
+                    memory.write(slot_addr, memory.read(addr))
+            workers.append(WorkerState(
+                thread_id=thread_id, ctx=wctx, chunks=blocks, meta=meta))
+        return workers
+
+    def _prepare_chunk(self, worker: WorkerState, meta: LoopMeta,
+                       init: int, iv_bases: dict, start: int,
+                       end: int) -> None:
+        """Point the worker at one iteration block: iterator, derived
+        induction variables, and its TLS bound slot."""
+        memory = self.dbm.machine.memory
+        wctx = worker.ctx
+        worker_rsp0 = wctx.gregs[STACK_REG] - meta.delta_header
+        chunk_init = init + meta.step * start
+        bound_value = patched_bound(chunk_init, end - start, meta.step,
+                                    meta.cond, meta.test_offset,
+                                    meta.test_position)
+        self._set_var(wctx, memory, worker_rsp0,
+                      decode_var(meta.iterator_var), chunk_init)
+        for derived in meta.derived_ivs:
+            var = decode_var(derived.var)
+            self._set_var(wctx, memory, worker_rsp0, var,
+                          iv_bases[repr(var)] + derived.step * start)
+        memory.write(wctx.tls_base + WORD * TLS_BOUND, bound_value)
+
+    @staticmethod
+    def _get_var(ctx, memory, rsp0, var) -> int:
+        if isinstance(var, int):
+            if var >= XMM_BASE:
+                return f64_to_i64(ctx.fregs[(var - XMM_BASE) * 4])
+            return ctx.gregs[var]
+        return memory.read(rsp0 + var[1])
+
+    @staticmethod
+    def _set_var(ctx, memory, rsp0, var, value: int) -> None:
+        if isinstance(var, int):
+            if var >= XMM_BASE:
+                ctx.fregs[(var - XMM_BASE) * 4] = i64_to_f64(value)
+            else:
+                ctx.gregs[var] = s64(value)
+        else:
+            memory.write(rsp0 + var[1], s64(value))
+
+    def _run_worker(self, worker: WorkerState, start_pc: int,
+                    meta: LoopMeta, init: int, iv_bases: dict) -> None:
+        interp = self.dbm.interp
+        dbm = self.dbm
+        self._current_worker = worker
+        hook = self._make_shadow_hook(worker)
+        previous_hook = interp.mem_hook
+        interp.mem_hook = hook
+        try:
+            for start, end in worker.chunks:
+                self._prepare_chunk(worker, meta, init, iv_bases, start,
+                                    end)
+                pc: int | None = start_pc
+                try:
+                    while True:
+                        block = dbm.get_block(pc, worker.ctx, worker=worker)
+                        pc = interp.execute_block(worker.ctx, block)
+                        if pc is None:
+                            raise RuntimeError_(
+                                f"pool thread {worker.thread_id} halted "
+                                f"inside loop {worker.meta.loop_id}")
+                except WorkerYield:
+                    pass
+        finally:
+            interp.mem_hook = previous_hook
+            self._current_worker = None
+            if interp.active_tx is not None:
+                # A transaction left open (e.g. worker error): drop it.
+                interp.active_tx = None
+
+    def _make_shadow_hook(self, worker: WorkerState):
+        interp = self.dbm.interp
+        tls_lo = worker.ctx.tls_base
+        tls_hi = tls_lo + layout.TLS_THREAD_SIZE
+        stack_hi = worker.ctx.stack_top
+        stack_lo = stack_hi - layout.THREAD_STACK_SIZE
+        reads = worker.reads
+        writes = worker.writes
+        line_writes = worker.line_writes
+
+        def hook(ctx, ins, addr, is_write, lanes):
+            if tls_lo <= addr < tls_hi or stack_lo < addr <= stack_hi:
+                return
+            if interp.active_tx is not None:
+                return  # transactional accesses validate separately
+            if is_write:
+                # One coherence event per store instruction (a packed store
+                # is a single event: that is exactly why vectorisation
+                # relieves false sharing, paper section III-F).
+                line = addr >> _CACHE_LINE_SHIFT
+                line_writes[line] = line_writes.get(line, 0) + 1
+                for k in range(lanes):
+                    writes.add(addr + WORD * k)
+            else:
+                for k in range(lanes):
+                    reads.add(addr + WORD * k)
+
+        return hook
+
+    def _charge_stm_late_conflicts(self, workers: list[WorkerState]) -> None:
+        """Model aborts against younger threads' writes (section II-E3)."""
+        cost = self.dbm.cost
+        for i, worker in enumerate(workers):
+            later_writes: set[int] = set()
+            for later in workers[i + 1:]:
+                later_writes |= later.writes
+                for tx_reads, tx_writes in later.tx_log:
+                    later_writes |= tx_writes
+            if not later_writes:
+                continue
+            for tx_reads, tx_writes in worker.tx_log:
+                if tx_reads & later_writes:
+                    self.stm.stats.aborts += 1
+                    penalty = (cost.stm_abort_cycles
+                               + len(tx_reads) * cost.stm_read_cycles
+                               + len(tx_writes) * cost.stm_write_cycles)
+                    worker.ctx.cycles += penalty
+                    self.dbm.stats.stm_cycles += penalty
+
+    def _detect_violations(self, workers: list[WorkerState]) -> None:
+        for i, a in enumerate(workers):
+            for b in workers[i + 1:]:
+                conflict = ((a.writes & (b.reads | b.writes))
+                            | (a.reads & b.writes))
+                conflict -= a.tx_covered
+                conflict -= b.tx_covered
+                if conflict:
+                    address = next(iter(conflict))
+                    message = (
+                        f"cross-thread conflict on {address:#x} between "
+                        f"threads {a.thread_id} and {b.thread_id} in loop "
+                        f"{a.meta.loop_id}")
+                    if self.dbm.strict:
+                        raise DependenceViolationError(message)
+
+    def _charge_false_sharing(self, workers: list[WorkerState]) -> None:
+        if len(workers) < 2:
+            return
+        cost = self.dbm.cost
+        touched: dict[int, int] = {}
+        for worker in workers:
+            for line in worker.line_writes:
+                touched[line] = touched.get(line, 0) + 1
+        contested = {line for line, count in touched.items() if count > 1}
+        if not contested:
+            return
+        for worker in workers:
+            penalty = sum(count for line, count in worker.line_writes.items()
+                          if line in contested) * cost.false_sharing_cycles
+            worker.ctx.cycles += penalty
+            self.dbm.stats.false_sharing_cycles += penalty
+
+    def _merge(self, ctx, meta: LoopMeta, workers: list[WorkerState],
+               rsp0: int) -> None:
+        memory = self.dbm.machine.memory
+        # The worker owning the globally final iteration provides the
+        # post-loop architectural state (under round-robin that is not
+        # necessarily the last-spawned worker).
+        last = max(workers, key=lambda w: w.chunks[-1][1])
+        read_var = make_read_var(ctx, memory, rsp0)
+        # Capture reduction initial values before the register adoption.
+        reduction_inits = []
+        for red in meta.reductions:
+            var = decode_var(red.var)
+            reduction_inits.append(self._get_var(ctx, memory, rsp0, var))
+
+        # Privatised words write back *before* register adoption so address
+        # polynomials still evaluate against the pre-loop context.
+        for group in meta.priv_groups:
+            addr = evaluate_runtime_poly(group.address_form, read_var,
+                                         memory.read)
+            if group.kind == "reduce":
+                if group.is_float:
+                    total = i64_to_f64(memory.read(addr))
+                    for worker in workers:
+                        total += memory.read_f64(
+                            worker.ctx.tls_base + WORD * group.tls_slot)
+                    memory.write_f64(addr, total)
+                else:
+                    total = memory.read(addr)
+                    for worker in workers:
+                        total += memory.read(
+                            worker.ctx.tls_base + WORD * group.tls_slot)
+                    memory.write(addr, s64(total))
+            else:
+                memory.write(addr, memory.read(
+                    last.ctx.tls_base + WORD * group.tls_slot))
+
+        # Adopt the last thread's architectural state (the loop ran to its
+        # global final iteration there), keeping main's own stack pointer
+        # and the Janus-reserved registers.
+        main_rsp = ctx.gregs[STACK_REG]
+        main_tls = ctx.gregs[TLS_REG]
+        main_scratch = ctx.gregs[SCRATCH_REG]
+        ctx.gregs = list(last.ctx.gregs)
+        ctx.fregs = list(last.ctx.fregs)
+        ctx.flags = last.ctx.flags
+        ctx.gregs[STACK_REG] = main_rsp
+        ctx.gregs[TLS_REG] = main_tls
+        ctx.gregs[SCRATCH_REG] = main_scratch
+
+        # Written stack slots: copy the last thread's values back.
+        last_rsp0 = last.ctx.stack_top - (
+            layout.STACK_TOP - main_rsp) - meta.delta_header
+        for slot in meta.written_slots:
+            memory.write(rsp0 + slot, memory.read(last_rsp0 + slot))
+
+        # Reductions: initial value plus every thread's partial.  The
+        # accumulator may be an xmm register, a GPR, or a spilled stack
+        # slot; float slots hold IEEE bit patterns.
+        for red, init_bits in zip(meta.reductions, reduction_inits):
+            var = decode_var(red.var)
+            if red.is_float:
+                total_f = i64_to_f64(init_bits)
+                for worker in workers:
+                    if isinstance(var, int):
+                        total_f += worker.ctx.fregs[(var - XMM_BASE) * 4]
+                    else:
+                        worker_rsp0 = worker.ctx.stack_top - (
+                            layout.STACK_TOP - main_rsp) - meta.delta_header
+                        total_f += i64_to_f64(
+                            memory.read(worker_rsp0 + var[1]))
+                if isinstance(var, int):
+                    ctx.fregs[(var - XMM_BASE) * 4] = total_f
+                else:
+                    memory.write(rsp0 + var[1], f64_to_i64(total_f))
+                continue
+            total = init_bits
+            for worker in workers:
+                if isinstance(var, int):
+                    total += worker.ctx.gregs[var]
+                else:
+                    worker_rsp0 = worker.ctx.stack_top - (
+                        layout.STACK_TOP - main_rsp) - meta.delta_header
+                    total += memory.read(worker_rsp0 + var[1])
+            self._set_var(ctx, memory, rsp0, var, total)

@@ -1,0 +1,12 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+One function per figure/table (:mod:`repro.eval.figures`), a caching run
+harness (:mod:`repro.eval.harness`) so the ~250 executions behind the full
+evaluation are shared across figures, and ASCII renderers matching the
+paper's rows and series (:mod:`repro.eval.reporting`).
+"""
+
+from repro.eval.harness import EvalHarness, default_harness
+from repro.eval import figures, reporting
+
+__all__ = ["EvalHarness", "default_harness", "figures", "reporting"]

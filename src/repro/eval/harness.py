@@ -1,0 +1,117 @@
+"""Caching execution harness for the evaluation.
+
+Every figure needs some subset of {native run, DBM-only run, training,
+Janus run at N threads} per (workload, compiler options).  The harness
+memoises all of them, so regenerating the full set of figures costs each
+execution exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbm.executor import ExecutionResult, run_native
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.pipeline.janus import TrainingData
+from repro.workloads import compile_workload, get_workload
+
+MAX_INSTRUCTIONS = 20_000_000
+
+
+def _options_key(options: CompileOptions) -> tuple:
+    return (options.opt_level, options.personality, options.mavx,
+            options.parallel, options.parallel_threads)
+
+
+@dataclass
+class EvalHarness:
+    """Memoised runs of the workload suite."""
+
+    n_threads: int = 8
+    _natives: dict = field(default_factory=dict)
+    _janus: dict = field(default_factory=dict)
+    _trainings: dict = field(default_factory=dict)
+    _runs: dict = field(default_factory=dict)
+
+    # -- building blocks -------------------------------------------------------
+
+    def image(self, name: str, options: CompileOptions | None = None):
+        return compile_workload(name, options or CompileOptions())
+
+    def janus_for(self, name: str,
+                  options: CompileOptions | None = None) -> Janus:
+        options = options or CompileOptions()
+        key = (name, _options_key(options))
+        instance = self._janus.get(key)
+        if instance is None:
+            config = JanusConfig(n_threads=self.n_threads,
+                                 max_instructions=MAX_INSTRUCTIONS)
+            instance = Janus(self.image(name, options), config)
+            self._janus[key] = instance
+        return instance
+
+    def training(self, name: str,
+                 options: CompileOptions | None = None) -> TrainingData:
+        options = options or CompileOptions()
+        key = (name, _options_key(options))
+        training = self._trainings.get(key)
+        if training is None:
+            workload = get_workload(name)
+            training = self.janus_for(name, options).train(
+                train_inputs=list(workload.train_inputs))
+            self._trainings[key] = training
+        return training
+
+    # -- runs ---------------------------------------------------------------------
+
+    def native(self, name: str,
+               options: CompileOptions | None = None) -> ExecutionResult:
+        options = options or CompileOptions()
+        key = (name, _options_key(options))
+        result = self._natives.get(key)
+        if result is None:
+            workload = get_workload(name)
+            process = load(self.image(name, options),
+                           inputs=list(workload.ref_inputs))
+            result = run_native(process, max_instructions=MAX_INSTRUCTIONS)
+            self._natives[key] = result
+        return result
+
+    def run(self, name: str, mode: SelectionMode,
+            options: CompileOptions | None = None,
+            n_threads: int | None = None) -> ExecutionResult:
+        options = options or CompileOptions()
+        threads = n_threads if n_threads is not None else self.n_threads
+        key = (name, _options_key(options), mode, threads)
+        result = self._runs.get(key)
+        if result is None:
+            workload = get_workload(name)
+            janus = self.janus_for(name, options)
+            training = None
+            if mode in (SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
+                training = self.training(name, options)
+            result = janus.run(mode, inputs=list(workload.ref_inputs),
+                               training=training, n_threads=threads)
+            self._runs[key] = result
+        return result
+
+    def speedup(self, name: str, mode: SelectionMode,
+                options: CompileOptions | None = None,
+                n_threads: int | None = None) -> float:
+        """Whole-program speedup over the native run of the same binary."""
+        native = self.native(name, options)
+        run = self.run(name, mode, options, n_threads)
+        return native.cycles / run.cycles
+
+
+_DEFAULT: EvalHarness | None = None
+
+
+def default_harness() -> EvalHarness:
+    """The process-wide shared harness (figures share each other's runs)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = EvalHarness()
+    return _DEFAULT

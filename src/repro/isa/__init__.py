@@ -1,0 +1,62 @@
+"""JX: the synthetic x86-64-like instruction set used throughout the reproduction.
+
+JX stands in for x86-64 (see DESIGN.md section 2).  It keeps the properties
+Janus' rewrite rules rely on:
+
+* sixteen 64-bit general-purpose registers with x86 names and numbering,
+* sixteen vector registers holding scalar doubles or 2/4-lane packed doubles,
+* x86-style ``base + index*scale + disp`` memory operands,
+* a variable-length byte encoding, so binaries are opaque byte streams and
+  rewrite rules address real byte offsets,
+* condition flags set by ``cmp``/``test`` and consumed by ``jcc``/``cmovcc``.
+"""
+
+from repro.isa.registers import (
+    GPR_NAMES,
+    NUM_GPR,
+    NUM_XMM,
+    R,
+    REG_NAMES,
+    XMM_BASE,
+    is_gpr,
+    is_xmm,
+    reg_name,
+    reg_id,
+)
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.instructions import (
+    COND_BRANCHES,
+    CONDITION_OF,
+    Instruction,
+    Opcode,
+)
+from repro.isa.encoder import encode_instruction, encode_program
+from repro.isa.decoder import decode_instruction, decode_range
+from repro.isa.costs import CostModel, instruction_cycles
+
+__all__ = [
+    "GPR_NAMES",
+    "NUM_GPR",
+    "NUM_XMM",
+    "R",
+    "REG_NAMES",
+    "XMM_BASE",
+    "is_gpr",
+    "is_xmm",
+    "reg_name",
+    "reg_id",
+    "Imm",
+    "Label",
+    "Mem",
+    "Reg",
+    "COND_BRANCHES",
+    "CONDITION_OF",
+    "Instruction",
+    "Opcode",
+    "encode_instruction",
+    "encode_program",
+    "decode_instruction",
+    "decode_range",
+    "CostModel",
+    "instruction_cycles",
+]

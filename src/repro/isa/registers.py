@@ -1,0 +1,108 @@
+"""Register file definition for the JX ISA.
+
+Registers are identified by small integers so the interpreter can index a
+flat register file.  General-purpose registers use the x86-64 numbering
+(``rax`` = 0 ... ``r15`` = 15); vector registers ``xmm0`` ... ``xmm15``
+follow at ids 16..31.
+"""
+
+from __future__ import annotations
+
+NUM_GPR = 16
+NUM_XMM = 16
+XMM_BASE = NUM_GPR
+NUM_REGS = NUM_GPR + NUM_XMM
+
+GPR_NAMES = (
+    "rax",
+    "rcx",
+    "rdx",
+    "rbx",
+    "rsp",
+    "rbp",
+    "rsi",
+    "rdi",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+XMM_NAMES = tuple(f"xmm{i}" for i in range(NUM_XMM))
+
+REG_NAMES = GPR_NAMES + XMM_NAMES
+
+_NAME_TO_ID = {name: i for i, name in enumerate(REG_NAMES)}
+
+
+def reg_id(name: str) -> int:
+    """Return the register id for a register name such as ``"rax"``."""
+    try:
+        return _NAME_TO_ID[name]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+def reg_name(rid: int) -> str:
+    """Return the canonical name for a register id."""
+    if 0 <= rid < NUM_REGS:
+        return REG_NAMES[rid]
+    raise ValueError(f"register id out of range: {rid}")
+
+
+def is_gpr(rid: int) -> bool:
+    """True if the id names a general-purpose register."""
+    return 0 <= rid < NUM_GPR
+
+
+def is_xmm(rid: int) -> bool:
+    """True if the id names a vector register."""
+    return XMM_BASE <= rid < NUM_REGS
+
+
+class _RegisterNamespace:
+    """Attribute access to register ids: ``R.rax == 0``, ``R.xmm3 == 19``."""
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return _NAME_TO_ID[name]
+        except KeyError:
+            raise AttributeError(f"unknown register: {name}") from None
+
+    def __iter__(self):
+        return iter(range(NUM_REGS))
+
+
+R = _RegisterNamespace()
+
+# Registers with dedicated roles in the JX ABI (mirrors System V x86-64):
+#   rsp  - stack pointer
+#   rbp  - frame pointer (when used)
+#   rdi, rsi, rdx, rcx, r8, r9 - integer argument registers
+#   xmm0..xmm7 - floating-point argument registers
+#   rax / xmm0 - return values
+#   r15 - reserved by the Janus runtime for thread-local storage base
+#   r14 - scratch register used by Janus rewrite handlers
+ARG_REGS = (reg_id("rdi"), reg_id("rsi"), reg_id("rdx"),
+            reg_id("rcx"), reg_id("r8"), reg_id("r9"))
+FARG_REGS = tuple(XMM_BASE + i for i in range(8))
+RET_REG = reg_id("rax")
+FRET_REG = XMM_BASE
+STACK_REG = reg_id("rsp")
+FRAME_REG = reg_id("rbp")
+TLS_REG = reg_id("r15")
+SCRATCH_REG = reg_id("r14")
+
+# Callee-saved registers in the JX ABI.
+CALLEE_SAVED = (
+    reg_id("rbx"),
+    reg_id("rbp"),
+    reg_id("r12"),
+    reg_id("r13"),
+    reg_id("r14"),
+    reg_id("r15"),
+)

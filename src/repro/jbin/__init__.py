@@ -1,0 +1,55 @@
+"""Binary container format, assembler, loader and runtime library for JX.
+
+``repro.jbin`` is the reproduction's ELF/ld/libc substrate:
+
+* :mod:`repro.jbin.layout` — the fixed virtual-address-space layout.
+* :mod:`repro.jbin.image` — **JELF**, the executable container (text/data/bss
+  sections, entry point, PLT import table, optional symbols).  Binaries are
+  stripped by default: the static analyser sees bytes, an entry point, and
+  the dynamic import names — exactly what survives ``strip`` on a real ELF.
+* :mod:`repro.jbin.asm` — a two-pass label-resolving assembler.
+* :mod:`repro.jbin.stdlib` — the "shared library": ``pow``, ``sqrt``,
+  ``malloc``, ``memcpy`` … implemented *in JX code* so they are genuinely
+  dynamically discovered code the DBM must handle (paper section II-E3).
+* :mod:`repro.jbin.loader` — builds a process: maps sections, links PLT
+  entries against the shared library lazily.
+"""
+
+from repro.jbin.layout import (
+    DATA_BASE,
+    HEAP_BASE,
+    LIB_DATA_BASE,
+    LIB_TEXT_BASE,
+    PLT_BASE,
+    PLT_ENTRY_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    THREAD_STACK_SIZE,
+    TLS_BASE,
+    TLS_THREAD_SIZE,
+)
+from repro.jbin.image import JELF, Section
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import Process, load
+from repro.jbin.stdlib import build_standard_library, StandardLibrary
+
+__all__ = [
+    "DATA_BASE",
+    "HEAP_BASE",
+    "LIB_DATA_BASE",
+    "LIB_TEXT_BASE",
+    "PLT_BASE",
+    "PLT_ENTRY_SIZE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "THREAD_STACK_SIZE",
+    "TLS_BASE",
+    "TLS_THREAD_SIZE",
+    "JELF",
+    "Section",
+    "Assembler",
+    "Process",
+    "load",
+    "build_standard_library",
+    "StandardLibrary",
+]

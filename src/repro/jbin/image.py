@@ -1,0 +1,172 @@
+"""JELF: the executable container format.
+
+A JELF image is what the static analyser and the loader both consume.  It
+deliberately mirrors what a *stripped* dynamically linked ELF provides:
+
+* raw section bytes and their virtual addresses,
+* an entry point,
+* the dynamic import table (PLT slot address → symbol name — ``.dynsym``
+  survives stripping on real systems too),
+* optionally a ``.comment`` string recording the producing compiler
+  (real compilers leave one; nothing in the analyser may read it), and
+* optionally full symbols (only present when assembling with ``strip=False``;
+  used by tests and debugging, never by the analyser).
+
+Images serialise to a deterministic byte format; paper Fig. 10 compares the
+rewrite-schedule size against ``len(image.serialize())``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+_MAGIC = b"JELF"
+_VERSION = 1
+
+
+class ImageError(Exception):
+    """Raised on malformed image bytes or inconsistent sections."""
+
+
+@dataclass
+class Section:
+    """A named contiguous byte region mapped at a virtual address."""
+
+    name: str
+    addr: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass
+class JELF:
+    """An executable (or shared-library) image."""
+
+    entry: int
+    text: Section
+    data: Section
+    bss_size: int = 0
+    # PLT slot virtual address -> imported symbol name.
+    imports: dict[int, str] = field(default_factory=dict)
+    # Symbol name -> address; empty when stripped (the default).
+    symbols: dict[str, int] = field(default_factory=dict)
+    comment: str = ""
+
+    @property
+    def stripped(self) -> bool:
+        return not self.symbols
+
+    def import_name(self, addr: int) -> str | None:
+        """Symbol name if ``addr`` is a PLT slot, else ``None``."""
+        return self.imports.get(addr)
+
+    def is_plt_address(self, addr: int) -> bool:
+        return addr in self.imports
+
+    def text_bytes_at(self, addr: int) -> tuple[bytes, int]:
+        """(section bytes, section base) for a text address.
+
+        Raises :class:`ImageError` for addresses outside the text section —
+        the DBM uses this to detect control flow leaving the image (e.g.
+        into a shared library).
+        """
+        if self.text.contains(addr):
+            return self.text.data, self.text.addr
+        raise ImageError(f"address {addr:#x} is not in .text")
+
+    # -- serialisation -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Serialise to the on-disk byte format."""
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<HQ", _VERSION, self.entry)
+        out += struct.pack("<Q", self.bss_size)
+        for section in (self.text, self.data):
+            name = section.name.encode()
+            out += struct.pack("<H", len(name))
+            out += name
+            out += struct.pack("<QQ", section.addr, len(section.data))
+            out += section.data
+        out += struct.pack("<I", len(self.imports))
+        for addr in sorted(self.imports):
+            name = self.imports[addr].encode()
+            out += struct.pack("<QH", addr, len(name))
+            out += name
+        out += struct.pack("<I", len(self.symbols))
+        for name in sorted(self.symbols):
+            encoded = name.encode()
+            out += struct.pack("<H", len(encoded))
+            out += encoded
+            out += struct.pack("<Q", self.symbols[name])
+        comment = self.comment.encode()
+        out += struct.pack("<H", len(comment))
+        out += comment
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "JELF":
+        """Parse the on-disk byte format back into an image."""
+        if raw[:4] != _MAGIC:
+            raise ImageError("bad magic: not a JELF image")
+        pos = 4
+        version, entry = struct.unpack_from("<HQ", raw, pos)
+        if version != _VERSION:
+            raise ImageError(f"unsupported JELF version {version}")
+        pos += 10
+        (bss_size,) = struct.unpack_from("<Q", raw, pos)
+        pos += 8
+        sections = []
+        try:
+            for _ in range(2):
+                (name_len,) = struct.unpack_from("<H", raw, pos)
+                pos += 2
+                name = raw[pos:pos + name_len].decode()
+                pos += name_len
+                addr, data_len = struct.unpack_from("<QQ", raw, pos)
+                pos += 16
+                data = raw[pos:pos + data_len]
+                if len(data) != data_len:
+                    raise ImageError("truncated section data")
+                pos += data_len
+                sections.append(Section(name, addr, bytes(data)))
+            (n_imports,) = struct.unpack_from("<I", raw, pos)
+            pos += 4
+            imports = {}
+            for _ in range(n_imports):
+                addr, name_len = struct.unpack_from("<QH", raw, pos)
+                pos += 10
+                imports[addr] = raw[pos:pos + name_len].decode()
+                pos += name_len
+            (n_symbols,) = struct.unpack_from("<I", raw, pos)
+            pos += 4
+            symbols = {}
+            for _ in range(n_symbols):
+                (name_len,) = struct.unpack_from("<H", raw, pos)
+                pos += 2
+                name = raw[pos:pos + name_len].decode()
+                pos += name_len
+                (addr,) = struct.unpack_from("<Q", raw, pos)
+                pos += 8
+                symbols[name] = addr
+            (comment_len,) = struct.unpack_from("<H", raw, pos)
+            pos += 2
+            comment = raw[pos:pos + comment_len].decode()
+        except struct.error:
+            raise ImageError("truncated JELF image") from None
+        return cls(entry=entry, text=sections[0], data=sections[1],
+                   bss_size=bss_size, imports=imports, symbols=symbols,
+                   comment=comment)
+
+    def strip(self) -> "JELF":
+        """A copy with the symbol table removed (imports survive, as in ELF)."""
+        return JELF(entry=self.entry, text=self.text, data=self.data,
+                    bss_size=self.bss_size, imports=dict(self.imports),
+                    symbols={}, comment=self.comment)

@@ -1,0 +1,89 @@
+"""Process loading: mapping a JELF image and linking its imports.
+
+``load`` plays the role of the kernel loader plus ``ld.so``: it maps the
+application image and the shared standard library, resolves every PLT slot
+to a library entry point, and prepares the initial data image.  The result
+is a :class:`Process` that both the plain interpreter and the DBM execute.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.jbin.image import ImageError, JELF
+from repro.jbin.stdlib import StandardLibrary, standard_library
+from repro.jbin import layout
+
+
+class LinkError(Exception):
+    """Raised when an import cannot be resolved against the library."""
+
+
+@dataclass
+class Process:
+    """A loaded, linked JX process, ready to execute.
+
+    ``inputs`` feeds the ``READ_INT`` syscall (the stand-in for reading an
+    input file); experiments pass the paper's "training" or "reference"
+    inputs here.
+    """
+
+    image: JELF
+    library: StandardLibrary
+    # PLT slot address -> resolved library function address.
+    plt_map: dict[int, int]
+    inputs: list[int] = field(default_factory=list)
+
+    def code_at(self, addr: int) -> tuple[bytes, int]:
+        """(section bytes, section base) for any mapped code address.
+
+        Application text and library text are both mapped; PLT slots are
+        not code (the interpreter resolves them via :meth:`resolve_target`).
+        """
+        if self.image.text.contains(addr):
+            return self.image.text.data, self.image.text.addr
+        if self.library.image.text.contains(addr):
+            return self.library.image.text.data, self.library.image.text.addr
+        raise ImageError(f"no code mapped at {addr:#x}")
+
+    def is_application_code(self, addr: int) -> bool:
+        """True if ``addr`` is in the statically analysable application text."""
+        return self.image.text.contains(addr)
+
+    def is_library_code(self, addr: int) -> bool:
+        return self.library.image.text.contains(addr)
+
+    def resolve_target(self, addr: int) -> int:
+        """Map a branch/call target through the PLT if it is an import slot."""
+        return self.plt_map.get(addr, addr)
+
+    def initial_data(self) -> list[tuple[int, int]]:
+        """(address, word-value) pairs for every initialised data word."""
+        words: list[tuple[int, int]] = []
+        for section in (self.image.data, self.library.image.data):
+            data = section.data
+            for offset in range(0, len(data) - len(data) % layout.WORD,
+                                layout.WORD):
+                (value,) = struct.unpack_from("<q", data, offset)
+                if value:
+                    words.append((section.addr + offset, value))
+        return words
+
+    @property
+    def entry(self) -> int:
+        return self.image.entry
+
+
+def load(image: JELF, inputs: list[int] | None = None,
+         library: StandardLibrary | None = None) -> Process:
+    """Load ``image``, link its imports, and return a runnable process."""
+    lib = library if library is not None else standard_library()
+    plt_map: dict[int, int] = {}
+    for slot, name in image.imports.items():
+        try:
+            plt_map[slot] = lib.resolve(name)
+        except KeyError:
+            raise LinkError(f"undefined reference to {name!r}") from None
+    return Process(image=image, library=lib, plt_map=plt_map,
+                   inputs=list(inputs) if inputs else [])

@@ -1,0 +1,214 @@
+"""The JX standard library — "shared library" code discovered only at runtime.
+
+Everything here is real JX code assembled into a separate image mapped at
+``LIB_TEXT_BASE``/``LIB_DATA_BASE``.  The static analyser never sees it: an
+application calls through PLT slots, so library bodies are *dynamically
+discovered code* that Janus must guard with its JIT STM when such a call sits
+inside a parallelised loop (paper section II-E3, Fig. 5).
+
+``pow`` is engineered to the access profile the paper reports for bwaves'
+hot-loop library call: on the order of 49 instructions with 11 heap reads
+and 0 writes — here a Horner evaluation over an 11-entry coefficient table.
+Its *values* are a documented substitution (DESIGN.md section 2): it computes
+``y * P(x)`` for a fixed polynomial ``P``, which is deterministic and
+side-effect-free like the real ``pow``, rather than bit-accurate libm.
+
+``rand`` and ``malloc`` mutate library-private globals, making loops that
+call them genuinely unsafe to parallelise without speculation — workloads
+use them to populate the "dynamic dependence" and "incompatible" categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Opcode as O
+from repro.isa.operands import Imm, Label, LabelRef, Mem, Reg
+from repro.isa.registers import R
+from repro.jbin import layout, syscalls
+from repro.jbin.asm import Assembler
+from repro.jbin.image import JELF
+
+
+@dataclass
+class StandardLibrary:
+    """The assembled library image plus its export table."""
+
+    image: JELF
+    exports: dict[str, int]
+
+    def resolve(self, name: str) -> int:
+        """Address of an exported function; raises ``KeyError`` if absent."""
+        return self.exports[name]
+
+
+def build_standard_library() -> StandardLibrary:
+    """Assemble the standard library image.
+
+    Exports: ``pow``, ``sqrt``, ``fabs``, ``malloc``, ``free``, ``memcpy``,
+    ``memset_words``, ``rand``, ``srand``, ``print_int``, ``print_double``,
+    ``read_int``, ``exit``.
+    """
+    a = Assembler(text_base=layout.LIB_TEXT_BASE,
+                  data_base=layout.LIB_DATA_BASE,
+                  comment="jx-stdlib 1.0")
+
+    # -- library data -------------------------------------------------------
+    # exp-series coefficients 1/k! for k = 0..10 (the pow table).
+    coeffs = [1.0]
+    for k in range(1, 11):
+        coeffs.append(coeffs[-1] / k)
+    pow_table = a.double("__pow_coeffs", *coeffs)
+    half = a.double("__half", 0.5)
+    one = a.double("__one", 1.0)
+    brk = a.word("__brk", layout.HEAP_BASE)
+    rand_state = a.word("__rand_state", 0x853C49E6748FEA9B)
+
+    xmm0, xmm1, xmm2, xmm3 = Reg(R.xmm0), Reg(R.xmm1), Reg(R.xmm2), Reg(R.xmm3)
+    rax, rdi, rsi, rdx = Reg(R.rax), Reg(R.rdi), Reg(R.rsi), Reg(R.rdx)
+    r10, r11 = Reg(R.r10), Reg(R.r11)
+
+    # -- pow(x, y) = y * P(x), Horner over 11 coefficients -------------------
+    a.label("pow")
+    a.emit(O.MOVSD, xmm2, Mem(disp=LabelRef("__pow_coeffs", 10 * 8)))
+    for k in range(9, -1, -1):
+        a.emit(O.MULSD, xmm2, xmm0)
+        a.emit(O.MOVSD, xmm3, Mem(disp=LabelRef("__pow_coeffs", k * 8)))
+        a.emit(O.ADDSD, xmm2, xmm3)
+    # A couple of register shuffles mirroring real libm's spill traffic.
+    a.emit(O.MOVSD, xmm3, xmm2)
+    a.emit(O.MULSD, xmm3, xmm1)
+    a.emit(O.MOVSD, xmm0, xmm3)
+    a.emit(O.RET)
+
+    # -- sqrt(x): hardware square root (UCOMISD guard against negatives) -----
+    a.label("sqrt")
+    a.emit(O.SQRTSD, xmm0, xmm0)
+    a.emit(O.RET)
+
+    # -- fabs(x) --------------------------------------------------------------
+    a.label("fabs")
+    a.emit(O.XORPD, xmm1, xmm1)
+    a.emit(O.UCOMISD, xmm0, xmm1)
+    a.emit(O.JGE, Label("__fabs_done"))
+    a.emit(O.XORPD, xmm1, xmm1)
+    a.emit(O.SUBSD, xmm1, xmm0)
+    a.emit(O.MOVSD, xmm0, xmm1)
+    a.label("__fabs_done")
+    a.emit(O.RET)
+
+    # -- malloc(nbytes) -> rax; 16-byte-aligned bump allocator ----------------
+    a.label("malloc")
+    a.emit(O.MOV, rax, Mem(disp=Label("__brk")))
+    a.emit(O.MOV, r10, rdi)
+    a.emit(O.ADD, r10, Imm(15))
+    a.emit(O.AND, r10, Imm(-16))
+    a.emit(O.ADD, r10, rax)
+    a.emit(O.MOV, Mem(disp=Label("__brk")), r10)
+    a.emit(O.RET)
+
+    # -- free(ptr): a no-op, like many bump allocators ------------------------
+    a.label("free")
+    a.emit(O.RET)
+
+    # -- memcpy(dst, src, nwords) ---------------------------------------------
+    a.label("memcpy")
+    a.emit(O.MOV, r10, Imm(0))
+    a.label("__memcpy_loop")
+    a.emit(O.CMP, r10, rdx)
+    a.emit(O.JGE, Label("__memcpy_done"))
+    a.emit(O.MOV, r11, Mem(base=R.rsi, index=R.r10, scale=8))
+    a.emit(O.MOV, Mem(base=R.rdi, index=R.r10, scale=8), r11)
+    a.emit(O.INC, r10)
+    a.emit(O.JMP, Label("__memcpy_loop"))
+    a.label("__memcpy_done")
+    a.emit(O.MOV, rax, rdi)
+    a.emit(O.RET)
+
+    # -- memset_words(dst, value, nwords) --------------------------------------
+    a.label("memset_words")
+    a.emit(O.MOV, r10, Imm(0))
+    a.label("__memset_loop")
+    a.emit(O.CMP, r10, rdx)
+    a.emit(O.JGE, Label("__memset_done"))
+    a.emit(O.MOV, Mem(base=R.rdi, index=R.r10, scale=8), rsi)
+    a.emit(O.INC, r10)
+    a.emit(O.JMP, Label("__memset_loop"))
+    a.label("__memset_done")
+    a.emit(O.MOV, rax, rdi)
+    a.emit(O.RET)
+
+    # -- rand(): PCG-flavoured LCG over shared library state -------------------
+    a.label("rand")
+    a.emit(O.MOV, rax, Mem(disp=Label("__rand_state")))
+    a.emit(O.IMUL, rax, Imm(6364136223846793005))
+    a.emit(O.ADD, rax, Imm(1442695040888963407))
+    a.emit(O.MOV, Mem(disp=Label("__rand_state")), rax)
+    a.emit(O.SHR, rax, Imm(33))
+    a.emit(O.AND, rax, Imm(0x7FFFFFFF))
+    a.emit(O.RET)
+
+    # -- srand(seed) ------------------------------------------------------------
+    a.label("srand")
+    a.emit(O.MOV, Mem(disp=Label("__rand_state")), rdi)
+    a.emit(O.RET)
+
+    # -- IO wrappers (contain SYSCALL; loops calling these are incompatible) ----
+    a.label("print_int")
+    a.emit(O.MOV, rax, Imm(syscalls.PRINT_INT))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+
+    a.label("print_double")
+    a.emit(O.MOV, rax, Imm(syscalls.PRINT_F64))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+
+    a.label("read_int")
+    a.emit(O.MOV, rax, Imm(syscalls.READ_INT))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+
+    a.label("exit")
+    a.emit(O.MOV, rax, Imm(syscalls.EXIT))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+
+    # -- __jomp_parallel_for(fn, lo, hi, threads) ------------------------------
+    # The libgomp analogue for compiler-parallelised binaries: brackets the
+    # region with JOMP syscalls (the machine divides the bracketed cycles
+    # by the thread count) and runs fn(lo, hi) through an indirect call —
+    # real fork/join semantics are sequentialised deterministically.
+    a.label("__jomp_parallel_for")
+    a.emit(O.MOV, r10, rdi)                      # save fn
+    a.emit(O.MOV, r11, rsi)                      # save lo
+    a.emit(O.MOV, rdi, Reg(R.rcx))               # threads -> syscall arg
+    a.emit(O.MOV, rax, Imm(syscalls.JOMP_BEGIN))
+    a.emit(O.SYSCALL)
+    a.emit(O.MOV, rdi, r11)                      # lo
+    a.emit(O.MOV, rsi, rdx)                      # hi
+    a.emit(O.CALLI, r10)
+    a.emit(O.MOV, rax, Imm(syscalls.JOMP_END))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+
+    image = a.assemble(entry="pow", strip=False)
+    export_names = (
+        "pow", "sqrt", "fabs", "malloc", "free", "memcpy", "memset_words",
+        "rand", "srand", "print_int", "print_double", "read_int", "exit",
+        "__jomp_parallel_for",
+    )
+    exports = {name: image.symbols[name] for name in export_names}
+    return StandardLibrary(image=image, exports=exports)
+
+
+# The library is immutable; build once and share across processes.
+_CACHED: StandardLibrary | None = None
+
+
+def standard_library() -> StandardLibrary:
+    """The process-wide shared standard library instance."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = build_standard_library()
+    return _CACHED

@@ -1,0 +1,22 @@
+"""JX syscall numbers (the OS substrate interface).
+
+The syscall number is passed in ``rax``; the integer argument in ``rdi``,
+the floating-point argument in ``xmm0``.  Loops containing a ``syscall``
+instruction are classified *incompatible* by the static analyser, exactly as
+IO/system-call loops are in the paper (section II-C).
+"""
+
+PRINT_INT = 1
+PRINT_F64 = 2
+READ_INT = 3
+CLOCK = 4
+PRINT_CHAR = 5
+# Fork/join brackets for the compiler auto-parallelisation runtime
+# (libgomp analogue): cycles elapsed between BEGIN and END are divided by
+# the thread count in the machine's accounting (DESIGN.md substitution).
+JOMP_BEGIN = 6
+JOMP_END = 7
+EXIT = 60
+
+ALL = frozenset((PRINT_INT, PRINT_F64, READ_INT, CLOCK, PRINT_CHAR,
+                 JOMP_BEGIN, JOMP_END, EXIT))

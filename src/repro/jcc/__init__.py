@@ -1,0 +1,27 @@
+"""jcc: the mini-C ("JC") compiler targeting JX.
+
+jcc is the reproduction's stand-in for gcc and icc (DESIGN.md section 2).
+It exists so the evaluation can run Janus on *compiler-generated, optimised,
+stripped* binaries — including the idioms that make optimised binaries hard
+to analyse (paper section II-D "Handling optimised binaries"): unrolled
+loop bodies, vectorised main loops with scalar tail peels, and multiple
+code versions selected by runtime checks.
+
+Pipeline: lexer → parser → sema → AST-level loop transforms (unroll,
+vectorise, auto-parallelise) → code generation into virtual-register JX →
+linear-scan register allocation → assembly into a stripped JELF.
+
+Personalities:
+
+* ``gcc``  — moderate unrolling (×2), vectorises only simple loops;
+* ``icc``  — aggressive unrolling (×4), vectorises more loops, and emits
+  multiversioned loops guarded by runtime overlap checks.
+
+Flags: ``opt_level`` in {0, 2, 3}, ``mavx`` (4-lane vectors instead of
+2-lane), ``parallel`` (source-level auto-parallelisation via the
+``__jomp_parallel_for`` runtime — the paper Fig. 11 baselines).
+"""
+
+from repro.jcc.driver import CompileOptions, compile_source
+
+__all__ = ["CompileOptions", "compile_source"]

@@ -1,0 +1,703 @@
+"""JC code generation into virtual-register JX.
+
+Virtual registers are integer ids >= 64 (below that are physical JX
+registers), so all the ISA's use/def metadata works on not-yet-allocated
+code.  Int-typed values (including pointers) use even virtual ids, doubles
+odd ones.  The linear-scan allocator (:mod:`repro.jcc.regalloc`) later maps
+them onto the physical pools and inserts spill code.
+
+Loop shape: both ``for`` and ``while`` compile to a *guarded do-while* —
+guard branch in the preheader, body, step, bottom test at the latch — the
+shape gcc emits at -O2 and the shape the Janus analyser solves exactly.
+
+Calling convention: arguments go to rdi/rsi/rdx/rcx/r8/r9 and xmm0..7 (by
+per-kind position), results come back in rax / xmm0.  The physical argument
+and return registers are excluded from the allocation pools, so argument
+staging can never conflict with allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Opcode as O
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import R
+from repro.jcc import ast
+from repro.jcc.sema import BUILTINS
+
+VREG_BASE = 64
+
+# Integer argument registers, in order (SysV style).
+INT_ARG_REGS = (R.rdi, R.rsi, R.rdx, R.rcx, R.r8, R.r9)
+FLOAT_ARG_REGS = tuple(R.xmm0 + k for k in range(8))
+
+_CMP_TO_CC = {"==": "e", "!=": "ne", "<": "l", "<=": "le",
+              ">": "g", ">=": "ge"}
+_CC_NEG = {"e": "ne", "ne": "e", "l": "ge", "le": "g", "g": "le", "ge": "l"}
+_JCC = {"e": O.JE, "ne": O.JNE, "l": O.JL, "le": O.JLE,
+        "g": O.JG, "ge": O.JGE}
+_CMOV = {"e": O.CMOVE, "ne": O.CMOVNE, "l": O.CMOVL, "le": O.CMOVLE,
+         "g": O.CMOVG, "ge": O.CMOVGE}
+
+_INT_BINOPS = {"+": O.ADD, "-": O.SUB, "*": O.IMUL, "/": O.IDIV,
+               "%": O.IMOD, "<<": O.SHL, ">>": O.SAR,
+               "&": O.AND, "|": O.OR, "^": O.XOR}
+_FLOAT_BINOPS = {"+": O.ADDSD, "-": O.SUBSD, "*": O.MULSD, "/": O.DIVSD}
+_PACKED_SSE = {"+": O.ADDPD, "-": O.SUBPD, "*": O.MULPD, "/": O.DIVPD}
+_PACKED_AVX = {"+": O.VADDPD, "-": O.VSUBPD, "*": O.VMULPD, "/": O.VDIVPD}
+
+
+class CodegenError(Exception):
+    """Raised when the AST cannot be lowered (sema should prevent this)."""
+
+
+@dataclass
+class ModuleContext:
+    """Per-compilation state shared by all functions."""
+
+    program: ast.Program
+    options: object
+    float_pool: dict[tuple, str] = field(default_factory=dict)
+    label_counter: itertools.count = field(
+        default_factory=lambda: itertools.count())
+
+    def float_label(self, *values: float) -> Label:
+        """A pooled .data label holding the given double lane values."""
+        key = tuple(values)
+        name = self.float_pool.get(key)
+        if name is None:
+            name = f"__dconst_{len(self.float_pool)}"
+            self.float_pool[key] = name
+        return Label(name)
+
+    def new_label(self, prefix: str) -> str:
+        return f"__{prefix}_{next(self.label_counter)}"
+
+    def is_global_array(self, name: str) -> ast.GlobalVar | None:
+        for var in self.program.globals:
+            if var.name == name:
+                return var
+        return None
+
+
+@dataclass
+class FunctionCode:
+    """The result of lowering one function (pre-allocation)."""
+
+    name: str
+    stream: list  # ("label", name) | ("ins", Instruction)
+    n_vregs: int
+    reserved_frame_words: int  # O0 locals at the bottom of the frame
+
+
+class FunctionCodegen:
+    """Lowers one function to the virtual-register stream."""
+
+    def __init__(self, module: ModuleContext, fn: ast.Function) -> None:
+        self.module = module
+        self.fn = fn
+        self.stream: list = []
+        self._next_vreg = VREG_BASE
+        self.memory_locals = module.options.opt_level == 0
+        # name -> ("v", vreg) or ("slot", byte offset within reserved frame)
+        self.locals: dict[str, tuple] = {}
+        self._frame_words = 0
+        self._loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self.epilogue = module.new_label(f"{fn.name}_ret")
+
+    # -- low-level emission ---------------------------------------------------
+
+    def emit(self, opcode: O, *operands) -> None:
+        self.stream.append(("ins", Instruction(opcode, tuple(operands))))
+
+    def label(self, name: str) -> None:
+        self.stream.append(("label", name))
+
+    def newv(self, kind: str) -> int:
+        """A fresh virtual register id; even = int/pointer, odd = double."""
+        vid = self._next_vreg
+        self._next_vreg += 2
+        return vid if kind == "i" else vid + 1
+
+    def _new_int(self) -> int:
+        vid = self._next_vreg
+        self._next_vreg += 2
+        return vid
+
+    def _new_float(self) -> int:
+        vid = self._next_vreg + 1
+        self._next_vreg += 2
+        return vid
+
+    # -- function body -----------------------------------------------------------
+
+    def generate(self) -> FunctionCode:
+        int_args = 0
+        float_args = 0
+        for ptype, pname in self.fn.params:
+            if ptype == "double":
+                src = Reg(FLOAT_ARG_REGS[float_args])
+                float_args += 1
+                storage = self._declare_local(pname, "double")
+                self._store_local(storage, src.id, is_float=True)
+            else:
+                src = Reg(INT_ARG_REGS[int_args])
+                int_args += 1
+                storage = self._declare_local(pname, ptype)
+                self._store_local(storage, src.id, is_float=False)
+        self.gen_body(self.fn.body)
+        # Implicit return (value 0 for non-void mains falling off the end).
+        if self.fn.return_type != "void":
+            self.emit(O.MOV, Reg(R.rax), Imm(0))
+        self.label(self.epilogue)
+        return FunctionCode(name=self.fn.name, stream=self.stream,
+                            n_vregs=self._next_vreg,
+                            reserved_frame_words=self._frame_words)
+
+    def _declare_local(self, name: str, type_: str) -> tuple:
+        if self.memory_locals:
+            storage = ("slot", self._frame_words * 8)
+            self._frame_words += 1
+        else:
+            kind = "f" if type_ == "double" else "i"
+            storage = ("v", self.newv(kind))
+        self.locals[name] = storage
+        return storage
+
+    def _store_local(self, storage: tuple, src_reg: int,
+                     is_float: bool) -> None:
+        mov = O.MOVSD if is_float else O.MOV
+        if storage[0] == "v":
+            self.emit(mov, Reg(storage[1]), Reg(src_reg))
+        else:
+            self.emit(mov, Mem(base=R.rsp, disp=storage[1]), Reg(src_reg))
+
+    # -- statements -----------------------------------------------------------------
+
+    def gen_body(self, body: list) -> None:
+        for statement in body:
+            self.gen_statement(statement)
+
+    def gen_statement(self, statement) -> None:
+        if isinstance(statement, ast.DeclStmt):
+            storage = self._declare_local(statement.name, statement.type)
+            if statement.init is not None:
+                value = self.eval(statement.init)
+                self._write_storage(storage, value,
+                                    statement.type == "double")
+        elif isinstance(statement, ast.Assign):
+            self.gen_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            self.eval(statement.expr, discard=True)
+        elif isinstance(statement, ast.If):
+            self.gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self.gen_loop(init=None, cond=statement.cond, step=None,
+                          body=statement.body)
+        elif isinstance(statement, ast.For):
+            self.gen_loop(init=statement.init, cond=statement.cond,
+                          step=statement.step, body=statement.body)
+        elif isinstance(statement, ast.VecFor):
+            self.gen_vecfor(statement)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                value = self.eval(statement.value)
+                if statement.value.type == "double":
+                    self.emit(O.MOVSD, Reg(R.xmm0), Reg(value))
+                else:
+                    self.emit(O.MOV, Reg(R.rax), Reg(value))
+            self.emit(O.JMP, Label(self.epilogue))
+        elif isinstance(statement, ast.Break):
+            if not self._loop_stack:
+                raise CodegenError("break outside a loop")
+            self.emit(O.JMP, Label(self._loop_stack[-1][1]))
+        elif isinstance(statement, ast.Continue):
+            if not self._loop_stack:
+                raise CodegenError("continue outside a loop")
+            self.emit(O.JMP, Label(self._loop_stack[-1][0]))
+        else:
+            raise CodegenError(f"cannot lower {statement!r}")
+
+    def gen_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        is_float = target.type == "double"
+        if isinstance(target, ast.Name):
+            storage = self._storage_of(target.ident)
+            if statement.op == "=":
+                value = self.eval(statement.value)
+                self._write_storage(storage, value, is_float)
+                return
+            current = self._read_storage(storage, is_float)
+            combined = self._binop(statement.op[0], current,
+                                   statement.value, is_float)
+            self._write_storage(storage, combined, is_float)
+            return
+        # Index target.
+        mem = self.address_of(target)
+        value = self.eval(statement.value)
+        if statement.op == "=":
+            self.emit(O.MOVSD if is_float else O.MOV, mem, Reg(value))
+            return
+        op = statement.op[0]
+        if not is_float and op in ("+", "-"):
+            # Read-modify-write straight on memory (the x86 idiom).
+            self.emit(O.ADD if op == "+" else O.SUB, mem, Reg(value))
+            return
+        scratch = self._new_float() if is_float else self._new_int()
+        self.emit(O.MOVSD if is_float else O.MOV, Reg(scratch), mem)
+        table = _FLOAT_BINOPS if is_float else _INT_BINOPS
+        self.emit(table[op], Reg(scratch), Reg(value))
+        self.emit(O.MOVSD if is_float else O.MOV, mem, Reg(scratch))
+
+    def _binop(self, op: str, left_v: int, right_expr, is_float: bool) -> int:
+        dest = self._new_float() if is_float else self._new_int()
+        self.emit(O.MOVSD if is_float else O.MOV, Reg(dest), Reg(left_v))
+        table = _FLOAT_BINOPS if is_float else _INT_BINOPS
+        right = self._operand(right_expr)
+        self.emit(table[op], Reg(dest), right)
+        return dest
+
+    def gen_if(self, statement: ast.If) -> None:
+        then_label = self.module.new_label("then")
+        else_label = self.module.new_label("else")
+        end_label = self.module.new_label("endif")
+        target_else = else_label if statement.else_body else end_label
+        self.gen_branch(statement.cond, then_label, target_else)
+        self.label(then_label)
+        self.gen_body(statement.then_body)
+        if statement.else_body:
+            self.emit(O.JMP, Label(end_label))
+            self.label(else_label)
+            self.gen_body(statement.else_body)
+        self.label(end_label)
+
+    def gen_loop(self, init, cond, step, body: list) -> None:
+        """Guarded do-while: preheader guard, body, step, bottom test."""
+        body_label = self.module.new_label("loop")
+        continue_label = self.module.new_label("cont")
+        exit_label = self.module.new_label("exit")
+        if init is not None:
+            self.gen_statement(init)
+        if cond is not None:
+            self.gen_branch(cond, body_label, exit_label)
+        self.label(body_label)
+        self._loop_stack.append((continue_label, exit_label))
+        self.gen_body(body)
+        self._loop_stack.pop()
+        self.label(continue_label)
+        if step is not None:
+            self.gen_statement(step)
+        if cond is not None:
+            self.gen_branch(cond, body_label, None)
+        else:
+            self.emit(O.JMP, Label(body_label))
+        self.label(exit_label)
+
+    # -- branches -----------------------------------------------------------------
+
+    def gen_branch(self, cond, true_label: str,
+                   false_label: str | None) -> None:
+        """Branch to true_label when cond holds; else false_label or fall
+        through."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            if false_label is None:
+                false_label_real = self.module.new_label("ft")
+                self.gen_branch(cond.operand, false_label_real, true_label)
+                # Invert with an explicit fall-through label.
+                self.label(false_label_real)
+                return
+            self.gen_branch(cond.operand, false_label, true_label)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            mid = self.module.new_label("and")
+            if false_label is None:
+                skip = self.module.new_label("ft")
+                self.gen_branch(cond.left, mid, skip)
+                self.label(mid)
+                self.gen_branch(cond.right, true_label, None)
+                self.label(skip)
+                return
+            self.gen_branch(cond.left, mid, false_label)
+            self.label(mid)
+            self.gen_branch(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            mid = self.module.new_label("or")
+            self.gen_branch(cond.left, true_label, mid)
+            self.label(mid)
+            self.gen_branch(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _CMP_TO_CC:
+            cc = _CMP_TO_CC[cond.op]
+            if cond.left.type == "double":
+                left = self.eval(cond.left)
+                right = self.eval(cond.right)
+                self.emit(O.UCOMISD, Reg(left), Reg(right))
+            else:
+                left = self.eval(cond.left)
+                right = self._operand(cond.right)
+                self.emit(O.CMP, Reg(left), right)
+            self.emit(_JCC[cc], Label(true_label))
+            if false_label is not None:
+                self.emit(O.JMP, Label(false_label))
+            return
+        # Generic truthiness: value != 0.
+        value = self.eval(cond)
+        if cond.type == "double":
+            zero = self._new_float()
+            self.emit(O.XORPD, Reg(zero), Reg(zero))
+            self.emit(O.UCOMISD, Reg(value), Reg(zero))
+        else:
+            self.emit(O.CMP, Reg(value), Imm(0))
+        self.emit(O.JNE, Label(true_label))
+        if false_label is not None:
+            self.emit(O.JMP, Label(false_label))
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _operand(self, expr):
+        """Immediate operand when possible, else evaluated register."""
+        if isinstance(expr, ast.IntLit):
+            return Imm(expr.value)
+        return Reg(self.eval(expr))
+
+    def eval(self, expr, discard: bool = False) -> int:
+        """Evaluate an expression into a fresh-ish virtual register."""
+        if isinstance(expr, ast.IntLit):
+            dest = self._new_int()
+            self.emit(O.MOV, Reg(dest), Imm(expr.value))
+            return dest
+        if isinstance(expr, ast.FloatLit):
+            dest = self._new_float()
+            self.emit(O.MOVSD, Reg(dest),
+                      Mem(disp=self.module.float_label(expr.value)))
+            return dest
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.Index):
+            mem = self.address_of(expr)
+            if expr.type == "double":
+                dest = self._new_float()
+                self.emit(O.MOVSD, Reg(dest), mem)
+            else:
+                dest = self._new_int()
+                self.emit(O.MOV, Reg(dest), mem)
+            return dest
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, discard)
+        if isinstance(expr, ast.Cast):
+            value = self.eval(expr.operand)
+            if expr.target == "double":
+                dest = self._new_float()
+                self.emit(O.CVTSI2SD, Reg(dest), Reg(value))
+            else:
+                dest = self._new_int()
+                self.emit(O.CVTTSD2SI, Reg(dest), Reg(value))
+            return dest
+        if isinstance(expr, ast.FuncAddr):
+            dest = self._new_int()
+            self.emit(O.MOV, Reg(dest), Label(expr.name))
+            return dest
+        raise CodegenError(f"cannot evaluate {expr!r}")
+
+    def _eval_name(self, expr: ast.Name) -> int:
+        storage = self.locals.get(expr.ident)
+        if storage is not None:
+            return self._read_storage(storage, expr.type == "double")
+        var = self.module.is_global_array(expr.ident)
+        if var is None:
+            raise CodegenError(f"unknown name {expr.ident!r}")
+        if var.size is not None:
+            dest = self._new_int()
+            self.emit(O.MOV, Reg(dest), Label(var.name))
+            return dest
+        if var.type == "double":
+            dest = self._new_float()
+            self.emit(O.MOVSD, Reg(dest), Mem(disp=Label(var.name)))
+        else:
+            dest = self._new_int()
+            self.emit(O.MOV, Reg(dest), Mem(disp=Label(var.name)))
+        return dest
+
+    def _storage_of(self, name: str) -> tuple:
+        storage = self.locals.get(name)
+        if storage is not None:
+            return storage
+        var = self.module.is_global_array(name)
+        if var is None or var.size is not None:
+            raise CodegenError(f"{name!r} is not assignable")
+        return ("global", var.name, var.type)
+
+    def _read_storage(self, storage: tuple, is_float: bool) -> int:
+        if storage[0] == "v":
+            return storage[1]
+        mov = O.MOVSD if is_float else O.MOV
+        dest = self._new_float() if is_float else self._new_int()
+        if storage[0] == "slot":
+            self.emit(mov, Reg(dest), Mem(base=R.rsp, disp=storage[1]))
+        else:
+            self.emit(mov, Reg(dest), Mem(disp=Label(storage[1])))
+        return dest
+
+    def _write_storage(self, storage: tuple, value: int,
+                       is_float: bool) -> None:
+        mov = O.MOVSD if is_float else O.MOV
+        if storage[0] == "v":
+            self.emit(mov, Reg(storage[1]), Reg(value))
+        elif storage[0] == "slot":
+            self.emit(mov, Mem(base=R.rsp, disp=storage[1]), Reg(value))
+        else:
+            self.emit(mov, Mem(disp=Label(storage[1])), Reg(value))
+
+    def address_of(self, expr: ast.Index) -> Mem:
+        """Memory operand for an array/pointer element access."""
+        base = expr.base
+        index_v = self.eval(expr.index) if not isinstance(
+            expr.index, ast.IntLit) else None
+        disp_const = (expr.index.value * 8
+                      if isinstance(expr.index, ast.IntLit) else 0)
+        if isinstance(base, ast.Name):
+            var = self.module.is_global_array(base.ident)
+            if var is not None and var.size is not None \
+                    and base.ident not in self.locals:
+                if index_v is None:
+                    from repro.isa.operands import LabelRef
+
+                    return Mem(disp=LabelRef(var.name, disp_const))
+                return Mem(index=index_v, scale=8, disp=Label(var.name))
+        pointer = self.eval(base)
+        if index_v is None:
+            return Mem(base=pointer, disp=disp_const)
+        return Mem(base=pointer, index=index_v, scale=8)
+
+    def _eval_unary(self, expr: ast.Unary) -> int:
+        if expr.op == "-":
+            if expr.type == "double":
+                value = self.eval(expr.operand)
+                dest = self._new_float()
+                self.emit(O.XORPD, Reg(dest), Reg(dest))
+                self.emit(O.SUBSD, Reg(dest), Reg(value))
+                return dest
+            value = self.eval(expr.operand)
+            dest = self._new_int()
+            self.emit(O.MOV, Reg(dest), Reg(value))
+            self.emit(O.NEG, Reg(dest))
+            return dest
+        # "!": 1 when zero, else 0.
+        value = self.eval(expr.operand)
+        dest = self._new_int()
+        one = self._new_int()
+        self.emit(O.MOV, Reg(dest), Imm(0))
+        self.emit(O.MOV, Reg(one), Imm(1))
+        self.emit(O.CMP, Reg(value), Imm(0))
+        self.emit(O.CMOVE, Reg(dest), Reg(one))
+        return dest
+
+    def _eval_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._eval_logical(expr)
+        if op in _CMP_TO_CC:
+            cc = _CMP_TO_CC[op]
+            dest = self._new_int()
+            one = self._new_int()
+            if expr.left.type == "double":
+                left = self.eval(expr.left)
+                right = self.eval(expr.right)
+                self.emit(O.MOV, Reg(dest), Imm(0))
+                self.emit(O.MOV, Reg(one), Imm(1))
+                self.emit(O.UCOMISD, Reg(left), Reg(right))
+            else:
+                left = self.eval(expr.left)
+                right = self._operand(expr.right)
+                self.emit(O.MOV, Reg(dest), Imm(0))
+                self.emit(O.MOV, Reg(one), Imm(1))
+                self.emit(O.CMP, Reg(left), right)
+            self.emit(_CMOV[cc], Reg(dest), Reg(one))
+            return dest
+        if expr.type == "double":
+            left = self.eval(expr.left)
+            dest = self._new_float()
+            self.emit(O.MOVSD, Reg(dest), Reg(left))
+            right = self.eval(expr.right)
+            self.emit(_FLOAT_BINOPS[op], Reg(dest), Reg(right))
+            return dest
+        if expr.left.type in ("int*", "double*", "void*") \
+                or expr.right.type in ("int*", "double*", "void*"):
+            return self._eval_pointer_arith(expr)
+        left = self.eval(expr.left)
+        dest = self._new_int()
+        self.emit(O.MOV, Reg(dest), Reg(left))
+        right = self._operand(expr.right)
+        self.emit(_INT_BINOPS[op], Reg(dest), right)
+        return dest
+
+    def _eval_pointer_arith(self, expr: ast.Binary) -> int:
+        """p +/- n (elements): synthesised only by compiler transforms."""
+        pointer = self.eval(expr.left)
+        dest = self._new_int()
+        self.emit(O.MOV, Reg(dest), Reg(pointer))
+        if isinstance(expr.right, ast.IntLit):
+            amount = Imm(expr.right.value * 8)
+            self.emit(O.ADD if expr.op == "+" else O.SUB, Reg(dest), amount)
+            return dest
+        offset = self.eval(expr.right)
+        scaled = self._new_int()
+        self.emit(O.MOV, Reg(scaled), Reg(offset))
+        self.emit(O.SHL, Reg(scaled), Imm(3))
+        self.emit(O.ADD if expr.op == "+" else O.SUB, Reg(dest),
+                  Reg(scaled))
+        return dest
+
+    def _eval_logical(self, expr: ast.Binary) -> int:
+        dest = self._new_int()
+        true_label = self.module.new_label("ltrue")
+        false_label = self.module.new_label("lfalse")
+        end_label = self.module.new_label("lend")
+        self.gen_branch(expr, true_label, false_label)
+        self.label(true_label)
+        self.emit(O.MOV, Reg(dest), Imm(1))
+        self.emit(O.JMP, Label(end_label))
+        self.label(false_label)
+        self.emit(O.MOV, Reg(dest), Imm(0))
+        self.label(end_label)
+        return dest
+
+    def _eval_call(self, expr: ast.Call, discard: bool) -> int:
+        int_args: list[int] = []
+        float_args: list[int] = []
+        for arg in expr.args:
+            value = self.eval(arg)
+            if arg.type == "double":
+                float_args.append(value)
+            else:
+                int_args.append(value)
+        for position, value in enumerate(int_args):
+            self.emit(O.MOV, Reg(INT_ARG_REGS[position]), Reg(value))
+        for position, value in enumerate(float_args):
+            self.emit(O.MOVSD, Reg(FLOAT_ARG_REGS[position]), Reg(value))
+        self.emit(O.CALL, Label(expr.func))
+        if discard or expr.type == "void":
+            return 0
+        if expr.type == "double":
+            dest = self._new_float()
+            self.emit(O.MOVSD, Reg(dest), Reg(R.xmm0))
+        else:
+            dest = self._new_int()
+            self.emit(O.MOV, Reg(dest), Reg(R.rax))
+        return dest
+
+    # -- vectorised loops --------------------------------------------------------------
+
+    def gen_vecfor(self, statement: ast.VecFor) -> None:
+        """Lower a vectorised main loop produced by the optimiser."""
+        lanes = statement.lanes
+        mov_packed = O.VMOVAPD if lanes == 4 else O.MOVAPD
+        packed_ops = _PACKED_AVX if lanes == 4 else _PACKED_SSE
+
+        # Splat loop-invariant scalars into a stack buffer (read-only
+        # inside the loop: Janus later redirects these reads to the main
+        # stack).  One buffer of `lanes` words per distinct scalar.
+        splat_slots: dict[str, int] = {}
+        for name in sorted(self._scalar_names(statement.body, statement)):
+            offset = self._frame_words * 8
+            self._frame_words += lanes
+            splat_slots[name] = offset
+            value = self._read_storage(self._storage_of(name), True)
+            for lane in range(lanes):
+                self.emit(O.MOVSD,
+                          Mem(base=R.rsp, disp=offset + 8 * lane),
+                          Reg(value))
+
+        iter_storage = self._storage_of(statement.iter_name)
+        start = self.eval(statement.start)
+        self._write_storage(iter_storage, start, False)
+        # bound_m = bound - (lanes - 1), kept in a register for the test.
+        bound_v = self.eval(statement.bound)
+        bound_m = self._new_int()
+        self.emit(O.MOV, Reg(bound_m), Reg(bound_v))
+        self.emit(O.SUB, Reg(bound_m), Imm(lanes - 1))
+
+        body_label = self.module.new_label("vloop")
+        exit_label = self.module.new_label("vexit")
+        iter_v = self._read_storage(iter_storage, False)
+        self.emit(O.CMP, Reg(iter_v), Reg(bound_m))
+        self.emit(O.JGE, Label(exit_label))
+        self.label(body_label)
+        for assign in statement.body:
+            self._gen_vec_assign(assign, statement, lanes, mov_packed,
+                                 packed_ops, splat_slots)
+        iter_v = self._read_storage(iter_storage, False)
+        stepped = self._new_int()
+        self.emit(O.MOV, Reg(stepped), Reg(iter_v))
+        self.emit(O.ADD, Reg(stepped), Imm(lanes))
+        self._write_storage(iter_storage, stepped, False)
+        self.emit(O.CMP, Reg(stepped), Reg(bound_m))
+        self.emit(O.JL, Label(body_label))
+        self.label(exit_label)
+
+    def _scalar_names(self, body: list, statement: ast.VecFor) -> set:
+        names = set()
+
+        def visit(expr):
+            if isinstance(expr, ast.Name) and expr.ident != \
+                    statement.iter_name and expr.type == "double":
+                names.add(expr.ident)
+            elif isinstance(expr, ast.Binary):
+                visit(expr.left)
+                visit(expr.right)
+            elif isinstance(expr, ast.Unary):
+                visit(expr.operand)
+            elif isinstance(expr, ast.Index):
+                pass  # vector operand, not a scalar
+
+        for assign in body:
+            visit(assign.value)
+        return names
+
+    def _gen_vec_assign(self, assign: ast.Assign, statement: ast.VecFor,
+                        lanes: int, mov_packed, packed_ops,
+                        splat_slots: dict) -> None:
+        value = self._vec_eval(assign.value, statement, lanes, mov_packed,
+                               packed_ops, splat_slots)
+        mem = self.address_of(assign.target)
+        if assign.op != "=":
+            combined = self._new_float()
+            self.emit(mov_packed, Reg(combined), mem)
+            self.emit(packed_ops[assign.op[0]], Reg(combined), Reg(value))
+            value = combined
+        self.emit(mov_packed, mem, Reg(value))
+
+    def _vec_eval(self, expr, statement, lanes, mov_packed, packed_ops,
+                  splat_slots) -> int:
+        if isinstance(expr, ast.Index):
+            dest = self._new_float()
+            self.emit(mov_packed, Reg(dest), self.address_of(expr))
+            return dest
+        if isinstance(expr, ast.FloatLit):
+            dest = self._new_float()
+            self.emit(mov_packed, Reg(dest),
+                      Mem(disp=self.module.float_label(
+                          *([expr.value] * lanes))))
+            return dest
+        if isinstance(expr, ast.Name):
+            dest = self._new_float()
+            self.emit(mov_packed, Reg(dest),
+                      Mem(base=R.rsp, disp=splat_slots[expr.ident]))
+            return dest
+        if isinstance(expr, ast.Binary):
+            left = self._vec_eval(expr.left, statement, lanes, mov_packed,
+                                  packed_ops, splat_slots)
+            dest = self._new_float()
+            self.emit(mov_packed, Reg(dest), Reg(left))
+            right = self._vec_eval(expr.right, statement, lanes,
+                                   mov_packed, packed_ops, splat_slots)
+            self.emit(packed_ops[expr.op], Reg(dest), Reg(right))
+            return dest
+        raise CodegenError(f"unvectorisable expression {expr!r}")

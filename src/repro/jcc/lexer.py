@@ -1,0 +1,93 @@
+"""Tokeniser for the JC language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset((
+    "int", "double", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "extern",
+))
+
+# Multi-character operators first so maximal munch works.
+_OPERATORS = (
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "++", "--", "<<", ">>", "+", "-", "*", "/", "%", "<", ">",
+    "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int_lit", "float_lit", "ident", "keyword", "op", "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+class LexError(Exception):
+    """Raised on unrecognised input."""
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and source[pos + 1].isdigit()):
+            start = pos
+            is_float = False
+            while pos < length and (source[pos].isdigit()
+                                    or source[pos] in ".eExX"
+                                    or (source[pos] in "+-"
+                                        and source[pos - 1] in "eE")):
+                if source[pos] == ".":
+                    is_float = True
+                if source[pos] in "eE" and "x" not in source[start:pos].lower():
+                    is_float = True
+                pos += 1
+            text = source[start:pos]
+            kind = "float_lit" if is_float else "int_lit"
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,327 @@
+"""Recursive-descent parser for JC."""
+
+from __future__ import annotations
+
+from repro.jcc import ast
+from repro.jcc.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid input."""
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"line {self.current.line}: expected {want!r}, "
+                f"got {self.current.text!r}")
+        return self.advance()
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            if self.accept("keyword", "extern"):
+                self._parse_type()
+                name = self.expect("ident").text
+                self.expect("op", "(")
+                depth = 1
+                while depth:
+                    token = self.advance()
+                    if token.text == "(":
+                        depth += 1
+                    elif token.text == ")":
+                        depth -= 1
+                self.expect("op", ";")
+                program.externs.append(name)
+                continue
+            decl_type = self._parse_type()
+            name = self.expect("ident").text
+            if self.check("op", "("):
+                program.functions.append(
+                    self._parse_function(decl_type, name))
+            else:
+                program.globals.append(self._parse_global(decl_type, name))
+        return program
+
+    def _parse_type(self) -> str:
+        token = self.expect("keyword")
+        if token.text not in ("int", "double", "void"):
+            raise ParseError(f"line {token.line}: expected a type, "
+                             f"got {token.text!r}")
+        type_name = token.text
+        if self.accept("op", "*"):
+            type_name += "*"
+        return type_name
+
+    def _parse_global(self, decl_type: str, name: str) -> ast.GlobalVar:
+        size = None
+        init = None
+        if self.accept("op", "["):
+            size = int(self.expect("int_lit").text, 0)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                init = [self._parse_literal()]
+                while self.accept("op", ","):
+                    init.append(self._parse_literal())
+                self.expect("op", "}")
+            else:
+                init = [self._parse_literal()]
+        self.expect("op", ";")
+        return ast.GlobalVar(type=decl_type, name=name, size=size, init=init)
+
+    def _parse_literal(self):
+        negative = bool(self.accept("op", "-"))
+        if self.check("float_lit"):
+            value = float(self.advance().text)
+        else:
+            value = int(self.expect("int_lit").text, 0)
+        return -value if negative else value
+
+    def _parse_function(self, return_type: str, name: str) -> ast.Function:
+        self.expect("op", "(")
+        params = []
+        if not self.check("op", ")"):
+            while True:
+                ptype = self._parse_type()
+                pname = self.expect("ident").text
+                params.append((ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self._parse_block()
+        return ast.Function(return_type=return_type, name=name,
+                            params=params, body=body)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> list:
+        self.expect("op", "{")
+        statements = []
+        while not self.accept("op", "}"):
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_block_or_statement(self) -> list:
+        if self.check("op", "{"):
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    def _parse_statement(self) -> ast.Stmt:
+        if self.check("keyword", "if"):
+            return self._parse_if()
+        if self.check("keyword", "while"):
+            return self._parse_while()
+        if self.check("keyword", "for"):
+            return self._parse_for()
+        if self.accept("keyword", "return"):
+            value = None
+            if not self.check("op", ";"):
+                value = self._parse_expr()
+            self.expect("op", ";")
+            return ast.Return(value=value)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return ast.Break()
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return ast.Continue()
+        statement = self._parse_simple_statement()
+        self.expect("op", ";")
+        return statement
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        if self.check("keyword") and self.current.text in ("int", "double"):
+            decl_type = self._parse_type()
+            name = self.expect("ident").text
+            init = None
+            if self.accept("op", "="):
+                init = self._parse_expr()
+            return ast.DeclStmt(type=decl_type, name=name, init=init)
+        expr = self._parse_expr()
+        for op in ("=", "+=", "-=", "*=", "/=", "%="):
+            if self.accept("op", op):
+                value = self._parse_expr()
+                return ast.Assign(target=expr, op=op, value=value)
+        if self.accept("op", "++"):
+            return ast.Assign(target=expr, op="+=", value=ast.IntLit(1))
+        if self.accept("op", "--"):
+            return ast.Assign(target=expr, op="-=", value=ast.IntLit(1))
+        return ast.ExprStmt(expr=expr)
+
+    def _parse_if(self) -> ast.If:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        then_body = self._parse_block_or_statement()
+        else_body = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block_or_statement()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        return ast.While(cond=cond, body=self._parse_block_or_statement())
+
+    def _parse_for(self) -> ast.For:
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            init = self._parse_simple_statement()
+        self.expect("op", ";")
+        cond = None
+        if not self.check("op", ";"):
+            cond = self._parse_expr()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self._parse_simple_statement()
+        self.expect("op", ")")
+        return ast.For(init=init, cond=cond, step=step,
+                       body=self._parse_block_or_statement())
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept("op", "||"):
+            left = ast.Binary(op="||", left=left, right=self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_bitwise()
+        while self.accept("op", "&&"):
+            left = ast.Binary(op="&&", left=left,
+                              right=self._parse_bitwise())
+        return left
+
+    def _parse_bitwise(self) -> ast.Expr:
+        # One combined precedence level for & ^ | (tighter than &&,
+        # looser than ==), a simplification over C's three levels.
+        left = self._parse_equality()
+        while self.check("op") and self.current.text in ("&", "|", "^"):
+            op = self.advance().text
+            left = ast.Binary(op=op, left=left,
+                              right=self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self.check("op") and self.current.text in ("==", "!="):
+            op = self.advance().text
+            left = ast.Binary(op=op, left=left,
+                              right=self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_shift()
+        while self.check("op") and self.current.text in ("<", "<=", ">",
+                                                         ">="):
+            op = self.advance().text
+            left = ast.Binary(op=op, left=left, right=self._parse_shift())
+        return left
+
+    def _parse_shift(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self.check("op") and self.current.text in ("<<", ">>"):
+            op = self.advance().text
+            left = ast.Binary(op=op, left=left,
+                              right=self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.check("op") and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = ast.Binary(op=op, left=left,
+                              right=self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.check("op") and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            left = ast.Binary(op=op, left=left, right=self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept("op", "-"):
+            return ast.Unary(op="-", operand=self._parse_unary())
+        if self.accept("op", "!"):
+            return ast.Unary(op="!", operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("op", "["):
+                index = self._parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        if self.check("int_lit"):
+            return ast.IntLit(value=int(self.advance().text, 0))
+        if self.check("float_lit"):
+            return ast.FloatLit(value=float(self.advance().text))
+        if self.accept("op", "("):
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        name = self.expect("ident").text
+        if self.accept("op", "("):
+            args = []
+            if not self.check("op", ")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ")")
+            return ast.Call(func=name, args=args)
+        return ast.Name(ident=name)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse JC source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,315 @@
+"""Linear-scan register allocation for jcc.
+
+Pools (disjoint by construction from every physically-referenced register:
+argument registers, rax/xmm0 returns, rsp, and the Janus-reserved r14/r15):
+
+* int/pointer vregs: callee-saved {rbx, rbp, r12, r13} then caller-saved
+  {r10}; vregs live across a call must take a callee-saved register or
+  spill.
+* double vregs: {xmm8..xmm13} (all caller-saved, as in the SysV ABI — any
+  double live across a call spills, which is realistic spill traffic).
+
+Scratch registers for spill shuttling: rax & r11 (int), xmm14 & xmm15
+(double).  Spill slots live in the function frame above the reserved
+(O0-local / splat-buffer) area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import FLAGS_REG, Instruction, Opcode as O
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import R
+from repro.jcc.codegen import FunctionCode, VREG_BASE
+
+INT_POOL_CALLEE = (R.rbx, R.rbp, R.r12, R.r13)
+INT_POOL_CALLER = (R.r10,)
+FLOAT_POOL = tuple(R.xmm8 + k for k in range(6))
+INT_SCRATCH = (R.rax, R.r11)
+FLOAT_SCRATCH = (R.xmm14, R.xmm15)
+
+CALLEE_SAVED_POOL = frozenset(INT_POOL_CALLEE)
+
+
+class AllocationError(Exception):
+    """Raised when rewriting produced an inconsistent stream."""
+
+
+def _is_vreg(reg_id: int) -> bool:
+    return reg_id >= VREG_BASE
+
+
+def _is_float_vreg(reg_id: int) -> bool:
+    return reg_id >= VREG_BASE and (reg_id - VREG_BASE) % 2 == 1
+
+
+@dataclass
+class Interval:
+    vreg: int
+    start: int
+    end: int
+    crosses_call: bool = False
+    # Result: either a physical register or a spill slot (word index).
+    phys: int | None = None
+    slot: int | None = None
+
+    @property
+    def is_float(self) -> bool:
+        return _is_float_vreg(self.vreg)
+
+
+@dataclass
+class Allocation:
+    """The rewritten stream plus frame layout facts."""
+
+    stream: list
+    frame_words: int
+    used_callee_saved: list
+
+
+def _instruction_vreg_uses_defs(ins: Instruction) -> tuple[set, set]:
+    uses = {r for r in ins.reg_uses() if _is_vreg(r)}
+    defs = {r for r in ins.reg_defs() if _is_vreg(r)}
+    return uses, defs
+
+
+def allocate(code: FunctionCode) -> Allocation:
+    """Run liveness, build intervals, allocate, rewrite."""
+    stream = code.stream
+    instructions = [(i, item[1]) for i, item in enumerate(stream)
+                    if item[0] == "ins"]
+    label_positions = {item[1]: i for i, item in enumerate(stream)
+                       if item[0] == "label"}
+
+    # -- control-flow successors over stream positions -----------------------
+    successors: dict[int, list[int]] = {}
+    for position, ins in instructions:
+        succs = []
+        target = None
+        if ins.opcode in (O.JMP,) or ins.is_cond_branch:
+            operand = ins.operands[0]
+            if isinstance(operand, Label):
+                target = label_positions.get(operand.name)
+        if ins.opcode is O.JMP:
+            if target is not None:
+                succs.append(target)
+        else:
+            succs.append(position + 1)
+            if ins.is_cond_branch and target is not None:
+                succs.append(target)
+        if ins.opcode in (O.RET, O.HLT):
+            succs = []
+        successors[position] = succs
+
+    # -- liveness fixpoint -----------------------------------------------------
+    live_in: dict[int, frozenset] = {p: frozenset() for p, _ in instructions}
+    use_def = {p: _instruction_vreg_uses_defs(ins)
+               for p, ins in instructions}
+    positions = [p for p, _ in instructions]
+    changed = True
+    while changed:
+        changed = False
+        for position in reversed(positions):
+            uses, defs = use_def[position]
+            live_out: set = set()
+            for succ in successors[position]:
+                live_out |= _live_at(live_in, succ, len(stream))
+            new_live = frozenset(uses | (live_out - defs))
+            if new_live != live_in[position]:
+                live_in[position] = new_live
+                changed = True
+
+    # -- intervals ----------------------------------------------------------------
+    intervals: dict[int, Interval] = {}
+
+    def touch(vreg: int, position: int) -> None:
+        interval = intervals.get(vreg)
+        if interval is None:
+            intervals[vreg] = Interval(vreg=vreg, start=position,
+                                       end=position)
+        else:
+            interval.start = min(interval.start, position)
+            interval.end = max(interval.end, position)
+
+    for position, ins in instructions:
+        uses, defs = use_def[position]
+        for vreg in uses | defs:
+            touch(vreg, position)
+        for vreg in live_in[position]:
+            touch(vreg, position)
+    call_positions = [p for p, ins in instructions
+                      if ins.opcode in (O.CALL, O.CALLI)]
+    for interval in intervals.values():
+        interval.crosses_call = any(
+            interval.start < call < interval.end
+            for call in call_positions)
+
+    # -- linear scan ------------------------------------------------------------------
+    spill_base = code.reserved_frame_words
+    next_spill = spill_base
+    used_callee: set[int] = set()
+    ordered = sorted(intervals.values(), key=lambda iv: (iv.start, iv.vreg))
+    active: list[Interval] = []
+
+    def expire(position: int) -> None:
+        active[:] = [iv for iv in active if iv.end >= position]
+
+    def free_registers(interval: Interval) -> list[int]:
+        taken = {iv.phys for iv in active if iv.phys is not None}
+        if interval.is_float:
+            pool = FLOAT_POOL
+            if interval.crosses_call:
+                return []  # no callee-saved xmm: must spill
+            return [r for r in pool if r not in taken]
+        if interval.crosses_call:
+            pool = INT_POOL_CALLEE
+        else:
+            pool = INT_POOL_CALLEE + INT_POOL_CALLER
+        return [r for r in pool if r not in taken]
+
+    for interval in ordered:
+        expire(interval.start)
+        candidates = free_registers(interval)
+        if candidates:
+            interval.phys = candidates[0]
+            if interval.phys in CALLEE_SAVED_POOL:
+                used_callee.add(interval.phys)
+            active.append(interval)
+        else:
+            interval.slot = next_spill
+            next_spill += 1
+
+    assignment = {iv.vreg: iv for iv in intervals.values()}
+
+    # -- rewrite ------------------------------------------------------------------------
+    new_stream: list = []
+    for item in stream:
+        if item[0] == "label":
+            new_stream.append(item)
+            continue
+        ins = item[1]
+        new_stream.extend(("ins", rewritten)
+                          for rewritten in _rewrite(ins, assignment))
+    return Allocation(stream=new_stream, frame_words=next_spill,
+                      used_callee_saved=sorted(used_callee))
+
+
+def _live_at(live_in: dict, position: int, limit: int) -> frozenset:
+    # Successor position may point at a label; live set flows through it.
+    while position < limit and position not in live_in:
+        position += 1
+    return live_in.get(position, frozenset())
+
+
+def _rewrite(ins: Instruction, assignment: dict) -> list[Instruction]:
+    """Map vregs to physical registers; emit spill loads/stores."""
+    uses, defs = _instruction_vreg_uses_defs(ins)
+    if not uses and not defs:
+        return [ins]
+    mapping: dict[int, int] = {}
+    preloads: list[Instruction] = []
+    poststores: list[Instruction] = []
+    int_scratch = iter(INT_SCRATCH)
+    float_scratch = iter(FLOAT_SCRATCH)
+
+    for vreg in sorted(uses | defs):
+        interval = assignment[vreg]
+        if interval.phys is not None:
+            mapping[vreg] = interval.phys
+            continue
+        # Spilled: shuttle through a scratch register.
+        try:
+            scratch = next(float_scratch if interval.is_float
+                           else int_scratch)
+        except StopIteration:
+            return _rewrite_with_lea(ins, assignment)
+        mapping[vreg] = scratch
+        slot_mem = Mem(base=R.rsp, disp=8 * interval.slot)
+        mov = O.MOVSD if interval.is_float else O.MOV
+        if vreg in uses:
+            preloads.append(Instruction(mov, (Reg(scratch), slot_mem)))
+        if vreg in defs:
+            poststores.append(Instruction(mov, (slot_mem, Reg(scratch))))
+
+    new_ops = []
+    for operand in ins.operands:
+        if isinstance(operand, Reg) and operand.id in mapping:
+            new_ops.append(Reg(mapping[operand.id]))
+        elif isinstance(operand, Mem):
+            base = mapping.get(operand.base, operand.base)
+            index = mapping.get(operand.index, operand.index)
+            if base != operand.base or index != operand.index:
+                new_ops.append(Mem(base=base, index=index,
+                                   scale=operand.scale, disp=operand.disp))
+            else:
+                new_ops.append(operand)
+        else:
+            new_ops.append(operand)
+    rewritten = Instruction(ins.opcode, tuple(new_ops))
+    return preloads + [rewritten] + poststores
+
+
+def _rewrite_with_lea(ins: Instruction, assignment: dict
+                      ) -> list[Instruction]:
+    """Fallback for instructions with three spilled int operands: fold the
+    memory operand's address into one scratch with an LEA first."""
+    mem_positions = [i for i, op in enumerate(ins.operands)
+                     if isinstance(op, Mem)]
+    if len(mem_positions) != 1:
+        raise AllocationError(f"cannot rewrite spilled {ins!r}")
+    mem = ins.operands[mem_positions[0]]
+    out: list[Instruction] = []
+    addr_scratch, value_scratch = INT_SCRATCH
+
+    def load_spill(vreg: int, scratch: int) -> None:
+        interval = assignment[vreg]
+        if interval.phys is not None:
+            out.append(Instruction(O.MOV, (Reg(scratch),
+                                           Reg(interval.phys))))
+        else:
+            out.append(Instruction(
+                O.MOV, (Reg(scratch),
+                        Mem(base=R.rsp, disp=8 * interval.slot))))
+
+    load_spill(mem.base, addr_scratch)
+    load_spill(mem.index, value_scratch)
+    out.append(Instruction(O.LEA, (
+        Reg(addr_scratch),
+        Mem(base=addr_scratch, index=value_scratch, scale=mem.scale,
+            disp=mem.disp))))
+    folded = Mem(base=addr_scratch, disp=0)
+    remaining = {}
+    for operand in ins.operands:
+        if isinstance(operand, Reg) and _is_vreg(operand.id):
+            remaining[operand.id] = value_scratch
+    new_ops = []
+    poststores: list[Instruction] = []
+    for i, operand in enumerate(ins.operands):
+        if i == mem_positions[0]:
+            new_ops.append(folded)
+        elif isinstance(operand, Reg) and operand.id in remaining:
+            interval = assignment[operand.id]
+            scratch = remaining[operand.id]
+            if operand.id in ins.reg_uses():
+                if interval.phys is not None:
+                    out.append(Instruction(O.MOV, (Reg(scratch),
+                                                   Reg(interval.phys))))
+                else:
+                    out.append(Instruction(
+                        O.MOV, (Reg(scratch),
+                                Mem(base=R.rsp, disp=8 * interval.slot))))
+            if operand.id in ins.reg_defs():
+                if interval.phys is not None:
+                    poststores.append(Instruction(
+                        O.MOV, (Reg(interval.phys), Reg(scratch))))
+                else:
+                    poststores.append(Instruction(
+                        O.MOV, (Mem(base=R.rsp, disp=8 * interval.slot),
+                                Reg(scratch))))
+            new_ops.append(Reg(scratch))
+        else:
+            new_ops.append(operand)
+    out.append(Instruction(ins.opcode, tuple(new_ops)))
+    out.extend(poststores)
+    return out

@@ -1,0 +1,232 @@
+"""Semantic analysis for JC: symbol resolution, type checking, coercions.
+
+Annotates every expression with its type and inserts explicit ``Cast``
+nodes for the implicit int↔double conversions, so code generation never
+has to guess.  Array names decay to pointers; ``malloc`` returns the
+wildcard pointer type ``void*`` assignable to any pointer.
+"""
+
+from __future__ import annotations
+
+from repro.jcc import ast
+
+# Built-in library functions (resolved to PLT imports at codegen).
+BUILTINS: dict[str, tuple[str, list[str]]] = {
+    "pow": ("double", ["double", "double"]),
+    "sqrt": ("double", ["double"]),
+    "fabs": ("double", ["double"]),
+    "rand": ("int", []),
+    "srand": ("void", ["int"]),
+    "malloc": ("void*", ["int"]),
+    "free": ("void", ["void*"]),
+    "memcpy": ("void*", ["void*", "void*", "int"]),
+    "memset_words": ("void*", ["void*", "int", "int"]),
+    "print_int": ("void", ["int"]),
+    "print_double": ("void", ["double"]),
+    "read_int": ("int", []),
+    "exit": ("void", ["int"]),
+    # OpenMP-style fork-join runtime used by the -parallel baselines; the
+    # first argument is a function address (FuncAddr node).
+    "__jomp_parallel_for": ("void", ["int", "int", "int", "int"]),
+}
+
+_POINTER_TYPES = ("int*", "double*", "void*")
+
+
+class SemaError(Exception):
+    """Raised on type errors and unresolved names."""
+
+
+class Sema:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.globals: dict[str, ast.GlobalVar] = {}
+        self.functions: dict[str, ast.Function] = {}
+
+    def run(self) -> ast.Program:
+        for var in self.program.globals:
+            if var.name in self.globals:
+                raise SemaError(f"duplicate global {var.name!r}")
+            self.globals[var.name] = var
+        for fn in self.program.functions:
+            if fn.name in self.functions or fn.name in BUILTINS:
+                raise SemaError(f"duplicate function {fn.name!r}")
+            self.functions[fn.name] = fn
+        if "main" not in self.functions:
+            raise SemaError("program has no main function")
+        for fn in self.program.functions:
+            self._check_function(fn)
+        return self.program
+
+    # -- functions ------------------------------------------------------------
+
+    def _check_function(self, fn: ast.Function) -> None:
+        fn.locals = {}  # name -> type
+        for ptype, pname in fn.params:
+            if pname in fn.locals:
+                raise SemaError(f"duplicate parameter {pname!r}")
+            fn.locals[pname] = ptype
+        self._check_body(fn, fn.body)
+
+    def _check_body(self, fn: ast.Function, body: list) -> None:
+        for statement in body:
+            self._check_statement(fn, statement)
+
+    def _check_statement(self, fn: ast.Function, statement) -> None:
+        if isinstance(statement, ast.DeclStmt):
+            if statement.name in fn.locals:
+                raise SemaError(
+                    f"duplicate local {statement.name!r} in {fn.name}")
+            fn.locals[statement.name] = statement.type
+            if statement.init is not None:
+                self._check_expr(fn, statement.init)
+                statement.init = self._coerce(statement.init, statement.type)
+        elif isinstance(statement, ast.Assign):
+            target_type = self._check_expr(fn, statement.target)
+            if not isinstance(statement.target, (ast.Name, ast.Index)):
+                raise SemaError("assignment target is not an lvalue")
+            if isinstance(statement.target, ast.Name):
+                name = statement.target.ident
+                var = self.globals.get(name)
+                if var is not None and var.size is not None:
+                    raise SemaError(f"cannot assign to array {name!r}")
+            self._check_expr(fn, statement.value)
+            if statement.op in ("%=",) and target_type != "int":
+                raise SemaError("%= requires int operands")
+            statement.value = self._coerce(statement.value, target_type)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expr(fn, statement.expr)
+        elif isinstance(statement, ast.If):
+            self._check_expr(fn, statement.cond)
+            self._check_body(fn, statement.then_body)
+            self._check_body(fn, statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._check_expr(fn, statement.cond)
+            self._check_body(fn, statement.body)
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._check_statement(fn, statement.init)
+            if statement.cond is not None:
+                self._check_expr(fn, statement.cond)
+            if statement.step is not None:
+                self._check_statement(fn, statement.step)
+            self._check_body(fn, statement.body)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._check_expr(fn, statement.value)
+                statement.value = self._coerce(statement.value,
+                                               fn.return_type)
+            elif fn.return_type != "void":
+                raise SemaError(f"{fn.name}: missing return value")
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            pass
+        else:
+            raise SemaError(f"unknown statement {statement!r}")
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _check_expr(self, fn: ast.Function, expr) -> str:
+        if isinstance(expr, ast.IntLit):
+            expr.type = "int"
+        elif isinstance(expr, ast.FloatLit):
+            expr.type = "double"
+        elif isinstance(expr, ast.Name):
+            expr.type = self._name_type(fn, expr.ident)
+        elif isinstance(expr, ast.Index):
+            base_type = self._check_expr(fn, expr.base)
+            if base_type not in _POINTER_TYPES:
+                raise SemaError(f"cannot index non-pointer {base_type}")
+            index_type = self._check_expr(fn, expr.index)
+            if index_type != "int":
+                raise SemaError("array index must be int")
+            expr.type = "double" if base_type == "double*" else "int"
+        elif isinstance(expr, ast.Unary):
+            operand_type = self._check_expr(fn, expr.operand)
+            if expr.op == "!":
+                if operand_type != "int":
+                    expr.operand = self._coerce(expr.operand, "int")
+                expr.type = "int"
+            else:
+                expr.type = operand_type
+        elif isinstance(expr, ast.Binary):
+            left = self._check_expr(fn, expr.left)
+            right = self._check_expr(fn, expr.right)
+            if expr.op in ("&&", "||"):
+                expr.left = self._coerce(expr.left, "int")
+                expr.right = self._coerce(expr.right, "int")
+                expr.type = "int"
+            elif expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                common = ("double" if "double" in (left, right) else left)
+                expr.left = self._coerce(expr.left, common)
+                expr.right = self._coerce(expr.right, common)
+                expr.type = "int"
+            elif expr.op in ("%", "<<", ">>", "&", "|", "^"):
+                if left != "int" or right != "int":
+                    raise SemaError(f"{expr.op} requires int operands")
+                expr.type = "int"
+            else:  # + - * /
+                if left in _POINTER_TYPES or right in _POINTER_TYPES:
+                    raise SemaError("pointer arithmetic is not supported; "
+                                    "index instead")
+                common = ("double" if "double" in (left, right) else "int")
+                expr.left = self._coerce(expr.left, common)
+                expr.right = self._coerce(expr.right, common)
+                expr.type = common
+        elif isinstance(expr, ast.Call):
+            expr.type = self._check_call(fn, expr)
+        elif isinstance(expr, ast.Cast):
+            self._check_expr(fn, expr.operand)
+            expr.type = expr.target
+        else:
+            raise SemaError(f"unknown expression {expr!r}")
+        return expr.type
+
+    def _check_call(self, fn: ast.Function, call: ast.Call) -> str:
+        if call.func in self.functions:
+            callee = self.functions[call.func]
+            signature = [p[0] for p in callee.params]
+            return_type = callee.return_type
+        elif call.func in BUILTINS:
+            return_type, signature = BUILTINS[call.func]
+        else:
+            raise SemaError(f"call to undefined function {call.func!r}")
+        if len(call.args) != len(signature):
+            raise SemaError(
+                f"{call.func} expects {len(signature)} arguments, "
+                f"got {len(call.args)}")
+        new_args = []
+        for arg, want in zip(call.args, signature):
+            self._check_expr(fn, arg)
+            new_args.append(self._coerce(arg, want))
+        call.args = new_args
+        return return_type
+
+    def _name_type(self, fn: ast.Function, name: str) -> str:
+        local_type = getattr(fn, "locals", {}).get(name)
+        if local_type is not None:
+            return local_type
+        var = self.globals.get(name)
+        if var is not None:
+            if var.size is not None:
+                return var.type + "*"  # array decays to pointer
+            return var.type
+        raise SemaError(f"undefined name {name!r} in {fn.name}")
+
+    def _coerce(self, expr, target: str):
+        have = expr.type
+        if have == target:
+            return expr
+        if target in _POINTER_TYPES and have in _POINTER_TYPES:
+            return expr  # void* interchange
+        if {have, target} == {"int", "double"}:
+            cast = ast.Cast(target=target, operand=expr)
+            cast.type = target
+            return cast
+        if target == "void":
+            return expr
+        raise SemaError(f"cannot convert {have} to {target}")
+
+
+def analyse(program: ast.Program) -> ast.Program:
+    """Run semantic analysis; returns the annotated program."""
+    return Sema(program).run()

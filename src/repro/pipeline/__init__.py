@@ -1,0 +1,11 @@
+"""The end-to-end Janus pipeline (paper Fig. 1a).
+
+``Janus`` wires the whole system together: static analysis, the optional
+two-pass training stage (coverage profiling, then dependence profiling),
+loop selection, parallelisation-schedule generation, and execution under
+the DBM with the parallel runtime.
+"""
+
+from repro.pipeline.janus import Janus, JanusConfig, SelectionMode
+
+__all__ = ["Janus", "JanusConfig", "SelectionMode"]

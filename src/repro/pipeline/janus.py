@@ -1,0 +1,199 @@
+"""The Janus facade: analyse → (train) → select → parallelise → run."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis import LoopCategory, analyze_image
+from repro.analysis.analyzer import BinaryAnalysis
+from repro.analysis.classify import LoopAnalysisResult
+from repro.dbm.executor import ExecutionResult, run_native
+from repro.dbm.modifier import JanusDBM, run_under_dbm
+from repro.dbm.runtime import ParallelRuntime
+from repro.isa.costs import DEFAULT_COST_MODEL, CostModel
+from repro.jbin.image import JELF
+from repro.jbin.loader import load
+from repro.profiling import ProfileResult, run_profiling
+from repro.rewrite import (
+    generate_parallel_schedule,
+    generate_profile_schedule,
+)
+from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
+from repro.rewrite.schedule import RewriteSchedule
+
+
+class SelectionMode(enum.Enum):
+    """The configurations of paper Fig. 7."""
+
+    NATIVE = "native"                    # no DBM at all
+    DBM_ONLY = "dbm_only"                # DynamoRIO overhead bar
+    STATIC = "static"                    # Statically-Driven
+    STATIC_PROFILE = "static_profile"    # Statically-Driven + Profile
+    JANUS = "janus"                      # + runtime checks / STM (full)
+
+
+@dataclass
+class JanusConfig:
+    """Tunables for one Janus invocation."""
+
+    n_threads: int = 8
+    # Loops below this fraction of dynamic instructions are filtered out
+    # by the training stage (paper II-C: "low coverage loops").
+    coverage_threshold: float = 0.05
+    # Loops averaging fewer iterations per invocation than this are not
+    # profitable (paper III-B: loops "with a high invocation count where
+    # overheads of parallelisation out-weigh the benefits").
+    min_average_trips: float = 16.0
+    cost_model: CostModel = field(
+        default_factory=lambda: DEFAULT_COST_MODEL.copy())
+    strict: bool = True
+    # Iteration scheduling policy: "chunk" (paper default) or
+    # "round_robin" with rr_block-sized blocks (paper II-E alternative).
+    scheduling: str = "chunk"
+    rr_block: int = 8
+    max_instructions: int = 500_000_000
+
+
+@dataclass
+class TrainingData:
+    """Results of the optional training stage (paper Fig. 1a, left)."""
+
+    coverage: ProfileResult
+    dependence: ProfileResult | None = None
+
+
+class Janus:
+    """Automatic parallelisation of one binary, no user intervention."""
+
+    def __init__(self, image: JELF, config: JanusConfig | None = None) -> None:
+        self.image = image
+        self.config = config or JanusConfig()
+        self._analysis: BinaryAnalysis | None = None
+
+    # -- stage 1: static analysis -------------------------------------------
+
+    @property
+    def analysis(self) -> BinaryAnalysis:
+        if self._analysis is None:
+            self._analysis = analyze_image(self.image)
+        return self._analysis
+
+    # -- stage 2: training (optional) ------------------------------------------
+
+    def train(self, train_inputs: list[int] | None = None) -> TrainingData:
+        """Run the two profiling passes with training inputs."""
+        analysis = self.analysis
+        coverage_schedule = generate_profile_schedule(analysis,
+                                                      stage=COVERAGE_STAGE)
+        process = load(self.image, inputs=train_inputs)
+        coverage, _ = run_profiling(
+            process, coverage_schedule,
+            cost_model=self.config.cost_model.copy(),
+            max_instructions=self.config.max_instructions)
+
+        # Dependence profiling only on loops that survived the coverage
+        # filter and still need the C/D split.
+        surviving = coverage.loops_above_coverage(
+            self.config.coverage_threshold)
+        needs_dependence = [
+            loop_id for loop_id in surviving
+            if analysis.loop(loop_id).category is LoopCategory.DYNAMIC_DOALL
+        ]
+        dependence = None
+        if needs_dependence:
+            dependence_schedule = generate_profile_schedule(
+                analysis, stage=DEPENDENCE_STAGE, loop_ids=needs_dependence)
+            process = load(self.image, inputs=train_inputs)
+            dependence, _ = run_profiling(
+                process, dependence_schedule,
+                cost_model=self.config.cost_model.copy(),
+                max_instructions=self.config.max_instructions)
+            for loop_id in needs_dependence:
+                profile = dependence.loops.get(loop_id)
+                if profile is not None:
+                    analysis.loop(loop_id).apply_dependence_profile(
+                        profile.has_dependence)
+        for loop_id, profile in coverage.loops.items():
+            analysis.loop(loop_id).coverage_fraction = \
+                coverage.coverage(loop_id)
+        return TrainingData(coverage=coverage, dependence=dependence)
+
+    # -- stage 3: loop selection ---------------------------------------------------
+
+    def select_loops(self, mode: SelectionMode,
+                     training: TrainingData | None = None) -> list[int]:
+        """Pick at most one loop per nest (paper II-D, selection policy)."""
+        analysis = self.analysis
+        allowed = {LoopCategory.STATIC_DOALL}
+        if mode is SelectionMode.JANUS:
+            allowed.add(LoopCategory.DYNAMIC_DOALL)
+
+        def qualifies(result: LoopAnalysisResult) -> bool:
+            if result.category not in allowed:
+                return False
+            if not result.is_parallelisable:
+                return False
+            if result.loop.preheader is None:
+                return False
+            if mode in (SelectionMode.STATIC_PROFILE, SelectionMode.JANUS) \
+                    and training is not None:
+                coverage = training.coverage.coverage(result.loop_id)
+                if coverage < self.config.coverage_threshold:
+                    return False
+                profile = training.coverage.loops.get(result.loop_id)
+                if profile is not None and profile.invocations:
+                    average = profile.iterations / profile.invocations
+                    if average < self.config.min_average_trips:
+                        return False
+            return True
+
+        by_loop = {result.loop: result for result in analysis.loops}
+        selected: list[int] = []
+        for fa in analysis.functions.values():
+            roots = [loop for loop in fa.loops if loop.parent is None]
+            for root in roots:
+                selected.extend(
+                    self._select_in_subtree(root, by_loop, qualifies))
+        return sorted(selected)
+
+    def _select_in_subtree(self, loop, by_loop, qualifies) -> list[int]:
+        result = by_loop.get(loop)
+        if result is not None and qualifies(result):
+            return [result.loop_id]
+        chosen: list[int] = []
+        for child in loop.children:
+            chosen.extend(self._select_in_subtree(child, by_loop, qualifies))
+        return chosen
+
+    # -- stage 4: schedule generation ------------------------------------------------
+
+    def build_schedule(self, mode: SelectionMode,
+                       training: TrainingData | None = None
+                       ) -> RewriteSchedule:
+        selected = self.select_loops(mode, training)
+        return generate_parallel_schedule(self.analysis, selected)
+
+    # -- stage 5: execution -------------------------------------------------------------
+
+    def run(self, mode: SelectionMode, inputs: list[int] | None = None,
+            training: TrainingData | None = None,
+            n_threads: int | None = None) -> ExecutionResult:
+        """Execute the binary in one of the Fig. 7 configurations."""
+        process = load(self.image, inputs=inputs)
+        threads = n_threads if n_threads is not None \
+            else self.config.n_threads
+        cost = self.config.cost_model.copy()
+        limit = self.config.max_instructions
+        if mode is SelectionMode.NATIVE:
+            return run_native(process, max_instructions=limit)
+        if mode is SelectionMode.DBM_ONLY:
+            return run_under_dbm(process, cost_model=cost,
+                                 max_instructions=limit)
+        schedule = self.build_schedule(mode, training)
+        dbm = JanusDBM(process, schedule=schedule, cost_model=cost,
+                       n_threads=threads, strict=self.config.strict,
+                       scheduling=self.config.scheduling,
+                       rr_block=self.config.rr_block)
+        ParallelRuntime(dbm)
+        return dbm.run(max_instructions=limit)

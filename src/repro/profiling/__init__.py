@@ -1,0 +1,24 @@
+"""Statically-driven profiling (paper section II-C).
+
+The training stage runs the application under the DBM with a *profiling*
+rewrite schedule.  Only the loops of interest are instrumented, and only
+the instructions that matter — which is why Janus' profiling is faster than
+generic binary instrumentation.
+
+* Coverage profiling counts dynamic instructions spent inside each feasible
+  loop (a proxy for time), used to filter out low-coverage loops.
+* Dependence profiling watches the memory accesses static analysis could
+  not prove independent, and reports whether a cross-iteration dependence
+  actually occurred — the Type C / Type D split.
+"""
+
+from repro.profiling.profiler import (
+    ExCallProfile,
+    LoopProfile,
+    ProfileResult,
+    Profiler,
+    run_profiling,
+)
+
+__all__ = ["ExCallProfile", "LoopProfile", "ProfileResult", "Profiler",
+           "run_profiling"]

@@ -1,0 +1,267 @@
+"""The profiling runtime attached to the DBM during training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbm.rtcalls import RTCallID
+from repro.rewrite.metadata import decode_operand
+
+
+@dataclass
+class ExCallProfile:
+    """Observed behaviour of one external call site inside a loop."""
+
+    name: str
+    invocations: int = 0
+    instructions: int = 0
+    heap_reads: int = 0
+    heap_writes: int = 0
+
+    @property
+    def instructions_per_call(self) -> float:
+        return self.instructions / self.invocations if self.invocations else 0.0
+
+    @property
+    def reads_per_call(self) -> float:
+        return self.heap_reads / self.invocations if self.invocations else 0.0
+
+    @property
+    def writes_per_call(self) -> float:
+        return self.heap_writes / self.invocations if self.invocations else 0.0
+
+
+@dataclass
+class LoopProfile:
+    """Everything profiling learned about one loop."""
+
+    loop_id: int
+    invocations: int = 0
+    iterations: int = 0
+    instructions: int = 0  # dynamic instructions while the loop was active
+    # Instructions attributed only while this loop was the *innermost*
+    # active one (non-overlapping across loops; used by paper Fig. 6).
+    instructions_exclusive: int = 0
+    has_dependence: bool = False
+    dependence_samples: list = field(default_factory=list)
+    excalls: dict[int, ExCallProfile] = field(default_factory=dict)
+
+
+@dataclass
+class ProfileResult:
+    """The outcome of one training-stage profiling run."""
+
+    total_instructions: int = 0
+    loops: dict[int, LoopProfile] = field(default_factory=dict)
+
+    def coverage(self, loop_id: int) -> float:
+        """Fraction of all dynamic instructions spent inside the loop."""
+        profile = self.loops.get(loop_id)
+        if profile is None or not self.total_instructions:
+            return 0.0
+        return profile.instructions / self.total_instructions
+
+    def exclusive_coverage(self, loop_id: int) -> float:
+        """Non-overlapping coverage (innermost-loop attribution)."""
+        profile = self.loops.get(loop_id)
+        if profile is None or not self.total_instructions:
+            return 0.0
+        return profile.instructions_exclusive / self.total_instructions
+
+    def loops_above_coverage(self, threshold: float) -> list[int]:
+        return sorted(loop_id for loop_id in self.loops
+                      if self.coverage(loop_id) >= threshold)
+
+
+class _LoopFrame:
+    __slots__ = ("loop_id", "iteration", "shadow_writes", "shadow_reads",
+                 "instructions_at_start")
+
+    def __init__(self, loop_id: int) -> None:
+        self.loop_id = loop_id
+        self.iteration = 0
+        self.shadow_writes: dict[int, int] = {}
+        self.shadow_reads: dict[int, int] = {}
+        self.instructions_at_start = 0
+
+
+class Profiler:
+    """Registers the PROF_* rtcalls on a DBM and accumulates profiles."""
+
+    def __init__(self, dbm) -> None:
+        self.dbm = dbm
+        self.profiles: dict[int, LoopProfile] = {}
+        self._frames: list[_LoopFrame] = []
+        self._excall_stack: list[tuple] = []
+        dbm.register_rtcall(RTCallID.PROF_LOOP_START, self._loop_start)
+        dbm.register_rtcall(RTCallID.PROF_LOOP_ITER, self._loop_iter)
+        dbm.register_rtcall(RTCallID.PROF_LOOP_FINISH, self._loop_finish)
+        dbm.register_rtcall(RTCallID.PROF_MEM, self._mem_access)
+        dbm.register_rtcall(RTCallID.PROF_EXCALL_START, self._excall_start)
+        dbm.register_rtcall(RTCallID.PROF_EXCALL_FINISH, self._excall_finish)
+        dbm.block_listeners.append(self._on_block)
+
+    # -- profile collection ---------------------------------------------------
+
+    def _profile(self, loop_id: int) -> LoopProfile:
+        profile = self.profiles.get(loop_id)
+        if profile is None:
+            profile = LoopProfile(loop_id=loop_id)
+            self.profiles[loop_id] = profile
+        return profile
+
+    def _charge(self, ctx) -> None:
+        ctx.cycles += self.dbm.cost.prof_event_cycles
+
+    def _loop_start(self, ctx, loop_id: int):
+        self._charge(ctx)
+        profile = self._profile(loop_id)
+        profile.invocations += 1
+        self._frames.append(_LoopFrame(loop_id))
+        return None
+
+    def _loop_iter(self, ctx, loop_id: int):
+        self._charge(ctx)
+        for frame in reversed(self._frames):
+            if frame.loop_id == loop_id:
+                frame.iteration += 1
+                self._profile(loop_id).iterations += 1
+                break
+        return None
+
+    def _loop_finish(self, ctx, loop_id: int):
+        self._charge(ctx)
+        # Exit targets can be reached from outside the loop; only pop if
+        # the loop is actually active (innermost occurrence).
+        for index in range(len(self._frames) - 1, -1, -1):
+            if self._frames[index].loop_id == loop_id:
+                del self._frames[index:]
+                break
+        return None
+
+    def _on_block(self, ctx, block) -> None:
+        if not self._frames:
+            return
+        count = len(block.instructions)
+        seen = set()
+        for frame in self._frames:
+            if frame.loop_id in seen:
+                continue  # recursive re-activation counts once
+            seen.add(frame.loop_id)
+            self._profile(frame.loop_id).instructions += count
+        innermost = self._frames[-1].loop_id
+        self._profile(innermost).instructions_exclusive += count
+
+    def _mem_access(self, ctx, record_index: int):
+        self._charge(ctx)
+        record = self.dbm.schedule.record(record_index)
+        _, loop_id, operand_record, is_write, lanes = record
+        frame = self._frame_of(loop_id)
+        if frame is None:
+            return None
+        operand = decode_operand(tuple(operand_record))
+        addr = self.dbm.interp.ea(ctx, operand)
+        profile = self._profile(loop_id)
+        for k in range(lanes):
+            self._shadow_access(profile, frame, addr + 8 * k, is_write)
+        return None
+
+    def _shadow_access(self, profile: LoopProfile, frame: "_LoopFrame",
+                       word: int, is_write: bool) -> None:
+        """Cross-iteration dependence detection against the loop shadow."""
+        if is_write:
+            previous_read = frame.shadow_reads.get(word)
+            previous_write = frame.shadow_writes.get(word)
+            for previous in (previous_read, previous_write):
+                if previous is not None and previous != frame.iteration:
+                    self._record_dependence(profile, word, previous,
+                                            frame.iteration)
+            frame.shadow_writes[word] = frame.iteration
+        else:
+            previous_write = frame.shadow_writes.get(word)
+            if previous_write is not None \
+                    and previous_write != frame.iteration:
+                self._record_dependence(profile, word, previous_write,
+                                        frame.iteration)
+            frame.shadow_reads[word] = frame.iteration
+
+    @staticmethod
+    def _record_dependence(profile: LoopProfile, word: int,
+                           from_iteration: int, to_iteration: int) -> None:
+        profile.has_dependence = True
+        if len(profile.dependence_samples) < 8:
+            profile.dependence_samples.append(
+                (word, from_iteration, to_iteration))
+
+    def _frame_of(self, loop_id: int) -> _LoopFrame | None:
+        for frame in reversed(self._frames):
+            if frame.loop_id == loop_id:
+                return frame
+        return None
+
+    # -- external call windows ---------------------------------------------------
+
+    def _excall_start(self, ctx, record_index: int):
+        self._charge(ctx)
+        record = self.dbm.schedule.record(record_index)
+        _, loop_id, name = record
+        counters = [0, 0]  # heap reads, writes
+        frame = self._frame_of(loop_id)
+        profile = self._profile(loop_id)
+
+        def hook(hctx, ins, addr, is_write, lanes):
+            counters[1 if is_write else 0] += lanes
+            # The call's accesses also feed the enclosing loop's
+            # dependence shadow: dynamically discovered code can carry
+            # cross-iteration dependences (e.g. overlapping halos).
+            if frame is None:
+                return
+            for k in range(lanes):
+                self._shadow_access(profile, frame, addr + 8 * k, is_write)
+
+        previous = self.dbm.interp.mem_hook
+        self.dbm.interp.mem_hook = hook
+        self._excall_stack.append(
+            (record_index, loop_id, name, ctx.instructions, counters,
+             previous))
+        return None
+
+    def _excall_finish(self, ctx, record_index: int):
+        self._charge(ctx)
+        if not self._excall_stack:
+            return None
+        (start_index, loop_id, name, instructions_before, counters,
+         previous) = self._excall_stack.pop()
+        self.dbm.interp.mem_hook = previous
+        profile = self._profile(loop_id)
+        excall = profile.excalls.get(start_index)
+        if excall is None:
+            excall = ExCallProfile(name=name)
+            profile.excalls[start_index] = excall
+        excall.invocations += 1
+        # The window spans the call; subtract the two rtcall instructions.
+        excall.instructions += max(
+            0, ctx.instructions - instructions_before - 2)
+        excall.heap_reads += counters[0]
+        excall.heap_writes += counters[1]
+        return None
+
+    # -- result ------------------------------------------------------------------
+
+    def result(self, execution) -> ProfileResult:
+        return ProfileResult(total_instructions=execution.instructions,
+                             loops=dict(self.profiles))
+
+
+def run_profiling(process, schedule, cost_model=None,
+                  max_instructions=None) -> tuple[ProfileResult, object]:
+    """Run one training-stage pass; returns (profile, execution result)."""
+    from repro.dbm.executor import DEFAULT_INSTRUCTION_LIMIT
+    from repro.dbm.modifier import JanusDBM
+
+    dbm = JanusDBM(process, schedule=schedule, cost_model=cost_model)
+    profiler = Profiler(dbm)
+    limit = max_instructions if max_instructions is not None \
+        else DEFAULT_INSTRUCTION_LIMIT
+    execution = dbm.run(max_instructions=limit)
+    return profiler.result(execution), execution

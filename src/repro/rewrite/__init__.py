@@ -1,0 +1,24 @@
+"""The rewrite schedule: Janus' static–dynamic interface (paper section II-A).
+
+A rewrite schedule is a flat binary artefact produced by the static analyser
+and consumed by the dynamic binary modifier.  It contains a header, a list
+of fixed-length *rewrite rules* (trigger address, rule ID, data field), and
+a data pool for rule payloads that do not fit in the 64-bit data field.
+
+The 18 rule IDs of paper Fig. 3 are defined in :mod:`repro.rewrite.rules`;
+schedule generation for the profiling and parallelisation stages lives in
+:mod:`repro.rewrite.gen_profile` and :mod:`repro.rewrite.gen_parallel`.
+"""
+
+from repro.rewrite.rules import RewriteRule, RuleID
+from repro.rewrite.schedule import RewriteSchedule
+from repro.rewrite.gen_profile import generate_profile_schedule
+from repro.rewrite.gen_parallel import generate_parallel_schedule
+
+__all__ = [
+    "RewriteRule",
+    "RuleID",
+    "RewriteSchedule",
+    "generate_profile_schedule",
+    "generate_parallel_schedule",
+]

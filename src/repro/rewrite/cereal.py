@@ -1,0 +1,179 @@
+"""A compact tagged binary encoding for rewrite-schedule pool records.
+
+The rewrite schedule's data pool holds structured payloads (loop metadata,
+bounds-check descriptors).  They are encoded with a small self-describing
+format so schedule sizes stay honest for the paper's Fig. 10 measurement:
+
+* ints use zig-zag varints (1 byte for small values),
+* strings/bytes are length-prefixed,
+* lists/tuples/dicts nest recursively.
+"""
+
+from __future__ import annotations
+
+_T_NONE = 0
+_T_INT = 1
+_T_BYTES = 2
+_T_STR = 3
+_T_LIST = 4
+_T_TUPLE = 5
+_T_FLOAT = 6
+_T_DICT = 7
+_T_TRUE = 8
+_T_FALSE = 9
+
+
+class CerealError(Exception):
+    """Raised on unencodable values or malformed bytes."""
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise CerealError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(raw: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = raw[pos]
+        except IndexError:
+            raise CerealError("truncated varint") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise CerealError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if -(2**63) <= value < 2**63 else \
+        _oversized(value)
+
+
+def _oversized(value: int):
+    raise CerealError(f"integer out of 64-bit range: {value}")
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def dumps(value) -> bytes:
+    """Encode a value tree to bytes."""
+    out = bytearray()
+    _encode(out, value)
+    return bytes(out)
+
+
+def _encode(out: bytearray, value) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        import struct
+
+        out.append(_T_FLOAT)
+        out += struct.pack("<d", value)
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif isinstance(value, str):
+        encoded = value.encode()
+        out.append(_T_STR)
+        _write_varint(out, len(encoded))
+        out += encoded
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode(out, item)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise CerealError("dict keys must be strings")
+            _encode(out, key)
+            _encode(out, value[key])
+    else:
+        raise CerealError(f"cannot encode {type(value).__name__}")
+
+
+def loads(raw: bytes):
+    """Decode bytes produced by :func:`dumps`."""
+    value, pos = _decode(raw, 0)
+    if pos != len(raw):
+        raise CerealError("trailing bytes after value")
+    return value
+
+
+def _decode(raw: bytes, pos: int):
+    try:
+        tag = raw[pos]
+    except IndexError:
+        raise CerealError("truncated value") from None
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        value, pos = _read_varint(raw, pos)
+        return _unzigzag(value), pos
+    if tag == _T_FLOAT:
+        import struct
+
+        try:
+            (value,) = struct.unpack_from("<d", raw, pos)
+        except struct.error:
+            raise CerealError("truncated float") from None
+        return value, pos + 8
+    if tag in (_T_BYTES, _T_STR):
+        length, pos = _read_varint(raw, pos)
+        payload = raw[pos:pos + length]
+        if len(payload) != length:
+            raise CerealError("truncated string")
+        pos += length
+        return (payload if tag == _T_BYTES else payload.decode()), pos
+    if tag in (_T_LIST, _T_TUPLE):
+        length, pos = _read_varint(raw, pos)
+        items = []
+        for _ in range(length):
+            item, pos = _decode(raw, pos)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), pos
+    if tag == _T_DICT:
+        length, pos = _read_varint(raw, pos)
+        result = {}
+        for _ in range(length):
+            key, pos = _decode(raw, pos)
+            value, pos = _decode(raw, pos)
+            result[key] = value
+        return result, pos
+    raise CerealError(f"unknown tag {tag}")

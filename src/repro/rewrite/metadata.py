@@ -1,0 +1,291 @@
+"""Typed payload records carried in the rewrite schedule's data pool.
+
+Rules are fixed-length (address, id, 64-bit data); anything richer — loop
+metadata, bounds-check descriptors, privatisation groups — lives in the
+schedule's data pool, addressed by index from the rule's data field.  The
+records here are the contract between the static analyser's rule generators
+and the DBM's runtime handlers.
+
+Variables are encoded as ``("r", register_id)`` or ``("s", slot_offset)``;
+runtime-evaluable polynomials (paper Fig. 4's symbolic ranges) become lists
+of ``(coefficient, (var, var, ...))`` monomials whose variables the runtime
+reads directly from the context at loop entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operands import Imm, Mem, Reg
+from repro.analysis.expr import Poly
+
+
+class MetadataError(Exception):
+    """Raised when a polynomial or operand cannot be encoded for runtime use."""
+
+
+# -- variable codes -----------------------------------------------------------
+
+def encode_var(var) -> tuple:
+    """Encode an analysis variable (register id or ("stack", off))."""
+    if isinstance(var, int):
+        return ("r", var)
+    if isinstance(var, tuple) and var[0] == "stack":
+        return ("s", var[1])
+    raise MetadataError(f"unencodable variable {var!r}")
+
+
+def decode_var(code: tuple):
+    kind, value = code
+    if kind == "r":
+        return value
+    if kind == "s":
+        return ("stack", value)
+    raise MetadataError(f"bad variable code {code!r}")
+
+
+# -- runtime polynomials ------------------------------------------------------
+
+def poly_to_runtime(poly: Poly, depth: int = 0) -> list:
+    """Lower a runtime-evaluable polynomial to its on-disk form.
+
+    Symbols may be ``("livein", var, version)`` — by the SSA live-in
+    argument (see :mod:`repro.analysis.expr`) the runtime reads the
+    variable at loop entry — or loop-invariant ``("load", address_key)``
+    symbols, lowered to a nested address polynomial the runtime evaluates
+    and dereferences.
+    """
+    from repro.analysis.expr import poly_from_key
+
+    if depth > 4:
+        raise MetadataError("load-symbol nesting too deep")
+    form = []
+    for mono, coeff in sorted(poly.terms.items(), key=repr):
+        vars_ = []
+        for symbol in mono:
+            if symbol[0] == "livein":
+                vars_.append(encode_var(symbol[1]))
+            elif symbol[0] == "load":
+                nested = poly_to_runtime(poly_from_key(symbol[1]),
+                                         depth + 1)
+                vars_.append(("m", nested))
+            else:
+                raise MetadataError(
+                    f"symbol {symbol!r} is not evaluable at loop entry")
+        form.append((coeff, tuple(vars_)))
+    return form
+
+
+def evaluate_runtime_poly(form, read_var, read_mem=None) -> int:
+    """Evaluate a runtime polynomial.
+
+    ``read_var(var) -> int`` supplies register/stack values; ``read_mem``
+    (addr -> int) resolves nested invariant-load terms.
+    """
+    total = 0
+    for coeff, vars_ in form:
+        term = coeff
+        for code in vars_:
+            code = tuple(code)
+            if code[0] == "m":
+                if read_mem is None:
+                    raise MetadataError("load term without memory reader")
+                addr = evaluate_runtime_poly(code[1], read_var, read_mem)
+                term *= read_mem(addr)
+            else:
+                term *= read_var(decode_var(code))
+        total += term
+    return total
+
+
+# -- operand encoding ----------------------------------------------------------
+
+def encode_operand(op) -> tuple:
+    if isinstance(op, Imm):
+        return ("imm", op.value)
+    if isinstance(op, Reg):
+        return ("reg", op.id)
+    if isinstance(op, Mem):
+        return ("mem", op.base if op.base is not None else -1,
+                op.index if op.index is not None else -1, op.scale, op.disp)
+    raise MetadataError(f"unencodable operand {op!r}")
+
+
+def decode_operand(record: tuple):
+    kind = record[0]
+    if kind == "imm":
+        return Imm(record[1])
+    if kind == "reg":
+        return Reg(record[1])
+    if kind == "mem":
+        _, base, index, scale, disp = record
+        return Mem(base=None if base < 0 else base,
+                   index=None if index < 0 else index,
+                   scale=scale, disp=disp)
+    raise MetadataError(f"bad operand record {record!r}")
+
+
+# -- records --------------------------------------------------------------------
+
+@dataclass
+class ReductionDesc:
+    """A register (or slot) reduction merged at LOOP_FINISH."""
+
+    var: tuple  # encoded variable
+    op: str  # "+" only (paper: add/sub reductions)
+    is_float: bool = False
+
+    def to_record(self):
+        return ("red", self.var, self.op, self.is_float)
+
+    @classmethod
+    def from_record(cls, rec):
+        return cls(var=tuple(rec[1]), op=rec[2], is_float=rec[3])
+
+
+@dataclass
+class DerivedIVDesc:
+    """A secondary basic induction variable (set per chunk at LOOP_INIT)."""
+
+    var: tuple
+    step: int
+
+    def to_record(self):
+        return ("iv", self.var, self.step)
+
+    @classmethod
+    def from_record(cls, rec):
+        return cls(var=tuple(rec[1]), step=rec[2])
+
+
+@dataclass
+class PrivGroupDesc:
+    """One loop-invariant memory word privatised into thread-local storage."""
+
+    tls_slot: int
+    address_form: list  # runtime polynomial for the real address
+    kind: str  # "priv" (write-first) or "reduce" (merged additively)
+    is_float: bool = False
+
+    def to_record(self):
+        return ("priv", self.tls_slot, self.address_form, self.kind,
+                self.is_float)
+
+    @classmethod
+    def from_record(cls, rec):
+        return cls(tls_slot=rec[1], address_form=rec[2], kind=rec[3],
+                   is_float=rec[4])
+
+
+@dataclass
+class RangeSide:
+    """One side of a bounds check: a base plus per-iteration extents."""
+
+    base_form: list  # runtime polynomial
+    # (theta_coefficient, constant_offset, lanes) per access in the group.
+    extents: list
+
+    def to_record(self):
+        return (self.base_form, self.extents)
+
+    @classmethod
+    def from_record(cls, rec):
+        return cls(base_form=rec[0], extents=rec[1])
+
+
+@dataclass
+class BoundsCheckDesc:
+    """A MEM_BOUNDS_CHECK payload: two ranges that must not overlap."""
+
+    loop_id: int
+    write_side: RangeSide
+    other_side: RangeSide
+
+    def to_record(self):
+        return ("bc", self.loop_id, self.write_side.to_record(),
+                self.other_side.to_record())
+
+    @classmethod
+    def from_record(cls, rec):
+        return cls(loop_id=rec[1],
+                   write_side=RangeSide.from_record(rec[2]),
+                   other_side=RangeSide.from_record(rec[3]))
+
+
+@dataclass
+class LoopMeta:
+    """Everything the runtime needs to execute one loop in parallel."""
+
+    loop_id: int
+    header_addr: int
+    preheader_addr: int
+    exit_target: int
+    # Iterator description.
+    iterator_var: tuple
+    step: int
+    cond: str
+    test_offset: int
+    test_position: str
+    # How the runtime obtains the loop bound at entry, in preference order:
+    # ("imm", value) for constants, ("poly", runtime form) when the bound
+    # polynomial is live-in evaluable (the cmp operand itself may be a
+    # register recomputed inside the loop body), ("operand", encoded) as a
+    # last resort for invariant memory operands.
+    bound_form: tuple
+    cmp_address: int
+    # Which cmp operand position holds the iterator (0 or 1).
+    iv_operand_index: int
+    static_trips: int  # -1 when only known at runtime
+    # rsp delta (relative to function entry) at the loop header.
+    delta_header: int
+    derived_ivs: list[DerivedIVDesc] = field(default_factory=list)
+    reductions: list[ReductionDesc] = field(default_factory=list)
+    written_slots: list[int] = field(default_factory=list)
+    readonly_slots: list[int] = field(default_factory=list)
+    priv_groups: list[PrivGroupDesc] = field(default_factory=list)
+    bounds_check_indices: list[int] = field(default_factory=list)
+    stm_sites: list[int] = field(default_factory=list)
+
+    def to_record(self):
+        # Positional tuple: pool bytes are measured by paper Fig. 10, so
+        # the record format is kept dense.
+        return ("loop", self.loop_id, self.header_addr, self.preheader_addr,
+                self.exit_target, self.iterator_var, self.step, self.cond,
+                self.test_offset, self.test_position, self.bound_form,
+                self.cmp_address, self.iv_operand_index, self.static_trips,
+                self.delta_header,
+                [d.to_record() for d in self.derived_ivs],
+                [r.to_record() for r in self.reductions],
+                self.written_slots, self.readonly_slots,
+                [p.to_record() for p in self.priv_groups],
+                self.bounds_check_indices, self.stm_sites)
+
+    @classmethod
+    def from_record(cls, rec) -> "LoopMeta":
+        (_, loop_id, header_addr, preheader_addr, exit_target, iterator_var,
+         step, cond, test_offset, test_position, bound_form, cmp_address,
+         iv_operand_index, static_trips, delta_header, divs, reds, ws, rs,
+         priv, bc, stm) = rec
+        return cls(
+            loop_id=loop_id,
+            header_addr=header_addr,
+            preheader_addr=preheader_addr,
+            exit_target=exit_target,
+            iterator_var=tuple(iterator_var),
+            step=step,
+            cond=cond,
+            test_offset=test_offset,
+            test_position=test_position,
+            bound_form=tuple(bound_form),
+            cmp_address=cmp_address,
+            iv_operand_index=iv_operand_index,
+            static_trips=static_trips,
+            delta_header=delta_header,
+            derived_ivs=[DerivedIVDesc.from_record(r) for r in divs],
+            reductions=[ReductionDesc.from_record(r) for r in reds],
+            written_slots=list(ws),
+            readonly_slots=list(rs),
+            priv_groups=[PrivGroupDesc.from_record(r) for r in priv],
+            bounds_check_indices=list(bc),
+            stm_sites=list(stm),
+        )

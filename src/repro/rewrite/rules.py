@@ -1,0 +1,77 @@
+"""Rewrite-rule IDs and the fixed-length rule structure (paper Fig. 3).
+
+Six profiling rules and twelve parallelisation rules.  Every rule is a
+fixed-length record: a 64-bit trigger address in the original binary, a
+16-bit rule ID, and a 64-bit data field whose meaning is rule-specific —
+either an immediate (register number, slot offset) or an index into the
+schedule's data pool.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class RuleID(IntEnum):
+    """All Janus rewrite-rule IDs (values are the on-disk encoding)."""
+
+    # -- profiling rules (blue in paper Fig. 3) ---------------------------
+    PROF_LOOP_START = 1    # start profiling a loop
+    PROF_LOOP_FINISH = 2   # finish profiling a loop
+    PROF_LOOP_ITER = 3     # start another loop iteration
+    PROF_EXCALL_START = 4  # start profiling an external call within a loop
+    PROF_EXCALL_FINISH = 5  # finish profiling an external call
+    PROF_MEM_ACCESS = 6    # check a memory access for data dependences
+
+    # -- parallelisation rules (orange in paper Fig. 3) --------------------
+    THREAD_SCHEDULE = 10   # schedule threads to jump to a code address
+    THREAD_YIELD = 11      # send threads back to the thread pool
+    LOOP_INIT = 12         # initialise loop context for each thread
+    LOOP_FINISH = 13       # combine loop contexts from all threads
+    LOOP_UPDATE_BOUND = 14  # update a loop bound for a thread
+    MEM_MAIN_STACK = 15    # redirect a stack access to the main stack
+    MEM_PRIVATISE = 16     # redirect a memory access to a private address
+    MEM_BOUNDS_CHECK = 17  # bounds-check two array extents before the loop
+    MEM_SPILL_REG = 18     # spill a set of registers to private storage
+    MEM_RECOVER_REG = 19   # recover a set of registers from private storage
+    TX_START = 20          # start a software transaction
+    TX_FINISH = 21         # validate and commit a software transaction
+
+
+PROFILING_RULES = frozenset((
+    RuleID.PROF_LOOP_START, RuleID.PROF_LOOP_FINISH, RuleID.PROF_LOOP_ITER,
+    RuleID.PROF_EXCALL_START, RuleID.PROF_EXCALL_FINISH,
+    RuleID.PROF_MEM_ACCESS,
+))
+
+PARALLEL_RULES = frozenset((
+    RuleID.THREAD_SCHEDULE, RuleID.THREAD_YIELD, RuleID.LOOP_INIT,
+    RuleID.LOOP_FINISH, RuleID.LOOP_UPDATE_BOUND, RuleID.MEM_MAIN_STACK,
+    RuleID.MEM_PRIVATISE, RuleID.MEM_BOUNDS_CHECK, RuleID.MEM_SPILL_REG,
+    RuleID.MEM_RECOVER_REG, RuleID.TX_START, RuleID.TX_FINISH,
+))
+
+_RULE_STRUCT = struct.Struct("<QHq")
+RULE_SIZE = _RULE_STRUCT.size  # 18 bytes
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """One fixed-length rewrite rule."""
+
+    address: int
+    rule_id: RuleID
+    data: int = 0
+
+    def pack(self) -> bytes:
+        return _RULE_STRUCT.pack(self.address, int(self.rule_id), self.data)
+
+    @classmethod
+    def unpack(cls, raw: bytes, offset: int = 0) -> "RewriteRule":
+        address, rule_id, data = _RULE_STRUCT.unpack_from(raw, offset)
+        return cls(address=address, rule_id=RuleID(rule_id), data=data)
+
+    def __repr__(self) -> str:
+        return f"<{self.rule_id.name} @{self.address:#x} data={self.data}>"

@@ -1,0 +1,137 @@
+"""The rewrite schedule container (paper section II-A1).
+
+Layout of the serialised form::
+
+    magic "JRS1"
+    header: version u16, text crc32 u32, rule count u32, pool byte length u32
+    rules:  fixed 18-byte records, in schedule order
+    pool:   cereal-encoded list of payload records
+
+The DBM indexes rules into a hash table keyed by trigger address at load
+time (paper Fig. 2b).  Rules sharing an address apply in schedule order.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.rewrite import cereal
+from repro.rewrite.rules import RULE_SIZE, RewriteRule, RuleID
+
+_MAGIC = b"JRS1"
+_HEADER = struct.Struct("<HIII")
+_VERSION = 1
+
+
+class ScheduleError(Exception):
+    """Raised on malformed schedule bytes or checksum mismatches."""
+
+
+@dataclass
+class RewriteSchedule:
+    """A rewrite schedule: header facts, ordered rules, and a data pool."""
+
+    text_checksum: int = 0
+    rules: list[RewriteRule] = field(default_factory=list)
+    pool: list = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def for_image(cls, image) -> "RewriteSchedule":
+        return cls(text_checksum=zlib.crc32(image.text.data))
+
+    def add_rule(self, address: int, rule_id: RuleID, data: int = 0
+                 ) -> RewriteRule:
+        rule = RewriteRule(address=address, rule_id=rule_id, data=data)
+        self.rules.append(rule)
+        return rule
+
+    def add_record(self, record, dedup: bool = True) -> int:
+        """Store a payload record in the pool; returns its index.
+
+        Identical records share one pool slot (the paper's suggestion that
+        schedules "can be further reduced" by sharing common
+        transformation payloads).
+        """
+        if dedup:
+            key = cereal.dumps(record)
+            if not hasattr(self, "_record_index"):
+                self._record_index: dict[bytes, int] = {}
+            cached = self._record_index.get(key)
+            if cached is not None:
+                return cached
+            self.pool.append(record)
+            index = len(self.pool) - 1
+            self._record_index[key] = index
+            return index
+        self.pool.append(record)
+        return len(self.pool) - 1
+
+    def record(self, index: int):
+        return self.pool[index]
+
+    # -- lookup -------------------------------------------------------------
+
+    def build_index(self) -> dict[int, list[RewriteRule]]:
+        """Hash table: trigger address -> rules in schedule order."""
+        index: dict[int, list[RewriteRule]] = {}
+        for rule in self.rules:
+            index.setdefault(rule.address, []).append(rule)
+        return index
+
+    def rules_of_kind(self, rule_id: RuleID) -> list[RewriteRule]:
+        return [r for r in self.rules if r.rule_id is rule_id]
+
+    def verify_against(self, image) -> bool:
+        """True if this schedule was generated for exactly this binary."""
+        return self.text_checksum == zlib.crc32(image.text.data)
+
+    # -- serialisation --------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        pool_bytes = cereal.dumps(self.pool)
+        out = bytearray()
+        out += _MAGIC
+        out += _HEADER.pack(_VERSION, self.text_checksum,
+                            len(self.rules), len(pool_bytes))
+        for rule in self.rules:
+            out += rule.pack()
+        out += pool_bytes
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "RewriteSchedule":
+        if raw[:4] != _MAGIC:
+            raise ScheduleError("bad magic: not a rewrite schedule")
+        try:
+            version, checksum, n_rules, pool_len = _HEADER.unpack_from(raw, 4)
+        except struct.error:
+            raise ScheduleError("truncated header") from None
+        if version != _VERSION:
+            raise ScheduleError(f"unsupported schedule version {version}")
+        pos = 4 + _HEADER.size
+        rules = []
+        for _ in range(n_rules):
+            if pos + RULE_SIZE > len(raw):
+                raise ScheduleError("truncated rule table")
+            rules.append(RewriteRule.unpack(raw, pos))
+            pos += RULE_SIZE
+        pool_bytes = raw[pos:pos + pool_len]
+        if len(pool_bytes) != pool_len:
+            raise ScheduleError("truncated data pool")
+        try:
+            pool = cereal.loads(pool_bytes)
+        except cereal.CerealError as exc:
+            raise ScheduleError(f"bad data pool: {exc}") from None
+        return cls(text_checksum=checksum, rules=rules, pool=list(pool))
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised size (the paper Fig. 10 measurement)."""
+        return len(self.serialize())
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,73 @@
+"""STM management: per-thread transactions, commit order, abort modelling.
+
+The deterministic simulator executes pool threads in commit order, so a
+transaction's validation against shared memory reproduces exactly what the
+oldest-thread-commits-first protocol of the paper produces.  Conflicts with
+*later*-committing threads (which on real hardware could have raced ahead)
+are detected against the invocation's cross-thread write sets and modelled
+as an abort + non-speculative re-execution, whose cost is charged but whose
+result equals the committed order — "execution rolls back to the checkpoint
+and the code is re-executed, which will succeed because the thread is now
+the oldest" (paper section II-E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.costs import CostModel
+from repro.stm.transaction import Transaction
+
+
+@dataclass
+class STMStats:
+    """Counters reported by experiments (paper section III-B)."""
+
+    transactions: int = 0
+    reads: int = 0
+    writes: int = 0
+    aborts: int = 0
+    commit_cycles: int = 0
+
+
+@dataclass
+class STMManager:
+    """Creates, validates and commits transactions for the parallel runtime."""
+
+    memory: object
+    cost: CostModel
+    stats: STMStats = field(default_factory=STMStats)
+
+    def begin(self, thread_id: int, checkpoint) -> Transaction:
+        self.stats.transactions += 1
+        return Transaction(memory=self.memory, thread_id=thread_id,
+                           checkpoint=checkpoint)
+
+    def finish(self, tx: Transaction, ctx,
+               conflicts_with_later: bool = False) -> int:
+        """Validate and commit; returns the cycle cost charged.
+
+        ``conflicts_with_later`` models a read that a younger thread's
+        write would have raced with: abort, charge the retry, then commit
+        (the retry runs non-speculatively as the oldest thread).
+        """
+        cost = self.cost
+        cycles = cost.stm_start_cycles
+        cycles += tx.n_reads * cost.stm_read_cycles
+        cycles += tx.n_writes * cost.stm_write_cycles
+        cycles += tx.n_reads * cost.stm_validate_entry_cycles
+        cycles += tx.n_writes * cost.stm_commit_entry_cycles
+        aborted = (not tx.validate()) or conflicts_with_later
+        if aborted:
+            self.stats.aborts += 1
+            cycles += cost.stm_abort_cycles
+            # Re-execution as the oldest thread: charge roughly the same
+            # access work again (reads + writes, non-speculative).
+            cycles += tx.n_reads * cost.stm_read_cycles
+            cycles += tx.n_writes * cost.stm_write_cycles
+        tx.commit()
+        self.stats.reads += tx.n_reads
+        self.stats.writes += tx.n_writes
+        self.stats.commit_cycles += cycles
+        ctx.cycles += cycles
+        return cycles

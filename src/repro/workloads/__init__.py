@@ -1,0 +1,26 @@
+"""The synthetic SPEC CPU2006-like workload suite (DESIGN.md section 2).
+
+Each workload is a JC program named after a SPEC CPU2006 benchmark and
+engineered to reproduce that benchmark's *loop-category profile* from paper
+Fig. 6 and its behaviour in the evaluation figures.  The suite registry
+carries the metadata the experiment harness needs: training and reference
+inputs and which benchmarks belong to the parallelisable Fig. 7 set.
+"""
+
+from repro.workloads.suite import (
+    FIG7_BENCHMARKS,
+    SUITE,
+    Workload,
+    all_benchmarks,
+    compile_workload,
+    get_workload,
+)
+
+__all__ = [
+    "FIG7_BENCHMARKS",
+    "SUITE",
+    "Workload",
+    "all_benchmarks",
+    "compile_workload",
+    "get_workload",
+]

@@ -1,0 +1,76 @@
+"""Shared fixtures for analysis tests: small hand-assembled programs."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin.asm import Assembler
+
+
+def assemble(build, entry="_start"):
+    a = Assembler()
+    build(a)
+    return a.assemble(entry=entry)
+
+
+@pytest.fixture
+def counting_loop_image():
+    """for (rcx = 0; rcx <= 9; rcx++) rax += rcx; — a single DOALL-ish loop."""
+
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, Reg(R.rax), Imm(0))
+        a.emit(O.MOV, Reg(R.rcx), Imm(0))
+        a.label("loop")
+        a.emit(O.ADD, Reg(R.rax), Reg(R.rcx))
+        a.emit(O.INC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(9))
+        a.emit(O.JLE, Label("loop"))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+@pytest.fixture
+def nested_loop_image():
+    """Two nested loops plus a called helper function."""
+
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, Reg(R.rsi), Imm(0))          # outer iterator
+        a.label("outer")
+        a.emit(O.MOV, Reg(R.rcx), Imm(0))          # inner iterator
+        a.label("inner")
+        a.emit(O.CALL, Label("helper"))
+        a.emit(O.INC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(4))
+        a.emit(O.JL, Label("inner"))
+        a.emit(O.INC, Reg(R.rsi))
+        a.emit(O.CMP, Reg(R.rsi), Imm(3))
+        a.emit(O.JL, Label("outer"))
+        a.emit(O.RET)
+        a.label("helper")
+        a.emit(O.MOV, Reg(R.rax), Imm(1))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+@pytest.fixture
+def diamond_image():
+    """If/else diamond with a join — exercises dominance frontiers and phis."""
+
+    def build(a):
+        a.label("_start")
+        a.emit(O.CMP, Reg(R.rdi), Imm(0))
+        a.emit(O.JL, Label("neg"))
+        a.emit(O.MOV, Reg(R.rax), Imm(1))
+        a.emit(O.JMP, Label("join"))
+        a.label("neg")
+        a.emit(O.MOV, Reg(R.rax), Imm(-1))
+        a.label("join")
+        a.emit(O.ADD, Reg(R.rax), Imm(10))
+        a.emit(O.RET)
+
+    return assemble(build)

@@ -1,0 +1,87 @@
+"""Direct unit tests for alias-analysis internals."""
+
+import pytest
+
+from repro.analysis.alias import (
+    AccessGroup,
+    MemAccess,
+    _pair_dependence,
+    _relative_range,
+)
+from repro.analysis.expr import Poly
+from repro.isa.operands import Mem
+
+
+def access(coeff, const, lanes=1, is_write=False):
+    a = MemAccess(block=0, index=0, address=0, operand=Mem(disp=0),
+                  is_write=is_write, lanes=lanes, poly=Poly())
+    a.theta_coeff = coeff
+    a.base = Poly.const(const)
+    return a
+
+
+class TestPairDependence:
+    def test_same_address_same_iteration_is_fine(self):
+        verdict = _pair_dependence(access(8, 0, is_write=True),
+                                   access(8, 0), step=1, trips=100)
+        assert verdict is None
+
+    def test_distance_within_trip_count_is_dependence(self):
+        verdict = _pair_dependence(access(8, 0, is_write=True),
+                                   access(8, 8), step=1, trips=100)
+        assert verdict is not None and verdict[0] == "dep"
+        assert verdict[1].distance == 1
+
+    def test_distance_outside_trip_count_is_independent(self):
+        verdict = _pair_dependence(access(8, 0, is_write=True),
+                                   access(8, 8 * 200), step=1, trips=100)
+        assert verdict is None
+
+    def test_unknown_trips_defers_to_runtime_check(self):
+        verdict = _pair_dependence(access(8, 0, is_write=True),
+                                   access(8, 8 * 200), step=1, trips=None)
+        assert verdict is not None and verdict[0] == "check"
+
+    def test_off_lattice_distance_is_independent(self):
+        # Stride 16 bytes (unrolled step 2), distance 8: never coincide.
+        verdict = _pair_dependence(access(8, 0, is_write=True),
+                                   access(8, 8), step=2, trips=None)
+        assert verdict is None
+
+    def test_packed_lanes_expand(self):
+        # A 2-lane write at 0 covers words 0 and 8: distance-8 read hits.
+        verdict = _pair_dependence(access(8, 0, lanes=2, is_write=True),
+                                   access(8, 8 * 3), step=2, trips=4)
+        assert verdict is not None and verdict[0] == "dep"
+
+    def test_negative_direction(self):
+        verdict = _pair_dependence(access(-8, 0, is_write=True),
+                                   access(-8, -8), step=1, trips=50)
+        assert verdict is not None and verdict[0] == "dep"
+
+    def test_differing_coefficients_conservative(self):
+        verdict = _pair_dependence(access(8, 0, is_write=True),
+                                   access(16, 0), step=1, trips=10)
+        assert verdict is not None and verdict[0] == "dep"
+
+
+class TestRelativeRange:
+    def _group(self, *accesses):
+        return AccessGroup(base_struct_key=(), base_struct=Poly(),
+                           theta_coeff=accesses[0].theta_coeff,
+                           accesses=list(accesses))
+
+    def test_single_access(self):
+        group = self._group(access(8, 0))
+        assert _relative_range(group, 0, 9) == (0, 9 * 8 + 8)
+
+    def test_lanes_extend_range(self):
+        group = self._group(access(8, 0, lanes=4))
+        lo, hi = _relative_range(group, 0, 0)
+        assert (lo, hi) == (0, 32)
+
+    def test_union_of_offsets(self):
+        group = self._group(access(8, -8), access(8, 16))
+        lo, hi = _relative_range(group, 0, 1)
+        assert lo == -8
+        assert hi == 16 + 8 + 8

@@ -1,0 +1,115 @@
+"""Property tests for the trickiest runtime formulas: trip counts and
+per-thread patched bounds.
+
+``patched_bound`` must make a thread starting at ``chunk_init`` run
+*exactly* ``n`` iterations under the loop's own test — verified here by
+simulating the test semantics directly for every loop shape the compiler
+and analyser produce.
+"""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.analysis.induction import (
+    chunk_bounds,
+    loop_iterations,
+    patched_bound,
+    trip_count,
+)
+
+_COND = {
+    "l": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "g": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def simulate(init, bound, step, cond, offset, position, fuel=100_000):
+    """Execute the loop shape literally; returns iterations run."""
+    check = _COND[cond]
+    iterator = init
+    iterations = 0
+    if position == "top":
+        while check(iterator, bound):
+            iterations += 1
+            iterator += step
+            if iterations > fuel:
+                raise OverflowError
+        return iterations
+    # bottom: body runs, then the test sees iterator + residual offset.
+    while True:
+        iterations += 1
+        iterator += step
+        # tested value in iteration k is init + offset + step*k; after the
+        # update above, iterator == init + step*iterations, so:
+        tested = init + offset + step * (iterations - 1)
+        if not check(tested, bound):
+            return iterations
+        if iterations > fuel:
+            raise OverflowError
+
+
+upward = st.tuples(st.integers(-100, 100),   # init
+                   st.integers(1, 400),      # extent
+                   st.integers(1, 7),        # step
+                   st.sampled_from(["l", "le"]))
+downward = st.tuples(st.integers(-100, 100),
+                     st.integers(1, 400),
+                     st.integers(-7, -1),
+                     st.sampled_from(["g", "ge"]))
+
+
+@given(shape=st.one_of(upward, downward),
+       position=st.sampled_from(["top", "bottom"]),
+       offset_is_step=st.booleans())
+def test_loop_iterations_matches_simulation(shape, position,
+                                            offset_is_step):
+    init, extent, step, cond = shape
+    bound = init + extent if step > 0 else init - extent
+    offset = step if (position == "bottom" and offset_is_step) else (
+        0 if position == "top" else step)
+    simulated = simulate(init, bound, step, cond, offset, position) \
+        if (position == "bottom" or _COND[cond](init, bound)) else 0
+    if position == "top":
+        expected = loop_iterations(init, bound, step, cond, 0, "top")
+        assert expected == simulated if _COND[cond](init, bound) else True
+        if not _COND[cond](init, bound):
+            assert expected == 0
+            return
+    computed = loop_iterations(init, bound, step, cond, offset, position)
+    assert computed == simulated
+
+
+@given(shape=st.one_of(upward, downward),
+       position=st.sampled_from(["top", "bottom"]),
+       n_threads=st.integers(1, 8))
+def test_patched_bound_runs_exact_chunk(shape, position, n_threads):
+    """Every thread executes exactly its chunk size under its own bound."""
+    init, extent, step, cond = shape
+    bound = init + extent if step > 0 else init - extent
+    offset = step if position == "bottom" else 0
+    if position == "top" and not _COND[cond](init, bound):
+        return  # zero-trip: guard skips, nothing to patch
+    trips = loop_iterations(init, bound, step, cond, offset, position)
+    assume(trips >= 1)
+    total = 0
+    for start, end in chunk_bounds(trips, n_threads):
+        n = end - start
+        if n == 0:
+            continue
+        chunk_init = init + step * start
+        thread_bound = patched_bound(chunk_init, n, step, cond, offset,
+                                     position)
+        ran = simulate(chunk_init, thread_bound, step, cond, offset,
+                       position)
+        assert ran == n, (shape, position, start, end, thread_bound)
+        total += n
+    assert total == trips
+
+
+@given(start=st.integers(-50, 50), n=st.integers(0, 300),
+       step=st.integers(1, 9))
+def test_trip_count_ne_condition(start, n, step):
+    bound = start + n * step
+    assert trip_count(start, bound, step, "ne") == n

@@ -1,0 +1,171 @@
+"""Tests for disassembly, CFG recovery, dominators, and loop detection."""
+
+from repro.isa import Imm, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.analysis.disasm import disassemble
+from repro.analysis.cfg import build_cfgs
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import find_loops, outermost_loops
+from repro.analysis.stack import track_stack
+
+from tests.analysis.conftest import assemble
+
+
+def analyse(image):
+    dis = disassemble(image)
+    cfgs = build_cfgs(dis)
+    return dis, cfgs
+
+
+def test_disassembly_covers_reachable_code(counting_loop_image):
+    dis = disassemble(counting_loop_image)
+    assert len(dis) == 7
+    assert dis.function_entries == {counting_loop_image.entry}
+    assert not dis.indirect_sites
+
+
+def test_unreachable_code_not_decoded():
+    def build(a):
+        a.label("_start")
+        a.emit(O.JMP, Label("end"))
+        a.emit(O.MOV, Reg(R.rax), Imm(1))  # dead
+        a.label("end")
+        a.emit(O.RET)
+
+    dis = disassemble(assemble(build))
+    assert len(dis) == 2
+
+
+def test_cfg_blocks_and_edges(counting_loop_image):
+    dis, cfgs = analyse(counting_loop_image)
+    cfg = cfgs[counting_loop_image.entry]
+    # Blocks: entry (2 instr), loop body (4 instr), ret.
+    assert len(cfg.blocks) == 3
+    entry = cfg.blocks[cfg.entry]
+    assert len(entry.instructions) == 2
+    loop_block = cfg.blocks[entry.succs[0]]
+    assert len(loop_block.instructions) == 4
+    assert set(loop_block.succs) == {loop_block.start, loop_block.end}
+    assert loop_block.start in loop_block.preds
+
+
+def test_functions_discovered_via_calls(nested_loop_image):
+    dis, cfgs = analyse(nested_loop_image)
+    assert len(cfgs) == 2  # _start and helper
+    assert len(dis.function_entries) == 2
+
+
+def test_external_calls_recorded():
+    def build(a):
+        fn = a.import_symbol("pow")
+        a.label("_start")
+        a.emit(O.CALL, fn)
+        a.emit(O.RET)
+
+    dis, cfgs = analyse(assemble(build))
+    cfg = cfgs[next(iter(cfgs))]
+    assert list(cfg.external_calls.values()) == ["pow"]
+    assert not cfg.internal_calls
+
+
+def test_indirect_jump_flags_function():
+    def build(a):
+        a.label("_start")
+        a.emit(O.JMPI, Reg(R.rax))
+
+    dis, cfgs = analyse(assemble(build))
+    cfg = cfgs[next(iter(cfgs))]
+    assert cfg.has_indirect
+
+
+def test_syscall_flags_function():
+    def build(a):
+        a.label("_start")
+        a.emit(O.SYSCALL)
+        a.emit(O.RET)
+
+    _, cfgs = analyse(assemble(build))
+    assert cfgs[next(iter(cfgs))].has_syscall
+
+
+def test_dominators_diamond(diamond_image):
+    _, cfgs = analyse(diamond_image)
+    cfg = cfgs[diamond_image.entry]
+    dom = compute_dominators(cfg)
+    blocks = sorted(cfg.blocks)
+    entry = blocks[0]
+    join = max(blocks)
+    # The entry dominates everything; neither branch dominates the join.
+    for b in blocks:
+        assert dom.dominates(entry, b)
+    assert dom.idom[join] == entry
+    # The join is in the dominance frontier of both branch blocks.
+    branches = [b for b in blocks if b not in (entry, join)]
+    for b in branches:
+        assert join in dom.frontier[b]
+
+
+def test_single_loop_detected(counting_loop_image):
+    _, cfgs = analyse(counting_loop_image)
+    cfg = cfgs[counting_loop_image.entry]
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.body == {loop.header}
+    assert loop.latches == {loop.header}
+    assert loop.preheader == cfg.entry
+    assert len(loop.exit_edges) == 1
+
+
+def test_nested_loops(nested_loop_image):
+    _, cfgs = analyse(nested_loop_image)
+    cfg = cfgs[nested_loop_image.entry]
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+    assert len(loops) == 2
+    outer = [l for l in loops if l.parent is None]
+    inner = [l for l in loops if l.parent is not None]
+    assert len(outer) == 1 and len(inner) == 1
+    assert inner[0].parent is outer[0]
+    assert inner[0].body < outer[0].body
+    assert inner[0].depth == 1
+    assert outermost_loops(loops) == outer
+
+
+def test_stack_tracking_regular(counting_loop_image):
+    _, cfgs = analyse(counting_loop_image)
+    cfg = cfgs[counting_loop_image.entry]
+    deltas = track_stack(cfg)
+    assert deltas is not None
+    assert deltas[cfg.entry] == 0
+
+
+def test_stack_tracking_frame():
+    def build(a):
+        a.label("_start")
+        a.emit(O.SUB, Reg(R.rsp), Imm(32))
+        a.emit(O.CMP, Reg(R.rdi), Imm(0))
+        a.emit(O.JL, Label("out"))
+        a.emit(O.MOV, Reg(R.rax), Imm(1))
+        a.label("out")
+        a.emit(O.ADD, Reg(R.rsp), Imm(32))
+        a.emit(O.RET)
+
+    _, cfgs = analyse(assemble(build))
+    cfg = cfgs[next(iter(cfgs))]
+    deltas = track_stack(cfg)
+    assert deltas is not None
+    out_block = max(cfg.blocks)
+    assert deltas[out_block] == -32
+
+
+def test_stack_tracking_irregular():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, Reg(R.rsp), Reg(R.rax))  # arbitrary rsp write
+        a.emit(O.RET)
+
+    _, cfgs = analyse(assemble(build))
+    assert track_stack(cfgs[next(iter(cfgs))]) is None

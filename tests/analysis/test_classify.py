@@ -1,0 +1,350 @@
+"""End-to-end static classification tests (paper section II-D categories)."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label, LabelRef
+from repro.isa.registers import R
+from repro.analysis import LoopCategory, VariableClass, analyze_image
+
+from tests.analysis.conftest import assemble
+
+RAX, RCX, RDX, RSI, RDI = Reg(R.rax), Reg(R.rcx), Reg(R.rdx), Reg(R.rsi), Reg(R.rdi)
+R8, R9, R10 = Reg(R.r8), Reg(R.r9), Reg(R.r10)
+XMM0, XMM1 = Reg(R.xmm0), Reg(R.xmm1)
+
+
+def single_loop(image):
+    analysis = analyze_image(image)
+    assert len(analysis.loops) == 1
+    return analysis, analysis.loops[0]
+
+
+def array_fill_image():
+    """for (i=0; i<64; i++) a[i] = i;  — the canonical static DOALL."""
+
+    def build(a):
+        a.space("arr", 64)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("loop"))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+class TestStaticDoall:
+    def test_array_fill_is_type_a(self):
+        analysis, loop = single_loop(array_fill_image())
+        assert loop.category is LoopCategory.STATIC_DOALL
+        assert loop.is_parallelisable
+        assert loop.induction.iterator.static_trip_count == 64
+
+    def test_variable_classes(self):
+        _, loop = single_loop(array_fill_image())
+        assert loop.variables[R.rcx].vclass is VariableClass.INDUCTION
+        assert loop.variables[R.rcx].step == 1
+
+    def test_two_distinct_static_arrays(self):
+        """b[i] = a[i] with both bases static constants: no check needed."""
+
+        def build(a):
+            a.space("a", 64)
+            a.space("b", 64)
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Mem(index=R.rcx, scale=8, disp=Label("a")))
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("b")), RAX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(64))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        # Same symbolic base structure (empty) but offsets never collide:
+        # distances are all >= 64 words with a 64-iteration trip count.
+        assert loop.category is LoopCategory.STATIC_DOALL
+
+    def test_register_reduction(self):
+        """sum += a[i] with sum in a register: reduction, still type A."""
+
+        def build(a):
+            a.word("arr", *range(32))
+            a.label("_start")
+            a.emit(O.MOV, RAX, Imm(0))
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.ADD, RAX, Mem(index=R.rcx, scale=8, disp=Label("arr")))
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(32))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DOALL
+        assert loop.variables[R.rax].vclass is VariableClass.REDUCTION
+
+    def test_float_reduction(self):
+        def build(a):
+            a.double("arr", *[float(i) for i in range(16)])
+            a.label("_start")
+            a.emit(O.XORPD, XMM0, XMM0)
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.ADDSD, XMM0, Mem(index=R.rcx, scale=8, disp=Label("arr")))
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DOALL
+        info = loop.variables[R.xmm0]
+        assert info.vclass is VariableClass.REDUCTION
+        assert info.is_float
+
+
+class TestStaticDependence:
+    def test_recurrence_is_type_b(self):
+        """a[i] = a[i-1]: distance-1 flow dependence."""
+
+        def build(a):
+            a.space("arr", 64)
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(1))
+            a.label("loop")
+            a.emit(O.MOV, RAX,
+                   Mem(index=R.rcx, scale=8, disp=LabelRef("arr", -8)))
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RAX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(64))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DEPENDENCE
+        assert any(d.distance in (1, -1) for d in loop.alias.dependences)
+
+    def test_non_reduction_carried_register(self):
+        """prev = cur pattern: loop-carried register that is no reduction."""
+
+        def build(a):
+            a.word("arr", *range(32))
+            a.space("out", 32)
+            a.label("_start")
+            a.emit(O.MOV, RDX, Imm(0))   # prev
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Mem(index=R.rcx, scale=8, disp=Label("arr")))
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("out")), RDX)
+            a.emit(O.MOV, RDX, RAX)      # carried to next iteration
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(32))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DEPENDENCE
+
+
+class TestDynamicCandidates:
+    def test_pointer_bases_need_bounds_check(self):
+        """Bases loaded before the loop: distinctness unprovable -> check."""
+
+        def build(a):
+            a.word("pa", 0x20000000)
+            a.word("pb", 0x20010000)
+            a.label("_start")
+            a.emit(O.MOV, R8, Mem(disp=Label("pa")))
+            a.emit(O.MOV, R9, Mem(disp=Label("pb")))
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Mem(base=R.r9, index=R.rcx, scale=8))
+            a.emit(O.MOV, Mem(base=R.r8, index=R.rcx, scale=8), RAX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(64))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.DYNAMIC_DOALL
+        assert len(loop.alias.bounds_checks) == 1
+        assert loop.is_parallelisable
+
+    def test_library_call_needs_stm(self):
+        """The iterator must live in a callee-saved register (rbx) to
+        survive the call, exactly as a real compiler would allocate it."""
+
+        def build(a):
+            powf = a.import_symbol("pow")
+            a.double("arr", *[1.0] * 16)
+            rbx = Reg(R.rbx)
+            a.label("_start")
+            a.emit(O.MOV, rbx, Imm(0))
+            a.label("loop")
+            a.emit(O.MOVSD, XMM0, Mem(index=R.rbx, scale=8, disp=Label("arr")))
+            a.emit(O.MOVSD, XMM1, XMM0)
+            a.emit(O.CALL, powf)
+            a.emit(O.MOVSD, Mem(index=R.rbx, scale=8, disp=Label("arr")), XMM0)
+            a.emit(O.INC, rbx)
+            a.emit(O.CMP, rbx, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.DYNAMIC_DOALL
+        assert loop.stm_call_sites
+        assert loop.is_parallelisable
+
+    def test_caller_saved_iterator_killed_by_call(self):
+        """With the iterator in rcx (caller-saved) the call clobbers the
+        induction chain: the loop must be rejected, not mis-analysed."""
+
+        def build(a):
+            powf = a.import_symbol("pow")
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.CALL, powf)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+
+    def test_profile_resolves_c_vs_d(self):
+        _, loop = single_loop(array_fill_image())
+        # Simulate the dynamic candidate path on a fresh result object.
+        loop.category = LoopCategory.DYNAMIC_DOALL
+        loop.apply_dependence_profile(True)
+        assert loop.category is LoopCategory.DYNAMIC_DEPENDENCE
+        loop2 = single_loop(array_fill_image())[1]
+        loop2.category = LoopCategory.DYNAMIC_DOALL
+        loop2.apply_dependence_profile(False)
+        assert loop2.category is LoopCategory.DYNAMIC_DOALL
+
+
+class TestIncompatible:
+    def test_syscall_loop(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RDI, RCX)
+            a.emit(O.MOV, RAX, Imm(1))
+            a.emit(O.SYSCALL)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(4))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+
+    def test_io_library_call_loop(self):
+        def build(a):
+            pr = a.import_symbol("print_int")
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RDI, RCX)
+            a.emit(O.CALL, pr)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(4))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+
+    def test_geometric_iterator(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(1))
+            a.label("loop")
+            a.emit(O.IMUL, RCX, Imm(2))
+            a.emit(O.CMP, RCX, Imm(1024))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+        assert any("induction" in r for r in loop.reasons)
+
+
+class TestAnalyzerFacade:
+    def test_histogram_and_ids(self):
+        analysis, _ = single_loop(array_fill_image())
+        histogram = analysis.category_histogram()
+        assert histogram[LoopCategory.STATIC_DOALL] == 1
+        assert analysis.loops[0].loop_id == 0
+
+    def test_readonly_stack_slot_detected(self):
+        """A loop reading a spilled value from the stack each iteration."""
+
+        def build(a):
+            a.space("arr", 32)
+            a.label("_start")
+            a.emit(O.SUB, Reg(R.rsp), Imm(16))
+            a.emit(O.MOV, Mem(base=R.rsp, disp=0), Imm(5))
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Mem(base=R.rsp, disp=0))
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RAX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(32))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.ADD, Reg(R.rsp), Imm(16))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DOALL
+        assert len(loop.readonly_slot_readers) == 1
+        (slot, readers), = loop.readonly_slot_readers.items()
+        assert len(readers) == 1
+
+
+class TestReservedRegisters:
+    def test_loop_using_r15_rejected(self):
+        """Application code touching the Janus-reserved registers inside a
+        candidate loop must be refused, not silently corrupted."""
+
+        def build(a):
+            arr = a.space("arr", 32)
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.emit(O.MOV, Reg(R.r15), Imm(7))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Reg(R.r15))
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), RAX)
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Imm(32))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+        assert any("reserved" in reason for reason in loop.reasons)
+
+    def test_r15_outside_loop_is_fine(self):
+        def build(a):
+            arr = a.space("arr", 32)
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.r15), Imm(7))   # before the loop: ok
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), Reg(R.rcx))
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Imm(32))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        _, loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DOALL

@@ -1,0 +1,153 @@
+"""Tests for block-level liveness and reaching definitions."""
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.analysis.cfg import build_cfgs
+from repro.analysis.dataflow import compute_liveness, compute_reaching
+from repro.analysis.disasm import disassemble
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.ssa import build_ssa
+from repro.analysis.stack import track_stack
+
+from tests.analysis.conftest import assemble
+
+
+def make_cfg(build):
+    image = assemble(build)
+    cfgs = build_cfgs(disassemble(image))
+    return cfgs[image.entry]
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rax), Imm(1))
+            a.emit(O.MOV, Reg(R.rbx), Reg(R.rax))
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        info = compute_liveness(cfg)
+        # rax is defined before use: not live into the entry block.
+        assert not info.is_live_in(cfg.entry, R.rax)
+
+    def test_branch_input_is_live_in(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.CMP, Reg(R.rdi), Imm(0))
+            a.emit(O.JL, Label("neg"))
+            a.emit(O.MOV, Reg(R.rax), Imm(1))
+            a.emit(O.RET)
+            a.label("neg")
+            a.emit(O.MOV, Reg(R.rax), Imm(-1))
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        info = compute_liveness(cfg)
+        assert info.is_live_in(cfg.entry, R.rdi)
+
+    def test_loop_carried_value_live_around_backedge(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rax), Imm(0))
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.label("loop")
+            a.emit(O.ADD, Reg(R.rax), Reg(R.rcx))
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Imm(9))
+            a.emit(O.JLE, Label("loop"))
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        info = compute_liveness(cfg)
+        loop_block = [s for s, b in cfg.blocks.items()
+                      if b.terminator.opcode is O.JLE][0]
+        # The accumulator and iterator are live around the back edge.
+        assert info.is_live_in(loop_block, R.rax)
+        assert info.is_live_in(loop_block, R.rcx)
+        assert info.is_live_out(loop_block, R.rcx)
+
+    def test_stack_slot_liveness(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.SUB, Reg(R.rsp), Imm(16))
+            a.emit(O.MOV, Mem(base=R.rsp, disp=0), Imm(9))
+            a.emit(O.CMP, Reg(R.rdi), Imm(0))
+            a.emit(O.JL, Label("out"))
+            a.emit(O.MOV, Reg(R.rax), Mem(base=R.rsp, disp=0))
+            a.label("out")
+            a.emit(O.ADD, Reg(R.rsp), Imm(16))
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        deltas = track_stack(cfg)
+        info = compute_liveness(cfg, deltas)
+        read_block = [s for s, b in cfg.blocks.items()
+                      if any(m.base == R.rsp for i in b.instructions
+                             for m in i.mem_reads())][0]
+        assert info.is_live_in(read_block, ("stack", -16))
+
+
+class TestReaching:
+    def test_both_branch_defs_reach_join(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.CMP, Reg(R.rdi), Imm(0))
+            a.emit(O.JL, Label("neg"))
+            a.emit(O.MOV, Reg(R.rax), Imm(1))
+            a.emit(O.JMP, Label("join"))
+            a.label("neg")
+            a.emit(O.MOV, Reg(R.rax), Imm(-1))
+            a.label("join")
+            a.emit(O.ADD, Reg(R.rax), Imm(10))
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        info = compute_reaching(cfg)
+        join = max(cfg.blocks)
+        sites = info.definitions_of(join, R.rax)
+        assert len(sites) == 2  # one per branch
+
+    def test_redefinition_kills(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rax), Imm(1))
+            a.emit(O.MOV, Reg(R.rax), Imm(2))
+            a.emit(O.CMP, Reg(R.rax), Imm(0))
+            a.emit(O.JL, Label("next"))
+            a.label("next")
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        info = compute_reaching(cfg)
+        next_block = max(cfg.blocks)
+        sites = info.definitions_of(next_block, R.rax)
+        # Only the *last* def of the entry block reaches.
+        assert len(sites) == 1
+        (var, block, index), = sites
+        assert index == 1
+
+    def test_agreement_with_ssa_phi_placement(self):
+        """Blocks where >1 def of a var reaches must host an SSA phi."""
+
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rax), Imm(0))
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.label("loop")
+            a.emit(O.ADD, Reg(R.rax), Reg(R.rcx))
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Imm(9))
+            a.emit(O.JLE, Label("loop"))
+            a.emit(O.RET)
+
+        cfg = make_cfg(build)
+        dom = compute_dominators(cfg)
+        deltas = track_stack(cfg)
+        ssa = build_ssa(cfg, dom, deltas)
+        reaching = compute_reaching(cfg, deltas)
+        loop_block = [s for s, b in cfg.blocks.items()
+                      if b.terminator.opcode is O.JLE][0]
+        assert len(reaching.definitions_of(loop_block, R.rcx)) == 2
+        assert ssa.phi_for(loop_block, R.rcx) is not None

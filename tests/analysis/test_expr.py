@@ -1,0 +1,109 @@
+"""Tests for polynomial canonicalisation (Poly + ExprBuilder)."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.expr import Poly, livein_symbols_evaluable
+
+
+S1 = ("livein", 1, 0)
+S2 = ("livein", 2, 0)
+PHI = ("phi", 3, 1)
+
+
+class TestPoly:
+    def test_constants(self):
+        assert Poly.const(0).is_zero
+        assert Poly.const(5).is_constant
+        assert Poly.const(5).constant_value == 5
+
+    def test_addition_cancels(self):
+        p = Poly.sym(S1) + Poly.const(3)
+        q = p - Poly.sym(S1)
+        assert q.is_constant
+        assert q.constant_value == 3
+        assert (p - p).is_zero
+
+    def test_scale(self):
+        p = Poly.sym(S1).scale(4) + Poly.const(8)
+        assert p.terms[(S1,)] == 4
+        assert p.constant_value == 8
+        assert p.scale(0).is_zero
+
+    def test_multiplication(self):
+        p = Poly.sym(S1) + Poly.const(2)
+        q = Poly.sym(S2) + Poly.const(3)
+        prod = p * q
+        assert prod is not None
+        assert prod.terms[tuple(sorted((S1, S2)))] == 1
+        assert prod.terms[(S1,)] == 3
+        assert prod.terms[(S2,)] == 2
+        assert prod.constant_value == 6
+
+    def test_multiplication_degree_cap(self):
+        p = Poly.sym(S1)
+        high = p
+        for _ in range(3):
+            result = high * p
+            if result is None:
+                break
+            high = result
+        assert high * p is None  # degree 4 exceeds the cap
+
+    def test_linear_in(self):
+        p = Poly.sym(PHI).scale(8) + Poly.sym(S1) + Poly.const(16)
+        decomposed = p.linear_in(PHI)
+        assert decomposed is not None
+        coeff, rest = decomposed
+        assert coeff == 8
+        assert not rest.mentions(PHI)
+        assert rest.constant_value == 16
+
+    def test_linear_in_rejects_quadratic(self):
+        squared = Poly.sym(PHI) * Poly.sym(PHI)
+        assert squared is not None
+        assert squared.linear_in(PHI) is None
+
+    def test_linear_in_missing_symbol(self):
+        p = Poly.sym(S1) + Poly.const(1)
+        coeff, rest = p.linear_in(PHI)
+        assert coeff == 0
+        assert rest == p
+
+    def test_substitute(self):
+        p = Poly.sym(PHI).scale(2) + Poly.const(1)
+        out = p.substitute(PHI, Poly.sym(S1) + Poly.const(10))
+        assert out is not None
+        assert out.terms[(S1,)] == 2
+        assert out.constant_value == 21
+
+    def test_equality_and_hash(self):
+        a = Poly.sym(S1) + Poly.const(1)
+        b = Poly.const(1) + Poly.sym(S1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_evaluable(self):
+        assert livein_symbols_evaluable(Poly.sym(S1) + Poly.const(4))
+        assert livein_symbols_evaluable(Poly.const(4))
+        assert not livein_symbols_evaluable(Poly.sym(PHI))
+        assert not livein_symbols_evaluable(Poly.sym(("opaque", "x")))
+
+
+@given(st.lists(st.tuples(st.sampled_from([S1, S2]),
+                          st.integers(-50, 50)), max_size=8))
+def test_poly_add_commutes(pairs):
+    a = Poly()
+    b = Poly()
+    for sym, coeff in pairs:
+        a = a + Poly.sym(sym).scale(coeff)
+        b = Poly.sym(sym).scale(coeff) + b
+    assert a == b
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_poly_constant_ring(x, y):
+    assert (Poly.const(x) + Poly.const(y)).constant_value == x + y
+    product = Poly.const(x) * Poly.const(y)
+    assert product is not None
+    assert product.constant_value == x * y

@@ -1,0 +1,212 @@
+"""Tests for induction-variable recognition and iteration ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.analysis.cfg import build_cfgs
+from repro.analysis.disasm import disassemble
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.induction import (
+    analyse_induction,
+    chunk_bounds,
+    trip_count,
+)
+from repro.analysis.loops import find_loops
+from repro.analysis.ssa import build_ssa
+from repro.analysis.stack import track_stack
+
+from tests.analysis.conftest import assemble
+
+
+def loop_ssa(image):
+    dis = disassemble(image)
+    cfgs = build_cfgs(dis)
+    cfg = cfgs[image.entry]
+    dom = compute_dominators(cfg)
+    ssa = build_ssa(cfg, dom, track_stack(cfg))
+    loops = find_loops(cfg, dom)
+    return ssa, loops
+
+
+class TestTripCount:
+    def test_basic_upward(self):
+        assert trip_count(0, 10, 1, "l") == 10
+        assert trip_count(0, 10, 1, "le") == 11
+        assert trip_count(0, 10, 2, "l") == 5
+        assert trip_count(0, 9, 2, "l") == 5  # ceil
+
+    def test_downward(self):
+        assert trip_count(10, 0, -1, "g") == 10
+        assert trip_count(10, 0, -1, "ge") == 11
+        assert trip_count(10, 0, -2, "g") == 5
+
+    def test_not_entered(self):
+        assert trip_count(10, 0, 1, "l") == 0
+        assert trip_count(0, 10, -1, "g") == 0
+
+    def test_ne_condition(self):
+        assert trip_count(0, 8, 2, "ne") == 4
+        assert trip_count(0, 7, 2, "ne") == 0  # never equal: treated as 0
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            trip_count(0, 10, 0, "l")
+
+    @given(start=st.integers(-1000, 1000), n=st.integers(0, 500),
+           step=st.integers(1, 7))
+    def test_simulation_agreement_upward(self, start, n, step):
+        bound = start + n
+        expected = len(range(start, bound, step))
+        assert trip_count(start, bound, step, "l") == expected
+
+    @given(start=st.integers(-1000, 1000), n=st.integers(0, 500),
+           step=st.integers(1, 7))
+    def test_simulation_agreement_le(self, start, n, step):
+        bound = start + n
+        count = 0
+        i = start
+        while i <= bound:
+            count += 1
+            i += step
+        assert trip_count(start, bound, step, "le") == count
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread(self):
+        chunks = chunk_bounds(10, 4)
+        sizes = [b - a for a, b in chunks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        assert chunks[0][0] == 0 and chunks[-1][1] == 10
+
+    def test_more_threads_than_trips(self):
+        chunks = chunk_bounds(2, 4)
+        sizes = [b - a for a, b in chunks]
+        assert sizes == [1, 1, 0, 0]
+
+    @given(trips=st.integers(0, 10_000), threads=st.integers(1, 16))
+    def test_partition_property(self, trips, threads):
+        chunks = chunk_bounds(trips, threads)
+        assert len(chunks) == threads
+        position = 0
+        for start, end in chunks:
+            assert start == position
+            assert end >= start
+            position = end
+        assert position == trips
+
+
+class TestIteratorRecognition:
+    def test_simple_counted_loop(self, counting_loop_image):
+        ssa, loops = loop_ssa(counting_loop_image)
+        analysis = analyse_induction(ssa, loops[0])
+        assert analysis.iterator is not None
+        it = analysis.iterator
+        assert it.iv.var == R.rcx
+        assert it.iv.step == 1
+        assert it.cond == "le"
+        assert it.static_trip_count == 10
+        assert not analysis.has_side_exits
+        # rax accumulates: a non-IV header phi.
+        assert any(phi.var == R.rax for phi in analysis.other_phis)
+
+    def test_strided_and_downward_loops(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rcx), Imm(100))
+            a.label("down")
+            a.emit(O.SUB, Reg(R.rcx), Imm(4))
+            a.emit(O.CMP, Reg(R.rcx), Imm(0))
+            a.emit(O.JG, Label("down"))
+            a.emit(O.RET)
+
+        ssa, loops = loop_ssa(assemble(build))
+        analysis = analyse_induction(ssa, loops[0])
+        assert analysis.iterator is not None
+        assert analysis.iterator.iv.step == -4
+        assert analysis.iterator.cond == "g"
+        assert analysis.iterator.test_position == "bottom"
+        assert analysis.iterator.test_offset == -4
+        # rcx: 100 -> 96 -> ... -> 0; the sub executes 25 times.
+        assert analysis.iterator.static_trip_count == 25
+
+    def test_runtime_bound_loop(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rdx), Mem(disp=Label("n")))
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.label("loop")
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Reg(R.rdx))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+            a.word("n", 500)
+
+        ssa, loops = loop_ssa(assemble(build))
+        analysis = analyse_induction(ssa, loops[0])
+        it = analysis.iterator
+        assert it is not None
+        assert it.static_trip_count is None  # bound only known at runtime
+        assert isinstance(it.bound_operand, Reg)
+        assert it.bound_operand.id == R.rdx
+
+    def test_multiple_basic_ivs(self):
+        """Index and strided pointer advancing together."""
+
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.emit(O.MOV, Reg(R.r8), Imm(0x10000000))
+            a.label("loop")
+            a.emit(O.ADD, Reg(R.r8), Imm(8))
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Imm(64))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        ssa, loops = loop_ssa(assemble(build))
+        analysis = analyse_induction(ssa, loops[0])
+        ivs = {iv.var: iv.step for iv in analysis.basic_ivs}
+        assert ivs == {R.rcx: 1, R.r8: 8}
+        assert analysis.iterator.iv.var == R.rcx
+
+    def test_side_exit_detected(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rcx), Imm(0))
+            a.label("loop")
+            a.emit(O.CMP, Reg(R.rax), Imm(7))
+            a.emit(O.JE, Label("out"))        # data-dependent break
+            a.emit(O.INC, Reg(R.rcx))
+            a.emit(O.CMP, Reg(R.rcx), Imm(10))
+            a.emit(O.JL, Label("loop"))
+            a.label("out")
+            a.emit(O.RET)
+
+        ssa, loops = loop_ssa(assemble(build))
+        analysis = analyse_induction(ssa, loops[0])
+        assert analysis.iterator is not None
+        assert analysis.has_side_exits
+
+    def test_irregular_update_rejected(self):
+        """i = i * 2 is not a basic induction variable."""
+
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rcx), Imm(1))
+            a.label("loop")
+            a.emit(O.IMUL, Reg(R.rcx), Imm(2))
+            a.emit(O.CMP, Reg(R.rcx), Imm(1024))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        ssa, loops = loop_ssa(assemble(build))
+        analysis = analyse_induction(ssa, loops[0])
+        assert analysis.iterator is None
+        assert not analysis.basic_ivs

@@ -1,0 +1,119 @@
+"""Tests for interprocedural function summaries."""
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.analysis.cfg import build_cfgs
+from repro.analysis.disasm import disassemble
+from repro.analysis.summaries import summarise_functions
+
+from tests.analysis.conftest import assemble
+
+
+def summarise(build):
+    image = assemble(build)
+    cfgs = build_cfgs(disassemble(image))
+    return image, cfgs, summarise_functions(cfgs)
+
+
+def entry_of(cfgs, image, position):
+    return sorted(cfgs)[position]
+
+
+class TestLocalFacts:
+    def test_pure_function(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.CALL, Label("pure"))
+            a.emit(O.RET)
+            a.label("pure")
+            a.emit(O.MOV, Reg(R.rax), Imm(1))
+            a.emit(O.ADD, Reg(R.rax), Reg(R.rdi))
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)
+        pure_entry = [e for e in cfgs if e != image.entry][0]
+        summary = summaries[pure_entry]
+        assert summary.is_pure_enough
+        assert not summary.writes_memory
+
+    def test_own_frame_writes_do_not_count(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.SUB, Reg(R.rsp), Imm(16))
+            a.emit(O.MOV, Mem(base=R.rsp, disp=0), Imm(1))  # spill
+            a.emit(O.ADD, Reg(R.rsp), Imm(16))
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)
+        assert not summaries[image.entry].writes_memory
+
+    def test_global_write_counts(self):
+        def build(a):
+            a.word("g", 0)
+            a.label("_start")
+            a.emit(O.MOV, Mem(disp=Label("g")), Imm(1))
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)
+        assert summaries[image.entry].writes_memory
+
+    def test_syscall_flag(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.SYSCALL)
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)
+        assert summaries[image.entry].has_syscall
+
+
+class TestTransitive:
+    def test_effects_propagate_up_call_chains(self):
+        def build(a):
+            a.word("g", 0)
+            a.label("_start")
+            a.emit(O.CALL, Label("middle"))
+            a.emit(O.RET)
+            a.label("middle")
+            a.emit(O.CALL, Label("leaf"))
+            a.emit(O.RET)
+            a.label("leaf")
+            a.emit(O.MOV, Mem(disp=Label("g")), Imm(1))
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)
+        assert summaries[image.entry].writes_memory
+        assert all(s.writes_memory for s in summaries.values())
+
+    def test_external_calls_propagate(self):
+        def build(a):
+            powf = a.import_symbol("pow")
+            a.label("_start")
+            a.emit(O.CALL, Label("wrapper"))
+            a.emit(O.RET)
+            a.label("wrapper")
+            a.emit(O.CALL, powf)
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)
+        assert "pow" in summaries[image.entry].external_calls
+        assert not summaries[image.entry].is_pure_enough
+
+    def test_recursion_reaches_fixpoint(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.CALL, Label("rec"))
+            a.emit(O.RET)
+            a.label("rec")
+            a.emit(O.CMP, Reg(R.rdi), Imm(0))
+            a.emit(O.JLE, Label("done"))
+            a.emit(O.DEC, Reg(R.rdi))
+            a.emit(O.CALL, Label("rec"))
+            a.label("done")
+            a.emit(O.RET)
+
+        image, cfgs, summaries = summarise(build)  # must terminate
+        rec_entry = [e for e in cfgs if e != image.entry][0]
+        assert not summaries[rec_entry].writes_memory
+        assert summaries[rec_entry].is_pure_enough

@@ -1,0 +1,80 @@
+"""Unit tests for runtime array-bounds check evaluation (paper Fig. 4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.dbm.checks import evaluate_bounds_check, ranges_overlap, side_range
+from repro.isa.registers import R
+from repro.rewrite.metadata import BoundsCheckDesc, RangeSide
+
+
+def reader(values):
+    return lambda var: values[var]
+
+
+class TestSideRange:
+    def test_simple_stride(self):
+        # one access: 8*theta + 0, 1 lane; theta in [0, 9]
+        side = RangeSide(base_form=[(0x1000, ())], extents=[(8, 0, 1)])
+        lo, hi = side_range(side, reader({}), 0, 9)
+        assert (lo, hi) == (0x1000, 0x1000 + 9 * 8 + 8)
+
+    def test_downward_iteration(self):
+        side = RangeSide(base_form=[(0x1000, ())], extents=[(8, 0, 1)])
+        lo, hi = side_range(side, reader({}), 9, 0)  # first=9, last=0
+        assert (lo, hi) == (0x1000, 0x1000 + 80)
+
+    def test_register_base(self):
+        side = RangeSide(base_form=[(1, ((("r", R.r8),)))],
+                         extents=[(8, 16, 2)])
+        lo, hi = side_range(side, reader({R.r8: 0x2000}), 0, 3)
+        assert lo == 0x2000 + 16
+        assert hi == 0x2000 + 16 + 3 * 8 + 16  # last theta + 2 lanes
+
+    def test_multiple_accesses_take_union(self):
+        side = RangeSide(base_form=[(0x1000, ())],
+                         extents=[(8, 0, 1), (8, -8, 1)])
+        lo, hi = side_range(side, reader({}), 1, 4)
+        assert lo == 0x1000 + 0  # -8 + 8*1
+        assert hi == 0x1000 + 4 * 8 + 8
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        assert not ranges_overlap((0, 10), (10, 20))
+        assert not ranges_overlap((10, 20), (0, 10))
+
+    def test_overlap(self):
+        assert ranges_overlap((0, 11), (10, 20))
+        assert ranges_overlap((5, 6), (0, 100))
+
+    @given(a=st.integers(0, 100), la=st.integers(1, 50),
+           b=st.integers(0, 100), lb=st.integers(1, 50))
+    def test_matches_set_semantics(self, a, la, b, lb):
+        expected = bool(set(range(a, a + la)) & set(range(b, b + lb)))
+        assert ranges_overlap((a, a + la), (b, b + lb)) == expected
+
+
+class TestEvaluateBoundsCheck:
+    def _desc(self, write_base, other_base):
+        return BoundsCheckDesc(
+            loop_id=0,
+            write_side=RangeSide(base_form=[(write_base, ())],
+                                 extents=[(8, 0, 1)]),
+            other_side=RangeSide(base_form=[(other_base, ())],
+                                 extents=[(8, 0, 1)]),
+        )
+
+    def test_distinct_arrays_pass(self):
+        desc = self._desc(0x1000, 0x2000)
+        assert evaluate_bounds_check(desc, reader({}), 0, 100)
+
+    def test_overlapping_arrays_fail(self):
+        desc = self._desc(0x1000, 0x1008)
+        assert not evaluate_bounds_check(desc, reader({}), 0, 100)
+
+    def test_short_iteration_space_passes(self):
+        # Arrays 64 words apart, 4 iterations: no overlap.
+        desc = self._desc(0x1000, 0x1000 + 64 * 8)
+        assert evaluate_bounds_check(desc, reader({}), 0, 3)
+        # 100 iterations: overlap.
+        assert not evaluate_bounds_check(desc, reader({}), 0, 99)

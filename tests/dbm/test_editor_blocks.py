@@ -1,0 +1,132 @@
+"""Unit tests for block discovery and the rewrite block editor."""
+
+import pytest
+
+from repro.isa import Imm, Instruction, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.dbm.blocks import discover_block
+from repro.dbm.editor import BlockEditor, EditError
+from repro.dbm.rtcalls import RTCallID
+
+
+def make_process():
+    a = Assembler()
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rax), Imm(1))      # 0
+    a.emit(O.ADD, Reg(R.rax), Imm(2))      # 1
+    a.emit(O.CALL, Label("helper"))        # 2 - ends a DBM block
+    a.emit(O.MOV, Reg(R.rbx), Reg(R.rax))  # 3
+    a.emit(O.CMP, Reg(R.rbx), Imm(0))      # 4
+    a.emit(O.JG, Label("_start"))          # 5 - ends a block
+    a.emit(O.RET)
+    a.label("helper")
+    a.emit(O.RET)
+    return load(a.assemble(entry="_start"))
+
+
+class TestDiscoverBlock:
+    def test_block_ends_at_call(self):
+        process = make_process()
+        block = discover_block(process, process.entry)
+        assert block.terminator.opcode is O.CALL
+        assert len(block) == 3
+        assert block.end == block.terminator.address + \
+            block.terminator.size
+
+    def test_block_ends_at_cond_branch(self):
+        process = make_process()
+        first = discover_block(process, process.entry)
+        second = discover_block(process, first.end)
+        assert second.terminator.opcode is O.JG
+        assert len(second) == 3
+
+    def test_stop_addresses_split_blocks(self):
+        process = make_process()
+        first = discover_block(process, process.entry)
+        # Split before the second instruction.
+        split_at = first.instructions[1].address
+        block = discover_block(process, process.entry,
+                               stop_addresses={split_at})
+        assert len(block) == 1
+        assert block.end == split_at
+
+    def test_cost_positive(self):
+        process = make_process()
+        assert discover_block(process, process.entry).cost > 0
+
+
+class TestBlockEditor:
+    def _editor(self):
+        process = make_process()
+        return BlockEditor(discover_block(process, process.entry))
+
+    def test_insert_before(self):
+        editor = self._editor()
+        target = editor.instructions[1].address
+        editor.insert_before(target, editor.rtcall(RTCallID.LOOP_ENTER, 3))
+        block = editor.finish()
+        assert block.instructions[1].opcode is O.RTCALL
+        assert block.instructions[1].size == 0
+        assert block.instructions[2].opcode is O.ADD
+
+    def test_insert_at_anchor_control_goes_before(self):
+        editor = self._editor()
+        call_addr = editor.instructions[-1].address
+        editor.insert_at_anchor(call_addr, editor.rtcall(1, 0))
+        assert editor.instructions[-2].opcode is O.RTCALL
+        assert editor.instructions[-1].opcode is O.CALL
+
+    def test_insert_at_anchor_noncontrol_goes_after_in_order(self):
+        editor = self._editor()
+        anchor = editor.instructions[0].address
+        editor.insert_at_anchor(anchor, editor.rtcall(1, 1))
+        editor.insert_at_anchor(anchor, editor.rtcall(1, 2))
+        ops = [i.operands[1].value for i in editor.instructions
+               if i.opcode is O.RTCALL]
+        assert ops == [1, 2]
+        assert editor.instructions[0].opcode is O.MOV
+
+    def test_index_of_skips_inserted_pseudos(self):
+        editor = self._editor()
+        target = editor.instructions[0].address
+        editor.insert_at_start(editor.rtcall(1, 0))
+        # The pseudo inherits the address but must not shadow the real
+        # instruction for rule targeting.
+        assert editor.instructions[editor.index_of(target)].opcode is O.MOV
+
+    def test_replace_preserves_identity(self):
+        editor = self._editor()
+        target = editor.instructions[1]
+        replacement = Instruction(O.ADD, (Reg(R.rax), Imm(99)))
+        editor.replace(target.address, replacement)
+        replaced = editor.instructions[1]
+        assert replaced.operands[1] == Imm(99)
+        assert replaced.address == target.address
+        assert replaced.size == target.size
+
+    def test_ensure_prelude_once(self):
+        editor = self._editor()
+        ins = Instruction(O.MOV, (Reg(R.r14), Mem(base=R.r15)))
+        editor.ensure_prelude("k", ins)
+        editor.ensure_prelude(
+            "k", Instruction(O.MOV, (Reg(R.r14), Mem(base=R.r15))))
+        preludes = [i for i in editor.instructions
+                    if i.opcode is O.MOV and isinstance(i.operands[1], Mem)
+                    and i.operands[1].base == R.r15]
+        assert len(preludes) == 1
+
+    def test_missing_address_raises(self):
+        editor = self._editor()
+        with pytest.raises(EditError):
+            editor.index_of(0xDEAD)
+
+    def test_finish_recomputes_cost(self):
+        editor = self._editor()
+        before = editor.finish().cost
+        editor.insert_at_start(
+            Instruction(O.IMUL, (Reg(R.rax), Imm(3))))
+        after = editor.finish().cost
+        assert after > before

@@ -1,0 +1,305 @@
+"""Interpreter semantics tests over small assembled programs."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin import layout, syscalls
+from repro.dbm.interp import JXRuntimeError
+
+from tests.helpers import floats, ints, run_asm
+
+RAX, RBX, RCX, RDX = Reg(R.rax), Reg(R.rbx), Reg(R.rcx), Reg(R.rdx)
+RDI, RSI = Reg(R.rdi), Reg(R.rsi)
+XMM0, XMM1 = Reg(R.xmm0), Reg(R.xmm1)
+
+
+def emit_print_int(a, src):
+    """Inline print of an integer register (clobbers rax/rdi)."""
+    a.emit(O.MOV, RDI, src)
+    a.emit(O.MOV, RAX, Imm(syscalls.PRINT_INT))
+    a.emit(O.SYSCALL)
+
+
+def emit_print_f64(a, src=None):
+    a.emit(O.MOV, RAX, Imm(syscalls.PRINT_F64))
+    a.emit(O.SYSCALL)
+
+
+def test_mov_add_print():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(40))
+        a.emit(O.ADD, RAX, Imm(2))
+        emit_print_int(a, RAX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [42]
+
+
+def test_loop_sum():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(0))
+        a.emit(O.MOV, RCX, Imm(1))
+        a.label("loop")
+        a.emit(O.ADD, RAX, RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(10))
+        a.emit(O.JLE, Label("loop"))
+        emit_print_int(a, RAX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [55]
+
+
+def test_memory_array_indexing():
+    def build(a):
+        a.word("arr", 10, 20, 30, 40)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(2))
+        a.emit(O.MOV, RAX, Mem(index=R.rcx, scale=8, disp=Label("arr")))
+        emit_print_int(a, RAX)
+        # store then reload through a base register
+        a.emit(O.MOV, RBX, Imm(layout.DATA_BASE))
+        a.emit(O.MOV, Mem(base=R.rbx, disp=24), Imm(99))
+        a.emit(O.MOV, RDX, Mem(base=R.rbx, disp=24))
+        emit_print_int(a, RDX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [30, 99]
+
+
+def test_call_ret_and_stack():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RDI, Imm(5))
+        a.emit(O.CALL, Label("double_it"))
+        emit_print_int(a, RAX)
+        a.emit(O.RET)
+        a.label("double_it")
+        a.emit(O.MOV, RAX, RDI)
+        a.emit(O.ADD, RAX, RDI)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [10]
+
+
+def test_recursive_factorial():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RDI, Imm(6))
+        a.emit(O.CALL, Label("fact"))
+        emit_print_int(a, RAX)
+        a.emit(O.RET)
+        a.label("fact")
+        a.emit(O.CMP, RDI, Imm(1))
+        a.emit(O.JG, Label("recurse"))
+        a.emit(O.MOV, RAX, Imm(1))
+        a.emit(O.RET)
+        a.label("recurse")
+        a.emit(O.PUSH, RDI)
+        a.emit(O.DEC, RDI)
+        a.emit(O.CALL, Label("fact"))
+        a.emit(O.POP, RDI)
+        a.emit(O.IMUL, RAX, RDI)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [720]
+
+
+def test_signed_division_and_modulo():
+    cases = [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)]
+
+    for a_val, b_val, want_q, want_r in cases:
+        def build(a, a_val=a_val, b_val=b_val):
+            a.label("_start")
+            a.emit(O.MOV, RAX, Imm(a_val))
+            a.emit(O.MOV, RBX, RAX)
+            a.emit(O.IDIV, RAX, Imm(b_val))
+            a.emit(O.IMOD, RBX, Imm(b_val))
+            emit_print_int(a, RAX)
+            emit_print_int(a, RBX)
+            a.emit(O.RET)
+
+        assert ints(run_asm(build)) == [want_q, want_r]
+
+
+def test_division_by_zero_raises():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(1))
+        a.emit(O.IDIV, RAX, Imm(0))
+        a.emit(O.RET)
+
+    with pytest.raises(JXRuntimeError):
+        run_asm(build)
+
+
+def test_shifts():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(1))
+        a.emit(O.SHL, RAX, Imm(10))
+        emit_print_int(a, RAX)
+        a.emit(O.MOV, RBX, Imm(-16))
+        a.emit(O.SAR, RBX, Imm(2))
+        emit_print_int(a, RBX)
+        a.emit(O.MOV, RCX, Imm(-1))
+        a.emit(O.SHR, RCX, Imm(60))
+        emit_print_int(a, RCX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [1024, -4, 15]
+
+
+def test_wrapping_arithmetic():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(2**62))
+        a.emit(O.ADD, RAX, RAX)  # overflows to -2^63
+        emit_print_int(a, RAX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [-(2**63)]
+
+
+def test_cmov():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(1))
+        a.emit(O.MOV, RBX, Imm(2))
+        a.emit(O.MOV, RCX, Imm(111))
+        a.emit(O.CMP, RAX, RBX)
+        a.emit(O.CMOVL, RCX, Imm(222))   # taken: 1 < 2
+        emit_print_int(a, RCX)
+        a.emit(O.CMP, RBX, RAX)
+        a.emit(O.CMOVL, RCX, Imm(333))   # not taken
+        emit_print_int(a, RCX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [222, 222]
+
+
+def test_float_arithmetic():
+    def build(a):
+        a.double("x", 1.5)
+        a.double("y", 2.25)
+        a.label("_start")
+        a.emit(O.MOVSD, XMM0, Mem(disp=Label("x")))
+        a.emit(O.MOVSD, XMM1, Mem(disp=Label("y")))
+        a.emit(O.ADDSD, XMM0, XMM1)
+        a.emit(O.MULSD, XMM0, XMM1)
+        emit_print_f64(a)
+        a.emit(O.RET)
+
+    assert floats(run_asm(build)) == [pytest.approx((1.5 + 2.25) * 2.25)]
+
+
+def test_float_conversion_and_compare():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(7))
+        a.emit(O.CVTSI2SD, XMM0, RAX)
+        a.emit(O.CVTTSD2SI, RBX, XMM0)
+        emit_print_int(a, RBX)
+        a.emit(O.MOV, RCX, Imm(3))
+        a.emit(O.CVTSI2SD, XMM1, RCX)
+        a.emit(O.UCOMISD, XMM0, XMM1)
+        a.emit(O.JG, Label("bigger"))
+        emit_print_int(a, Imm(0))
+        a.emit(O.RET)
+        a.label("bigger")
+        emit_print_int(a, Imm(1))
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [7, 1]
+
+
+def test_packed_sse_ops():
+    def build(a):
+        a.double("va", 1.0, 2.0)
+        a.double("vb", 10.0, 20.0)
+        a.space("vc", 2)
+        a.label("_start")
+        a.emit(O.MOVAPD, XMM0, Mem(disp=Label("va")))
+        a.emit(O.ADDPD, XMM0, Mem(disp=Label("vb")))
+        a.emit(O.MOVAPD, Mem(disp=Label("vc")), XMM0)
+        a.emit(O.MOVSD, XMM0, Mem(disp=Label("vc")))
+        emit_print_f64(a)
+        from repro.isa.operands import LabelRef
+        a.emit(O.MOVSD, XMM0, Mem(disp=LabelRef("vc", 8)))
+        emit_print_f64(a)
+        a.emit(O.RET)
+
+    assert floats(run_asm(build)) == [11.0, 22.0]
+
+
+def test_packed_avx_ops():
+    def build(a):
+        a.double("va", 1.0, 2.0, 3.0, 4.0)
+        a.double("vb", 2.0, 2.0, 2.0, 2.0)
+        a.space("vc", 4)
+        a.label("_start")
+        a.emit(O.VMOVAPD, XMM0, Mem(disp=Label("va")))
+        a.emit(O.VMULPD, XMM0, Mem(disp=Label("vb")))
+        a.emit(O.VMOVAPD, Mem(disp=Label("vc")), XMM0)
+        from repro.isa.operands import LabelRef
+        for k in range(4):
+            a.emit(O.MOVSD, XMM0, Mem(disp=LabelRef("vc", 8 * k)))
+            emit_print_f64(a)
+        a.emit(O.RET)
+
+    assert floats(run_asm(build)) == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_read_int_and_exit_code():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(syscalls.READ_INT))
+        a.emit(O.SYSCALL)
+        a.emit(O.MOV, RDI, RAX)
+        a.emit(O.MOV, RAX, Imm(syscalls.EXIT))
+        a.emit(O.SYSCALL)
+
+    result = run_asm(build, inputs=[42])
+    assert result.exit_code == 42
+
+
+def test_xorpd_zeroing():
+    def build(a):
+        a.double("x", 5.0)
+        a.label("_start")
+        a.emit(O.MOVSD, XMM0, Mem(disp=Label("x")))
+        a.emit(O.XORPD, XMM0, XMM0)
+        emit_print_f64(a)
+        a.emit(O.RET)
+
+    assert floats(run_asm(build)) == [0.0]
+
+
+def test_cycles_and_instruction_accounting():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(0))
+        a.emit(O.ADD, RAX, Imm(1))
+        a.emit(O.RET)
+
+    result = run_asm(build)
+    assert result.instructions == 3
+    assert result.cycles >= 3
+
+
+def test_neg_not():
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, RAX, Imm(5))
+        a.emit(O.NEG, RAX)
+        emit_print_int(a, RAX)
+        a.emit(O.MOV, RBX, Imm(0))
+        a.emit(O.NOT, RBX)
+        emit_print_int(a, RBX)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [-5, -1]

@@ -1,0 +1,145 @@
+"""Differential tests: the closure JIT must match the reference interpreter.
+
+The fast path (repro.dbm.jit) re-implements the hot opcode semantics; any
+divergence from the reference ``_exec`` dispatch would corrupt execution
+silently.  These tests run identical programs through both paths — the
+slow path is forced by installing a no-op memory hook — and require
+bit-identical outcomes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbm.executor import run_native
+from repro.dbm.interp import Interpreter
+from repro.dbm.machine import Machine, make_main_context
+from repro.dbm.blocks import discover_block
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+
+
+def run_with_path(process, fast: bool):
+    """Execute a process forcing the fast or the reference path."""
+    machine = Machine()
+    machine.memory.load_words(process.initial_data())
+    machine.inputs = list(process.inputs)
+    ctx = make_main_context(process.entry, machine.memory)
+    interp = Interpreter(machine, process)
+    if not fast:
+        interp.mem_hook = lambda *args: None  # disables the closure path
+    cache = {}
+    pc = ctx.pc
+    steps = 0
+    while pc is not None:
+        block = cache.get(pc)
+        if block is None:
+            block = cache[pc] = discover_block(process, pc)
+        pc = interp.execute_block(ctx, block)
+        steps += 1
+        assert steps < 3_000_000
+    return ctx, machine
+
+
+def assert_equivalent(process):
+    fast_ctx, fast_machine = run_with_path(process, fast=True)
+    slow_ctx, slow_machine = run_with_path(process, fast=False)
+    assert fast_machine.outputs == slow_machine.outputs
+    assert fast_machine.memory.snapshot() == slow_machine.memory.snapshot()
+    assert fast_ctx.gregs == slow_ctx.gregs
+    assert fast_ctx.fregs == slow_ctx.fregs
+    assert fast_ctx.cycles == slow_ctx.cycles
+    assert fast_ctx.instructions == slow_ctx.instructions
+    assert fast_ctx.exit_code == slow_ctx.exit_code
+
+
+ARITH_OPS = ["+", "-", "*", "/", "%"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), size=st.integers(4, 60),
+       use_floats=st.booleans())
+def test_differential_random_programs(seed, size, use_floats):
+    """Random arithmetic programs agree between the two paths."""
+    import random
+
+    rng = random.Random(seed)
+    lines = ["int main() {"]
+    int_vars = ["x0", "x1", "x2"]
+    float_vars = ["f0", "f1"]
+    lines.append("    int x0 = %d; int x1 = %d; int x2 = %d;"
+                 % (rng.randint(-50, 50), rng.randint(1, 50),
+                    rng.randint(1, 50)))
+    if use_floats:
+        lines.append("    double f0 = %.2f; double f1 = %.2f;"
+                     % (rng.uniform(-4, 4), rng.uniform(0.5, 4)))
+    for _ in range(size):
+        kind = rng.random()
+        if kind < 0.6:
+            target = rng.choice(int_vars)
+            a = rng.choice(int_vars)
+            b = rng.choice(int_vars + [str(rng.randint(1, 9))])
+            op = rng.choice(ARITH_OPS)
+            if op in ("/", "%"):
+                b = str(rng.randint(1, 9))
+            lines.append(f"    {target} = {a} {op} {b};")
+        elif kind < 0.8 and use_floats:
+            target = rng.choice(float_vars)
+            a = rng.choice(float_vars)
+            op = rng.choice(["+", "-", "*"])
+            lines.append(f"    {target} = {a} {op} {rng.uniform(0.5, 2):.2f};")
+        else:
+            v = rng.choice(int_vars)
+            lines.append(f"    if ({v} > {rng.randint(-10, 10)}) "
+                         f"{{ {v} = {v} - 1; }}")
+    lines.append("    print_int(x0 + x1 * 3 + x2 * 7);")
+    if use_floats:
+        lines.append("    print_double(f0 + f1);")
+    lines.append("    return 0;")
+    lines.append("}")
+    image = compile_source("\n".join(lines), CompileOptions(opt_level=2))
+    assert_equivalent(load(image))
+
+
+def test_differential_loops_and_calls():
+    source = """
+    double xs[64];
+    int helper(int a, int b) { return a * 3 + b; }
+    int main() {
+        int i;
+        int acc = 0;
+        for (i = 0; i < 64; i++) {
+            xs[i] = 0.5 * i;
+            acc += helper(i, acc % 11);
+        }
+        double total = 0.0;
+        for (i = 0; i < 64; i++) { total += xs[i]; }
+        print_int(acc);
+        print_double(total);
+        print_double(sqrt(64.0));
+        return 0;
+    }
+    """
+    image = compile_source(source, CompileOptions(opt_level=3))
+    assert_equivalent(load(image))
+
+
+def test_differential_wrapping():
+    """Overflow wrap behaviour must match exactly."""
+    a = Assembler()
+    from repro.isa import Imm, Opcode as O, Reg
+    from repro.isa.operands import Label
+    from repro.isa.registers import R
+    from repro.jbin import syscalls
+
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rax), Imm(2**62))
+    a.emit(O.ADD, Reg(R.rax), Reg(R.rax))
+    a.emit(O.ADD, Reg(R.rax), Imm(-1))
+    a.emit(O.IMUL, Reg(R.rax), Imm(3))
+    a.emit(O.INC, Reg(R.rax))
+    a.emit(O.MOV, Reg(R.rdi), Reg(R.rax))
+    a.emit(O.MOV, Reg(R.rax), Imm(syscalls.PRINT_INT))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+    assert_equivalent(load(a.assemble(entry="_start")))

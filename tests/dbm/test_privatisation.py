@@ -1,0 +1,144 @@
+"""End-to-end tests for MEM_PRIVATISE: scalar temporaries and memory
+reductions rewritten into thread-local storage (paper Fig. 2b's third
+rewrite rule)."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label, LabelRef
+from repro.isa.registers import R
+from repro.jbin import syscalls
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.dbm.executor import run_native
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.rewrite.rules import RuleID
+
+RAX, RBX, RCX, RDI = Reg(R.rax), Reg(R.rbx), Reg(R.rcx), Reg(R.rdi)
+
+
+def emit_print(a, src):
+    a.emit(O.MOV, RDI, src)
+    a.emit(O.MOV, RAX, Imm(syscalls.PRINT_INT))
+    a.emit(O.SYSCALL)
+
+
+def run_both(build, n_threads=4):
+    a = Assembler()
+    build(a)
+    image = a.assemble(entry="_start")
+    native = run_native(load(image))
+    janus = Janus(image, JanusConfig(n_threads=n_threads,
+                                     coverage_threshold=0.0))
+    training = janus.train()
+    schedule = janus.build_schedule(SelectionMode.JANUS, training)
+    result = janus.run(SelectionMode.JANUS, training=training)
+    assert result.outputs == native.outputs
+    assert result.data_snapshot() == native.data_snapshot()
+    return native, result, schedule
+
+
+class TestWriteFirstScalar:
+    def build(self, a):
+        """tmp is written then read every iteration: WAR/WAW only."""
+        arr = a.space("arr", 200)
+        tmp = a.word("tmp", 0)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.MOV, RAX, RCX)
+        a.emit(O.IMUL, RAX, Imm(3))
+        a.emit(O.MOV, Mem(disp=tmp), RAX)            # write tmp
+        a.emit(O.MOV, RBX, Mem(disp=tmp))            # read tmp back
+        a.emit(O.ADD, RBX, Imm(7))
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), RBX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(200))
+        a.emit(O.JL, Label("loop"))
+        emit_print(a, Mem(disp=LabelRef("arr", 8 * 150)))
+        emit_print(a, Mem(disp=tmp))   # last sequential value visible
+        a.emit(O.RET)
+
+    def test_parallelised_with_privatise_rules(self):
+        native, result, schedule = run_both(self.build)
+        assert result.stats["loop_invocations_parallel"] == 1
+        privatise = schedule.rules_of_kind(RuleID.MEM_PRIVATISE)
+        assert len(privatise) == 2  # the tmp write and the tmp read
+        assert native.outputs[0] == ("i", 150 * 3 + 7)
+        assert native.outputs[1] == ("i", 199 * 3)
+
+
+class TestMemoryReduction:
+    def build(self, a):
+        """counter += i via a memory RMW: an additive memory reduction."""
+        counter = a.word("counter", 5)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.ADD, Mem(disp=counter), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(100))
+        a.emit(O.JL, Label("loop"))
+        emit_print(a, Mem(disp=counter))
+        a.emit(O.RET)
+
+    def test_reduction_merged(self):
+        native, result, schedule = run_both(self.build)
+        assert result.stats["loop_invocations_parallel"] == 1
+        assert schedule.rules_of_kind(RuleID.MEM_PRIVATISE)
+        assert native.outputs == [("i", 5 + sum(range(100)))]
+
+
+class TestFloatMemoryReduction:
+    def build(self, a):
+        """total += 0.5 each iteration, accumulator held in memory."""
+        total = a.double("total", 1.0)
+        a.double("half", 0.5)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.MOVSD, Reg(R.xmm0), Mem(disp=total))
+        a.emit(O.ADDSD, Reg(R.xmm0), Mem(disp=Label("half")))
+        a.emit(O.MOVSD, Mem(disp=total), Reg(R.xmm0))
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("loop"))
+        a.emit(O.MOVSD, Reg(R.xmm0), Mem(disp=total))
+        a.emit(O.MOV, RAX, Imm(syscalls.PRINT_F64))
+        a.emit(O.SYSCALL)
+        a.emit(O.RET)
+
+    def test_float_reduction_merged(self):
+        native, result, schedule = run_both(self.build)
+        assert result.stats["loop_invocations_parallel"] == 1
+        assert native.outputs == [("f", pytest.approx(1.0 + 32.0))]
+
+
+class TestConditionalWriteStaysSequential:
+    def test_conditional_scalar_write_not_privatised(self):
+        """A write that does not execute every iteration cannot be
+        privatised with last-thread copy-back: must stay sequential."""
+
+        def build(a):
+            flag = a.word("flag", 0)
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.TEST, RCX, Imm(1))
+            a.emit(O.JNE, Label("skip"))
+            a.emit(O.MOV, Mem(disp=flag), RCX)  # only even iterations
+            a.label("skip")
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(50))
+            a.emit(O.JL, Label("loop"))
+            emit_print(a, Mem(disp=flag))
+            a.emit(O.RET)
+
+        a = Assembler()
+        build(a)
+        image = a.assemble(entry="_start")
+        janus = Janus(image, JanusConfig(n_threads=4))
+        from repro.analysis import LoopCategory
+
+        loop = janus.analysis.loops[0]
+        assert loop.category is LoopCategory.STATIC_DEPENDENCE

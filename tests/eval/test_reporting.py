@@ -1,0 +1,126 @@
+"""Tests for the ASCII figure renderers.
+
+The renderers are exercised with small synthetic row sets rather than
+full harness runs, so these tests stay fast and pin down the exact row
+formats the figure functions must produce.
+"""
+
+from repro.eval.figures import BREAKDOWN_CATEGORIES, CATEGORY_ORDER
+from repro.eval.reporting import (
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_table1,
+    render_table2,
+)
+
+
+def test_render_fig6_all_categories_present():
+    rows = [{
+        "benchmark": "libquantum",
+        "static": {c.value: 0.2 for c in CATEGORY_ORDER},
+        "dynamic": {c.value: 0.1 for c in CATEGORY_ORDER},
+    }]
+    text = render_fig6(rows)
+    assert "Figure 6" in text
+    assert "libquantum" in text
+    # One cell per category: "static%/dynamic%".
+    assert text.splitlines()[-1].count("/") == len(CATEGORY_ORDER)
+    assert "20%" in text and "10%" in text
+
+
+def test_render_fig7_speedup_columns():
+    rows = [
+        {"benchmark": "lbm", "native": 1.0, "janus": 3.14},
+        {"benchmark": "milc", "native": 1.0, "janus": 1.17},
+    ]
+    text = render_fig7(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("Figure 7")
+    assert "native" in lines[1] and "janus" in lines[1]
+    assert "3.14x" in text and "1.17x" in text
+    assert len(lines) == 2 + len(rows)
+
+
+def test_render_fig8_both_thread_counts():
+    rows = [{
+        "benchmark": "bwaves",
+        "one_thread": {c: 1.0 / len(BREAKDOWN_CATEGORIES)
+                       for c in BREAKDOWN_CATEGORIES},
+        "eight_threads": {c: 0.5 / len(BREAKDOWN_CATEGORIES)
+                          for c in BREAKDOWN_CATEGORIES},
+    }]
+    text = render_fig8(rows)
+    assert "Figure 8" in text
+    # Every cell carries "1T | 8T" separated values.
+    assert text.splitlines()[-1].count("|") == len(BREAKDOWN_CATEGORIES)
+
+
+def test_render_fig9_threads_sorted():
+    rows = [{"benchmark": "lbm",
+             "speedups": {8: 3.0, 1: 0.9, 4: 2.0, 2: 1.4}}]
+    text = render_fig9(rows)
+    header = text.splitlines()[1]
+    # Thread counts render in ascending order regardless of dict order.
+    positions = [header.index(str(t)) for t in (1, 2, 4, 8)]
+    assert positions == sorted(positions)
+    assert "3.00x" in text
+
+
+def test_render_fig10_overhead_percentage():
+    rows = [{"benchmark": "milc", "binary_bytes": 1000,
+             "schedule_bytes": 150, "overhead": 0.15}]
+    text = render_fig10(rows)
+    assert "15.0%" in text
+    assert "1000" in text and "150" in text
+
+
+def test_render_fig11_four_speedup_columns():
+    rows = [{"benchmark": "cactusADM", "gcc_parallel": 1.0,
+             "janus_gcc": 2.5, "icc_parallel": 3.0, "janus_icc": 2.2}]
+    text = render_fig11(rows)
+    assert text.count("x") >= 4
+    assert "2.50x" in text and "3.00x" in text
+
+
+def test_render_fig12_labels_from_rows():
+    rows = [{"benchmark": "bwaves", "O2": 2.0, "O3": 2.5, "O3-vec": 2.9}]
+    text = render_fig12(rows)
+    assert "O3-vec" in text
+    assert "2.90x" in text
+
+
+def test_render_table1_counts():
+    rows = [{"benchmark": "bwaves", "loops_with_checks": 3,
+             "avg_checks": 2.7}]
+    text = render_table1(rows)
+    assert "Table I" in text
+    assert " 3 " in text or text.rstrip().endswith("2.7")
+    assert "2.7" in text
+
+
+def test_render_table2_yes_no_flags():
+    rows = [{"tool": "Janus", "platform": "DynamoRIO / x86-64",
+             "open_source": True, "automatic": True,
+             "runtime_checks": True, "shared_libraries": True,
+             "parallelisation": "static+dynamic"}]
+    text = render_table2(rows)
+    assert "Table II" in text
+    assert "yes" in text and "no" not in text.splitlines()[-1].replace(
+        "DynamoRIO", "")
+
+
+def test_renderers_are_multiline_strings():
+    # Each renderer returns a plain str with a title line: the CLI's
+    # `figures` subcommand prints them verbatim.
+    rows6 = [{"benchmark": "b",
+              "static": {c.value: 0.0 for c in CATEGORY_ORDER},
+              "dynamic": {c.value: 0.0 for c in CATEGORY_ORDER}}]
+    for text in (render_fig6(rows6),
+                 render_fig7([{"benchmark": "b", "janus": 1.0}])):
+        assert isinstance(text, str)
+        assert len(text.splitlines()) >= 3

@@ -1,0 +1,34 @@
+"""Shared test helpers: assemble-and-run utilities."""
+
+from repro.isa import Opcode as O
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import R
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.dbm.executor import run_native
+
+
+def run_asm(build, inputs=None, entry="_start"):
+    """Build a program with ``build(assembler)``, assemble, load and run it.
+
+    Returns the :class:`ExecutionResult`.
+    """
+    a = Assembler()
+    build(a)
+    image = a.assemble(entry=entry)
+    process = load(image, inputs=inputs)
+    return run_native(process)
+
+
+def ints(result):
+    """The integer outputs of an execution, in order."""
+    return [v for kind, v in result.outputs if kind == "i"]
+
+
+def floats(result):
+    """The float outputs of an execution, in order."""
+    return [v for kind, v in result.outputs if kind == "f"]
+
+
+__all__ = ["run_asm", "ints", "floats", "O", "Imm", "Label", "Mem", "Reg", "R",
+           "Assembler", "load", "run_native"]

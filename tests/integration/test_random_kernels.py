@@ -1,0 +1,126 @@
+"""Property-based end-to-end stress test: random kernels vs the oracle.
+
+Hypothesis generates random array kernels (assignments over a[i]/b[i]/c[i],
+float constants, an invariant scalar, and optionally a reduction), picks a
+compiler personality and optimisation level, runs the full Janus pipeline,
+and asserts observable equivalence with native execution at several thread
+counts.  Any divergence would indicate a real bug somewhere in the
+analyser, schedule generation, or runtime.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dbm.executor import run_native
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+
+ARRAYS = ("a", "b", "c")
+
+leaf = st.one_of(
+    st.sampled_from([f"{arr}[i]" for arr in ARRAYS]),
+    st.sampled_from(["0.5", "1.25", "2.0", "s"]),
+)
+
+
+def combine(left, op, right):
+    return f"({left} {op} {right})"
+
+
+exprs = st.recursive(
+    leaf,
+    lambda children: st.builds(combine, children,
+                               st.sampled_from(["+", "-", "*"]), children),
+    max_leaves=5,
+)
+
+statements = st.lists(
+    st.tuples(st.sampled_from(ARRAYS[:2]),  # write only a or b
+              st.sampled_from(["=", "+="]),
+              exprs),
+    min_size=1, max_size=3,
+)
+
+configs = st.sampled_from([
+    CompileOptions(opt_level=2),
+    CompileOptions(opt_level=3),
+    CompileOptions(opt_level=3, mavx=True),
+    CompileOptions(opt_level=3, personality="icc"),
+])
+
+
+def build_source(body_statements, with_reduction):
+    body = "\n        ".join(
+        f"{target}[i] {op} {expr};" for target, op, expr in body_statements)
+    reduction = "total += a[i] + b[i];" if with_reduction else ""
+    return f"""
+    double a[256];
+    double b[256];
+    double c[256];
+    double s = 1.5;
+
+    int main() {{
+        int i;
+        double total = 0.0;
+        for (i = 0; i < 256; i++) {{
+            a[i] = 0.125 * i;
+            b[i] = 8.0 - 0.0625 * i;
+            c[i] = 0.25 * (i % 7);
+        }}
+        for (i = 0; i < 256; i++) {{
+            {body}
+            {reduction}
+        }}
+        print_double(a[100] + b[77] + c[3]);
+        print_double(total);
+        return 0;
+    }}
+    """
+
+
+def outputs_close(a, b):
+    if len(a) != len(b):
+        return False
+    for (k1, v1), (k2, v2) in zip(a, b):
+        if k1 != k2:
+            return False
+        if not math.isclose(v1, v2, rel_tol=1e-9, abs_tol=1e-9):
+            return False
+    return True
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(body=statements, with_reduction=st.booleans(), options=configs,
+       threads=st.sampled_from([2, 4, 8]))
+def test_random_kernel_oracle(body, with_reduction, options, threads):
+    source = build_source(body, with_reduction)
+    image = compile_source(source, options)
+    native = run_native(load(image))
+    janus = Janus(image, JanusConfig(n_threads=threads,
+                                     coverage_threshold=0.0))
+    training = janus.train()
+    result = janus.run(SelectionMode.JANUS, training=training)
+    assert outputs_close(native.outputs, result.outputs), (
+        source, native.outputs, result.outputs)
+    assert result.exit_code == native.exit_code
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(body=statements)
+def test_random_kernel_all_modes_agree(body):
+    """Every selection mode preserves observable behaviour."""
+    source = build_source(body, with_reduction=False)
+    image = compile_source(source, CompileOptions(opt_level=2))
+    native = run_native(load(image))
+    janus = Janus(image, JanusConfig(n_threads=4, coverage_threshold=0.0))
+    training = janus.train()
+    for mode in (SelectionMode.DBM_ONLY, SelectionMode.STATIC,
+                 SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
+        result = janus.run(mode, training=training)
+        assert outputs_close(native.outputs, result.outputs), (source, mode)

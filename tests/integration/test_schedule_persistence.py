@@ -1,0 +1,90 @@
+"""The static/dynamic separation artifact: schedules survive the disk.
+
+In the paper's workflow the analyser and the DBM are separate programs
+communicating only through the rewrite-schedule *file*.  These tests
+enforce that separation: a schedule serialised to bytes and reloaded in a
+fresh process drives an identical parallel execution, and a schedule from
+a different binary is refused.
+"""
+
+import pytest
+
+from repro.dbm.executor import run_native
+from repro.dbm.modifier import JanusDBM
+from repro.dbm.runtime import ParallelRuntime
+from repro.jbin.image import JELF
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.rewrite.schedule import RewriteSchedule
+
+SOURCE = """
+int n = 600;
+double a[600];
+double b[600];
+
+int main() {
+    int i;
+    double s = 0.0;
+    for (i = 0; i < n; i++) { b[i] = 0.5 * i; }
+    for (i = 0; i < n; i++) { a[i] = b[i] * 3.0 + 1.0; }
+    for (i = 0; i < n; i++) { s += a[i]; }
+    print_double(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    """(binary bytes, schedule bytes) written by the "static" side."""
+    image = compile_source(SOURCE, CompileOptions(opt_level=3))
+    janus = Janus(image, JanusConfig(n_threads=8, coverage_threshold=0.0))
+    training = janus.train()
+    schedule = janus.build_schedule(SelectionMode.JANUS, training)
+    directory = tmp_path_factory.mktemp("artefacts")
+    binary_path = directory / "app.jelf"
+    schedule_path = directory / "app.jrs"
+    binary_path.write_bytes(image.serialize())
+    schedule_path.write_bytes(schedule.serialize())
+    return binary_path, schedule_path
+
+
+def test_reloaded_schedule_drives_identical_execution(artefacts):
+    binary_path, schedule_path = artefacts
+    # The "dynamic" side: nothing but the two files.
+    image = JELF.deserialize(binary_path.read_bytes())
+    schedule = RewriteSchedule.deserialize(schedule_path.read_bytes())
+    assert schedule.verify_against(image)
+
+    native = run_native(load(image))
+    dbm = JanusDBM(load(image), schedule=schedule, n_threads=8)
+    ParallelRuntime(dbm)
+    result = dbm.run()
+    assert result.outputs == pytest.approx(native.outputs) or _close(
+        result.outputs, native.outputs)
+    assert result.stats["loop_invocations_parallel"] >= 1
+    assert result.cycles < native.cycles
+
+
+def test_schedule_refused_for_wrong_binary(artefacts):
+    _, schedule_path = artefacts
+    schedule = RewriteSchedule.deserialize(schedule_path.read_bytes())
+    other = compile_source("int main() { return 0; }", CompileOptions())
+    with pytest.raises(ValueError, match="checksum"):
+        JanusDBM(load(other), schedule=schedule)
+
+
+def test_schedule_bytes_are_deterministic(artefacts):
+    binary_path, schedule_path = artefacts
+    image = JELF.deserialize(binary_path.read_bytes())
+    janus = Janus(image, JanusConfig(n_threads=8, coverage_threshold=0.0))
+    training = janus.train()
+    regenerated = janus.build_schedule(SelectionMode.JANUS, training)
+    assert regenerated.serialize() == schedule_path.read_bytes()
+
+
+def _close(a, b):
+    return len(a) == len(b) and all(
+        k1 == k2 and abs(v1 - v2) <= 1e-9 * max(1.0, abs(v1))
+        for (k1, v1), (k2, v2) in zip(a, b))

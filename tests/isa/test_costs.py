@@ -1,0 +1,41 @@
+"""Tests for the cycle cost model."""
+
+from repro.isa import CostModel, Imm, Instruction, Mem, Opcode, Reg, instruction_cycles
+from repro.isa.costs import DEFAULT_COST_MODEL, MEM_OPERAND_CYCLES
+from repro.isa.registers import R
+
+
+def test_default_alu_cost_is_one():
+    assert instruction_cycles(Instruction(Opcode.ADD, (Reg(R.rax), Imm(1)))) == 1
+
+
+def test_memory_operand_adds_cost():
+    reg_form = Instruction(Opcode.ADD, (Reg(R.rax), Reg(R.rbx)))
+    mem_form = Instruction(Opcode.ADD, (Reg(R.rax), Mem(base=R.rbx)))
+    assert instruction_cycles(mem_form) == (
+        instruction_cycles(reg_form) + MEM_OPERAND_CYCLES)
+
+
+def test_divide_much_more_expensive_than_add():
+    div = Instruction(Opcode.IDIV, (Reg(R.rax), Reg(R.rbx)))
+    add = Instruction(Opcode.ADD, (Reg(R.rax), Reg(R.rbx)))
+    assert instruction_cycles(div) >= 10 * instruction_cycles(add)
+
+
+def test_packed_ops_cost_same_as_scalar():
+    scalar = Instruction(Opcode.ADDSD, (Reg(R.xmm0), Reg(R.xmm1)))
+    packed = Instruction(Opcode.ADDPD, (Reg(R.xmm0), Reg(R.xmm1)))
+    assert instruction_cycles(packed) == instruction_cycles(scalar)
+
+
+def test_cost_model_copy_is_independent():
+    model = CostModel()
+    clone = model.copy()
+    clone.translate_cycles_per_instruction = 999
+    assert model.translate_cycles_per_instruction != 999
+    assert DEFAULT_COST_MODEL.translate_cycles_per_instruction != 999
+
+
+def test_syscall_is_expensive():
+    sc = Instruction(Opcode.SYSCALL)
+    assert instruction_cycles(sc) >= 100

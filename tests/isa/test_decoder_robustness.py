@@ -1,0 +1,130 @@
+"""Robustness tests for the JX decoder on malformed byte streams.
+
+The static analyser decodes attacker-controlled (well, user-supplied)
+binaries, so the decoder must fail with ``DecodingError`` — never an
+uncaught ``IndexError``/``struct.error`` — on any truncated or corrupt
+input.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decoder import DecodingError, decode_instruction, decode_range
+from repro.isa.encoder import encode_instruction
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import R
+
+
+def roundtrip(ins: Instruction) -> Instruction:
+    data = encode_instruction(ins)
+    return decode_instruction(data, 0, 0x1000)
+
+
+def test_empty_data_is_truncation():
+    with pytest.raises(DecodingError, match="truncated"):
+        decode_instruction(b"", 0, 0x400000)
+
+
+def test_missing_operand_count_byte():
+    data = encode_instruction(Instruction(Opcode.RET, ()))
+    with pytest.raises(DecodingError, match="truncated"):
+        decode_instruction(data[:1], 0, 0x400000)
+
+
+def test_invalid_opcode_reports_address():
+    with pytest.raises(DecodingError, match="0x400000"):
+        decode_instruction(b"\xff\x00", 0, 0x400000)
+
+
+def test_rtcall_opcode_not_decodable():
+    # RTCALL is a DBM-internal pseudo-op: it never appears in a binary,
+    # so raw bytes carrying its opcode are malformed input.
+    with pytest.raises(DecodingError, match="invalid opcode"):
+        decode_instruction(bytes([int(Opcode.RTCALL), 0]), 0, 0)
+
+
+def test_invalid_operand_tag():
+    base = encode_instruction(
+        Instruction(Opcode.MOV, (Reg(R.rax), Imm(1))))
+    corrupt = bytearray(base)
+    corrupt[2] = 0x7f  # first operand tag
+    with pytest.raises(DecodingError, match="invalid operand tag"):
+        decode_instruction(bytes(corrupt), 0, 0)
+
+
+def test_truncated_immediate():
+    data = encode_instruction(
+        Instruction(Opcode.MOV, (Reg(R.rax), Imm(0x1122334455))))
+    with pytest.raises(DecodingError, match="truncated"):
+        decode_instruction(data[:-3], 0, 0)
+
+
+def test_truncated_memory_operand():
+    data = encode_instruction(Instruction(
+        Opcode.MOV, (Reg(R.rax),
+                     Mem(base=R.rbx, index=R.rcx, scale=8, disp=64))))
+    with pytest.raises(DecodingError, match="truncated"):
+        decode_instruction(data[:-1], 0, 0)
+
+
+@pytest.mark.parametrize("ins", [
+    Instruction(Opcode.RET, ()),
+    Instruction(Opcode.MOV, (Reg(R.r15), Imm(-1))),
+    Instruction(Opcode.MOV, (Reg(R.rax), Mem(base=R.rsp, disp=-8))),
+    Instruction(Opcode.ADD, (Mem(index=R.rdi, scale=4, disp=0x6000),
+                             Reg(R.rdx))),
+])
+def test_roundtrip_preserves_operands(ins):
+    out = roundtrip(ins)
+    assert out.opcode is ins.opcode
+    assert out.operands == ins.operands
+    assert out.address == 0x1000
+    assert out.size == len(encode_instruction(ins))
+
+
+@given(st.binary(min_size=0, max_size=40))
+def test_arbitrary_bytes_never_crash(data):
+    # Fuzz: any byte soup either decodes or raises DecodingError.
+    try:
+        decode_instruction(data, 0, 0x400000)
+    except DecodingError:
+        pass
+
+
+@given(st.integers(min_value=-2**63, max_value=2**63 - 1))
+def test_immediate_values_roundtrip(value):
+    out = roundtrip(Instruction(Opcode.MOV, (Reg(R.rax), Imm(value))))
+    assert out.operands[1].value == value
+
+
+@given(st.integers(min_value=-2**31, max_value=2**31 - 1),
+       st.sampled_from([1, 2, 4, 8]))
+def test_memory_displacement_roundtrip(disp, scale):
+    ins = Instruction(Opcode.MOV, (
+        Reg(R.rbx), Mem(base=R.rsi, index=R.rcx, scale=scale, disp=disp)))
+    out = roundtrip(ins)
+    mem = out.operands[1]
+    assert (mem.base, mem.index, mem.scale, mem.disp) == \
+        (R.rsi, R.rcx, scale, disp)
+
+
+def test_decode_range_splits_stream_correctly():
+    stream = b"".join([
+        encode_instruction(Instruction(Opcode.MOV, (Reg(R.rax), Imm(7)))),
+        encode_instruction(Instruction(Opcode.INC, (Reg(R.rax),))),
+        encode_instruction(Instruction(Opcode.RET, ())),
+    ])
+    out = decode_range(stream, base=0x400000, start=0x400000)
+    assert [i.opcode for i in out] == [Opcode.MOV, Opcode.INC, Opcode.RET]
+    # Addresses chain: each instruction starts where the previous ends.
+    for prev, cur in zip(out, out[1:]):
+        assert cur.address == prev.address + prev.size
+
+
+def test_decode_range_respects_end():
+    one = encode_instruction(Instruction(Opcode.RET, ()))
+    stream = one * 3
+    out = decode_range(stream, base=0x1000, start=0x1000,
+                       end=0x1000 + 2 * len(one))
+    assert len(out) == 2

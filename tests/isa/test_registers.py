@@ -1,0 +1,61 @@
+"""Tests for the JX register file definition."""
+
+import pytest
+
+from repro.isa import registers as regs
+from repro.isa.registers import (
+    R,
+    is_gpr,
+    is_xmm,
+    reg_id,
+    reg_name,
+)
+
+
+def test_gpr_numbering_matches_x86():
+    assert reg_id("rax") == 0
+    assert reg_id("rcx") == 1
+    assert reg_id("rdx") == 2
+    assert reg_id("rbx") == 3
+    assert reg_id("rsp") == 4
+    assert reg_id("rbp") == 5
+    assert reg_id("r15") == 15
+
+
+def test_xmm_registers_follow_gprs():
+    assert reg_id("xmm0") == regs.XMM_BASE
+    assert reg_id("xmm15") == regs.XMM_BASE + 15
+
+
+def test_round_trip_all_names():
+    for rid in range(regs.NUM_REGS):
+        assert reg_id(reg_name(rid)) == rid
+
+
+def test_classification():
+    assert is_gpr(reg_id("rsp"))
+    assert not is_gpr(reg_id("xmm1"))
+    assert is_xmm(reg_id("xmm1"))
+    assert not is_xmm(reg_id("r8"))
+
+
+def test_namespace_access():
+    assert R.rax == 0
+    assert R.xmm2 == regs.XMM_BASE + 2
+    with pytest.raises(AttributeError):
+        R.not_a_register
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError):
+        reg_id("eax")  # 32-bit names are not part of JX
+    with pytest.raises(ValueError):
+        reg_name(99)
+
+
+def test_abi_roles_are_distinct():
+    assert regs.TLS_REG == reg_id("r15")
+    assert regs.SCRATCH_REG == reg_id("r14")
+    assert regs.STACK_REG == reg_id("rsp")
+    assert regs.TLS_REG in regs.CALLEE_SAVED
+    assert len(set(regs.ARG_REGS)) == 6

@@ -1,0 +1,133 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg, decode_range
+from repro.isa.operands import Label, LabelRef
+from repro.isa.registers import R
+from repro.jbin import layout
+from repro.jbin.asm import Assembler, AssemblyError
+
+
+def test_forward_and_backward_labels_resolve():
+    a = Assembler()
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rax), Imm(0))
+    a.label("loop")
+    a.emit(O.INC, Reg(R.rax))
+    a.emit(O.CMP, Reg(R.rax), Imm(10))
+    a.emit(O.JL, Label("loop"))
+    a.emit(O.JMP, Label("done"))
+    a.label("done")
+    a.emit(O.RET)
+    image = a.assemble(entry="_start")
+    decoded = decode_range(image.text.data, image.text.addr, image.text.addr)
+    jl = decoded[3]
+    assert jl.opcode is O.JL
+    assert jl.operands[0].value == decoded[1].address  # loop
+    jmp = decoded[4]
+    assert jmp.operands[0].value == decoded[5].address  # done
+
+
+def test_data_words_and_labels():
+    a = Assembler()
+    counter = a.word("counter", 7)
+    table = a.word("table", 1, 2, 3)
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rax), Mem(disp=counter))
+    a.emit(O.MOV, Reg(R.rbx), Mem(disp=LabelRef("table", 16)))
+    a.emit(O.RET)
+    image = a.assemble(entry="_start", strip=False)
+    assert image.symbols["counter"] == layout.DATA_BASE
+    assert image.symbols["table"] == layout.DATA_BASE + 8
+    decoded = decode_range(image.text.data, image.text.addr, image.text.addr)
+    assert decoded[0].operands[1].disp == layout.DATA_BASE
+    assert decoded[1].operands[1].disp == layout.DATA_BASE + 8 + 16
+    # Data contents round-trip.
+    import struct
+    values = struct.unpack_from("<4q", image.data.data, 0)
+    assert values == (7, 1, 2, 3)
+
+
+def test_doubles_stored_as_bit_patterns():
+    import struct
+
+    a = Assembler()
+    a.double("pi", 3.14159)
+    a.label("_start")
+    a.emit(O.RET)
+    image = a.assemble(entry="_start")
+    (bits,) = struct.unpack_from("<d", image.data.data, 0)
+    assert bits == pytest.approx(3.14159)
+
+
+def test_bss_follows_data():
+    a = Assembler()
+    a.word("x", 1)
+    buf = a.space("buffer", 100)
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rax), Mem(disp=buf))
+    a.emit(O.RET)
+    image = a.assemble(entry="_start", strip=False)
+    assert image.symbols["buffer"] == layout.DATA_BASE + 8
+    assert image.bss_size == 800
+
+
+def test_imports_get_plt_slots():
+    a = Assembler()
+    pow_label = a.import_symbol("pow")
+    sqrt_label = a.import_symbol("sqrt")
+    a.label("_start")
+    a.emit(O.CALL, pow_label)
+    a.emit(O.CALL, sqrt_label)
+    a.emit(O.RET)
+    image = a.assemble(entry="_start")
+    assert image.imports == {
+        layout.PLT_BASE: "pow",
+        layout.PLT_BASE + layout.PLT_ENTRY_SIZE: "sqrt",
+    }
+    decoded = decode_range(image.text.data, image.text.addr, image.text.addr)
+    assert decoded[0].operands[0].value == layout.PLT_BASE
+
+
+def test_import_symbol_is_idempotent():
+    a = Assembler()
+    first = a.import_symbol("pow")
+    second = a.import_symbol("pow")
+    assert first == second
+    a.label("_start")
+    a.emit(O.RET)
+    assert len(a.assemble(entry="_start").imports) == 1
+
+
+def test_duplicate_label_rejected():
+    a = Assembler()
+    a.label("x")
+    with pytest.raises(AssemblyError):
+        a.label("x")
+    with pytest.raises(AssemblyError):
+        a.word("x", 1)
+
+
+def test_undefined_label_rejected():
+    a = Assembler()
+    a.label("_start")
+    a.emit(O.JMP, Label("nowhere"))
+    with pytest.raises(AssemblyError):
+        a.assemble(entry="_start")
+
+
+def test_missing_entry_rejected():
+    a = Assembler()
+    a.label("f")
+    a.emit(O.RET)
+    with pytest.raises(AssemblyError):
+        a.assemble(entry="_start")
+
+
+def test_stripped_by_default():
+    a = Assembler()
+    a.label("_start")
+    a.emit(O.RET)
+    assert a.assemble(entry="_start").stripped
+    assert not a.assemble(entry="_start", strip=False).stripped

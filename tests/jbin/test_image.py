@@ -1,0 +1,98 @@
+"""Tests for the JELF container format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jbin.image import ImageError, JELF, Section
+
+
+def make_image(**overrides):
+    defaults = dict(
+        entry=0x400000,
+        text=Section(".text", 0x400000, b"\x01\x02\x03"),
+        data=Section(".data", 0x10000000, b"\x00" * 16),
+        bss_size=64,
+        imports={0x4F0000: "pow", 0x4F0010: "malloc"},
+        symbols={},
+        comment="jcc 1.0 -O3",
+    )
+    defaults.update(overrides)
+    return JELF(**defaults)
+
+
+def test_round_trip():
+    image = make_image(symbols={"main": 0x400000, "helper": 0x400010})
+    clone = JELF.deserialize(image.serialize())
+    assert clone.entry == image.entry
+    assert clone.text.data == image.text.data
+    assert clone.text.addr == image.text.addr
+    assert clone.data.data == image.data.data
+    assert clone.bss_size == image.bss_size
+    assert clone.imports == image.imports
+    assert clone.symbols == image.symbols
+    assert clone.comment == image.comment
+
+
+def test_stripped_by_default():
+    assert make_image().stripped
+    assert not make_image(symbols={"main": 1}).stripped
+
+
+def test_strip_removes_symbols_keeps_imports():
+    image = make_image(symbols={"main": 0x400000})
+    stripped = image.strip()
+    assert stripped.stripped
+    assert stripped.imports == image.imports
+    assert stripped.text.data == image.text.data
+
+
+def test_import_lookup():
+    image = make_image()
+    assert image.import_name(0x4F0000) == "pow"
+    assert image.import_name(0x400000) is None
+    assert image.is_plt_address(0x4F0010)
+
+
+def test_text_bytes_at():
+    image = make_image()
+    data, base = image.text_bytes_at(0x400001)
+    assert base == 0x400000
+    assert data == b"\x01\x02\x03"
+    with pytest.raises(ImageError):
+        image.text_bytes_at(0x500000)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ImageError):
+        JELF.deserialize(b"ELF\x7f" + b"\x00" * 64)
+
+
+def test_truncated_rejected():
+    raw = make_image().serialize()
+    with pytest.raises(ImageError):
+        JELF.deserialize(raw[: len(raw) // 2])
+
+
+def test_section_contains():
+    section = Section(".text", 0x400000, b"abcd")
+    assert section.contains(0x400000)
+    assert section.contains(0x400003)
+    assert not section.contains(0x400004)
+    assert section.end == 0x400004
+
+
+@given(text=st.binary(max_size=200), data=st.binary(max_size=200),
+       entry=st.integers(min_value=0, max_value=2**48),
+       bss=st.integers(min_value=0, max_value=2**20),
+       comment=st.text(max_size=40))
+def test_round_trip_property(text, data, entry, bss, comment):
+    image = JELF(entry=entry,
+                 text=Section(".text", 0x400000, text),
+                 data=Section(".data", 0x10000000, data),
+                 bss_size=bss, comment=comment)
+    clone = JELF.deserialize(image.serialize())
+    assert clone.text.data == text
+    assert clone.data.data == data
+    assert clone.entry == entry
+    assert clone.bss_size == bss
+    assert clone.comment == comment

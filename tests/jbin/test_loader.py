@@ -1,0 +1,79 @@
+"""Tests for process loading and PLT linking."""
+
+import pytest
+
+from repro.isa import Imm, Opcode as O, Reg
+from repro.isa.registers import R
+from repro.jbin import layout
+from repro.jbin.asm import Assembler
+from repro.jbin.image import ImageError
+from repro.jbin.loader import load
+from repro.jbin.stdlib import standard_library
+
+
+def make_process(with_import=True):
+    a = Assembler()
+    a.word("g", 123)
+    a.double("d", 2.5)
+    if with_import:
+        powf = a.import_symbol("pow")
+    a.label("_start")
+    if with_import:
+        a.emit(O.CALL, powf)
+    a.emit(O.RET)
+    return load(a.assemble(entry="_start"))
+
+
+class TestCodeMapping:
+    def test_application_and_library_text_mapped(self):
+        process = make_process()
+        data, base = process.code_at(process.entry)
+        assert base == layout.TEXT_BASE
+        lib = standard_library()
+        pow_addr = lib.exports["pow"]
+        data, base = process.code_at(pow_addr)
+        assert base == layout.LIB_TEXT_BASE
+        assert process.is_library_code(pow_addr)
+        assert process.is_application_code(process.entry)
+
+    def test_unmapped_address_rejected(self):
+        process = make_process()
+        with pytest.raises(ImageError):
+            process.code_at(0xDEAD0000)
+
+    def test_plt_resolution(self):
+        process = make_process()
+        slot = next(iter(process.image.imports))
+        resolved = process.resolve_target(slot)
+        assert resolved == standard_library().exports["pow"]
+        # Non-PLT addresses pass through untouched.
+        assert process.resolve_target(process.entry) == process.entry
+
+
+class TestInitialData:
+    def test_app_and_library_words(self):
+        process = make_process()
+        words = dict(process.initial_data())
+        assert words[layout.DATA_BASE] == 123
+        # Library data (the pow coefficient table) is initialised too.
+        lib_words = [a for a in words if a >= layout.LIB_DATA_BASE]
+        assert lib_words
+
+    def test_zero_words_skipped(self):
+        a = Assembler()
+        a.word("zeros", 0, 0, 5)
+        a.label("_start")
+        a.emit(O.RET)
+        process = load(a.assemble(entry="_start"))
+        words = dict(process.initial_data())
+        assert layout.DATA_BASE not in words
+        assert words[layout.DATA_BASE + 16] == 5
+
+    def test_inputs_copied_not_shared(self):
+        inputs = [1, 2, 3]
+        a = Assembler()
+        a.label("_start")
+        a.emit(O.RET)
+        process = load(a.assemble(entry="_start"), inputs=inputs)
+        inputs.append(99)
+        assert process.inputs == [1, 2, 3]

@@ -1,0 +1,184 @@
+"""Tests for the JX standard library (shared-library substrate)."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin import layout
+from repro.jbin.loader import LinkError, load
+from repro.jbin.asm import Assembler
+from repro.jbin.stdlib import build_standard_library, standard_library
+
+from tests.helpers import floats, ints, run_asm
+
+RAX, RDI, RSI, RDX = Reg(R.rax), Reg(R.rdi), Reg(R.rsi), Reg(R.rdx)
+XMM0, XMM1 = Reg(R.xmm0), Reg(R.xmm1)
+
+
+def test_exports_present():
+    lib = build_standard_library()
+    for name in ("pow", "sqrt", "fabs", "malloc", "free", "memcpy",
+                 "memset_words", "rand", "srand", "print_int",
+                 "print_double", "read_int", "exit"):
+        assert name in lib.exports
+    for addr in lib.exports.values():
+        assert lib.image.text.contains(addr)
+
+
+def test_library_is_cached():
+    assert standard_library() is standard_library()
+
+
+def test_print_int_via_library():
+    def build(a):
+        fn = a.import_symbol("print_int")
+        a.label("_start")
+        a.emit(O.MOV, RDI, Imm(123))
+        a.emit(O.CALL, fn)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [123]
+
+
+def test_pow_profile_and_determinism():
+    """pow reads its 11-entry table and computes y * P(x) deterministically."""
+
+    def build(a):
+        fn = a.import_symbol("pow")
+        pr = a.import_symbol("print_double")
+        a.double("x", 1.0)
+        a.double("y", 2.0)
+        a.label("_start")
+        a.emit(O.MOVSD, XMM0, Mem(disp=Label("x")))
+        a.emit(O.MOVSD, XMM1, Mem(disp=Label("y")))
+        a.emit(O.CALL, fn)
+        a.emit(O.CALL, pr)
+        a.emit(O.RET)
+
+    result = run_asm(build)
+    # P(1) = sum 1/k! for k=0..10 ~= e; result = 2 * P(1).
+    e_approx = sum(1.0 / __import__("math").factorial(k) for k in range(11))
+    assert floats(result) == [pytest.approx(2.0 * e_approx)]
+
+
+def test_sqrt():
+    def build(a):
+        fn = a.import_symbol("sqrt")
+        pr = a.import_symbol("print_double")
+        a.double("x", 16.0)
+        a.label("_start")
+        a.emit(O.MOVSD, XMM0, Mem(disp=Label("x")))
+        a.emit(O.CALL, fn)
+        a.emit(O.CALL, pr)
+        a.emit(O.RET)
+
+    assert floats(run_asm(build)) == [pytest.approx(4.0)]
+
+
+def test_fabs_both_signs():
+    def build(a):
+        fn = a.import_symbol("fabs")
+        pr = a.import_symbol("print_double")
+        a.double("pos", 2.5)
+        a.double("neg", -2.5)
+        a.label("_start")
+        for name in ("pos", "neg"):
+            a.emit(O.MOVSD, XMM0, Mem(disp=Label(name)))
+            a.emit(O.CALL, fn)
+            a.emit(O.CALL, pr)
+        a.emit(O.RET)
+
+    assert floats(run_asm(build)) == [2.5, 2.5]
+
+
+def test_malloc_bump_allocation():
+    def build(a):
+        malloc = a.import_symbol("malloc")
+        pr = a.import_symbol("print_int")
+        a.label("_start")
+        a.emit(O.MOV, RDI, Imm(100))
+        a.emit(O.CALL, malloc)
+        a.emit(O.MOV, RDI, RAX)
+        a.emit(O.CALL, pr)
+        a.emit(O.MOV, RDI, Imm(8))
+        a.emit(O.CALL, malloc)
+        a.emit(O.MOV, RDI, RAX)
+        a.emit(O.CALL, pr)
+        a.emit(O.RET)
+
+    first, second = ints(run_asm(build))
+    assert first == layout.HEAP_BASE
+    assert second == layout.HEAP_BASE + 112  # 100 rounded up to 112
+
+
+def test_memset_and_memcpy():
+    def build(a):
+        memset = a.import_symbol("memset_words")
+        memcpy = a.import_symbol("memcpy")
+        pr = a.import_symbol("print_int")
+        src = a.space("src", 4)
+        dst = a.space("dst", 4)
+        a.label("_start")
+        a.emit(O.MOV, RDI, src)
+        a.emit(O.MOV, RSI, Imm(7))
+        a.emit(O.MOV, RDX, Imm(4))
+        a.emit(O.CALL, memset)
+        a.emit(O.MOV, RDI, dst)
+        a.emit(O.MOV, RSI, src)
+        a.emit(O.MOV, RDX, Imm(4))
+        a.emit(O.CALL, memcpy)
+        from repro.isa.operands import LabelRef
+        for k in range(4):
+            a.emit(O.MOV, RDI, Mem(disp=LabelRef("dst", 8 * k)))
+            a.emit(O.CALL, pr)
+        a.emit(O.RET)
+
+    assert ints(run_asm(build)) == [7, 7, 7, 7]
+
+
+def test_rand_deterministic_and_bounded():
+    def build(a):
+        rand = a.import_symbol("rand")
+        srand = a.import_symbol("srand")
+        pr = a.import_symbol("print_int")
+        a.label("_start")
+        a.emit(O.MOV, RDI, Imm(12345))
+        a.emit(O.CALL, srand)
+        for _ in range(3):
+            a.emit(O.CALL, rand)
+            a.emit(O.MOV, RDI, RAX)
+            a.emit(O.CALL, pr)
+        a.emit(O.RET)
+
+    first = ints(run_asm(build))
+    second = ints(run_asm(build))
+    assert first == second
+    assert all(0 <= v < 2**31 for v in first)
+    assert len(set(first)) == 3
+
+
+def test_unresolved_import_fails_at_load():
+    a = Assembler()
+    missing = a.import_symbol("no_such_function")
+    a.label("_start")
+    a.emit(O.CALL, missing)
+    a.emit(O.RET)
+    image = a.assemble(entry="_start")
+    with pytest.raises(LinkError):
+        load(image)
+
+
+def test_pow_access_profile_matches_paper():
+    """Paper section III-B: ~49 instructions, 11 heap reads, 0 writes."""
+    from repro.isa.decoder import decode_range
+
+    lib = standard_library()
+    start = lib.exports["pow"]
+    end = lib.exports["sqrt"]
+    body = decode_range(lib.image.text.data, lib.image.text.addr, start, end)
+    reads = sum(len(i.mem_reads()) for i in body)
+    writes = sum(len(i.mem_writes()) for i in body)
+    assert reads == 11
+    assert writes == 0
+    assert 25 <= len(body) <= 60

@@ -1,0 +1,70 @@
+"""Tests for the JOMP fork/join syscall brackets (compiler baselines)."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin import syscalls
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.dbm.executor import run_native
+
+
+def spin_program(threads, iterations=2000, bracketed=True):
+    """A counted loop, optionally bracketed by JOMP_BEGIN/END."""
+    a = Assembler()
+    a.label("_start")
+    if bracketed:
+        a.emit(O.MOV, Reg(R.rdi), Imm(threads))
+        a.emit(O.MOV, Reg(R.rax), Imm(syscalls.JOMP_BEGIN))
+        a.emit(O.SYSCALL)
+    a.emit(O.MOV, Reg(R.rcx), Imm(0))
+    a.label("loop")
+    a.emit(O.INC, Reg(R.rcx))
+    a.emit(O.CMP, Reg(R.rcx), Imm(iterations))
+    a.emit(O.JL, Label("loop"))
+    if bracketed:
+        a.emit(O.MOV, Reg(R.rax), Imm(syscalls.JOMP_END))
+        a.emit(O.SYSCALL)
+    a.emit(O.MOV, Reg(R.rdi), Reg(R.rcx))
+    a.emit(O.MOV, Reg(R.rax), Imm(syscalls.PRINT_INT))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+    return load(a.assemble(entry="_start"))
+
+
+def test_bracketed_region_cycles_divided():
+    serial = run_native(spin_program(1, bracketed=False))
+    four = run_native(spin_program(4))
+    # Semantics identical.
+    assert serial.outputs == four.outputs
+    # Cycles divided by the thread count plus the fork/join overhead.
+    assert four.cycles < serial.cycles
+    assert four.cycles > serial.cycles / 4
+
+
+def test_more_threads_means_fewer_cycles():
+    two = run_native(spin_program(2))
+    eight = run_native(spin_program(8))
+    assert eight.cycles < two.cycles
+    assert two.outputs == eight.outputs
+
+
+def test_zero_threads_clamped():
+    # rdi = 0 must not divide by zero.
+    result = run_native(spin_program(0))
+    assert result.outputs[0][1] == 2000
+
+
+def test_unbalanced_end_is_harmless():
+    a = Assembler()
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rax), Imm(syscalls.JOMP_END))
+    a.emit(O.SYSCALL)  # END without BEGIN: ignored
+    a.emit(O.MOV, Reg(R.rdi), Imm(5))
+    a.emit(O.MOV, Reg(R.rax), Imm(syscalls.PRINT_INT))
+    a.emit(O.SYSCALL)
+    a.emit(O.RET)
+    result = run_native(load(a.assemble(entry="_start")))
+    assert result.outputs == [("i", 5)]

@@ -1,0 +1,303 @@
+"""End-to-end jcc tests: compile and run, across all option sets."""
+
+import pytest
+
+from repro.jcc import CompileOptions, compile_source
+from repro.jbin.loader import load
+from repro.dbm.executor import run_native
+
+ALL_OPTIONS = [
+    CompileOptions(opt_level=0),
+    CompileOptions(opt_level=2),
+    CompileOptions(opt_level=3),
+    CompileOptions(opt_level=3, mavx=True),
+    CompileOptions(opt_level=3, personality="icc"),
+]
+
+
+def run(source, options=None, inputs=None):
+    image = compile_source(source, options or CompileOptions())
+    return run_native(load(image, inputs=inputs))
+
+
+def outputs(source, options=None, inputs=None):
+    return run(source, options, inputs).outputs
+
+
+@pytest.mark.parametrize("options", ALL_OPTIONS,
+                         ids=lambda o: o.comment)
+class TestAcrossAllLevels:
+    def test_arithmetic(self, options):
+        src = """
+        int main() {
+            print_int(7 * 6);
+            print_int((100 - 1) / 7);
+            print_int(17 % 5);
+            print_int(1 << 10);
+            print_double(1.5 * 4.0 - 2.0);
+            return 0;
+        }
+        """
+        assert outputs(src, options) == [
+            ("i", 42), ("i", 14), ("i", 2), ("i", 1024), ("f", 4.0)]
+
+    def test_loops_and_arrays(self, options):
+        src = """
+        int n = 50;
+        int a[50];
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < n; i++) { a[i] = i * i; }
+            for (i = 0; i < n; i++) { total += a[i]; }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert outputs(src, options) == [
+            ("i", sum(i * i for i in range(50)))]
+
+    def test_double_stencil(self, options):
+        src = """
+        double u[64];
+        double v[64];
+        int main() {
+            int i;
+            for (i = 0; i < 64; i++) { u[i] = 0.25 * i; }
+            for (i = 1; i < 63; i++) {
+                v[i] = 0.5 * (u[i - 1] + u[i + 1]);
+            }
+            print_double(v[10]);
+            print_double(v[62]);
+            return 0;
+        }
+        """
+        want10 = 0.5 * (0.25 * 9 + 0.25 * 11)
+        want62 = 0.5 * (0.25 * 61 + 0.25 * 63)
+        got = outputs(src, options)
+        assert got[0] == ("f", pytest.approx(want10))
+        assert got[1] == ("f", pytest.approx(want62))
+
+    def test_functions_and_recursion(self, options):
+        src = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        double average(double x, double y) { return (x + y) / 2.0; }
+        int main() {
+            print_int(fib(12));
+            print_double(average(3.0, 5.0));
+            return 0;
+        }
+        """
+        assert outputs(src, options) == [("i", 144), ("f", 4.0)]
+
+    def test_control_flow(self, options):
+        src = """
+        int main() {
+            int i;
+            int hits = 0;
+            for (i = 0; i < 20; i++) {
+                if (i % 3 == 0 && i % 2 == 0) { hits += 1; }
+                if (i == 15) { break; }
+            }
+            print_int(hits);
+            int j = 0;
+            while (j < 5) { j++; }
+            print_int(j);
+            return 0;
+        }
+        """
+        # multiples of 6 in 0..15: 0, 6, 12 -> 3 hits
+        assert outputs(src, options) == [("i", 3), ("i", 5)]
+
+    def test_library_calls(self, options):
+        src = """
+        int main() {
+            print_double(sqrt(81.0));
+            print_double(fabs(0.0 - 2.5));
+            srand(7);
+            int r = rand();
+            print_int(r - r);
+            return 0;
+        }
+        """
+        assert outputs(src, options) == [("f", 9.0), ("f", 2.5), ("i", 0)]
+
+    def test_pointers_and_malloc(self, options):
+        src = """
+        int main() {
+            double* p = malloc(160);
+            int i;
+            for (i = 0; i < 20; i++) { p[i] = i * 1.5; }
+            double total = 0.0;
+            for (i = 0; i < 20; i++) { total += p[i]; }
+            print_double(total);
+            return 0;
+        }
+        """
+        assert outputs(src, options) == [
+            ("f", pytest.approx(sum(i * 1.5 for i in range(20))))]
+
+    def test_read_int_inputs(self, options):
+        src = """
+        int main() {
+            int a = read_int();
+            int b = read_int();
+            print_int(a + b);
+            return 0;
+        }
+        """
+        assert outputs(src, options, inputs=[30, 12]) == [("i", 42)]
+
+    def test_exit_code(self, options):
+        result = run("int main() { return 9; }", options)
+        assert result.exit_code == 9
+
+    def test_global_initialisers(self, options):
+        src = """
+        int table[6] = {5, 4, 3};
+        double d = 2.5;
+        int main() {
+            print_int(table[0] + table[2] + table[5]);
+            print_double(d);
+            return 0;
+        }
+        """
+        assert outputs(src, options) == [("i", 8), ("f", 2.5)]
+
+
+class TestOptimisationBehaviour:
+    def test_all_levels_agree(self):
+        src = """
+        int n = 200;
+        double a[200];
+        double b[200];
+        int main() {
+            int i;
+            for (i = 0; i < n; i++) { b[i] = 0.125 * i; }
+            for (i = 0; i < n; i++) { a[i] = b[i] * 3.0 + 1.0; }
+            double s = 0.0;
+            for (i = 0; i < n; i++) { s += a[i]; }
+            print_double(s);
+            return 0;
+        }
+        """
+        results = [outputs(src, options) for options in ALL_OPTIONS]
+        assert all(r == results[0] for r in results[1:])
+
+    def test_o3_uses_packed_instructions(self):
+        from repro.analysis.disasm import disassemble
+        from repro.isa.instructions import PACKED_LANES
+
+        src = """
+        int n = 64;
+        double a[64];
+        int main() {
+            int i;
+            for (i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+            return 0;
+        }
+        """
+        scalar = compile_source(src, CompileOptions(opt_level=2))
+        vector = compile_source(src, CompileOptions(opt_level=3))
+        avx = compile_source(src, CompileOptions(opt_level=3, mavx=True))
+
+        def packed_lanes(image):
+            dis = disassemble(image)
+            return {PACKED_LANES[i.opcode]
+                    for i in dis.instructions.values()
+                    if i.opcode in PACKED_LANES}
+
+        assert packed_lanes(scalar) == set()
+        assert packed_lanes(vector) == {2}
+        assert packed_lanes(avx) == {4}
+
+    def test_o3_executes_fewer_loop_instructions(self):
+        src = """
+        int n = 400;
+        double a[400];
+        int main() {
+            int i;
+            for (i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+            print_double(a[399]);
+            return 0;
+        }
+        """
+        o2 = run(src, CompileOptions(opt_level=2))
+        o3 = run(src, CompileOptions(opt_level=3))
+        assert o3.outputs == o2.outputs
+        assert o3.instructions < o2.instructions
+        assert o3.cycles < o2.cycles
+
+    def test_icc_unrolls_more(self):
+        src = """
+        int n = 100;
+        int a[100];
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i++) { a[i] = 3 * i; }
+            for (i = 0; i < n; i++) { s += a[i]; }
+            print_int(s);
+            return 0;
+        }
+        """
+        gcc = compile_source(src, CompileOptions(opt_level=3))
+        icc = compile_source(src, CompileOptions(opt_level=3,
+                                                 personality="icc"))
+        gcc_run = run_native(load(gcc))
+        icc_run = run_native(load(icc))
+        assert gcc_run.outputs == icc_run.outputs
+        # More aggressive unrolling -> fewer dynamic branch instructions.
+        assert icc_run.instructions < gcc_run.instructions
+
+    def test_comment_records_options_but_is_stripped_metadata(self):
+        image = compile_source("int main() { return 0; }",
+                               CompileOptions(opt_level=3, mavx=True))
+        assert "jcc-gcc" in image.comment
+        assert "-mavx" in image.comment
+        assert image.stripped
+
+
+class TestAutoParallelisation:
+    SRC = """
+    int n = 600;
+    double a[600];
+    double b[600];
+    int main() {
+        int i;
+        for (i = 0; i < n; i++) { b[i] = 0.5 * i; }
+        for (i = 0; i < n; i++) { a[i] = b[i] * 2.0 + 1.0; }
+        double s = 0.0;
+        for (i = 0; i < n; i++) { s += a[i]; }
+        print_double(s);
+        return 0;
+    }
+    """
+
+    def test_parallel_preserves_semantics(self):
+        plain = outputs(self.SRC, CompileOptions(opt_level=3))
+        parallel = outputs(self.SRC, CompileOptions(opt_level=3,
+                                                    parallel=True))
+        assert plain == parallel
+
+    def test_parallel_is_faster(self):
+        plain = run(self.SRC, CompileOptions(opt_level=3))
+        parallel = run(self.SRC, CompileOptions(opt_level=3, parallel=True,
+                                                parallel_threads=8))
+        assert parallel.cycles < plain.cycles
+
+    def test_reduction_loop_not_parallelised(self):
+        """The conservative baseline must leave the sum loop alone: only
+        the two independent fill loops become __jomp_parallel_for calls."""
+        image = compile_source(self.SRC, CompileOptions(opt_level=2,
+                                                        parallel=True))
+        # Two parallelised loops -> two outlined bodies in the binary.
+        from repro.analysis.disasm import disassemble
+
+        dis = disassemble(image)
+        jomp_calls = [a for a, name in dis.external_call_sites.items()
+                      if name == "__jomp_parallel_for"]
+        assert len(jomp_calls) == 2

@@ -1,0 +1,207 @@
+"""Execution tests for the remaining JC language surface."""
+
+import pytest
+
+from repro.dbm.executor import run_native
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+
+
+def outputs(source, opt_level=2, inputs=None):
+    image = compile_source(source, CompileOptions(opt_level=opt_level))
+    return run_native(load(image, inputs=inputs)).outputs
+
+
+class TestControl:
+    def test_continue(self):
+        src = """
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2 == 0) { continue; }
+                total += i;
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 1 + 3 + 5 + 7 + 9)]
+
+    def test_nested_break_only_exits_inner(self):
+        src = """
+        int main() {
+            int i; int j; int count = 0;
+            for (i = 0; i < 4; i++) {
+                for (j = 0; j < 10; j++) {
+                    if (j == 2) { break; }
+                    count += 1;
+                }
+            }
+            print_int(count);
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 8)]
+
+    def test_while_with_complex_condition(self):
+        src = """
+        int main() {
+            int x = 0; int y = 100;
+            while (x < 10 && y > 50) {
+                x += 1;
+                y -= 7;
+            }
+            print_int(x); print_int(y);
+            return 0;
+        }
+        """
+        # y: 100,93,86,79,72,65,58,51 -> stops when y=51>50 ok, then 44
+        assert outputs(src) == [("i", 8), ("i", 44)]
+
+
+class TestExpressions:
+    def test_logical_ops_as_values(self):
+        src = """
+        int main() {
+            int a = 5; int b = 0;
+            print_int(a && 3);
+            print_int(b || 0);
+            print_int(!(a > 2));
+            print_int(!(b));
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 1), ("i", 0), ("i", 0), ("i", 1)]
+
+    def test_comparison_values(self):
+        src = """
+        int main() {
+            double x = 2.5;
+            print_int(x > 2.0);
+            print_int(x == 2.5);
+            print_int(3 != 3);
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 1), ("i", 1), ("i", 0)]
+
+    def test_compound_assignment_operators(self):
+        src = """
+        int main() {
+            int x = 100;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 13;
+            print_int(x);
+            double d = 8.0;
+            d /= 2.0; d *= 3.0;
+            print_double(d);
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", (100 + 5 - 3) * 2 // 4 % 13),
+                                ("f", 12.0)]
+
+    def test_bitwise_operators(self):
+        src = """
+        int main() {
+            print_int(12 & 10);
+            print_int(12 | 3);
+            print_int(12 ^ 10);
+            print_int((1 << 5) >> 2);
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 8), ("i", 15), ("i", 6), ("i", 8)]
+
+    def test_unary_minus_chains(self):
+        src = """
+        int main() {
+            int x = 5;
+            print_int(-x);
+            print_int(-(-x));
+            print_double(-(1.5 - 3.0));
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", -5), ("i", 5), ("f", 1.5)]
+
+
+class TestFunctionsAndPointers:
+    def test_pointer_parameters(self):
+        src = """
+        double scale_sum(double* xs, int count, double factor) {
+            int k;
+            double total = 0.0;
+            for (k = 0; k < count; k++) {
+                xs[k] = xs[k] * factor;
+                total += xs[k];
+            }
+            return total;
+        }
+        double data[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i++) { data[i] = 1.0 * i; }
+            print_double(scale_sum(data, 8, 0.5));
+            print_double(data[6]);
+            return 0;
+        }
+        """
+        got = outputs(src)
+        assert got[0] == ("f", pytest.approx(sum(0.5 * i for i in range(8))))
+        assert got[1] == ("f", 3.0)
+
+    def test_many_arguments(self):
+        src = """
+        int combine(int a, int b, int c, int d, int e, int f) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        int main() {
+            print_int(combine(1, 2, 3, 4, 5, 6));
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 1 + 4 + 9 + 16 + 25 + 36)]
+
+    def test_mixed_int_float_arguments(self):
+        src = """
+        double mix(int a, double x, int b, double y) {
+            return a * x + b * y;
+        }
+        int main() {
+            print_double(mix(2, 1.5, 3, 0.5));
+            return 0;
+        }
+        """
+        assert outputs(src) == [("f", pytest.approx(4.5))]
+
+    def test_void_function(self):
+        src = """
+        int counter = 0;
+        void bump(int amount) { counter += amount; }
+        int main() {
+            bump(3); bump(4);
+            print_int(counter);
+            return 0;
+        }
+        """
+        assert outputs(src) == [("i", 7)]
+
+
+class TestO0Fidelity:
+    @pytest.mark.parametrize("opt_level", [0, 2, 3])
+    def test_memory_locals_agree(self, opt_level):
+        src = """
+        int main() {
+            int i;
+            int fib0 = 0; int fib1 = 1;
+            for (i = 0; i < 20; i++) {
+                int next = fib0 + fib1;
+                fib0 = fib1;
+                fib1 = next;
+            }
+            print_int(fib1);
+            return 0;
+        }
+        """
+        assert outputs(src, opt_level=opt_level) == [("i", 10946)]

@@ -1,0 +1,266 @@
+"""Unit tests for the AST-level optimisation passes."""
+
+import pytest
+
+from repro.jcc import ast
+from repro.jcc.optimizer import (
+    fold_expr,
+    match_countable,
+    try_autopar,
+    try_multiversion,
+    try_unroll,
+    try_vectorize,
+)
+from repro.jcc.parser import parse
+from repro.jcc.sema import analyse
+
+
+def program(source):
+    return analyse(parse(source))
+
+
+def first_loop(fn):
+    for statement in fn.body:
+        if isinstance(statement, ast.For):
+            return statement
+    raise AssertionError("no for loop")
+
+
+class TestMatchCountable:
+    def test_canonical_form(self):
+        prog = program("""
+            int main() { int i; for (i = 2; i < 10; i++) { } return 0; }
+        """)
+        loop = first_loop(prog.function("main"))
+        match = match_countable(loop)
+        assert match is not None
+        assert match.iter_name == "i"
+        assert match.start.value == 2
+        assert not match.inclusive
+
+    def test_decl_init_form(self):
+        prog = program("""
+            int main() { for (int i = 0; i < 4; i += 1) { } return 0; }
+        """)
+        assert match_countable(first_loop(prog.function("main"))) is not None
+
+    def test_non_unit_step_rejected(self):
+        prog = program("""
+            int main() { int i; for (i = 0; i < 10; i += 2) { } return 0; }
+        """)
+        assert match_countable(first_loop(prog.function("main"))) is None
+
+    def test_downward_rejected(self):
+        prog = program("""
+            int main() { int i; for (i = 10; i > 0; i -= 1) { } return 0; }
+        """)
+        assert match_countable(first_loop(prog.function("main"))) is None
+
+
+class TestFold:
+    def test_int_folds(self):
+        expr = fold_expr(parse_expr("2 * 3 + 10 / 2"))
+        assert isinstance(expr, ast.IntLit)
+        assert expr.value == 11
+
+    def test_float_folds(self):
+        expr = fold_expr(parse_expr("1.5 * 2.0", decl_type="double"))
+        assert isinstance(expr, ast.FloatLit)
+        assert expr.value == 3.0
+
+    def test_division_by_zero_not_folded(self):
+        expr = fold_expr(parse_expr("1 / 0"))
+        assert isinstance(expr, ast.Binary)
+
+    def test_shift_folds(self):
+        assert fold_expr(parse_expr("1 << 4")).value == 16
+
+
+def parse_expr(text, decl_type="int"):
+    prog = program(f"int main() {{ {decl_type} x = {text}; return 0; }}")
+    return prog.function("main").body[0].init
+
+
+class TestUnroll:
+    SRC = """
+    int a[64];
+    int main() {
+        int i;
+        for (i = 0; i < 64; i++) { a[i] = i * 3; }
+        return 0;
+    }
+    """
+
+    def test_unroll_structure(self):
+        prog = program(self.SRC)
+        loop = first_loop(prog.function("main"))
+        result = try_unroll(loop, 2)
+        assert result is not None
+        main, tail = result
+        assert len(main.body) == 2 * len(loop.body)
+        assert tail.init is None  # continues from the main loop's iterator
+
+    def test_factor_one_rejected(self):
+        prog = program(self.SRC)
+        assert try_unroll(first_loop(prog.function("main")), 1) is None
+
+    def test_loop_with_break_rejected(self):
+        prog = program("""
+        int a[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i++) { if (i == 3) { break; } a[i] = i; }
+            return 0;
+        }
+        """)
+        assert try_unroll(first_loop(prog.function("main")), 2) is None
+
+
+class TestVectorize:
+    def test_simple_double_loop(self):
+        prog = program("""
+        double a[64];
+        double b[64];
+        int main() {
+            int i;
+            for (i = 0; i < 64; i++) { a[i] = b[i] * 2.0 + 1.0; }
+            return 0;
+        }
+        """)
+        result = try_vectorize(first_loop(prog.function("main")), 2)
+        assert result is not None
+        init, vec, tail = result
+        assert isinstance(vec, ast.VecFor)
+        assert vec.lanes == 2
+
+    def test_int_loop_rejected(self):
+        prog = program("""
+        int a[64];
+        int main() {
+            int i;
+            for (i = 0; i < 64; i++) { a[i] = i; }
+            return 0;
+        }
+        """)
+        assert try_vectorize(first_loop(prog.function("main")), 2) is None
+
+    def test_offset_index_rejected(self):
+        prog = program("""
+        double a[64];
+        int main() {
+            int i;
+            for (i = 1; i < 64; i++) { a[i] = a[i - 1]; }
+            return 0;
+        }
+        """)
+        assert try_vectorize(first_loop(prog.function("main")), 2) is None
+
+    def test_no_vectorize_mark_respected(self):
+        prog = program("""
+        double a[64];
+        int main() {
+            int i;
+            for (i = 0; i < 64; i++) { a[i] = 1.0; }
+            return 0;
+        }
+        """)
+        loop = first_loop(prog.function("main"))
+        loop.no_vectorize = True
+        assert try_vectorize(loop, 2) is None
+
+
+class TestAutopar:
+    def _loop(self, body, aggressive=False, globals_="double a[64];\n"
+              "double b[64];"):
+        prog = program(f"""
+        {globals_}
+        int main() {{
+            int i;
+            for (i = 0; i < 64; i++) {{ {body} }}
+            return 0;
+        }}
+        """)
+        fn = prog.function("main")
+        return prog, fn, first_loop(fn)
+
+    def test_independent_loop_outlined(self):
+        prog, fn, loop = self._loop("a[i] = b[i] * 2.0;")
+        result = try_autopar(prog, fn, loop, 8)
+        assert result is not None
+        (call_stmt,) = result
+        assert isinstance(call_stmt, ast.ExprStmt)
+        assert call_stmt.expr.func == "__jomp_parallel_for"
+        # The outlined body landed in the program.
+        assert any(f.name.startswith("__par_body") for f in prog.functions)
+
+    def test_recurrence_rejected_in_aggressive_mode(self):
+        prog, fn, loop = self._loop("a[i] = a[i - 1] * 0.5;")
+        assert try_autopar(prog, fn, loop, 8, aggressive=True) is None
+
+    def test_offset_read_of_other_array_allowed_aggressively(self):
+        prog, fn, loop = self._loop("a[i] = b[i - 1] * 0.5;")
+        assert try_autopar(prog, fn, loop, 8, aggressive=False) is None
+        assert try_autopar(prog, fn, loop, 8, aggressive=True) is not None
+
+    def test_locals_only_in_aggressive_mode(self):
+        body = "double t = b[i] * 2.0; a[i] = t + 1.0;"
+        prog, fn, loop = self._loop(body)
+        assert try_autopar(prog, fn, loop, 8, aggressive=False) is None
+        prog, fn, loop = self._loop(body)
+        assert try_autopar(prog, fn, loop, 8, aggressive=True) is not None
+
+    def test_call_in_body_rejected(self):
+        prog, fn, loop = self._loop("a[i] = sqrt(b[i]);")
+        assert try_autopar(prog, fn, loop, 8, aggressive=True) is None
+
+
+class TestMultiversion:
+    SRC = """
+    int n = 64;
+    int main() {
+        double* p = malloc(512);
+        double* q = malloc(512);
+        int i;
+        for (i = 0; i < n; i++) { p[i] = q[i] * 2.0; }
+        print_double(p[10]);
+        return 0;
+    }
+    """
+
+    def test_duplicates_behind_overlap_check(self):
+        prog = program(self.SRC)
+        fn = prog.function("main")
+        loop = first_loop(fn)
+        result = try_multiversion(fn, loop)
+        assert result is not None
+        (guard,) = result
+        assert isinstance(guard, ast.If)
+        fast = guard.then_body[0]
+        slow = guard.else_body[0]
+        assert isinstance(fast, ast.For) and isinstance(slow, ast.For)
+        assert getattr(slow, "no_vectorize", False)
+        assert not getattr(fast, "no_vectorize", False)
+
+    def test_global_array_loop_not_multiversioned(self):
+        prog = program("""
+        double a[64];
+        double b[64];
+        int main() {
+            int i;
+            for (i = 0; i < 64; i++) { a[i] = b[i]; }
+            return 0;
+        }
+        """)
+        fn = prog.function("main")
+        assert try_multiversion(fn, first_loop(fn)) is None
+
+    def test_executes_identically_across_personalities(self):
+        from repro.dbm.executor import run_native
+        from repro.jbin.loader import load
+        from repro.jcc import CompileOptions, compile_source
+
+        gcc = run_native(load(compile_source(
+            self.SRC, CompileOptions(opt_level=3, personality="gcc"))))
+        icc = run_native(load(compile_source(
+            self.SRC, CompileOptions(opt_level=3, personality="icc"))))
+        assert gcc.outputs == icc.outputs

@@ -1,0 +1,151 @@
+"""Unit tests for the linear-scan register allocator."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode as O
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import R
+from repro.jcc.codegen import VREG_BASE, FunctionCode
+from repro.jcc.regalloc import (
+    CALLEE_SAVED_POOL,
+    FLOAT_POOL,
+    INT_POOL_CALLEE,
+    INT_POOL_CALLER,
+    allocate,
+)
+
+
+def vi(n):  # int virtual register n
+    return VREG_BASE + 2 * n
+
+
+def vf(n):  # float virtual register n
+    return VREG_BASE + 2 * n + 1
+
+
+def code(stream, n_vregs=200, reserved=0):
+    return FunctionCode(name="f", stream=stream, n_vregs=n_vregs,
+                        reserved_frame_words=reserved)
+
+
+def physical_ids(allocation):
+    regs = set()
+    for kind, ins in allocation.stream:
+        if kind != "ins":
+            continue
+        for op in ins.operands:
+            if isinstance(op, Reg):
+                regs.add(op.id)
+            elif isinstance(op, Mem):
+                if op.base is not None:
+                    regs.add(op.base)
+                if op.index is not None:
+                    regs.add(op.index)
+    return regs
+
+
+class TestBasics:
+    def test_all_vregs_eliminated(self):
+        stream = [
+            ("ins", Instruction(O.MOV, (Reg(vi(0)), Imm(1)))),
+            ("ins", Instruction(O.ADD, (Reg(vi(0)), Imm(2)))),
+            ("ins", Instruction(O.MOV, (Reg(R.rax), Reg(vi(0))))),
+            ("ins", Instruction(O.RET)),
+        ]
+        allocation = allocate(code(stream))
+        assert all(r < VREG_BASE for r in physical_ids(allocation))
+
+    def test_disjoint_lifetimes_share_registers(self):
+        stream = []
+        for k in range(12):  # more vregs than the int pool holds
+            stream.append(("ins", Instruction(O.MOV, (Reg(vi(k)), Imm(k)))))
+            stream.append(("ins", Instruction(
+                O.MOV, (Reg(R.rax), Reg(vi(k))))))
+        stream.append(("ins", Instruction(O.RET)))
+        allocation = allocate(code(stream))
+        assert allocation.frame_words == 0  # no spills needed
+
+    def test_mem_operand_vregs_rewritten(self):
+        stream = [
+            ("ins", Instruction(O.MOV, (Reg(vi(0)), Imm(0x1000)))),
+            ("ins", Instruction(O.MOV, (Reg(vi(1)), Imm(2)))),
+            ("ins", Instruction(O.MOV, (Reg(vi(2)),
+                                        Mem(base=vi(0), index=vi(1),
+                                            scale=8)))),
+            ("ins", Instruction(O.RET)),
+        ]
+        allocation = allocate(code(stream))
+        assert all(r < VREG_BASE for r in physical_ids(allocation))
+
+
+class TestCallConstraints:
+    def test_live_across_call_gets_callee_saved(self):
+        stream = [
+            ("ins", Instruction(O.MOV, (Reg(vi(0)), Imm(7)))),
+            ("ins", Instruction(O.CALL, (Imm(0x400000),))),
+            ("ins", Instruction(O.MOV, (Reg(R.rax), Reg(vi(0))))),
+            ("ins", Instruction(O.RET)),
+        ]
+        allocation = allocate(code(stream))
+        used = physical_ids(allocation) - {R.rax}
+        assert used <= CALLEE_SAVED_POOL
+        assert allocation.used_callee_saved
+
+    def test_float_across_call_spills(self):
+        stream = [
+            ("ins", Instruction(O.MOVSD, (Reg(vf(0)), Reg(R.xmm0)))),
+            ("ins", Instruction(O.CALL, (Imm(0x400000),))),
+            ("ins", Instruction(O.MOVSD, (Reg(R.xmm0), Reg(vf(0))))),
+            ("ins", Instruction(O.RET)),
+        ]
+        allocation = allocate(code(stream))
+        assert allocation.frame_words >= 1  # no callee-saved xmm: spill
+
+
+class TestSpilling:
+    def _pressure_stream(self, n_live):
+        stream = []
+        for k in range(n_live):
+            stream.append(("ins", Instruction(O.MOV, (Reg(vi(k)),
+                                                      Imm(k)))))
+        # Keep them all live by using each afterwards.
+        for k in range(n_live):
+            stream.append(("ins", Instruction(O.ADD, (Reg(R.rax),
+                                                      Reg(vi(k))))))
+        stream.append(("ins", Instruction(O.RET)))
+        return stream
+
+    def test_high_pressure_spills(self):
+        allocation = allocate(code(self._pressure_stream(10)))
+        assert allocation.frame_words > 0
+        # Spill code shuttles through scratch registers only.
+        assert all(r < VREG_BASE for r in physical_ids(allocation))
+
+    def test_spill_slots_stack_above_reserved(self):
+        allocation = allocate(code(self._pressure_stream(10), reserved=4))
+        spill_mems = [op for kind, ins in allocation.stream
+                      if kind == "ins" for op in ins.operands
+                      if isinstance(op, Mem) and op.base == R.rsp]
+        assert spill_mems
+        assert all(m.disp >= 4 * 8 for m in spill_mems)
+
+    def test_loop_extends_intervals(self):
+        """A vreg used around a back edge must stay allocated in the loop."""
+        stream = [
+            ("ins", Instruction(O.MOV, (Reg(vi(0)), Imm(0)))),
+            ("label", "loop"),
+            ("ins", Instruction(O.ADD, (Reg(vi(0)), Imm(1)))),
+            ("ins", Instruction(O.MOV, (Reg(vi(1)), Imm(5)))),
+            ("ins", Instruction(O.CMP, (Reg(vi(0)), Reg(vi(1))))),
+            ("ins", Instruction(O.JL, (Label("loop"),))),
+            ("ins", Instruction(O.MOV, (Reg(R.rax), Reg(vi(0))))),
+            ("ins", Instruction(O.RET)),
+        ]
+        allocation = allocate(code(stream))
+        # vi(0) and vi(1) must not share a physical register: vi(0) is
+        # live across vi(1)'s definition inside the loop.
+        assignments = {}
+        for kind, ins in allocation.stream:
+            if kind == "ins" and ins.opcode is O.CMP:
+                a, b = ins.operands
+                assert a != b

@@ -1,0 +1,98 @@
+"""Tests for the Janus pipeline facade (paper Fig. 1a flow)."""
+
+import pytest
+
+from repro.dbm.executor import run_native
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+
+SOURCE = """
+int n = 800;
+double a[800];
+double b[800];
+
+int main() {
+    int i;
+    double s = 0.0;
+    for (i = 0; i < n; i++) { b[i] = 0.25 * i; }
+    for (i = 0; i < n; i++) { a[i] = b[i] * 2.0; }
+    for (i = 0; i < n; i++) { s += a[i]; }
+    // A cold 8-trip loop invoked once: profile-mode fodder.
+    for (i = 0; i < 8; i++) { b[i] = b[i] + 1.0; }
+    print_double(s + b[3]);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def janus():
+    image = compile_source(SOURCE, CompileOptions(opt_level=2))
+    instance = Janus(image, JanusConfig(n_threads=4))
+    return instance
+
+
+@pytest.fixture(scope="module")
+def training(janus):
+    return janus.train()
+
+
+class TestStages:
+    def test_analysis_is_cached(self, janus):
+        assert janus.analysis is janus.analysis
+
+    def test_training_produces_coverage(self, janus, training):
+        assert training.coverage.total_instructions > 0
+        assert training.coverage.loops
+
+    def test_selection_modes_nest(self, janus, training):
+        static = set(janus.select_loops(SelectionMode.STATIC))
+        profiled = set(janus.select_loops(SelectionMode.STATIC_PROFILE,
+                                          training))
+        full = set(janus.select_loops(SelectionMode.JANUS, training))
+        # Profile selection only *removes* static candidates...
+        assert profiled <= static
+        # ... and the full mode only adds dynamic candidates on top.
+        assert profiled <= full
+
+    def test_profile_filters_cold_loop(self, janus, training):
+        static = set(janus.select_loops(SelectionMode.STATIC))
+        profiled = set(janus.select_loops(SelectionMode.STATIC_PROFILE,
+                                          training))
+        assert profiled < static  # the 8-trip loop is dropped
+
+    def test_one_loop_per_nest(self, janus, training):
+        selected = janus.select_loops(SelectionMode.JANUS, training)
+        analysis = janus.analysis
+        for loop_id in selected:
+            loop = analysis.loop(loop_id).loop
+            parent = loop.parent
+            while parent is not None:
+                assert parent.loop_id not in selected
+                parent = parent.parent
+
+    def test_schedule_checksum_bound_to_binary(self, janus, training):
+        schedule = janus.build_schedule(SelectionMode.JANUS, training)
+        assert schedule.verify_against(janus.image)
+
+    def test_all_modes_preserve_output(self, janus, training):
+        native = run_native(load(janus.image))
+        for mode in (SelectionMode.DBM_ONLY, SelectionMode.STATIC,
+                     SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
+            result = janus.run(mode, training=training)
+            assert result.outputs == pytest.approx(native.outputs) \
+                or _close(result.outputs, native.outputs)
+
+    def test_thread_count_override(self, janus, training):
+        two = janus.run(SelectionMode.JANUS, training=training, n_threads=2)
+        eight = janus.run(SelectionMode.JANUS, training=training,
+                          n_threads=8)
+        assert eight.cycles <= two.cycles
+
+
+def _close(a, b):
+    return len(a) == len(b) and all(
+        k1 == k2 and (v1 == v2 if k1 == "i"
+                      else abs(v1 - v2) <= 1e-9 * max(1.0, abs(v1)))
+        for (k1, v1), (k2, v2) in zip(a, b))

@@ -1,0 +1,96 @@
+"""Tests for the Fig. 6 support paths: incompatible-loop coverage and
+exclusive (innermost) attribution."""
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.analysis import LoopCategory, analyze_image
+from repro.profiling import run_profiling
+from repro.rewrite import generate_profile_schedule
+
+RAX, RCX, RBX = Reg(R.rax), Reg(R.rcx), Reg(R.rbx)
+
+
+def build_image():
+    """An incompatible (pointer-chase) loop plus a nested compatible nest."""
+    a = Assembler()
+    a.word("links", *[(i * 7 + 1) % 64 for i in range(64)])
+    arr = a.space("arr", 64)
+    a.label("_start")
+    # Pointer chase: the exit tests the *loaded* cursor, so there is no
+    # recognisable induction variable -> incompatible.  links is the
+    # permutation i -> (7i+1) mod 64; the cycle through node 1 has
+    # length 16, and the outer counted loop re-runs it 30 times.
+    a.emit(O.MOV, Reg(R.rdx), Imm(0))
+    a.label("chase_outer")
+    a.emit(O.MOV, RBX, Imm(1))
+    a.label("chase")
+    a.emit(O.MOV, RBX, Mem(index=R.rbx, scale=8, disp=Label("links")))
+    a.emit(O.CMP, RBX, Imm(1))
+    a.emit(O.JNE, Label("chase"))
+    a.emit(O.INC, Reg(R.rdx))
+    a.emit(O.CMP, Reg(R.rdx), Imm(30))
+    a.emit(O.JL, Label("chase_outer"))
+    # Nested compatible loops.
+    a.emit(O.MOV, Reg(R.rsi), Imm(0))
+    a.label("outer")
+    a.emit(O.MOV, RCX, Imm(0))
+    a.label("inner")
+    a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), RCX)
+    a.emit(O.INC, RCX)
+    a.emit(O.CMP, RCX, Imm(32))
+    a.emit(O.JL, Label("inner"))
+    a.emit(O.INC, Reg(R.rsi))
+    a.emit(O.CMP, Reg(R.rsi), Imm(4))
+    a.emit(O.JL, Label("outer"))
+    a.emit(O.RET)
+    return a.assemble(entry="_start")
+
+
+def test_incompatible_loops_excluded_by_default():
+    image = build_image()
+    analysis = analyze_image(image)
+    incompatible = [l.loop_id for l in analysis.loops
+                    if l.category is LoopCategory.INCOMPATIBLE]
+    assert incompatible
+    schedule = generate_profile_schedule(analysis)
+    profile, _ = run_profiling(load(image), schedule)
+    for loop_id in incompatible:
+        assert loop_id not in profile.loops
+
+
+def test_incompatible_loops_covered_for_fig6():
+    image = build_image()
+    analysis = analyze_image(image)
+    incompatible = [l.loop_id for l in analysis.loops
+                    if l.category is LoopCategory.INCOMPATIBLE]
+    schedule = generate_profile_schedule(analysis,
+                                         include_incompatible=True)
+    profile, _ = run_profiling(load(image), schedule)
+    chase = incompatible[0]
+    assert profile.coverage(chase) > 0.3  # 200 chase iterations dominate
+
+
+def test_exclusive_attribution_is_disjoint():
+    image = build_image()
+    analysis = analyze_image(image)
+    schedule = generate_profile_schedule(analysis,
+                                         include_incompatible=True)
+    profile, execution = run_profiling(load(image), schedule)
+    # Exclusive counts never exceed inclusive ones...
+    for loop_profile in profile.loops.values():
+        assert loop_profile.instructions_exclusive <= \
+            loop_profile.instructions
+    # ... and sum to at most the whole execution (disjoint attribution).
+    total_exclusive = sum(p.instructions_exclusive
+                          for p in profile.loops.values())
+    assert total_exclusive <= execution.instructions
+    # The inner loop's exclusive time dwarfs the outer's own.
+    loops = {l.loop_id: l for l in analysis.loops}
+    inner = [i for i, l in loops.items() if l.loop.parent is not None][0]
+    outer = [i for i, l in loops.items()
+             if l.loop.parent is None and l.loop.children][0]
+    assert profile.loops[inner].instructions_exclusive > \
+        profile.loops[outer].instructions_exclusive

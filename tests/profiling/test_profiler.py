@@ -1,0 +1,182 @@
+"""Tests for statically-driven coverage and dependence profiling."""
+
+import pytest
+
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label, LabelRef
+from repro.isa.registers import R
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.analysis import LoopCategory, analyze_image
+from repro.profiling import run_profiling
+from repro.rewrite import generate_profile_schedule
+from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
+
+RAX, RCX, RBX = Reg(R.rax), Reg(R.rcx), Reg(R.rbx)
+XMM0, XMM1 = Reg(R.xmm0), Reg(R.xmm1)
+
+
+def build_image(build):
+    a = Assembler()
+    build(a)
+    return a.assemble(entry="_start")
+
+
+def hot_cold_image():
+    """A hot 500-iteration loop and a cold 5-iteration loop."""
+
+    def build(a):
+        hot = a.space("hot", 500)
+        cold = a.space("cold", 8)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("hot_loop")
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=hot), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(500))
+        a.emit(O.JL, Label("hot_loop"))
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("cold_loop")
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=cold), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(5))
+        a.emit(O.JL, Label("cold_loop"))
+        a.emit(O.RET)
+
+    return build_image(build)
+
+
+class TestCoverage:
+    def test_hot_loop_dominates(self):
+        image = hot_cold_image()
+        analysis = analyze_image(image)
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        profile, execution = run_profiling(load(image), schedule)
+        hot = [l for l in analysis.loops
+               if l.induction.iterator.static_trip_count == 500][0]
+        cold = [l for l in analysis.loops
+                if l.induction.iterator.static_trip_count == 5][0]
+        assert profile.coverage(hot.loop_id) > 0.9
+        assert profile.coverage(cold.loop_id) < 0.1
+        assert profile.loops[hot.loop_id].iterations == 500
+        assert profile.loops[hot.loop_id].invocations == 1
+        assert profile.loops_above_coverage(0.5) == [hot.loop_id]
+
+    def test_nested_loops_counted_inclusively(self):
+        def build(a):
+            arr = a.space("arr", 64)
+            a.label("_start")
+            a.emit(O.MOV, Reg(R.rsi), Imm(0))
+            a.label("outer")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("inner")
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), RCX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(8))
+            a.emit(O.JL, Label("inner"))
+            a.emit(O.INC, Reg(R.rsi))
+            a.emit(O.CMP, Reg(R.rsi), Imm(10))
+            a.emit(O.JL, Label("outer"))
+            a.emit(O.RET)
+
+        image = build_image(build)
+        analysis = analyze_image(image)
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        profile, _ = run_profiling(load(image), schedule)
+        outer = [l for l in analysis.loops if l.loop.parent is None
+                 or True]  # find by nesting
+        loops = {l.loop_id: l for l in analysis.loops}
+        outer_id = [i for i, l in loops.items() if l.loop.parent is None][0]
+        inner_id = [i for i, l in loops.items()
+                    if l.loop.parent is not None][0]
+        assert profile.loops[inner_id].invocations == 10
+        assert profile.loops[inner_id].iterations == 80
+        # The outer loop's instruction count includes the inner loop's.
+        assert profile.loops[outer_id].instructions >= \
+            profile.loops[inner_id].instructions
+
+    def test_profiling_overhead_charged(self):
+        image = hot_cold_image()
+        analysis = analyze_image(image)
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        from repro.dbm.executor import run_native
+
+        native = run_native(load(image))
+        _, execution = run_profiling(load(image), schedule)
+        assert execution.cycles > native.cycles
+
+
+class TestDependenceProfiling:
+    def _pointer_loop_image(self, src_off, dst_off):
+        def build(a):
+            a.word("pa", 0)
+            a.word("pb", 0)
+            data = a.space("data", 1024)
+            a.label("_start")
+            # pa/pb set from data+offsets at runtime via lea-style adds.
+            a.emit(O.MOV, Reg(R.r8), Imm(0x10000010 + dst_off))
+            a.emit(O.MOV, Reg(R.r9), Imm(0x10000010 + src_off))
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Mem(base=R.r9, index=R.rcx, scale=8))
+            a.emit(O.MOV, Mem(base=R.r8, index=R.rcx, scale=8), RAX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(64))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        return build_image(build)
+
+    def test_no_dependence_observed_for_disjoint(self):
+        image = self._pointer_loop_image(src_off=0, dst_off=8 * 512)
+        analysis = analyze_image(image)
+        loop = analysis.loops[0]
+        assert loop.category is LoopCategory.DYNAMIC_DOALL
+        schedule = generate_profile_schedule(analysis, DEPENDENCE_STAGE)
+        profile, _ = run_profiling(load(image), schedule)
+        assert not profile.loops[loop.loop_id].has_dependence
+
+    def test_dependence_observed_for_overlap(self):
+        image = self._pointer_loop_image(src_off=0, dst_off=8)
+        analysis = analyze_image(image)
+        loop = analysis.loops[0]
+        schedule = generate_profile_schedule(analysis, DEPENDENCE_STAGE)
+        profile, _ = run_profiling(load(image), schedule)
+        assert profile.loops[loop.loop_id].has_dependence
+        assert profile.loops[loop.loop_id].dependence_samples
+
+    def test_excall_profile_matches_pow_shape(self):
+        """Profiling a loop with a pow@plt call reports the paper's shape:
+        tens of instructions, ~11 heap reads, 0 writes per call."""
+
+        def build(a):
+            powf = a.import_symbol("pow")
+            a.double("arr", *[0.01 * i for i in range(16)])
+            a.word("p", 0x10000000)
+            a.label("_start")
+            a.emit(O.MOV, RBX, Imm(0))
+            a.emit(O.MOV, Reg(R.r12), Mem(disp=Label("p")))
+            a.label("loop")
+            a.emit(O.MOVSD, XMM0, Mem(base=R.r12, index=R.rbx, scale=8))
+            a.emit(O.MOVSD, XMM1, XMM0)
+            a.emit(O.CALL, powf)
+            a.emit(O.MOVSD, Mem(base=R.r12, index=R.rbx, scale=8), XMM0)
+            a.emit(O.INC, RBX)
+            a.emit(O.CMP, RBX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        image = build_image(build)
+        analysis = analyze_image(image)
+        loop = analysis.loops[0]
+        assert loop.category is LoopCategory.DYNAMIC_DOALL
+        schedule = generate_profile_schedule(analysis, DEPENDENCE_STAGE)
+        profile, _ = run_profiling(load(image), schedule)
+        loop_profile = profile.loops[loop.loop_id]
+        assert loop_profile.excalls
+        excall = next(iter(loop_profile.excalls.values()))
+        assert excall.name == "pow"
+        assert excall.invocations == 16
+        assert excall.reads_per_call == pytest.approx(11)
+        assert excall.writes_per_call == 0
+        assert 25 <= excall.instructions_per_call <= 60

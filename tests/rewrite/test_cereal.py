@@ -1,0 +1,60 @@
+"""Property and unit tests for the pool-record encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rewrite import cereal
+
+
+simple = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+trees = st.recursive(
+    simple,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@given(trees)
+def test_round_trip(value):
+    assert cereal.loads(cereal.dumps(value)) == value
+
+
+def test_compactness_of_small_ints():
+    assert len(cereal.dumps(0)) == 2
+    assert len(cereal.dumps(63)) == 2
+    assert len(cereal.dumps(-1)) == 2
+
+
+def test_tuples_and_lists_distinct():
+    assert cereal.loads(cereal.dumps((1, 2))) == (1, 2)
+    assert cereal.loads(cereal.dumps([1, 2])) == [1, 2]
+    assert isinstance(cereal.loads(cereal.dumps((1,))), tuple)
+    assert isinstance(cereal.loads(cereal.dumps([1])), list)
+
+
+def test_unencodable_rejected():
+    with pytest.raises(cereal.CerealError):
+        cereal.dumps(object())
+    with pytest.raises(cereal.CerealError):
+        cereal.dumps({1: "non-string key"})
+    with pytest.raises(cereal.CerealError):
+        cereal.dumps(2**80)
+
+
+def test_truncated_rejected():
+    raw = cereal.dumps([1, 2, 3])
+    with pytest.raises(cereal.CerealError):
+        cereal.loads(raw[:-1])
+    with pytest.raises(cereal.CerealError):
+        cereal.loads(raw + b"\x01")

@@ -1,0 +1,114 @@
+"""Unit tests for the rewrite-schedule generators."""
+
+import pytest
+
+from repro.analysis import LoopCategory, analyze_image
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.jbin.asm import Assembler
+from repro.rewrite import (
+    generate_parallel_schedule,
+    generate_profile_schedule,
+)
+from repro.rewrite.gen_parallel import GenerationError
+from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
+from repro.rewrite.rules import PARALLEL_RULES, PROFILING_RULES, RuleID
+
+
+def doall_image():
+    a = Assembler()
+    arr = a.space("arr", 64)
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rcx), Imm(0))
+    a.label("loop")
+    a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), Reg(R.rcx))
+    a.emit(O.INC, Reg(R.rcx))
+    a.emit(O.CMP, Reg(R.rcx), Imm(64))
+    a.emit(O.JL, Label("loop"))
+    a.emit(O.RET)
+    return a.assemble(entry="_start")
+
+
+def recurrence_image():
+    from repro.isa.operands import LabelRef
+
+    a = Assembler()
+    a.space("arr", 64)
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rcx), Imm(1))
+    a.label("loop")
+    a.emit(O.MOV, Reg(R.rax),
+           Mem(index=R.rcx, scale=8, disp=LabelRef("arr", -8)))
+    a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), Reg(R.rax))
+    a.emit(O.INC, Reg(R.rcx))
+    a.emit(O.CMP, Reg(R.rcx), Imm(64))
+    a.emit(O.JL, Label("loop"))
+    a.emit(O.RET)
+    return a.assemble(entry="_start")
+
+
+class TestParallelGenerator:
+    def test_rule_pattern_for_a_doall_loop(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_parallel_schedule(analysis, [0])
+        kinds = [rule.rule_id for rule in schedule.rules]
+        # The Fig. 2a pattern, in schedule order.
+        assert kinds == [RuleID.LOOP_INIT, RuleID.THREAD_SCHEDULE,
+                         RuleID.LOOP_UPDATE_BOUND, RuleID.THREAD_YIELD,
+                         RuleID.LOOP_FINISH]
+        assert all(rule.rule_id in PARALLEL_RULES
+                   for rule in schedule.rules)
+
+    def test_addresses_are_meaningful(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_parallel_schedule(analysis, [0])
+        by_kind = {rule.rule_id: rule for rule in schedule.rules}
+        loop = analysis.loops[0].loop
+        iterator = analysis.loops[0].induction.iterator
+        assert by_kind[RuleID.THREAD_SCHEDULE].address == loop.header
+        assert by_kind[RuleID.LOOP_UPDATE_BOUND].address == \
+            iterator.cmp_address
+        assert by_kind[RuleID.THREAD_YIELD].address == \
+            iterator.exit_target
+
+    def test_unparallelisable_loop_rejected(self):
+        analysis = analyze_image(recurrence_image())
+        assert analysis.loops[0].category is \
+            LoopCategory.STATIC_DEPENDENCE
+        with pytest.raises(GenerationError):
+            generate_parallel_schedule(analysis, [0])
+
+    def test_empty_selection_gives_empty_schedule(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_parallel_schedule(analysis, [])
+        assert len(schedule) == 0
+        assert schedule.verify_against(analysis.image)
+
+
+class TestProfileGenerator:
+    def test_coverage_stage_rules(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, COVERAGE_STAGE)
+        kinds = {rule.rule_id for rule in schedule.rules}
+        assert kinds == {RuleID.PROF_LOOP_START, RuleID.PROF_LOOP_ITER,
+                         RuleID.PROF_LOOP_FINISH}
+        assert all(rule.rule_id in PROFILING_RULES
+                   for rule in schedule.rules)
+
+    def test_dependence_stage_only_for_dynamic_loops(self):
+        # A static DOALL loop needs no PROF_MEM rules.
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, DEPENDENCE_STAGE)
+        assert not schedule.rules_of_kind(RuleID.PROF_MEM_ACCESS)
+
+    def test_loop_id_filter(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, COVERAGE_STAGE,
+                                             loop_ids=[])
+        assert len(schedule) == 0
+
+    def test_bad_stage_rejected(self):
+        analysis = analyze_image(doall_image())
+        with pytest.raises(ValueError):
+            generate_profile_schedule(analysis, "nonsense")

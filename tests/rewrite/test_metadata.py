@@ -1,0 +1,123 @@
+"""Tests for rewrite-schedule metadata records and runtime polynomials."""
+
+import pytest
+
+from repro.analysis.expr import Poly, poly_from_key, runtime_evaluable
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import R
+from repro.rewrite.metadata import (
+    LoopMeta,
+    MetadataError,
+    decode_operand,
+    decode_var,
+    encode_operand,
+    encode_var,
+    evaluate_runtime_poly,
+    poly_to_runtime,
+)
+
+LIVEIN_RAX = ("livein", R.rax, 0)
+LIVEIN_SLOT = ("livein", ("stack", -16), 2)
+
+
+class TestVarCodes:
+    def test_register_round_trip(self):
+        assert decode_var(encode_var(R.rbx)) == R.rbx
+
+    def test_slot_round_trip(self):
+        assert decode_var(encode_var(("stack", -24))) == ("stack", -24)
+
+    def test_bad_code(self):
+        with pytest.raises(MetadataError):
+            decode_var(("x", 1))
+
+
+class TestOperandCodes:
+    @pytest.mark.parametrize("operand", [
+        Imm(42), Reg(R.rsi),
+        Mem(base=R.r8, index=R.rcx, scale=8, disp=-16),
+        Mem(disp=0x10000000),
+    ])
+    def test_round_trip(self, operand):
+        assert decode_operand(encode_operand(operand)) == operand
+
+
+class TestRuntimePoly:
+    def read_var(self, var):
+        if var == R.rax:
+            return 10
+        if var == ("stack", -16):
+            return 3
+        raise AssertionError(var)
+
+    def test_linear(self):
+        poly = Poly.sym(LIVEIN_RAX).scale(8) + Poly.const(100)
+        form = poly_to_runtime(poly)
+        assert evaluate_runtime_poly(form, self.read_var) == 180
+
+    def test_product_of_liveins(self):
+        product = Poly.sym(LIVEIN_RAX) * Poly.sym(LIVEIN_SLOT)
+        form = poly_to_runtime(product)
+        assert evaluate_runtime_poly(form, self.read_var) == 30
+
+    def test_load_symbol_dereferences(self):
+        # value at address (rax + 8) -- a memory-held base.
+        addr_poly = Poly.sym(LIVEIN_RAX) + Poly.const(8)
+        load_sym = ("load", addr_poly.key())
+        poly = Poly.sym(load_sym).scale(2)
+        form = poly_to_runtime(poly)
+        memory = {18: 21}
+        value = evaluate_runtime_poly(form, self.read_var,
+                                      read_mem=lambda a: memory[a])
+        assert value == 42
+
+    def test_load_without_reader_raises(self):
+        addr_poly = Poly.const(8)
+        poly = Poly.sym(("load", addr_poly.key()))
+        form = poly_to_runtime(poly)
+        with pytest.raises(MetadataError):
+            evaluate_runtime_poly(form, self.read_var)
+
+    def test_opaque_symbol_rejected(self):
+        poly = Poly.sym(("opaque", "x"))
+        with pytest.raises(MetadataError):
+            poly_to_runtime(poly)
+        assert not runtime_evaluable(poly)
+
+    def test_poly_from_key_round_trip(self):
+        poly = Poly.sym(LIVEIN_RAX).scale(3) + Poly.const(-7)
+        assert poly_from_key(poly.key()) == poly
+
+    def test_runtime_evaluable_nested_load(self):
+        inner = Poly.sym(LIVEIN_RAX)
+        outer = Poly.sym(("load", inner.key()))
+        assert runtime_evaluable(outer)
+        bad = Poly.sym(("load", Poly.sym(("opaque", "z")).key()))
+        assert not runtime_evaluable(bad)
+
+
+class TestLoopMetaRecord:
+    def test_round_trip(self):
+        meta = LoopMeta(
+            loop_id=3, header_addr=0x400100, preheader_addr=0x4000F0,
+            exit_target=0x400200, iterator_var=("r", R.rcx), step=2,
+            cond="l", test_offset=2, test_position="bottom",
+            bound_form=("imm", 128), cmp_address=0x400150,
+            iv_operand_index=0, static_trips=64, delta_header=-32,
+            written_slots=[0, 8], readonly_slots=[-16],
+            stm_sites=[0x400120],
+        )
+        clone = LoopMeta.from_record(meta.to_record())
+        assert clone == meta
+
+    def test_survives_cereal(self):
+        from repro.rewrite import cereal
+
+        meta = LoopMeta(
+            loop_id=0, header_addr=1, preheader_addr=2, exit_target=3,
+            iterator_var=("r", 1), step=1, cond="le", test_offset=1,
+            test_position="top", bound_form=("poly", [(8, (("r", 2),))]),
+            cmp_address=4, iv_operand_index=1, static_trips=-1,
+            delta_header=0)
+        record = cereal.loads(cereal.dumps(meta.to_record()))
+        assert LoopMeta.from_record(record) == meta

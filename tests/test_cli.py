@@ -1,0 +1,89 @@
+"""Tests for the command-line toolchain (the deployment workflow)."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int n = 400;
+double a[400];
+double b[400];
+
+int main() {
+    int i;
+    int reps = read_int();
+    int r;
+    double s = 0.0;
+    for (i = 0; i < n; i++) { b[i] = 0.5 * i; }
+    for (r = 0; r < reps; r++) {
+        for (i = 0; i < n; i++) { a[i] = b[i] * 3.0 + 1.0; }
+    }
+    for (i = 0; i < n; i++) { s += a[i]; }
+    print_double(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli")
+    source = directory / "app.jc"
+    source.write_text(SOURCE)
+    return directory
+
+
+def test_full_workflow(workspace, capsys):
+    source = workspace / "app.jc"
+    binary = workspace / "app.jelf"
+    schedule = workspace / "app.jrs"
+
+    assert main(["compile", str(source), "-o", str(binary), "-O", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "jcc-gcc" in out
+    assert binary.exists()
+
+    assert main(["analyze", str(binary)]) == 0
+    out = capsys.readouterr().out
+    assert "static_doall" in out
+    assert "loops" in out
+
+    assert main(["schedule", str(binary), "-o", str(schedule),
+                 "--train-input", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "rules" in out
+    assert schedule.exists()
+
+    # Native run.
+    code = main(["run", str(binary), "--input", "2"])
+    native_out = capsys.readouterr().out.strip()
+    assert code == 0
+
+    # Janus run from the serialized artefacts only.
+    code = main(["run", str(binary), "--schedule", str(schedule),
+                 "--threads", "4", "--input", "2"])
+    janus_out = capsys.readouterr().out.strip()
+    assert code == 0
+    assert abs(float(janus_out) - float(native_out)) <= \
+        1e-9 * max(1.0, abs(float(native_out)))
+
+
+def test_dbm_mode(workspace, capsys):
+    binary = workspace / "app.jelf"
+    assert main(["run", str(binary), "--mode", "dbm", "--input", "1"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_compile_personalities(workspace, capsys):
+    source = workspace / "app.jc"
+    for extra in (["--personality", "icc"], ["--mavx"], ["--parallel"]):
+        output = workspace / f"app_{extra[0].strip('-')}.jelf"
+        assert main(["compile", str(source), "-o", str(output)] + extra) == 0
+        assert output.exists()
+    capsys.readouterr()
+
+
+def test_table2_figure(capsys):
+    assert main(["figures", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Janus" in out and "Dynamic DOALL" in out

@@ -1,0 +1,91 @@
+"""Tests for the workload suite: registry, compilation, correctness oracle."""
+
+import pytest
+
+from repro.dbm.executor import run_native
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.workloads import (
+    FIG7_BENCHMARKS,
+    SUITE,
+    all_benchmarks,
+    compile_workload,
+    get_workload,
+)
+
+
+def outputs_close(a, b):
+    if len(a) != len(b):
+        return False
+    for (k1, v1), (k2, v2) in zip(a, b):
+        if k1 != k2:
+            return False
+        if k1 == "i":
+            if v1 != v2:
+                return False
+        elif abs(v1 - v2) > 1e-9 * max(1.0, abs(v1)):
+            return False
+    return True
+
+
+class TestRegistry:
+    def test_twenty_five_benchmarks(self):
+        assert len(SUITE) == 25
+        assert len(all_benchmarks()) == 25
+
+    def test_fig7_set_is_the_papers(self):
+        assert set(FIG7_BENCHMARKS) == {
+            "410.bwaves", "433.milc", "436.cactusADM", "437.leslie3d",
+            "459.GemsFDTD", "462.libquantum", "464.h264ref", "470.lbm",
+            "482.sphinx3"}
+        assert set(FIG7_BENCHMARKS) <= set(SUITE)
+
+    def test_train_inputs_smaller_than_ref(self):
+        for name in all_benchmarks():
+            workload = get_workload(name)
+            assert sum(workload.train_inputs) <= sum(workload.ref_inputs)
+
+    def test_compile_cache(self):
+        first = compile_workload("470.lbm")
+        second = compile_workload("470.lbm")
+        assert first is second
+        different = compile_workload("470.lbm", CompileOptions(opt_level=2))
+        assert different is not first
+
+
+@pytest.mark.parametrize("name", all_benchmarks())
+def test_runs_deterministically(name):
+    workload = get_workload(name)
+    image = compile_workload(name)
+    first = run_native(load(image, inputs=list(workload.train_inputs)))
+    second = run_native(load(image, inputs=list(workload.train_inputs)))
+    assert first.outputs == second.outputs
+    assert first.cycles == second.cycles
+    assert first.outputs  # every workload prints something
+
+
+@pytest.mark.parametrize("name", FIG7_BENCHMARKS)
+def test_parallel_oracle(name):
+    """Full Janus run must match native output on every hero benchmark."""
+    workload = get_workload(name)
+    image = compile_workload(name)
+    native = run_native(load(image, inputs=list(workload.ref_inputs)))
+    janus = Janus(image, JanusConfig(n_threads=8))
+    training = janus.train(train_inputs=list(workload.train_inputs))
+    result = janus.run(SelectionMode.JANUS, inputs=list(workload.ref_inputs),
+                       training=training)
+    assert outputs_close(native.outputs, result.outputs)
+    assert result.exit_code == native.exit_code
+
+
+@pytest.mark.parametrize("name", ["462.libquantum", "470.lbm"])
+def test_stars_actually_speed_up(name):
+    workload = get_workload(name)
+    image = compile_workload(name)
+    native = run_native(load(image, inputs=list(workload.ref_inputs)))
+    janus = Janus(image, JanusConfig(n_threads=8))
+    training = janus.train(train_inputs=list(workload.train_inputs))
+    result = janus.run(SelectionMode.JANUS, inputs=list(workload.ref_inputs),
+                       training=training)
+    assert native.cycles / result.cycles > 3.0
