@@ -1,0 +1,195 @@
+"""Microbenchmark: simulated-instructions-per-second of the execution tiers.
+
+Runs one hot DOALL loop (``xs[i] = xs[i] * 0.5 + ys[i]``) under:
+
+* ``reference``         — per-instruction reference dispatch,
+* ``seed_closures``     — the legacy per-instruction closure lists
+                          (the pre-trace-cache JIT, kept in repro.dbm.jit),
+* ``linked_trace``      — the trace-cache tier (block linking + self-loop
+                          traces), i.e. what ``run_native`` ships,
+* ``hooked_reference``  — reference dispatch with a memory hook installed
+                          (the old cost of a profiling run),
+* ``instrumented``      — the compiled instrumented variant under the same
+                          hook (what profiling runs now use).
+
+Run as a script to print a JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_interp_throughput.py
+
+The pytest entry point runs a shortened loop and asserts the PR's
+acceptance ratios: linked trace >= 3x over the seed closures, and
+instrumented >= 1.5x over the hooked reference.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.dbm.blocks import Block, discover_block
+from repro.dbm.executor import run_native
+from repro.dbm.interp import Interpreter
+from repro.dbm.machine import Machine, make_main_context
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+
+SOURCE_TEMPLATE = """
+double xs[2048];
+double ys[2048];
+int main() {{
+    int i;
+    int r;
+    for (i = 0; i < 2048; i++) {{ ys[i] = 0.125 * i; }}
+    for (r = 0; r < {reps}; r++) {{
+        for (i = 0; i < 2048; i++) {{ xs[i] = xs[i] * 0.5 + ys[i]; }}
+    }}
+    print_double(xs[7]);
+    return 0;
+}}
+"""
+
+
+def build_image(reps: int):
+    return compile_source(SOURCE_TEMPLATE.format(reps=reps),
+                          CompileOptions(opt_level=3))
+
+
+def _fresh(image):
+    process = load(image)
+    machine = Machine()
+    machine.memory.load_words(process.initial_data())
+    machine.inputs = list(process.inputs)
+    ctx = make_main_context(process.entry, machine.memory)
+    interp = Interpreter(machine, process)
+    return process, machine, ctx, interp
+
+
+def _block_loop(process, ctx, interp, execute) -> None:
+    cache: dict[int, Block] = {}
+    pc = ctx.pc
+    while pc is not None:
+        block = cache.get(pc)
+        if block is None:
+            block = cache[pc] = discover_block(process, pc)
+        pc = execute(ctx, block)
+
+
+def _counting_hook(counter):
+    def hook(ctx, ins, addr, is_write, lanes):
+        counter[0] += 1
+    return hook
+
+
+def run_reference(image):
+    process, machine, ctx, interp = _fresh(image)
+    interp.force_reference = True
+    _block_loop(process, ctx, interp, interp.execute_block)
+    return ctx, machine
+
+
+def run_hooked_reference(image):
+    process, machine, ctx, interp = _fresh(image)
+    interp.force_reference = True
+    interp.mem_hook = _counting_hook([0])
+    _block_loop(process, ctx, interp, interp.execute_block)
+    return ctx, machine
+
+
+def run_seed_closures(image):
+    """The seed's execute_block: per-instruction closure lists, no linking."""
+    from repro.dbm.jit import compile_block
+
+    process, machine, ctx, interp = _fresh(image)
+
+    def execute(ctx, block):
+        ctx.cycles += block.cost
+        ctx.instructions += len(block.instructions)
+        fast = block.fast
+        if fast is None:
+            fast = block.fast = compile_block(block, interp)
+        for fn in fast:
+            transfer = fn(ctx)
+            if transfer is not None:
+                if transfer == -1:
+                    return None
+                return transfer
+        return block.end
+
+    _block_loop(process, ctx, interp, execute)
+    return ctx, machine
+
+
+def run_linked_trace(image):
+    result = run_native(load(image))
+    return result, result.machine
+
+
+def run_instrumented(image):
+    from repro.dbm.tracecache import run_loop
+
+    process, machine, ctx, interp = _fresh(image)
+    interp.mem_hook = _counting_hook([0])
+    cache: dict[int, Block] = {}
+
+    def lookup(pc, _ctx):
+        block = cache.get(pc)
+        if block is None:
+            block = cache[pc] = discover_block(process, pc)
+        return block
+
+    run_loop(interp, ctx, ctx.pc, lookup)
+    return ctx, machine
+
+
+MODES = (
+    ("reference", run_reference),
+    ("seed_closures", run_seed_closures),
+    ("linked_trace", run_linked_trace),
+    ("hooked_reference", run_hooked_reference),
+    ("instrumented", run_instrumented),
+)
+
+
+def measure(reps: int) -> dict:
+    image = build_image(reps)
+    report: dict = {"workload": "doall_saxpy_2048", "reps": reps,
+                    "modes": {}}
+    outputs = None
+    for name, runner in MODES:
+        start = time.perf_counter()
+        result, machine = runner(image)
+        elapsed = time.perf_counter() - start
+        if outputs is None:
+            outputs = machine.outputs
+        else:
+            assert machine.outputs == outputs, f"{name} diverged"
+        report["modes"][name] = {
+            "seconds": round(elapsed, 4),
+            "instructions": result.instructions,
+            "ins_per_sec": round(result.instructions / elapsed),
+        }
+    modes = report["modes"]
+    report["ratios"] = {
+        "linked_vs_seed_closures": round(
+            modes["linked_trace"]["ins_per_sec"]
+            / modes["seed_closures"]["ins_per_sec"], 2),
+        "linked_vs_reference": round(
+            modes["linked_trace"]["ins_per_sec"]
+            / modes["reference"]["ins_per_sec"], 2),
+        "instrumented_vs_hooked_reference": round(
+            modes["instrumented"]["ins_per_sec"]
+            / modes["hooked_reference"]["ins_per_sec"], 2),
+    }
+    return report
+
+
+def test_throughput_smoke():
+    """CI smoke: the trace tier must hold the PR's speedup floors."""
+    report = measure(reps=20)
+    ratios = report["ratios"]
+    assert ratios["linked_vs_seed_closures"] >= 3.0, report
+    assert ratios["instrumented_vs_hooked_reference"] >= 1.5, report
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(reps=100), indent=2))

@@ -109,9 +109,10 @@ def _cmd_run(args) -> int:
 
 def _cmd_figures(args) -> int:
     from repro.eval import figures, reporting
-    from repro.eval.harness import default_harness
+    from repro.eval.harness import EvalHarness
 
-    harness = default_harness()
+    cache_dir = None if args.no_cache else args.cache_dir
+    harness = EvalHarness(cache_dir=cache_dir)
     producers = {
         "fig6": (figures.fig6_classification, reporting.render_fig6),
         "fig7": (figures.fig7_speedups, reporting.render_fig7),
@@ -178,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     f = sub.add_parser("figures", help="regenerate paper figures/tables")
     f.add_argument("which", nargs="*",
                    help="fig6..fig12, table1, table2 (default: all)")
+    f.add_argument("--cache-dir", default=".repro-cache",
+                   help="directory for persisted run results")
+    f.add_argument("--no-cache", action="store_true",
+                   help="recompute every run; touch no on-disk cache")
     f.set_defaults(func=_cmd_figures)
     return parser
 

@@ -24,8 +24,13 @@ class Block:
     instructions: list[Instruction]
     end: int  # fall-through address (address after the last instruction)
     cost: int = 0
-    # Lazily compiled closure form (see repro.dbm.jit); never compared.
+    # Lazily compiled closure form (legacy unlinked JIT); never compared.
     fast: list | None = field(default=None, repr=False, compare=False)
+    # Trace-cache tier runners (see repro.dbm.jit.compile_block_fn):
+    # the fast variant (no instrumentation; may link/trace) and the
+    # instrumented variant (mem_hook/transaction threaded through).
+    jit_fast: object = field(default=None, repr=False, compare=False)
+    jit_inst: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.cost:

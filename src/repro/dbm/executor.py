@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dbm.blocks import Block, discover_block
-from repro.dbm.interp import ExecutionLimitExceeded, Interpreter
+from repro.dbm.interp import Interpreter
 from repro.dbm.machine import Machine, make_main_context
+from repro.dbm.tracecache import run_loop
 from repro.jbin.loader import Process
 
 DEFAULT_INSTRUCTION_LIMIT = 500_000_000
@@ -34,7 +35,9 @@ class ExecutionResult:
     outputs: list[tuple[str, object]]
     exit_code: int
     machine: Machine
-    # Populated by DBM/parallel modes; zero for native runs.
+    # Execution counters: every mode reports the trace-cache JIT tier
+    # (blocks_translated, links_installed, trace_entries/exits,
+    # fallback_instructions); DBM/parallel modes add their own on top.
     stats: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -70,16 +73,14 @@ def run_native(process: Process,
     ctx = make_main_context(process.entry, machine.memory)
     interp = Interpreter(machine, process)
     cache: dict[int, Block] = {}
-    pc = ctx.pc
-    while pc is not None:
+
+    def lookup(pc: int, _ctx) -> Block:
         block = cache.get(pc)
         if block is None:
-            block = discover_block(process, pc)
-            cache[pc] = block
-        pc = interp.execute_block(ctx, block)
-        if ctx.instructions > max_instructions:
-            raise ExecutionLimitExceeded(
-                f"exceeded {max_instructions} instructions")
+            block = cache[pc] = discover_block(process, pc)
+        return block
+
+    run_loop(interp, ctx, ctx.pc, lookup, max_instructions=max_instructions)
     machine.cycles = ctx.cycles
     return ExecutionResult(
         cycles=ctx.cycles,
@@ -87,4 +88,5 @@ def run_native(process: Process,
         outputs=machine.outputs,
         exit_code=ctx.exit_code,
         machine=machine,
+        stats=interp.jit_stats.as_dict(),
     )

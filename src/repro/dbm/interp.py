@@ -24,6 +24,9 @@ from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import NUM_GPR, RET_REG, STACK_REG, XMM_BASE
 from repro.jbin import layout, syscalls
 from repro.dbm.blocks import Block
+# Module-level import (not per-call in execute_block): jit never imports
+# interp at module scope, so this cannot cycle.
+from repro.dbm.jit import JITStats, compile_block_fn
 from repro.dbm.machine import HALT_ADDRESS, Machine, ThreadContext
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
 
@@ -58,6 +61,10 @@ class Interpreter:
         self.mem_hook = None
         # Active software transaction for the currently executing thread.
         self.active_tx = None
+        # Force the reference per-instruction dispatch (differential tests).
+        self.force_reference = False
+        # Trace-cache tier counters (see repro.dbm.jit.JITStats).
+        self.jit_stats = JITStats()
         # Fork/join bracket state for the JOMP runtime (libgomp analogue).
         self._jomp_stack: list[tuple[int, int]] = []
         self.jomp_overhead_cycles = 2500
@@ -142,26 +149,42 @@ class Interpreter:
         handful of dynamic-cost cases (syscalls, RTCALL runtime work) charge
         their own extras inside their handlers.
 
-        When no instrumentation is active (no memory hook, no open
-        transaction) the block runs through its compiled closure form
-        (:mod:`repro.dbm.jit`) — the analogue of executing from the code
-        cache rather than re-decoding.
+        Single-block compatibility entry point: the dispatch loops live in
+        :mod:`repro.dbm.tracecache` and chain compiled blocks directly; this
+        wrapper compiles without a lookup (so it never links) and maps the
+        runner protocol back to pc-or-None.  Instrumented runs (memory hook
+        or open transaction) use the instrumented compiled variant; setting
+        ``force_reference`` pins execution to the per-instruction reference
+        dispatch.
+        """
+        if self.force_reference:
+            return self.execute_block_reference(ctx, block)
+        if self.mem_hook is None and self.active_tx is None:
+            run = block.jit_fast
+            if run is None:
+                run = block.jit_fast = compile_block_fn(block, self)
+        else:
+            run = block.jit_inst
+            if run is None:
+                run = block.jit_inst = compile_block_fn(
+                    block, self, instrumented=True)
+        transfer = run(ctx)
+        if transfer.__class__ is Block:
+            return transfer.start
+        if transfer == -1:
+            return None
+        return transfer
+
+    def execute_block_reference(self, ctx: ThreadContext,
+                                block: Block) -> int | None:
+        """Execute one block through the reference per-instruction dispatch.
+
+        This is the semantic ground truth the compiled tiers are pinned
+        against (tests/dbm/test_jit.py) and the path taken under
+        ``force_reference``.
         """
         ctx.cycles += block.cost
         ctx.instructions += len(block.instructions)
-        if self.mem_hook is None and self.active_tx is None:
-            fast = block.fast
-            if fast is None:
-                from repro.dbm.jit import compile_block
-
-                fast = block.fast = compile_block(block, self)
-            for fn in fast:
-                transfer = fn(ctx)
-                if transfer is not None:
-                    if transfer == -1:
-                        return None
-                    return transfer
-            return block.end
         for ins in block.instructions:
             transfer = self._exec(ctx, ins)
             if transfer is not None:

@@ -1,30 +1,796 @@
-"""Closure compilation of code-cache blocks ("JIT recompilation").
+"""Block compilation for the trace-cache execution tier.
 
 DynamoRIO does not interpret: it re-encodes translated blocks as native
-code.  The closest honest Python analogue is compiling each block into a
-list of specialised closures — operand kinds, register indices and
-addresses are resolved once at translation time, so steady-state execution
-skips all operand dispatch.
+code, links them to each other, and promotes hot paths into traces.  The
+honest Python analogue, implemented here, is compiling each block into one
+specialised Python function (``compile_block_fn``): operand kinds, register
+indices, addresses and branch targets are resolved once at translation
+time, and the generated source is ``exec``-compiled so steady-state
+execution is straight-line Python bytecode with no per-instruction
+dispatch.
 
-The fast path is only legal when no instrumentation is active: the
-interpreter uses it iff ``mem_hook`` is unset and no transaction is open
-(profiling windows and STM regions fall back to the reference
-interpreter).  Semantics are defined by :mod:`repro.dbm.interp`; the
-differential property test in ``tests/dbm/test_jit.py`` pins the two paths
-together.  Opcodes without a specialised template fall back to the
-reference ``_exec`` per instruction.
+Two variants exist per block:
+
+* the **fast** variant assumes no instrumentation (no ``mem_hook``, no open
+  transaction, no block listeners) and reads/writes machine memory
+  directly; it may *link*: a terminator resolves its successor's compiled
+  :class:`~repro.dbm.blocks.Block` once through the dispatcher's ``lookup``
+  and caches it, so the dispatch loop skips the code-cache lookup.  A
+  self-looping block (a DOALL loop body) is promoted to a *trace*: the
+  whole block body spins inside the compiled function and only returns to
+  the dispatcher every ``TRACE_BUDGET`` iterations (so instruction limits
+  stay enforced).
+* the **instrumented** variant threads ``mem_hook`` and the active
+  transaction through every memory access *dynamically* (checked per
+  access, exactly like the reference ``_exec``), so profiling and STM
+  worker runs also execute compiled code.
+
+Indirect terminators (``ret``/``jmpi``/``calli``) keep a one-entry inline
+cache mapping the last raw target to its compiled block — DynamoRIO's
+indirect-branch lookup cache.
+
+Semantics are defined by :mod:`repro.dbm.interp`; the differential sweep in
+``tests/dbm/test_jit.py`` pins every opcode template against the reference
+interpreter.  Opcodes without a template (none today) fall back to the
+reference ``_exec`` per instruction and are counted in
+``JITStats.fallback_instructions``.
+
+The legacy closure-list compiler (``compile_block``) is retained at the
+bottom of this module as the benchmark baseline for the unlinked JIT
+(``benchmarks/bench_interp_throughput.py``).
 """
 
 from __future__ import annotations
 
+import math
+
 from repro.isa.instructions import CONDITION_OF, Instruction, Opcode
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import STACK_REG, XMM_BASE
+from repro.jbin import layout
 from repro.dbm.machine import HALT_ADDRESS
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
 
 _I64_MAX = 9223372036854775807
 _I64_MIN = -9223372036854775808
+_U64 = (1 << 64) - 1
+
+# Iterations a self-loop trace may spin before returning to the dispatcher
+# (bounds how late an instruction limit can be detected).
+TRACE_BUDGET = 4096
+
+_COND_EXPR = {
+    "e": "f == 0",
+    "ne": "f != 0",
+    "l": "f < 0",
+    "le": "f <= 0",
+    "g": "f > 0",
+    "ge": "f >= 0",
+}
+
+_JCC = frozenset((Opcode.JE, Opcode.JNE, Opcode.JL,
+                  Opcode.JLE, Opcode.JG, Opcode.JGE))
+_CMOV = frozenset((Opcode.CMOVE, Opcode.CMOVNE, Opcode.CMOVL,
+                   Opcode.CMOVLE, Opcode.CMOVG, Opcode.CMOVGE))
+_PACKED = frozenset((Opcode.MOVAPD, Opcode.ADDPD, Opcode.SUBPD,
+                     Opcode.MULPD, Opcode.DIVPD, Opcode.VMOVAPD,
+                     Opcode.VADDPD, Opcode.VSUBPD, Opcode.VMULPD,
+                     Opcode.VDIVPD))
+
+
+class JITStats:
+    """Translation/link observability counters (one instance per interp)."""
+
+    __slots__ = ("blocks_translated", "instrumented_blocks",
+                 "links_installed", "trace_entries", "trace_exits",
+                 "fallback_instructions")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.blocks_translated = 0
+        self.instrumented_blocks = 0
+        self.links_installed = 0
+        self.trace_entries = 0
+        self.trace_exits = 0
+        self.fallback_instructions = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _identity(value: int) -> int:
+    return value
+
+
+def _instrumented_helpers(interp) -> dict:
+    """Per-interpreter memory helpers that re-check hook/tx on every access.
+
+    The hook and transaction are read *at call time* (not bound at compile
+    time) because profiling installs ``mem_hook`` mid-run via RTCALLs
+    (external-call windows) and workers open transactions mid-block.
+    """
+    memory_read = interp.machine.memory.read
+    memory_write = interp.machine.memory.write
+    stack_size = layout.THREAD_STACK_SIZE
+
+    def _hr(ctx, addr, ins):
+        hook = interp.mem_hook
+        if hook is not None:
+            hook(ctx, ins, addr, False, 1)
+        tx = interp.active_tx
+        if tx is not None and not (
+                ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            return tx.read(addr)
+        return memory_read(addr)
+
+    def _hw(ctx, addr, ins, value):
+        hook = interp.mem_hook
+        if hook is not None:
+            hook(ctx, ins, addr, True, 1)
+        tx = interp.active_tx
+        if tx is not None and not (
+                ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            tx.write(addr, value)
+            return
+        memory_write(addr, value)
+
+    def _rat(ctx, addr):
+        tx = interp.active_tx
+        if tx is not None and not (
+                ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            return tx.read(addr)
+        return memory_read(addr)
+
+    def _wat(ctx, addr, value):
+        tx = interp.active_tx
+        if tx is not None and not (
+                ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            tx.write(addr, value)
+            return
+        memory_write(addr, value)
+
+    def _ph(ctx, addr, ins, is_write, lanes):
+        hook = interp.mem_hook
+        if hook is not None:
+            hook(ctx, ins, addr, is_write, lanes)
+
+    return {"_hr": _hr, "_hw": _hw, "_rat": _rat, "_wat": _wat, "_ph": _ph}
+
+
+def compile_block_fn(block, interp, lookup=None, instrumented=False):
+    """Compile ``block`` into a single runner function ``run(ctx)``.
+
+    The runner charges the block's static cost, executes the block, and
+    returns one of:
+
+    * a :class:`~repro.dbm.blocks.Block` — the linked successor (only when
+      ``lookup`` was provided);
+    * an ``int`` program counter — an unlinked transfer;
+    * ``-1`` — the program halted (``ctx.halted``/``exit_code`` are set).
+
+    ``lookup(pc, ctx) -> Block`` is the dispatcher's code-cache lookup; it
+    must be stable for the lifetime of the block (links are installed
+    once).  With ``lookup=None`` the runner never links and never builds
+    traces.
+    """
+    from repro.dbm.interp import JXRuntimeError
+
+    compiler = _BlockCompiler(block, interp, lookup, instrumented,
+                              JXRuntimeError)
+    fn = compiler.build()
+    stats = interp.jit_stats
+    stats.blocks_translated += 1
+    if instrumented:
+        stats.instrumented_blocks += 1
+    return fn
+
+
+class _BlockCompiler:
+    """Generates the Python source of one block runner and exec-compiles it."""
+
+    def __init__(self, block, interp, lookup, instrumented, error_type):
+        self.block = block
+        self.interp = interp
+        self.lookup = lookup
+        self.instrumented = instrumented
+        self.stats = interp.jit_stats
+        process = interp.process
+        self.resolve = (process.resolve_target if process is not None
+                        else _identity)
+        self.ns = {
+            "_s64": s64,
+            "_i2f": i64_to_f64,
+            "_f2i": f64_to_i64,
+            "_sqrt": math.sqrt,
+            "_st": self.stats,
+            "_err": error_type,
+            "_sys": interp._syscall,
+            "_x": interp._exec,
+            "_Z4": (0.0, 0.0, 0.0, 0.0),
+        }
+        if instrumented:
+            self.ns.update(_instrumented_helpers(interp))
+        else:
+            memory = interp.machine.memory
+            self.ns["_mr"] = memory.read
+            self.ns["_mw"] = memory.write
+
+        def _rt(ctx, hid, arg, _interp=interp, _error=error_type):
+            handler = _interp.rtcall_handler
+            if handler is None:
+                raise _error("RTCALL executed with no runtime attached")
+            return handler(ctx, hid, arg)
+
+        self.ns["_rt"] = _rt
+        self.lines: list[str] = []
+        self.indent = 1
+        self.links: list = []
+        self.n_slots = 0
+        self.n_caches = 0
+
+    # -- source emission helpers --------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def ins_name(self, k: int, ins: Instruction) -> str:
+        name = f"_i{k}"
+        self.ns[name] = ins
+        return name
+
+    def ea(self, m: Mem) -> str:
+        parts = []
+        if m.base is not None:
+            parts.append(f"g[{m.base}]")
+        if m.index is not None:
+            if m.scale != 1:
+                parts.append(f"g[{m.index}]*{m.scale}")
+            else:
+                parts.append(f"g[{m.index}]")
+        if m.disp or not parts:
+            parts.append(str(m.disp))
+        return " + ".join(parts)
+
+    def iread(self, op, k: int, ins: Instruction) -> str:
+        t = type(op)
+        if t is Reg:
+            return f"g[{op.id}]"
+        if t is Imm:
+            return repr(op.value)
+        if self.instrumented:
+            return f"_hr(ctx, {self.ea(op)}, {self.ins_name(k, ins)})"
+        return f"_mr({self.ea(op)})"
+
+    def istore(self, op, k: int, ins: Instruction, value: str) -> None:
+        if type(op) is Reg:
+            self.emit(f"g[{op.id}] = {value}")
+        elif self.instrumented:
+            self.emit(f"_hw(ctx, {self.ea(op)}, "
+                      f"{self.ins_name(k, ins)}, {value})")
+        else:
+            self.emit(f"_mw({self.ea(op)}, {value})")
+
+    def fread(self, op, k: int, ins: Instruction) -> str:
+        if type(op) is Reg:
+            return f"x[{(op.id - XMM_BASE) * 4}]"
+        if self.instrumented:
+            return f"_i2f(_hr(ctx, {self.ea(op)}, {self.ins_name(k, ins)}))"
+        return f"_i2f(_mr({self.ea(op)}))"
+
+    def fstore(self, op, k: int, ins: Instruction, value: str) -> None:
+        if type(op) is Reg:
+            self.emit(f"x[{(op.id - XMM_BASE) * 4}] = {value}")
+        elif self.instrumented:
+            self.emit(f"_hw(ctx, {self.ea(op)}, "
+                      f"{self.ins_name(k, ins)}, _f2i({value}))")
+        else:
+            self.emit(f"_mw({self.ea(op)}, _f2i({value}))")
+
+    def wrap(self, var: str = "t") -> None:
+        self.emit(f"if {var} > {_I64_MAX} or {var} < {_I64_MIN}:")
+        self.emit(f"    {var} = _s64({var})")
+
+    def set_flags(self, var: str = "t") -> None:
+        self.emit(f"f = 1 if {var} > 0 else (-1 if {var} < 0 else 0)")
+
+    def raise_error(self, message: str) -> None:
+        self.emit("ctx.flags = f")
+        self.emit(f"raise _err({message!r})")
+
+    def addr_of(self, ins: Instruction) -> int:
+        return ins.address if ins.address is not None else 0
+
+    # -- linking ------------------------------------------------------------
+
+    def link_slot(self, pc: int) -> int:
+        """Allocate a link slot resolving to ``pc``; returns the slot index.
+
+        The first execution through the slot calls ``_lk<i>`` which installs
+        either the looked-up compiled Block (linked) or the raw pc
+        (unlinked); later executions read the slot directly.
+        """
+        index = self.n_slots
+        self.n_slots += 1
+        links = self.links
+        links.append(None)
+        lookup = self.lookup
+        if lookup is None:
+            def _lk(ctx, _pc=pc, _links=links, _index=index):
+                _links[_index] = _pc
+                return _pc
+        else:
+            stats = self.stats
+
+            def _lk(ctx, _pc=pc, _links=links, _index=index,
+                    _lookup=lookup, _stats=stats):
+                blk = _lookup(_pc, ctx)
+                _links[_index] = blk
+                _stats.links_installed += 1
+                return blk
+        self.ns[f"_lk{index}"] = _lk
+        return index
+
+    def emit_link_return(self, pc: int) -> None:
+        index = self.link_slot(pc)
+        self.emit(f"nb = _L[{index}]")
+        self.emit("if nb is None:")
+        self.emit(f"    nb = _lk{index}(ctx)")
+        self.emit("return nb")
+
+    def indirect_cache(self, resolve_target: bool) -> int:
+        """One-entry inline cache for an indirect terminator."""
+        index = self.n_caches
+        self.n_caches += 1
+        cache = [None, None]
+        self.ns[f"_c{index}"] = cache
+        lookup = self.lookup
+        stats = self.stats
+        resolve = self.resolve if resolve_target else _identity
+
+        def _ik(t, ctx, _cache=cache, _lookup=lookup, _stats=stats,
+                _resolve=resolve):
+            pc = _resolve(t)
+            if _lookup is None:
+                _cache[0] = t
+                _cache[1] = pc
+                return pc
+            blk = _lookup(pc, ctx)
+            _cache[0] = t
+            _cache[1] = blk
+            _stats.links_installed += 1
+            return blk
+
+        self.ns[f"_ik{index}"] = _ik
+        return index
+
+    def emit_indirect_return(self, resolve_target: bool) -> None:
+        index = self.indirect_cache(resolve_target)
+        self.emit(f"if t == _c{index}[0]:")
+        self.emit(f"    return _c{index}[1]")
+        self.emit(f"return _ik{index}(t, ctx)")
+
+    # -- per-opcode statement emission --------------------------------------
+
+    def stmt(self, ins: Instruction, k: int) -> None:  # noqa: C901
+        op = ins.opcode
+        ops = ins.operands
+
+        if op is Opcode.MOV:
+            self.istore(ops[0], k, ins, self.iread(ops[1], k, ins))
+        elif op is Opcode.LEA:
+            self.emit(f"t = {self.ea(ops[1])}")
+            self.wrap()
+            self.emit(f"g[{ops[0].id}] = t")
+        elif op is Opcode.ADD:
+            self.emit(f"t = {self.iread(ops[0], k, ins)}"
+                      f" + {self.iread(ops[1], k, ins)}")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op is Opcode.SUB:
+            self.emit(f"t = {self.iread(ops[0], k, ins)}"
+                      f" - {self.iread(ops[1], k, ins)}")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op is Opcode.IMUL:
+            self.emit(f"t = {self.iread(ops[0], k, ins)}"
+                      f" * {self.iread(ops[1], k, ins)}")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op in (Opcode.IDIV, Opcode.IMOD):
+            self.emit(f"a = {self.iread(ops[0], k, ins)}")
+            self.emit(f"b = {self.iread(ops[1], k, ins)}")
+            self.emit("if b == 0:")
+            self.indent += 1
+            self.raise_error(f"division by zero at {self.addr_of(ins):#x}")
+            self.indent -= 1
+            self.emit("q = abs(a) // abs(b)")
+            self.emit("if (a < 0) != (b < 0):")
+            self.emit("    q = -q")
+            if op is Opcode.IDIV:
+                self.emit("t = q")
+                self.wrap()
+            else:
+                self.emit("t = a - q * b")
+            self.istore(ops[0], k, ins, "t")
+        elif op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+            sym = {Opcode.AND: "&", Opcode.OR: "|", Opcode.XOR: "^"}[op]
+            self.emit(f"t = {self.iread(ops[0], k, ins)}"
+                      f" {sym} {self.iread(ops[1], k, ins)}")
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op in (Opcode.SHL, Opcode.SHR, Opcode.SAR):
+            # The reference reads the shift amount before the value.
+            if type(ops[1]) is Imm:
+                amount = str(ops[1].value & 63)
+            else:
+                self.emit(f"a = {self.iread(ops[1], k, ins)} & 63")
+                amount = "a"
+            if op is Opcode.SHL:
+                self.emit(f"t = {self.iread(ops[0], k, ins)} << {amount}")
+                self.wrap()
+            elif op is Opcode.SHR:
+                self.emit(f"t = ({self.iread(ops[0], k, ins)} & {_U64})"
+                          f" >> {amount}")
+                self.wrap()
+            else:  # SAR: arithmetic shift, no wrap (matches reference)
+                self.emit(f"t = {self.iread(ops[0], k, ins)} >> {amount}")
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op is Opcode.INC:
+            self.emit(f"t = {self.iread(ops[0], k, ins)} + 1")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op is Opcode.DEC:
+            self.emit(f"t = {self.iread(ops[0], k, ins)} - 1")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op is Opcode.NEG:
+            self.emit(f"t = -{self.iread(ops[0], k, ins)}")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+            self.set_flags()
+        elif op is Opcode.NOT:
+            self.emit(f"t = ~{self.iread(ops[0], k, ins)}")
+            self.istore(ops[0], k, ins, "t")
+        elif op is Opcode.CMP:
+            self.emit(f"t = {self.iread(ops[0], k, ins)}"
+                      f" - {self.iread(ops[1], k, ins)}")
+            self.set_flags()
+        elif op is Opcode.TEST:
+            self.emit(f"t = {self.iread(ops[0], k, ins)}"
+                      f" & {self.iread(ops[1], k, ins)}")
+            self.set_flags()
+        elif op in _CMOV:
+            self.emit(f"if {_COND_EXPR[CONDITION_OF[op]]}:")
+            self.indent += 1
+            self.istore(ops[0], k, ins, self.iread(ops[1], k, ins))
+            self.indent -= 1
+        elif op is Opcode.PUSH:
+            # sp moves before the value is read (matches reference order:
+            # a push of rsp or an rsp-relative operand sees the new sp).
+            self.emit(f"sp = g[{STACK_REG}] - 8")
+            self.emit(f"g[{STACK_REG}] = sp")
+            value = self.iread(ops[0], k, ins)
+            if self.instrumented:
+                self.emit(f"_wat(ctx, sp, {value})")
+            else:
+                self.emit(f"_mw(sp, {value})")
+        elif op is Opcode.POP:
+            # Store happens before sp moves: a Mem destination's effective
+            # address uses the old sp (matches reference order).
+            self.emit(f"sp = g[{STACK_REG}]")
+            if self.instrumented:
+                self.istore(ops[0], k, ins, "_rat(ctx, sp)")
+            else:
+                self.istore(ops[0], k, ins, "_mr(sp)")
+            self.emit(f"g[{STACK_REG}] = sp + 8")
+        # ---- scalar floating point ------------------------------------
+        elif op is Opcode.MOVSD:
+            self.fstore(ops[0], k, ins, self.fread(ops[1], k, ins))
+        elif op in (Opcode.ADDSD, Opcode.SUBSD, Opcode.MULSD):
+            sym = {Opcode.ADDSD: "+", Opcode.SUBSD: "-",
+                   Opcode.MULSD: "*"}[op]
+            self.fstore(ops[0], k, ins,
+                        f"{self.fread(ops[0], k, ins)}"
+                        f" {sym} {self.fread(ops[1], k, ins)}")
+        elif op is Opcode.DIVSD:
+            self.emit(f"d = {self.fread(ops[1], k, ins)}")
+            self.emit("if d == 0.0:")
+            self.indent += 1
+            self.raise_error(
+                f"fp division by zero at {self.addr_of(ins):#x}")
+            self.indent -= 1
+            self.fstore(ops[0], k, ins,
+                        f"{self.fread(ops[0], k, ins)} / d")
+        elif op is Opcode.SQRTSD:
+            self.emit(f"d = {self.fread(ops[1], k, ins)}")
+            self.emit("if d < 0.0:")
+            self.indent += 1
+            self.raise_error(f"sqrt of negative at {self.addr_of(ins):#x}")
+            self.indent -= 1
+            self.fstore(ops[0], k, ins, "_sqrt(d)")
+        elif op is Opcode.MINSD:
+            self.fstore(ops[0], k, ins,
+                        f"min({self.fread(ops[0], k, ins)}, "
+                        f"{self.fread(ops[1], k, ins)})")
+        elif op is Opcode.MAXSD:
+            self.fstore(ops[0], k, ins,
+                        f"max({self.fread(ops[0], k, ins)}, "
+                        f"{self.fread(ops[1], k, ins)})")
+        elif op is Opcode.UCOMISD:
+            self.emit(f"t = {self.fread(ops[0], k, ins)}"
+                      f" - {self.fread(ops[1], k, ins)}")
+            self.set_flags()
+        elif op is Opcode.CVTSI2SD:
+            self.fstore(ops[0], k, ins,
+                        f"float({self.iread(ops[1], k, ins)})")
+        elif op is Opcode.CVTTSD2SI:
+            self.emit(f"t = int({self.fread(ops[1], k, ins)})")
+            self.wrap()
+            self.istore(ops[0], k, ins, "t")
+        elif op is Opcode.XORPD:
+            if ops[0] == ops[1]:
+                base = (ops[0].id - XMM_BASE) * 4
+                self.emit(f"x[{base}:{base + 4}] = _Z4")
+            else:
+                self.emit(f"t = _f2i({self.fread(ops[0], k, ins)})"
+                          f" ^ _f2i({self.fread(ops[1], k, ins)})")
+                self.fstore(ops[0], k, ins, "_i2f(t)")
+        elif op in _PACKED:
+            self.packed(ins, k)
+        # ---- system ---------------------------------------------------
+        elif op is Opcode.SYSCALL:
+            self.emit("ctx.flags = f")
+            self.emit("t = _sys(ctx)")
+            self.emit("f = ctx.flags")
+            self.emit("if t is not None:")
+            self.emit("    return -1")
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.RTCALL:
+            hid = ops[0].value
+            arg = ops[1].value if len(ops) > 1 else 0
+            self.emit("ctx.flags = f")
+            self.emit(f"t = _rt(ctx, {hid}, {arg})")
+            # Runtime handlers may replace the register lists wholesale
+            # (worker merge) and adjust flags: re-hoist the locals.
+            self.emit("g = ctx.gregs")
+            self.emit("x = ctx.fregs")
+            self.emit("f = ctx.flags")
+            self.emit("if t is not None:")
+            self.emit("    return t")
+        else:
+            # No template: reference per-instruction fallback (cold path).
+            name = self.ins_name(k, ins)
+            self.emit("ctx.flags = f")
+            self.emit("_st.fallback_instructions += 1")
+            self.emit(f"t = _x(ctx, {name})")
+            self.emit("f = ctx.flags")
+            self.emit("if t is not None:")
+            self.emit("    return t")
+
+    def packed(self, ins: Instruction, k: int) -> None:
+        op = ins.opcode
+        lanes = ins.lanes
+        dst, src = ins.operands
+        is_move = op in (Opcode.MOVAPD, Opcode.VMOVAPD)
+        if is_move and type(dst) is Reg and type(src) is Reg:
+            dbase = (dst.id - XMM_BASE) * 4
+            sbase = (src.id - XMM_BASE) * 4
+            self.emit(f"x[{dbase}:{dbase + lanes}] = "
+                      f"x[{sbase}:{sbase + lanes}]")
+            return
+        # Load the source lanes into temporaries.
+        if type(src) is Reg:
+            sbase = (src.id - XMM_BASE) * 4
+            for lane in range(lanes):
+                self.emit(f"s{lane} = x[{sbase + lane}]")
+        else:
+            self.emit(f"a = {self.ea(src)}")
+            if self.instrumented:
+                name = self.ins_name(k, ins)
+                self.emit(f"_ph(ctx, a, {name}, False, {lanes})")
+                for lane in range(lanes):
+                    offset = f" + {8 * lane}" if lane else ""
+                    self.emit(f"s{lane} = _i2f(_rat(ctx, a{offset}))")
+            else:
+                for lane in range(lanes):
+                    offset = f" + {8 * lane}" if lane else ""
+                    self.emit(f"s{lane} = _i2f(_mr(a{offset}))")
+        if is_move:
+            results = [f"s{lane}" for lane in range(lanes)]
+        else:
+            # RMW packed ops always have a register destination.
+            sym = {Opcode.ADDPD: "+", Opcode.VADDPD: "+",
+                   Opcode.SUBPD: "-", Opcode.VSUBPD: "-",
+                   Opcode.MULPD: "*", Opcode.VMULPD: "*",
+                   Opcode.DIVPD: "/", Opcode.VDIVPD: "/"}[op]
+            dbase = (dst.id - XMM_BASE) * 4
+            if sym == "/":
+                check = " or ".join(f"s{lane} == 0.0"
+                                    for lane in range(lanes))
+                self.emit(f"if {check}:")
+                self.indent += 1
+                self.raise_error(
+                    f"fp division by zero at {self.addr_of(ins):#x}")
+                self.indent -= 1
+            results = [f"x[{dbase + lane}] {sym} s{lane}"
+                       for lane in range(lanes)]
+        if type(dst) is Reg:
+            dbase = (dst.id - XMM_BASE) * 4
+            for lane in range(lanes):
+                self.emit(f"x[{dbase + lane}] = {results[lane]}")
+        else:
+            self.emit(f"a2 = {self.ea(dst)}")
+            if self.instrumented:
+                name = self.ins_name(k, ins)
+                self.emit(f"_ph(ctx, a2, {name}, True, {lanes})")
+                for lane in range(lanes):
+                    offset = f" + {8 * lane}" if lane else ""
+                    self.emit(
+                        f"_wat(ctx, a2{offset}, _f2i({results[lane]}))")
+            else:
+                for lane in range(lanes):
+                    offset = f" + {8 * lane}" if lane else ""
+                    self.emit(f"_mw(a2{offset}, _f2i({results[lane]}))")
+
+    # -- terminators ---------------------------------------------------------
+
+    def terminator(self, ins: Instruction, k: int, trace: bool) -> None:
+        op = ins.opcode
+        ops = ins.operands
+
+        if op in _JCC:
+            cond = _COND_EXPR[CONDITION_OF[op]]
+            taken = self.resolve(ops[0].value)
+            if trace:
+                # Taken edge loops back to the block entry: spin in place,
+                # bail to the dispatcher when the budget runs out.
+                self.emit(f"if {cond}:")
+                self.emit("    n -= 1")
+                self.emit("    if n == 0:")
+                self.emit("        ctx.flags = f")
+                self.emit("        return _self")
+                self.emit("    continue")
+                self.emit("ctx.flags = f")
+                self.emit("_st.trace_exits += 1")
+                self.emit_link_return(self.block.end)
+                return
+            self.emit("ctx.flags = f")
+            self.emit(f"if {cond}:")
+            self.indent += 1
+            self.emit_link_return(taken)
+            self.indent -= 1
+            self.emit_link_return(self.block.end)
+        elif op is Opcode.JMP:
+            if trace:
+                self.emit("n -= 1")
+                self.emit("if n == 0:")
+                self.emit("    ctx.flags = f")
+                self.emit("    return _self")
+                return
+            self.emit("ctx.flags = f")
+            self.emit_link_return(self.resolve(ops[0].value))
+        elif op is Opcode.CALL:
+            self.emit(f"sp = g[{STACK_REG}] - 8")
+            self.emit(f"g[{STACK_REG}] = sp")
+            ret_addr = ins.address + ins.size
+            if self.instrumented:
+                self.emit(f"_wat(ctx, sp, {ret_addr})")
+            else:
+                self.emit(f"_mw(sp, {ret_addr})")
+            self.emit("ctx.flags = f")
+            self.emit_link_return(self.resolve(ops[0].value))
+        elif op is Opcode.CALLI:
+            # Target read precedes the push (matches reference order).
+            self.emit(f"t = {self.iread(ops[0], k, ins)}")
+            self.emit(f"sp = g[{STACK_REG}] - 8")
+            self.emit(f"g[{STACK_REG}] = sp")
+            ret_addr = ins.address + ins.size
+            if self.instrumented:
+                self.emit(f"_wat(ctx, sp, {ret_addr})")
+            else:
+                self.emit(f"_mw(sp, {ret_addr})")
+            self.emit("ctx.flags = f")
+            self.emit_indirect_return(resolve_target=True)
+        elif op is Opcode.JMPI:
+            self.emit(f"t = {self.iread(ops[0], k, ins)}")
+            self.emit("ctx.flags = f")
+            self.emit_indirect_return(resolve_target=True)
+        elif op is Opcode.RET:
+            self.emit(f"sp = g[{STACK_REG}]")
+            if self.instrumented:
+                self.emit("t = _rat(ctx, sp)")
+            else:
+                self.emit("t = _mr(sp)")
+            self.emit(f"g[{STACK_REG}] = sp + 8")
+            self.emit("ctx.flags = f")
+            self.emit(f"if t == {HALT_ADDRESS}:")
+            self.emit("    ctx.halted = True")
+            self.emit("    return -1")
+            self.emit_indirect_return(resolve_target=False)
+        elif op is Opcode.HLT:
+            self.emit("ctx.flags = f")
+            self.emit("ctx.halted = True")
+            self.emit("return -1")
+        else:  # pragma: no cover - discover_block only ends at controls
+            self.stmt(ins, k)
+            self.emit("ctx.flags = f")
+            self.emit_link_return(self.block.end)
+
+    # -- assembly ------------------------------------------------------------
+
+    def traceable(self, term: Instruction) -> bool:
+        """A self-looping block may spin inside its own compiled function.
+
+        Requires the fast variant with a dispatcher lookup (links legal at
+        all), and no SYSCALL/RTCALL in the block: those can install hooks,
+        open transactions or halt, which must re-enter the dispatcher's
+        per-block legality check.
+        """
+        if self.lookup is None or self.instrumented:
+            return False
+        for ins in self.block.instructions:
+            if ins.opcode in (Opcode.SYSCALL, Opcode.RTCALL):
+                return False
+        op = term.opcode
+        if op in _JCC or op is Opcode.JMP:
+            return self.resolve(term.operands[0].value) == self.block.start
+        return False
+
+    def build(self):
+        block = self.block
+        instructions = block.instructions
+        term = instructions[-1]
+        trace = self.traceable(term)
+        fname = f"_jx_{block.start:x}"
+        head = [
+            f"def {fname}(ctx):",
+            "    g = ctx.gregs",
+            "    x = ctx.fregs",
+            "    f = ctx.flags",
+        ]
+        if trace:
+            head.append("    _st.trace_entries += 1")
+            head.append(f"    n = {TRACE_BUDGET}")
+            head.append("    while True:")
+            self.ns["_self"] = block
+            self.indent = 2
+        self.emit(f"ctx.cycles += {block.cost}")
+        self.emit(f"ctx.instructions += {len(instructions)}")
+        for k, ins in enumerate(instructions[:-1]):
+            self.stmt(ins, k)
+        k = len(instructions) - 1
+        if term.is_control:
+            self.terminator(term, k, trace)
+        else:
+            self.stmt(term, k)
+            self.emit("ctx.flags = f")
+            self.emit_link_return(block.end)
+        if self.n_slots:
+            self.ns["_L"] = self.links
+        source = "\n".join(head + self.lines) + "\n"
+        variant = "inst" if self.instrumented else "fast"
+        code = compile(source, f"<jit {variant} {block.start:#x}>", "exec")
+        exec(code, self.ns)
+        fn = self.ns[fname]
+        fn.__jit_source__ = source
+        return fn
+
+
+# ---------------------------------------------------------------------------
+# Legacy closure-list compiler (seed unlinked JIT).
+#
+# Retained as the benchmark baseline: bench_interp_throughput.py measures the
+# linked trace tier above against this per-instruction closure form.
+# ---------------------------------------------------------------------------
 
 _COND = {
     "e": lambda f: f == 0,

@@ -22,8 +22,9 @@ from repro.dbm.blocks import Block, discover_block
 from repro.dbm.editor import BlockEditor
 from repro.dbm.executor import DEFAULT_INSTRUCTION_LIMIT, ExecutionResult
 from repro.dbm.handlers import HANDLERS, TranslationContext
-from repro.dbm.interp import ExecutionLimitExceeded, Interpreter
+from repro.dbm.interp import Interpreter
 from repro.dbm.machine import Machine, ThreadContext, make_main_context
+from repro.dbm.tracecache import run_loop
 from repro.isa.costs import DEFAULT_COST_MODEL, CostModel
 from repro.jbin.loader import Process
 from repro.rewrite.schedule import RewriteSchedule
@@ -117,6 +118,14 @@ class JanusDBM:
             cache[pc] = block
         return block
 
+    def _main_lookup(self, pc: int, ctx: ThreadContext) -> Block:
+        """Stable code-cache lookup for the main-thread dispatch loop.
+
+        Compiled runners capture this in their link slots, so it must be
+        one object for the DBM's lifetime (a bound method is).
+        """
+        return self.get_block(pc, ctx)
+
     def _translate(self, pc: int, ctx: ThreadContext, worker) -> Block:
         block = discover_block(self.process, pc,
                                stop_addresses=self.rule_index.keys())
@@ -160,25 +169,19 @@ class JanusDBM:
             ) -> ExecutionResult:
         """Execute the whole program under the DBM on the main thread."""
         ctx = make_main_context(self.process.entry, self.machine.memory)
-        pc: int | None = ctx.pc
-        listeners = self.block_listeners
-        while pc is not None:
-            block = self.get_block(pc, ctx)
-            pc = self.interp.execute_block(ctx, block)
-            if listeners:
-                for listener in listeners:
-                    listener(ctx, block)
-            if ctx.instructions > max_instructions:
-                raise ExecutionLimitExceeded(
-                    f"exceeded {max_instructions} instructions")
+        run_loop(self.interp, ctx, ctx.pc, self._main_lookup,
+                 max_instructions=max_instructions,
+                 listeners=self.block_listeners)
         self.machine.cycles = ctx.cycles
+        stats = self.stats.as_dict()
+        stats.update(self.interp.jit_stats.as_dict())
         return ExecutionResult(
             cycles=ctx.cycles,
             instructions=ctx.instructions,
             outputs=self.machine.outputs,
             exit_code=ctx.exit_code,
             machine=self.machine,
-            stats=self.stats.as_dict(),
+            stats=stats,
         )
 
 

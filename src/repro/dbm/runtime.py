@@ -46,6 +46,7 @@ from repro.dbm.checks import evaluate_bounds_check, make_read_var
 from repro.dbm.machine import ThreadContext
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
 from repro.dbm.rtcalls import DependenceViolationError, RTCallID, WorkerYield
+from repro.dbm.tracecache import run_loop
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import SCRATCH_REG, STACK_REG, TLS_REG, XMM_BASE
 from repro.jbin import layout
@@ -142,6 +143,15 @@ class ParallelRuntime:
         dbm.register_rtcall(RTCallID.TX_START, self._rt_tx_start)
         dbm.register_rtcall(RTCallID.TX_FINISH, self._rt_tx_finish)
         dbm.runtime = self
+
+    def _worker_lookup(self, pc: int, ctx):
+        """Stable code-cache lookup for worker dispatch loops.
+
+        Reads ``_current_worker`` dynamically so one bound method serves
+        every worker run (compiled link slots capture it once per block);
+        ``ctx.thread_id`` routes to the right per-thread cache.
+        """
+        return self.dbm.get_block(pc, ctx, worker=self._current_worker)
 
     # -- small rtcalls -----------------------------------------------------
 
@@ -387,7 +397,6 @@ class ParallelRuntime:
     def _run_worker(self, worker: WorkerState, start_pc: int,
                     meta: LoopMeta, init: int, iv_bases: dict) -> None:
         interp = self.dbm.interp
-        dbm = self.dbm
         self._current_worker = worker
         hook = self._make_shadow_hook(worker)
         previous_hook = interp.mem_hook
@@ -396,15 +405,14 @@ class ParallelRuntime:
             for start, end in worker.chunks:
                 self._prepare_chunk(worker, meta, init, iv_bases, start,
                                     end)
-                pc: int | None = start_pc
                 try:
-                    while True:
-                        block = dbm.get_block(pc, worker.ctx, worker=worker)
-                        pc = interp.execute_block(worker.ctx, block)
-                        if pc is None:
-                            raise RuntimeError_(
-                                f"pool thread {worker.thread_id} halted "
-                                f"inside loop {worker.meta.loop_id}")
+                    run_loop(interp, worker.ctx, start_pc,
+                             self._worker_lookup)
+                    # run_loop only returns on halt, which a pool thread
+                    # must never do.
+                    raise RuntimeError_(
+                        f"pool thread {worker.thread_id} halted "
+                        f"inside loop {worker.meta.loop_id}")
                 except WorkerYield:
                     pass
         finally:

@@ -1,0 +1,79 @@
+"""The trace-cache dispatch loop shared by all execution modes.
+
+This is the analogue of DynamoRIO's dispatcher: it hands control to a
+block's compiled runner and only regains it at an unlinked transfer, a
+halt, or a trace-budget bailout.  A runner may return the *compiled
+successor block itself* (a link), in which case the loop re-enters compiled
+code immediately — no code-cache lookup.
+
+Fast-path legality is re-checked at every block boundary: the fast variant
+runs only while no memory hook is installed, no transaction is open and no
+block listeners are attached; otherwise the instrumented variant runs (it
+re-checks the hook/transaction *per access*, so mid-block installation —
+e.g. a profiler external-call window — behaves exactly like the reference
+interpreter).  Listeners force per-block dispatch (never traces) because
+the coverage profiler attributes instructions block-by-block.
+"""
+
+from __future__ import annotations
+
+from repro.dbm.blocks import Block
+from repro.dbm.jit import compile_block_fn
+
+
+def run_loop(interp, ctx, pc: int, lookup,
+             max_instructions: int | None = None,
+             listeners=()) -> None:
+    """Run from ``pc`` until the program halts.
+
+    ``lookup(pc, ctx) -> Block`` is the caller's code-cache lookup
+    (translating on miss); it must stay stable for the life of the blocks
+    it returns, because compiled runners capture it in their link slots.
+
+    Raises :class:`~repro.dbm.interp.ExecutionLimitExceeded` when
+    ``max_instructions`` is crossed (checked at block boundaries; a
+    self-loop trace bails out at least every
+    :data:`~repro.dbm.jit.TRACE_BUDGET` iterations, bounding the overshoot).
+    """
+    from repro.dbm.interp import ExecutionLimitExceeded
+
+    block = lookup(pc, ctx)
+    while True:
+        if interp.force_reference:
+            nxt = interp.execute_block_reference(ctx, block)
+            if listeners:
+                for listener in listeners:
+                    listener(ctx, block)
+            if max_instructions is not None \
+                    and ctx.instructions > max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions")
+            if nxt is None:
+                return
+            block = lookup(nxt, ctx)
+            continue
+        if interp.mem_hook is None and interp.active_tx is None \
+                and not listeners:
+            run = block.jit_fast
+            if run is None:
+                run = block.jit_fast = compile_block_fn(
+                    block, interp, lookup)
+        else:
+            run = block.jit_inst
+            if run is None:
+                run = block.jit_inst = compile_block_fn(
+                    block, interp, lookup, instrumented=True)
+        nxt = run(ctx)
+        if listeners:
+            for listener in listeners:
+                listener(ctx, block)
+        if max_instructions is not None \
+                and ctx.instructions > max_instructions:
+            raise ExecutionLimitExceeded(
+                f"exceeded {max_instructions} instructions")
+        if nxt.__class__ is Block:
+            block = nxt
+        elif nxt == -1:
+            return
+        else:
+            block = lookup(nxt, ctx)

@@ -4,9 +4,19 @@ Every figure needs some subset of {native run, DBM-only run, training,
 Janus run at N threads} per (workload, compiler options).  The harness
 memoises all of them, so regenerating the full set of figures costs each
 execution exactly once.
+
+With ``cache_dir`` set, finished ``native()``/``run()`` results also
+persist on disk (pickle), keyed by workload name, compile options, mode,
+thread count and a content hash of the compiled image — so a recompiled
+or edited workload never serves a stale result.  ``python -m repro
+figures`` uses this by default; ``--no-cache`` is the escape hatch.
 """
 
 from __future__ import annotations
+
+import hashlib
+import os
+import pickle
 
 from dataclasses import dataclass, field
 
@@ -19,6 +29,9 @@ from repro.workloads import compile_workload, get_workload
 
 MAX_INSTRUCTIONS = 20_000_000
 
+# Bump when ExecutionResult or the cached payload layout changes shape.
+_CACHE_FORMAT = 1
+
 
 def _options_key(options: CompileOptions) -> tuple:
     return (options.opt_level, options.personality, options.mavx,
@@ -30,10 +43,12 @@ class EvalHarness:
     """Memoised runs of the workload suite."""
 
     n_threads: int = 8
+    cache_dir: str | None = None
     _natives: dict = field(default_factory=dict)
     _janus: dict = field(default_factory=dict)
     _trainings: dict = field(default_factory=dict)
     _runs: dict = field(default_factory=dict)
+    _digests: dict = field(default_factory=dict)
 
     # -- building blocks -------------------------------------------------------
 
@@ -64,6 +79,46 @@ class EvalHarness:
             self._trainings[key] = training
         return training
 
+    # -- on-disk persistence -----------------------------------------------------
+
+    def _image_digest(self, name: str, options: CompileOptions) -> str:
+        key = (name, _options_key(options))
+        digest = self._digests.get(key)
+        if digest is None:
+            digest = hashlib.sha256(
+                self.image(name, options).serialize()).hexdigest()
+            self._digests[key] = digest
+        return digest
+
+    def _cache_entry(self, kind: str, name: str, options: CompileOptions,
+                     mode: str = "", threads: int = 0) -> tuple[str, str]:
+        """(path, tag) for one persisted result; the tag detects collisions."""
+        tag = "|".join((str(_CACHE_FORMAT), kind, name,
+                        repr(_options_key(options)), mode, str(threads),
+                        self._image_digest(name, options)))
+        fname = hashlib.sha256(tag.encode()).hexdigest()[:32]
+        return os.path.join(self.cache_dir, fname + ".pkl"), tag
+
+    def _disk_get(self, path: str, tag: str):
+        # A corrupt or stale cache entry must never take the harness
+        # down: pickle.load raises a grab-bag of exception types on
+        # malformed input (ValueError, EOFError, UnpicklingError, ...).
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            return None
+        if not isinstance(payload, dict) or payload.get("tag") != tag:
+            return None
+        return payload.get("result")
+
+    def _disk_put(self, path: str, tag: str, result) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump({"tag": tag, "result": result}, fh)
+        os.replace(tmp, path)
+
     # -- runs ---------------------------------------------------------------------
 
     def native(self, name: str,
@@ -71,12 +126,22 @@ class EvalHarness:
         options = options or CompileOptions()
         key = (name, _options_key(options))
         result = self._natives.get(key)
-        if result is None:
-            workload = get_workload(name)
-            process = load(self.image(name, options),
-                           inputs=list(workload.ref_inputs))
-            result = run_native(process, max_instructions=MAX_INSTRUCTIONS)
-            self._natives[key] = result
+        if result is not None:
+            return result
+        entry = None
+        if self.cache_dir is not None:
+            entry = self._cache_entry("native", name, options)
+            result = self._disk_get(*entry)
+            if result is not None:
+                self._natives[key] = result
+                return result
+        workload = get_workload(name)
+        process = load(self.image(name, options),
+                       inputs=list(workload.ref_inputs))
+        result = run_native(process, max_instructions=MAX_INSTRUCTIONS)
+        self._natives[key] = result
+        if entry is not None:
+            self._disk_put(*entry, result)
         return result
 
     def run(self, name: str, mode: SelectionMode,
@@ -86,15 +151,26 @@ class EvalHarness:
         threads = n_threads if n_threads is not None else self.n_threads
         key = (name, _options_key(options), mode, threads)
         result = self._runs.get(key)
-        if result is None:
-            workload = get_workload(name)
-            janus = self.janus_for(name, options)
-            training = None
-            if mode in (SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
-                training = self.training(name, options)
-            result = janus.run(mode, inputs=list(workload.ref_inputs),
-                               training=training, n_threads=threads)
-            self._runs[key] = result
+        if result is not None:
+            return result
+        entry = None
+        if self.cache_dir is not None:
+            entry = self._cache_entry("run", name, options,
+                                      mode=mode.name, threads=threads)
+            result = self._disk_get(*entry)
+            if result is not None:
+                self._runs[key] = result
+                return result
+        workload = get_workload(name)
+        janus = self.janus_for(name, options)
+        training = None
+        if mode in (SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
+            training = self.training(name, options)
+        result = janus.run(mode, inputs=list(workload.ref_inputs),
+                           training=training, n_threads=threads)
+        self._runs[key] = result
+        if entry is not None:
+            self._disk_put(*entry, result)
         return result
 
     def speedup(self, name: str, mode: SelectionMode,

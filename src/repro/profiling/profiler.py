@@ -1,4 +1,13 @@
-"""The profiling runtime attached to the DBM during training runs."""
+"""The profiling runtime attached to the DBM during training runs.
+
+Profiling runs execute through the *instrumented* compiled tier
+(:mod:`repro.dbm.jit`): the memory hook installed for shadow-memory
+tracking routes each block to a compiled variant that threads the hook
+through its memory accesses, rather than falling back to per-instruction
+reference dispatch.  The hook is re-read per access, so the external-call
+windows (which install and remove a counting hook mid-run) observe
+exactly the reference semantics.
+"""
 
 from __future__ import annotations
 
@@ -140,16 +149,27 @@ class Profiler:
         return None
 
     def _on_block(self, ctx, block) -> None:
-        if not self._frames:
+        # Block listener: its presence forces the dispatcher to stay on
+        # per-block dispatch (never whole-loop traces), so every executed
+        # block is attributed here even under the compiled tier.
+        frames = self._frames
+        if not frames:
             return
         count = len(block.instructions)
+        if len(frames) == 1:
+            # The overwhelmingly common case (one active loop): no dedup
+            # set allocation on the per-block hot path.
+            profile = self._profile(frames[0].loop_id)
+            profile.instructions += count
+            profile.instructions_exclusive += count
+            return
         seen = set()
-        for frame in self._frames:
+        for frame in frames:
             if frame.loop_id in seen:
                 continue  # recursive re-activation counts once
             seen.add(frame.loop_id)
             self._profile(frame.loop_id).instructions += count
-        innermost = self._frames[-1].loop_id
+        innermost = frames[-1].loop_id
         self._profile(innermost).instructions_exclusive += count
 
     def _mem_access(self, ctx, record_index: int):

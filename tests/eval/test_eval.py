@@ -48,6 +48,48 @@ class TestHarnessCaching:
                                SelectionMode.DBM_ONLY) <= 1.0
 
 
+class TestDiskCache:
+    def test_native_roundtrip(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = EvalHarness(cache_dir=cache).native("400.perlbench")
+        # A fresh harness (empty memo dicts) must hit the disk entry.
+        reload_harness = EvalHarness(cache_dir=cache)
+        second = reload_harness.native("400.perlbench")
+        assert second is not first
+        assert second.cycles == first.cycles
+        assert second.outputs == first.outputs
+        assert second.exit_code == first.exit_code
+        # And the in-memory memo serves the same object afterwards.
+        assert reload_harness.native("400.perlbench") is second
+
+    def test_run_roundtrip_keyed_by_mode(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = EvalHarness(cache_dir=cache).run(
+            "400.perlbench", SelectionMode.DBM_ONLY)
+        second = EvalHarness(cache_dir=cache).run(
+            "400.perlbench", SelectionMode.DBM_ONLY)
+        assert second.cycles == first.cycles
+        assert second.stats == first.stats
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        harness = EvalHarness(cache_dir=cache)
+        harness.native("400.perlbench")
+        # "garbage\n" makes pickle raise ValueError, b"\x80" EOFError:
+        # any malformed entry must fall back to recomputation.
+        for content in (b"garbage\n", b"\x80"):
+            for name in (tmp_path / "cache").iterdir():
+                name.write_bytes(content)
+            fresh = EvalHarness(cache_dir=cache)
+            result = fresh.native("400.perlbench")
+            assert result.exit_code == 0
+
+    def test_no_cache_dir_writes_nothing(self, tmp_path):
+        harness = EvalHarness()
+        harness.native("400.perlbench")
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestTable2:
     def test_only_janus_ticks_all_boxes(self):
         rows = figures.table2_features()
