@@ -10,12 +10,12 @@ with the number of transformations (see EXPERIMENTS.md).
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_fig10_schedule_size(benchmark, harness):
-    rows = run_once(benchmark,
-                    lambda: figures.fig10_schedule_size(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig10", figures.fig10_schedule_size))
     print()
     print(reporting.render_fig10(rows))
 

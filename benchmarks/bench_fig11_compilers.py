@@ -10,12 +10,12 @@ baseline, harder-to-analyse code); for the benchmarks where Janus is best
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_fig11_compiler_comparison(benchmark, harness):
-    rows = run_once(benchmark,
-                    lambda: figures.fig11_compiler_comparison(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig11", figures.fig11_compiler_comparison))
     print()
     print(reporting.render_fig11(rows))
 

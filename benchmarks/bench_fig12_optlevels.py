@@ -11,11 +11,12 @@ only — see EXPERIMENTS.md.)
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_fig12_opt_levels(benchmark, harness):
-    rows = run_once(benchmark, lambda: figures.fig12_opt_levels(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig12", figures.fig12_opt_levels))
     print()
     print(reporting.render_fig12(rows))
 

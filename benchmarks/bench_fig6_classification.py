@@ -9,11 +9,12 @@ time is negligible; exactly the nine Fig. 7 benchmarks clear the paper's
 from repro.eval import figures, reporting
 from repro.workloads import FIG7_BENCHMARKS
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_fig6_classification(benchmark, harness):
-    rows = run_once(benchmark, lambda: figures.fig6_classification(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig6", figures.fig6_classification))
     print()
     print(reporting.render_fig6(rows))
 

@@ -9,11 +9,12 @@ native; the Janus geomean is around 2x.
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_fig7_speedups(benchmark, harness):
-    rows = run_once(benchmark, lambda: figures.fig7_speedups(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig7", figures.fig7_speedups))
     print()
     print(reporting.render_fig7(rows))
 

@@ -8,11 +8,12 @@ check time.
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_fig8_breakdown(benchmark, harness):
-    rows = run_once(benchmark, lambda: figures.fig8_breakdown(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig8", figures.fig8_breakdown))
     print()
     print(reporting.render_fig8(rows))
 

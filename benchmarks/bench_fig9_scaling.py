@@ -7,14 +7,14 @@ benchmarks flatten early; nothing scales superlinearly.
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 THREADS = (1, 2, 3, 4, 6, 8)
 
 
 def test_fig9_scaling(benchmark, harness):
-    rows = run_once(
-        benchmark, lambda: figures.fig9_scaling(harness, THREADS))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "fig9", lambda h: figures.fig9_scaling(h, THREADS)))
     print()
     print(reporting.render_fig9(rows))
 

@@ -7,12 +7,12 @@ Shape: the same benchmarks carry checks, milc/GemsFDTD/h264ref carry many
 
 from repro.eval import figures, reporting
 
-from conftest import run_once
+from conftest import figure, run_once
 
 
 def test_table1_bounds_checks(benchmark, harness):
-    rows = run_once(benchmark,
-                    lambda: figures.table1_bounds_checks(harness))
+    rows = run_once(benchmark, lambda: figure(
+        harness, "table1", figures.table1_bounds_checks))
     print()
     print(reporting.render_table1(rows))
 

@@ -6,7 +6,14 @@ evaluation behind the paper is ~250 executions; each happens once).
 Benchmarks are run with a single round: the interesting output is the
 regenerated figure, which is printed so `pytest benchmarks/
 --benchmark-only -s` reproduces the paper's evaluation section.
+
+Set ``REPRO_EVAL_JOBS=N`` to fan the executions behind each figure out
+over N worker processes (through the on-disk result cache; figure values
+are identical at any job count).  ``REPRO_EVAL_CACHE`` pins the cache
+directory; without it a per-session temporary directory is used.
 """
+
+import os
 
 import pytest
 
@@ -14,10 +21,20 @@ from repro.eval.harness import EvalHarness
 
 
 @pytest.fixture(scope="session")
-def harness():
-    return EvalHarness()
+def harness(tmp_path_factory):
+    jobs = int(os.environ.get("REPRO_EVAL_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_EVAL_CACHE")
+    if cache_dir is None and jobs > 1:
+        cache_dir = str(tmp_path_factory.mktemp("eval-cache"))
+    return EvalHarness(jobs=jobs, cache_dir=cache_dir)
 
 
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def figure(harness, which, produce):
+    """Warm the figure's execution cells (no-op when serial), then build it."""
+    harness.warm([which])
+    return produce(harness)

@@ -213,14 +213,15 @@ def _within_group(result: AliasAnalysis, group: AccessGroup, step: int,
     rather than a hard dependence — the same mechanism as unproven array
     bases, just with both ranges anchored to one base.
     """
-    writes = [a for a in group.accesses if a.is_write]
     flagged_writes: list[MemAccess] = []
     flagged_others: list[MemAccess] = []
-    for write in writes:
-        for other in group.accesses:
-            if other is write:
+    for wi, write in enumerate(group.accesses):
+        if not write.is_write:
+            continue
+        for oi, other in enumerate(group.accesses):
+            if oi == wi:
                 continue
-            if other.is_write and id(other) < id(write):
+            if other.is_write and oi < wi:
                 continue  # each write-write pair once
             verdict = _pair_dependence(write, other, step, trips)
             if verdict is None:

@@ -9,10 +9,18 @@ stripped JELF image:
 and returns a :class:`BinaryAnalysis` holding per-function artefacts and a
 flat, stably numbered list of :class:`LoopAnalysisResult` — the input to
 both the profiling and the parallelisation rewrite-schedule generators.
+
+Everything after CFG recovery and function summarisation is independent
+per function, so with ``jobs > 1`` the per-function pipeline fans out
+over a process pool; results are identical to a serial run because the
+flat loop numbering is assigned in a deterministic merge (stable sort on
+header address, functions visited in entry-address order) after all
+functions complete.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.jbin.image import JELF
@@ -67,42 +75,80 @@ class BinaryAnalysis:
         return histogram
 
 
+def _analyze_function(cfg: FunctionCFG,
+                      summaries: dict[int, FunctionSummary]
+                      ) -> tuple[FunctionAnalysis, list[LoopAnalysisResult]]:
+    """Everything per-function: dominators, stack, SSA, loops, classify.
+
+    Loop ids are still unassigned here (``classify_loop`` never reads
+    them); the caller numbers loops in the deterministic global merge.
+    """
+    dom = compute_dominators(cfg)
+    deltas = track_stack(cfg)
+    ssa = None
+    if deltas is not None:
+        ssa = build_ssa(cfg, dom, deltas)
+    fa = FunctionAnalysis(cfg=cfg, dom=dom, ssa=ssa)
+    fa.loops = find_loops(cfg, dom)
+    results = [classify_loop(loop, cfg, dom, ssa, summaries)
+               for loop in fa.loops]
+    return fa, results
+
+
+def _analyze_function_task(args) -> tuple[FunctionAnalysis,
+                                          list[LoopAnalysisResult]]:
+    return _analyze_function(*args)
+
+
 class BinaryAnalyzer:
     """Runs the static analysis pipeline over one image."""
 
-    def __init__(self, image: JELF) -> None:
+    def __init__(self, image: JELF, jobs: int | None = None) -> None:
         self.image = image
+        self.jobs = jobs if jobs is not None else 1
 
     def run(self) -> BinaryAnalysis:
         dis = disassemble(self.image)
         cfgs = build_cfgs(dis)
         summaries = summarise_functions(cfgs)
+
+        entries = list(cfgs)
+        if self.jobs > 1 and len(entries) > 1:
+            # Worker results carry their own copies of the CFG (mutated by
+            # stack tracking) and loops; use those copies throughout so
+            # every artefact in the returned analysis is self-consistent.
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(entries))) as pool:
+                analysed = list(pool.map(
+                    _analyze_function_task,
+                    [(cfgs[entry], summaries) for entry in entries],
+                    chunksize=max(1, len(entries) // (4 * self.jobs))))
+        else:
+            analysed = [_analyze_function(cfgs[entry], summaries)
+                        for entry in entries]
+
         functions: dict[int, FunctionAnalysis] = {}
-        all_loops: list[tuple[Loop, FunctionAnalysis]] = []
-
-        for entry, cfg in cfgs.items():
-            dom = compute_dominators(cfg)
-            deltas = track_stack(cfg)
-            ssa = None
-            if deltas is not None:
-                ssa = build_ssa(cfg, dom, deltas)
-            fa = FunctionAnalysis(cfg=cfg, dom=dom, ssa=ssa)
-            fa.loops = find_loops(cfg, dom)
+        all_loops: list[tuple[Loop, LoopAnalysisResult]] = []
+        for entry, (fa, results) in zip(entries, analysed):
             functions[entry] = fa
-            for loop in fa.loops:
-                all_loops.append((loop, fa))
+            for result in results:
+                all_loops.append((result.loop, result))
 
-        # Stable loop ids in header-address order across the whole binary.
+        # Stable loop ids in header-address order across the whole binary
+        # (stable sort: ties keep function entry-address order).
         all_loops.sort(key=lambda pair: pair[0].header)
         analysis = BinaryAnalysis(image=self.image, disassembly=dis,
                                   functions=functions, summaries=summaries)
-        for loop_id, (loop, fa) in enumerate(all_loops):
+        for loop_id, (loop, result) in enumerate(all_loops):
             loop.loop_id = loop_id
-            result = classify_loop(loop, fa.cfg, fa.dom, fa.ssa, summaries)
             analysis.loops.append(result)
         return analysis
 
 
-def analyze_image(image: JELF) -> BinaryAnalysis:
-    """Convenience wrapper: run the full static analysis on an image."""
-    return BinaryAnalyzer(image).run()
+def analyze_image(image: JELF, jobs: int | None = None) -> BinaryAnalysis:
+    """Convenience wrapper: run the full static analysis on an image.
+
+    ``jobs > 1`` distributes the per-function pipeline over worker
+    processes; the result is identical to the serial analysis.
+    """
+    return BinaryAnalyzer(image, jobs=jobs).run()

@@ -15,6 +15,7 @@ and `figures` regenerates the evaluation.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import analyze_image
@@ -43,7 +44,7 @@ def _cmd_compile(args) -> int:
 
 def _cmd_analyze(args) -> int:
     image = JELF.deserialize(open(args.binary, "rb").read())
-    analysis = analyze_image(image)
+    analysis = analyze_image(image, jobs=args.jobs)
     print(f"{args.binary}: {len(analysis.functions)} functions, "
           f"{len(analysis.loops)} loops")
     print(f"{'loop':>4s} {'function':>10s} {'header':>10s} "
@@ -112,7 +113,7 @@ def _cmd_figures(args) -> int:
     from repro.eval.harness import EvalHarness
 
     cache_dir = None if args.no_cache else args.cache_dir
-    harness = EvalHarness(cache_dir=cache_dir)
+    harness = EvalHarness(cache_dir=cache_dir, jobs=args.jobs)
     producers = {
         "fig6": (figures.fig6_classification, reporting.render_fig6),
         "fig7": (figures.fig7_speedups, reporting.render_fig7),
@@ -126,7 +127,16 @@ def _cmd_figures(args) -> int:
         "table2": (lambda _h=None: figures.table2_features(),
                    reporting.render_table2),
     }
-    for name in args.which or sorted(producers):
+    names = args.which or sorted(producers)
+    unknown = [name for name in names if name not in producers]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    # Fan the needed executions out over worker processes first (no-op at
+    # --jobs 1 or --no-cache); the figures below then assemble from warm
+    # cache hits, bit-identical to a serial run.
+    harness.warm([name for name in names if name != "table2"])
+    for name in names:
         produce, render = producers[name]
         rows = produce(harness) if name != "table2" else produce()
         print(render(rows))
@@ -152,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     a = sub.add_parser("analyze", help="static loop analysis of a binary")
     a.add_argument("binary")
+    a.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the per-function analysis "
+                        "pipeline (results are identical at any value)")
     a.set_defaults(func=_cmd_analyze)
 
     s = sub.add_parser("schedule",
@@ -183,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for persisted run results")
     f.add_argument("--no-cache", action="store_true",
                    help="recompute every run; touch no on-disk cache")
+    f.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                   help="worker processes for the evaluation fan-out "
+                        "(default: all cores; figure output is identical "
+                        "at any value; needs the on-disk cache)")
     f.set_defaults(func=_cmd_figures)
     return parser
 

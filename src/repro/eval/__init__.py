@@ -2,11 +2,13 @@
 
 One function per figure/table (:mod:`repro.eval.figures`), a caching run
 harness (:mod:`repro.eval.harness`) so the ~250 executions behind the full
-evaluation are shared across figures, and ASCII renderers matching the
-paper's rows and series (:mod:`repro.eval.reporting`).
+evaluation are shared across figures, a process-parallel fan-out planner
+over those executions (:mod:`repro.eval.scheduler`), and ASCII renderers
+matching the paper's rows and series (:mod:`repro.eval.reporting`).
 """
 
 from repro.eval.harness import EvalHarness, default_harness
-from repro.eval import figures, reporting
+from repro.eval import figures, reporting, scheduler
 
-__all__ = ["EvalHarness", "default_harness", "figures", "reporting"]
+__all__ = ["EvalHarness", "default_harness", "figures", "reporting",
+           "scheduler"]

@@ -12,12 +12,9 @@ import math
 
 from repro.analysis import LoopCategory
 from repro.jcc import CompileOptions
-from repro.jbin.loader import load
 from repro.pipeline import SelectionMode
-from repro.profiling import run_profiling
-from repro.rewrite import generate_profile_schedule
-from repro.eval.harness import EvalHarness, MAX_INSTRUCTIONS, default_harness
-from repro.workloads import FIG7_BENCHMARKS, all_benchmarks, get_workload
+from repro.eval.harness import EvalHarness, default_harness
+from repro.workloads import FIG7_BENCHMARKS, all_benchmarks
 
 CATEGORY_ORDER = (
     LoopCategory.STATIC_DOALL,
@@ -57,13 +54,7 @@ def fig6_classification(harness: EvalHarness | None = None,
 
         # Dynamic fractions: a coverage run that also brackets
         # incompatible loops, attributing time to the innermost loop.
-        schedule = generate_profile_schedule(analysis,
-                                             include_incompatible=True)
-        workload = get_workload(name)
-        process = load(harness.image(name),
-                       inputs=list(workload.train_inputs))
-        profile, _ = run_profiling(process, schedule,
-                                   max_instructions=MAX_INSTRUCTIONS)
+        profile = harness.fig6_profile(name)
         dynamic_fractions = {c.value: 0.0 for c in CATEGORY_ORDER}
         for result in analysis.loops:
             coverage = profile.exclusive_coverage(result.loop_id)

@@ -5,11 +5,20 @@ Janus run at N threads} per (workload, compiler options).  The harness
 memoises all of them, so regenerating the full set of figures costs each
 execution exactly once.
 
-With ``cache_dir`` set, finished ``native()``/``run()`` results also
-persist on disk (pickle), keyed by workload name, compile options, mode,
-thread count and a content hash of the compiled image — so a recompiled
-or edited workload never serves a stale result.  ``python -m repro
-figures`` uses this by default; ``--no-cache`` is the escape hatch.
+With ``cache_dir`` set, finished ``native()``/``run()``/``training()``/
+``fig6_profile()`` results also persist on disk (pickle), keyed by
+workload name, compile options, mode, thread count and a content hash of
+the compiled image — so a recompiled or edited workload never serves a
+stale result.  ``python -m repro figures`` uses this by default;
+``--no-cache`` is the escape hatch.
+
+With ``jobs > 1`` the disk cache doubles as the IPC medium for the
+process-parallel evaluation fan-out (:mod:`repro.eval.scheduler`):
+``warm()`` enumerates every execution cell the requested figures need,
+executes them in worker processes (each warming the shared cache with
+atomic writes), after which the parent assembles figures from warm cache
+hits.  Results are bit-identical to a serial run because every cell is
+deterministic and the cache key is independent of who computed it.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import uuid
 
 from dataclasses import dataclass, field
 
@@ -25,7 +35,10 @@ from repro.jbin.loader import load
 from repro.jcc import CompileOptions
 from repro.pipeline import Janus, JanusConfig, SelectionMode
 from repro.pipeline.janus import TrainingData
+from repro.profiling import ProfileResult, run_profiling
+from repro.rewrite import generate_profile_schedule
 from repro.workloads import compile_workload, get_workload
+from repro.workloads.suite import workload_source
 
 MAX_INSTRUCTIONS = 20_000_000
 
@@ -38,16 +51,28 @@ def _options_key(options: CompileOptions) -> tuple:
             options.parallel, options.parallel_threads)
 
 
+def options_from_key(key: tuple) -> CompileOptions:
+    """Rebuild the ``CompileOptions`` a key was derived from."""
+    opt_level, personality, mavx, parallel, parallel_threads = key
+    return CompileOptions(opt_level=opt_level, personality=personality,
+                          mavx=mavx, parallel=parallel,
+                          parallel_threads=parallel_threads)
+
+
 @dataclass
 class EvalHarness:
     """Memoised runs of the workload suite."""
 
     n_threads: int = 8
     cache_dir: str | None = None
+    # Worker-process count for the evaluation fan-out (``warm``) and the
+    # per-function static-analysis pipeline.  1 = fully serial.
+    jobs: int = 1
     _natives: dict = field(default_factory=dict)
     _janus: dict = field(default_factory=dict)
     _trainings: dict = field(default_factory=dict)
     _runs: dict = field(default_factory=dict)
+    _profiles: dict = field(default_factory=dict)
     _digests: dict = field(default_factory=dict)
 
     # -- building blocks -------------------------------------------------------
@@ -62,7 +87,8 @@ class EvalHarness:
         instance = self._janus.get(key)
         if instance is None:
             config = JanusConfig(n_threads=self.n_threads,
-                                 max_instructions=MAX_INSTRUCTIONS)
+                                 max_instructions=MAX_INSTRUCTIONS,
+                                 analysis_jobs=self.jobs)
             instance = Janus(self.image(name, options), config)
             self._janus[key] = instance
         return instance
@@ -72,23 +98,93 @@ class EvalHarness:
         options = options or CompileOptions()
         key = (name, _options_key(options))
         training = self._trainings.get(key)
-        if training is None:
-            workload = get_workload(name)
-            training = self.janus_for(name, options).train(
-                train_inputs=list(workload.train_inputs))
-            self._trainings[key] = training
+        if training is not None:
+            return training
+        entry = None
+        if self.cache_dir is not None:
+            entry = self._cache_entry("training", name, options)
+            training = self._disk_get(*entry)
+            if training is not None:
+                self._replay_training(name, options, training)
+                self._trainings[key] = training
+                return training
+        workload = get_workload(name)
+        training = self.janus_for(name, options).train(
+            train_inputs=list(workload.train_inputs))
+        self._trainings[key] = training
+        if entry is not None:
+            self._disk_put(*entry, training)
         return training
+
+    def _replay_training(self, name: str, options: CompileOptions,
+                         training: TrainingData) -> None:
+        """Re-apply profile annotations a cached training run made.
+
+        ``Janus.train`` resolves the C/D split and records per-loop
+        coverage on the live analysis; a disk hit must leave the analysis
+        in exactly the state the original run did.
+        """
+        analysis = self.janus_for(name, options).analysis
+        if training.dependence is not None:
+            for loop_id, profile in sorted(training.dependence.loops.items()):
+                analysis.loop(loop_id).apply_dependence_profile(
+                    profile.has_dependence)
+        for loop_id in training.coverage.loops:
+            analysis.loop(loop_id).coverage_fraction = \
+                training.coverage.coverage(loop_id)
 
     # -- on-disk persistence -----------------------------------------------------
 
     def _image_digest(self, name: str, options: CompileOptions) -> str:
         key = (name, _options_key(options))
         digest = self._digests.get(key)
+        if digest is not None:
+            return digest
+        side = None
+        if self.cache_dir is not None:
+            side = self._digest_path(name, options)
+            digest = self._read_digest(side)
         if digest is None:
             digest = hashlib.sha256(
                 self.image(name, options).serialize()).hexdigest()
-            self._digests[key] = digest
+            if side is not None:
+                self._write_digest(side, digest)
+        self._digests[key] = digest
         return digest
+
+    def _digest_path(self, name: str, options: CompileOptions) -> str:
+        """Side-cache file for one workload's image digest.
+
+        Keyed by the workload *source* text rather than the compiled
+        image, so a cache hit never has to compile at all.  A compiler
+        change therefore does not invalidate the side-cache — delete the
+        cache directory (or pass ``--no-cache``) after hacking on jcc.
+        """
+        source = hashlib.sha256(
+            workload_source(get_workload(name)).encode()).hexdigest()
+        tag = "|".join(("digest", str(_CACHE_FORMAT), name,
+                        repr(_options_key(options)), source))
+        fname = hashlib.sha256(tag.encode()).hexdigest()[:32]
+        return os.path.join(self.cache_dir, "digest-" + fname + ".txt")
+
+    @staticmethod
+    def _read_digest(path: str) -> str | None:
+        try:
+            with open(path, "r") as fh:
+                digest = fh.read().strip()
+        except (OSError, UnicodeDecodeError):
+            return None
+        if len(digest) == 64 and all(c in "0123456789abcdef"
+                                     for c in digest):
+            return digest
+        return None  # truncated or corrupt side-cache: recompute
+
+    def _write_digest(self, path: str, digest: str) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(digest)
+        os.replace(tmp, path)
 
     def _cache_entry(self, kind: str, name: str, options: CompileOptions,
                      mode: str = "", threads: int = 0) -> tuple[str, str]:
@@ -114,7 +210,10 @@ class EvalHarness:
 
     def _disk_put(self, path: str, tag: str, result) -> None:
         os.makedirs(self.cache_dir, exist_ok=True)
-        tmp = path + ".tmp"
+        # The temp name must be unique per writer: concurrent workers
+        # produce the same cell, and a shared "path.tmp" would let one
+        # writer rename the other's half-written file into place.
+        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
         with open(tmp, "wb") as fh:
             pickle.dump({"tag": tag, "result": result}, fh)
         os.replace(tmp, path)
@@ -173,6 +272,39 @@ class EvalHarness:
             self._disk_put(*entry, result)
         return result
 
+    def fig6_profile(self, name: str,
+                     options: CompileOptions | None = None) -> ProfileResult:
+        """Coverage profile bracketing *every* loop, incompatible included.
+
+        Only Fig. 6 needs this (per-category execution-time fractions);
+        the schedule is independent of the training stage because training
+        never reclassifies a loop as incompatible.
+        """
+        options = options or CompileOptions()
+        key = (name, _options_key(options))
+        profile = self._profiles.get(key)
+        if profile is not None:
+            return profile
+        entry = None
+        if self.cache_dir is not None:
+            entry = self._cache_entry("fig6profile", name, options)
+            profile = self._disk_get(*entry)
+            if profile is not None:
+                self._profiles[key] = profile
+                return profile
+        analysis = self.janus_for(name, options).analysis
+        schedule = generate_profile_schedule(analysis,
+                                             include_incompatible=True)
+        workload = get_workload(name)
+        process = load(self.image(name, options),
+                       inputs=list(workload.train_inputs))
+        profile, _ = run_profiling(process, schedule,
+                                   max_instructions=MAX_INSTRUCTIONS)
+        self._profiles[key] = profile
+        if entry is not None:
+            self._disk_put(*entry, profile)
+        return profile
+
     def speedup(self, name: str, mode: SelectionMode,
                 options: CompileOptions | None = None,
                 n_threads: int | None = None) -> float:
@@ -180,6 +312,26 @@ class EvalHarness:
         native = self.native(name, options)
         run = self.run(name, mode, options, n_threads)
         return native.cycles / run.cycles
+
+    # -- parallel fan-out ---------------------------------------------------------
+
+    def warm(self, which=None, benchmarks=None) -> int:
+        """Execute the cells the given figures need, ``jobs`` at a time.
+
+        No-op (returns 0) unless ``jobs > 1`` and a cache directory is
+        configured — the disk cache is the medium through which worker
+        results reach this process.
+        """
+        if self.jobs <= 1 or self.cache_dir is None:
+            return 0
+        from repro.eval import scheduler
+        cells = scheduler.plan(which, benchmarks=benchmarks,
+                               n_threads=self.n_threads)
+        if not cells:
+            return 0
+        scheduler.execute(cells, self.cache_dir, jobs=self.jobs,
+                          n_threads=self.n_threads)
+        return len(cells)
 
 
 _DEFAULT: EvalHarness | None = None

@@ -53,6 +53,9 @@ class JanusConfig:
     scheduling: str = "chunk"
     rr_block: int = 8
     max_instructions: int = 500_000_000
+    # Worker processes for the per-function static-analysis pipeline
+    # (1 = serial; results are identical either way).
+    analysis_jobs: int = 1
 
 
 @dataclass
@@ -76,7 +79,8 @@ class Janus:
     @property
     def analysis(self) -> BinaryAnalysis:
         if self._analysis is None:
-            self._analysis = analyze_image(self.image)
+            self._analysis = analyze_image(self.image,
+                                           jobs=self.config.analysis_jobs)
         return self._analysis
 
     # -- stage 2: training (optional) ------------------------------------------

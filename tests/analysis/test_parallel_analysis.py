@@ -1,0 +1,81 @@
+"""Parallel per-function analysis must be indistinguishable from serial."""
+
+import pytest
+
+from repro.analysis import analyze_image
+from repro.workloads import compile_workload
+
+
+def _fingerprint(analysis):
+    """Everything downstream consumers read, in loop-id order."""
+    loops = []
+    for result in analysis.loops:
+        iterator = None
+        if result.induction is not None \
+                and result.induction.iterator is not None:
+            iterator = result.induction.iterator.static_trip_count
+        loops.append((
+            result.loop_id,
+            result.loop.header,
+            result.loop.function_entry,
+            tuple(sorted(result.loop.body)),
+            result.loop.parent.header if result.loop.parent else None,
+            result.category,
+            tuple(result.reasons),
+            result.is_parallelisable,
+            result.static_instruction_count,
+            iterator,
+            len(result.alias.bounds_checks) if result.alias else None,
+        ))
+    functions = {
+        entry: (sorted(fa.cfg.blocks), fa.ssa is not None,
+                sorted(loop.header for loop in fa.loops))
+        for entry, fa in analysis.functions.items()
+    }
+    return loops, functions, analysis.category_histogram()
+
+
+@pytest.mark.parametrize("name", ["470.lbm", "433.milc", "403.gcc"])
+def test_parallel_matches_serial(name):
+    image = compile_workload(name)
+    serial = analyze_image(image)
+    parallel = analyze_image(image, jobs=2)
+    assert _fingerprint(parallel) == _fingerprint(serial)
+
+
+def test_loop_ids_stay_stable_and_dense():
+    image = compile_workload("464.h264ref")
+    analysis = analyze_image(image, jobs=2)
+    assert [r.loop_id for r in analysis.loops] \
+        == list(range(len(analysis.loops)))
+    headers = [r.loop.header for r in analysis.loops]
+    assert headers == sorted(headers)
+    # Each result's loop object carries its own id (the merge renumbers
+    # the worker copies, not the originals).
+    assert all(r.loop.loop_id == r.loop_id for r in analysis.loops)
+
+
+def test_jobs_one_and_none_are_serial():
+    image = compile_workload("470.lbm")
+    assert _fingerprint(analyze_image(image, jobs=1)) \
+        == _fingerprint(analyze_image(image, jobs=None)) \
+        == _fingerprint(analyze_image(image))
+
+
+def test_parallel_analysis_feeds_schedule_generation():
+    """The worker-copied artefacts must stay self-consistent: schedule
+    generation walks functions, loops, SSA and alias plans together."""
+    from repro.rewrite import generate_parallel_schedule
+
+    image = compile_workload("462.libquantum")
+    serial = analyze_image(image)
+    parallel = analyze_image(image, jobs=2)
+    selected_serial = [r.loop_id for r in serial.loops
+                       if r.is_parallelisable]
+    selected_parallel = [r.loop_id for r in parallel.loops
+                         if r.is_parallelisable]
+    assert selected_parallel == selected_serial
+    schedule_serial = generate_parallel_schedule(serial, selected_serial)
+    schedule_parallel = generate_parallel_schedule(parallel,
+                                                   selected_parallel)
+    assert schedule_parallel.serialize() == schedule_serial.serialize()
