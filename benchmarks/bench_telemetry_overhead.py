@@ -1,0 +1,161 @@
+"""Microbenchmark: execution throughput under the three telemetry tiers.
+
+Runs the hot DOALL workload under the full DBM pipeline with
+
+* ``off``           — the default :class:`NullRecorder` (every span site
+                      is one global read + one no-op method call),
+* ``counters_only`` — ``Recorder(record_spans=False)``: counter/gauge
+                      updates kept, spans and instants degrade to no-ops,
+* ``full_spans``    — a recording :class:`Recorder`.
+
+Run as a script to print a JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+The pytest entry point asserts the PR's acceptance bound: the disabled
+(NullRecorder) path must cost < 2% of workload runtime.  Wall-clock
+comparison of the tiers is hopeless for that bound on a busy shared
+machine (run-to-run jitter here is an order of magnitude above 2%), so
+the assertion is computed analytically instead: microbenchmark the
+per-site cost of a disabled span, count how many telemetry sites the
+workload actually executes (a full-spans run records exactly one event
+per site), and bound ``sites * per_site_cost`` against the measured
+runtime.  Instrumentation sits at translation/loop/pipeline granularity
+— never per instruction — which is what keeps the bound this tight.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.dbm.modifier import JanusDBM
+from repro.dbm.runtime import ParallelRuntime
+from repro.jbin.loader import load
+from repro.jcc import CompileOptions, compile_source
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.telemetry.core import Recorder, disable, get_recorder, \
+    set_recorder
+
+SOURCE_TEMPLATE = """
+double xs[2048];
+double ys[2048];
+int main() {{
+    int i;
+    int r;
+    for (i = 0; i < 2048; i++) {{ ys[i] = 0.125 * i; }}
+    for (r = 0; r < {reps}; r++) {{
+        for (i = 0; i < 2048; i++) {{ xs[i] = xs[i] * 0.5 + ys[i]; }}
+    }}
+    print_double(xs[7]);
+    return 0;
+}}
+"""
+
+
+def build_image(reps: int):
+    return compile_source(SOURCE_TEMPLATE.format(reps=reps),
+                          CompileOptions(opt_level=3))
+
+
+def _run_janus(image, schedule):
+    dbm = JanusDBM(load(image), schedule=schedule, n_threads=4)
+    ParallelRuntime(dbm)
+    return dbm.run()
+
+
+MODES = (
+    ("off", lambda: disable()),
+    ("counters_only",
+     lambda: set_recorder(Recorder(label="bench", record_spans=False))),
+    ("full_spans", lambda: set_recorder(Recorder(label="bench"))),
+)
+
+
+def null_site_cost_ns(batch: int = 20000, repeats: int = 5) -> float:
+    """Best-observed cost of one disabled span site, in nanoseconds."""
+    disable()
+    best = float("inf")
+    for _ in range(repeats):
+        recorder = get_recorder()
+        start = time.perf_counter_ns()
+        for _ in range(batch):
+            with recorder.span("bench.site", cat="bench"):
+                pass
+        best = min(best, (time.perf_counter_ns() - start) / batch)
+    return best
+
+
+def measure(reps: int, repeats: int = 3) -> dict:
+    """Three-tier wall-clock report plus the analytic NullRecorder bound."""
+    image = build_image(reps)
+    # Build the schedule once, outside the timed region (static analysis
+    # is not what the recorder tiers differ on).
+    janus = Janus(image, JanusConfig(n_threads=4))
+    schedule = janus.build_schedule(SelectionMode.STATIC)
+
+    report: dict = {"workload": "doall_saxpy_2048", "reps": reps,
+                    "repeats": repeats, "modes": {}}
+    best = {name: float("inf") for name, _install in MODES}
+    instructions = 0
+    outputs = None
+    telemetry_sites = 0
+    try:
+        # One untimed warm-up so no tier pays first-run costs (CPython
+        # code-object caches, allocator warm-up), then interleave the
+        # repeats across tiers so machine jitter hits all of them alike.
+        disable()
+        _run_janus(image, schedule)
+        for _ in range(repeats):
+            for name, install in MODES:
+                install()
+                start = time.perf_counter()
+                result = _run_janus(image, schedule)
+                elapsed = time.perf_counter() - start
+                best[name] = min(best[name], elapsed)
+                instructions = result.instructions
+                if outputs is None:
+                    outputs = result.outputs
+                else:
+                    assert result.outputs == outputs, f"{name} diverged"
+                if name == "full_spans":
+                    # One recorded event per executed span/instant site:
+                    # exactly the sites the NullRecorder must absorb.
+                    telemetry_sites = max(telemetry_sites,
+                                          len(get_recorder().events))
+    finally:
+        disable()
+    for name, _install in MODES:
+        report["modes"][name] = {
+            "seconds": round(best[name], 4),
+            "instructions": instructions,
+            "ins_per_sec": round(instructions / best[name]),
+        }
+    modes = report["modes"]
+    fastest = max(entry["ins_per_sec"] for entry in modes.values())
+    report["overhead_vs_best"] = {
+        name: round(1.0 - entry["ins_per_sec"] / fastest, 4)
+        for name, entry in modes.items()
+    }
+
+    site_ns = null_site_cost_ns()
+    off_runtime_ns = best["off"] * 1e9
+    report["null_recorder"] = {
+        "sites_executed": telemetry_sites,
+        "site_cost_ns": round(site_ns, 1),
+        "runtime_fraction": round(telemetry_sites * site_ns
+                                  / off_runtime_ns, 6),
+    }
+    return report
+
+
+def test_null_recorder_overhead_smoke():
+    """CI smoke: the disabled path must cost < 2% of workload runtime."""
+    report = measure(reps=60, repeats=2)
+    null = report["null_recorder"]
+    assert null["sites_executed"] > 0, report
+    assert null["runtime_fraction"] < 0.02, report
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(reps=200, repeats=5), indent=2))

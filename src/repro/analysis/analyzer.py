@@ -36,6 +36,7 @@ from repro.analysis.loops import Loop, find_loops
 from repro.analysis.ssa import SSAForm, build_ssa
 from repro.analysis.stack import track_stack
 from repro.analysis.summaries import FunctionSummary, summarise_functions
+from repro.telemetry.core import get_recorder
 
 
 @dataclass
@@ -82,16 +83,27 @@ def _analyze_function(cfg: FunctionCFG,
 
     Loop ids are still unassigned here (``classify_loop`` never reads
     them); the caller numbers loops in the deterministic global merge.
+    Telemetry: each phase is a child span of ``analysis.function`` (a
+    no-op under the default NullRecorder — in particular inside the
+    ``jobs > 1`` pool workers, where only the parent records).
     """
-    dom = compute_dominators(cfg)
-    deltas = track_stack(cfg)
-    ssa = None
-    if deltas is not None:
-        ssa = build_ssa(cfg, dom, deltas)
-    fa = FunctionAnalysis(cfg=cfg, dom=dom, ssa=ssa)
-    fa.loops = find_loops(cfg, dom)
-    results = [classify_loop(loop, cfg, dom, ssa, summaries)
-               for loop in fa.loops]
+    rec = get_recorder()
+    with rec.span("analysis.function", cat="analysis",
+                  entry=cfg.entry) as span:
+        with rec.span("analysis.dominators", cat="analysis"):
+            dom = compute_dominators(cfg)
+        with rec.span("analysis.ssa", cat="analysis"):
+            deltas = track_stack(cfg)
+            ssa = None
+            if deltas is not None:
+                ssa = build_ssa(cfg, dom, deltas)
+        fa = FunctionAnalysis(cfg=cfg, dom=dom, ssa=ssa)
+        with rec.span("analysis.loops", cat="analysis"):
+            fa.loops = find_loops(cfg, dom)
+        with rec.span("analysis.classify", cat="analysis"):
+            results = [classify_loop(loop, cfg, dom, ssa, summaries)
+                       for loop in fa.loops]
+        span.set(loops=len(fa.loops))
     return fa, results
 
 

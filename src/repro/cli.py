@@ -10,11 +10,14 @@ and `figures` regenerates the evaluation.
     python -m repro run app.jelf --mode native --input 4
     python -m repro run app.jelf --schedule app.jrs --threads 8 --input 4
     python -m repro figures fig7
+    python -m repro trace 470.lbm -o trace.json --mode janus
+    python -m repro stats trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -103,9 +106,31 @@ def _cmd_run(args) -> int:
           f"{result.instructions} instructions, exit {result.exit_code}",
           file=sys.stderr)
     if result.stats:
-        interesting = {k: v for k, v in result.stats.items() if v}
-        print(f"[stats] {interesting}", file=sys.stderr)
+        # Stable machine-readable form on stderr; --stats-json writes the
+        # full (zeros included) counter set to a file for scripting.
+        interesting = {k: v for k, v in sorted(result.stats.items()) if v}
+        print("[stats] " + json.dumps(interesting, sort_keys=True),
+              file=sys.stderr)
+    if args.stats_json:
+        payload = {
+            "label": label,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "exit_code": result.exit_code,
+            "stats": dict(sorted(result.stats.items())),
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=False)
+            handle.write("\n")
     return result.exit_code
+
+
+def _normalise_figure(name: str) -> str:
+    """``--fig 7`` and ``--fig fig7`` both mean ``fig7``."""
+    name = name.strip()
+    if name.isdigit():
+        return f"fig{name}"
+    return name
 
 
 def _cmd_figures(args) -> int:
@@ -113,7 +138,12 @@ def _cmd_figures(args) -> int:
     from repro.eval.harness import EvalHarness
 
     cache_dir = None if args.no_cache else args.cache_dir
-    harness = EvalHarness(cache_dir=cache_dir, jobs=args.jobs)
+    harness = EvalHarness(cache_dir=cache_dir, jobs=args.jobs,
+                          telemetry=args.telemetry)
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = [name.strip()
+                      for name in args.benchmarks.split(",") if name.strip()]
     producers = {
         "fig6": (figures.fig6_classification, reporting.render_fig6),
         "fig7": (figures.fig7_speedups, reporting.render_fig7),
@@ -124,23 +154,145 @@ def _cmd_figures(args) -> int:
                   reporting.render_fig11),
         "fig12": (figures.fig12_opt_levels, reporting.render_fig12),
         "table1": (figures.table1_bounds_checks, reporting.render_table1),
-        "table2": (lambda _h=None: figures.table2_features(),
+        "table2": (lambda _h=None, benchmarks=None:
+                   figures.table2_features(),
                    reporting.render_table2),
     }
-    names = args.which or sorted(producers)
+    names = list(args.which or ())
+    names += [_normalise_figure(name) for name in args.fig]
+    names = names or sorted(producers)
     unknown = [name for name in names if name not in producers]
     if unknown:
         print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
         return 2
+
+    recorder = None
+    if args.telemetry:
+        from repro.telemetry import aggregate, core
+
+        recorder = core.enable(label="figures")
+        if harness.telemetry_dir() is not None:
+            aggregate.clear(harness.telemetry_dir())
+
     # Fan the needed executions out over worker processes first (no-op at
     # --jobs 1 or --no-cache); the figures below then assemble from warm
-    # cache hits, bit-identical to a serial run.
-    harness.warm([name for name in names if name != "table2"])
+    # cache hits, bit-identical to a serial run.  Telemetry rides along:
+    # workers flush recorder dumps beside the cache and the parent merges
+    # them below, so figure *output* is unchanged by tracing.
+    harness.warm([name for name in names if name != "table2"],
+                 benchmarks=benchmarks)
     for name in names:
         produce, render = producers[name]
-        rows = produce(harness) if name != "table2" else produce()
+        rows = produce(harness, benchmarks=benchmarks)
         print(render(rows))
         print()
+
+    if recorder is not None:
+        from repro.telemetry import aggregate, core, export
+
+        merged = aggregate.collect(recorder, harness.telemetry_dir())
+        trace = export.write_chrome_trace(args.trace_out, merged)
+        print(f"[telemetry] wrote {args.trace_out}: "
+              f"{trace['meta']['spans']} spans from "
+              f"{trace['meta']['processes']} processes, "
+              f"{len(trace['metrics']['counters'])} counters",
+              file=sys.stderr)
+        core.disable()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.eval.harness import EvalHarness
+    from repro.telemetry import aggregate, core, export
+
+    recorder = core.enable(label="trace")
+    harness = EvalHarness(n_threads=args.threads)
+    mode = SelectionMode(args.mode)
+    if mode is SelectionMode.NATIVE:
+        result = harness.native(args.workload)
+    else:
+        result = harness.run(args.workload, mode, n_threads=args.threads)
+    merged = aggregate.merge([recorder.dump()])
+    trace = export.write_chrome_trace(args.output, merged)
+    if args.metrics_out:
+        export.write_metrics(args.metrics_out, merged)
+    core.disable()
+    print(f"wrote {args.output}: {trace['meta']['spans']} spans, "
+          f"{len(trace['metrics']['counters'])} counters "
+          f"[{mode.value}: {result.cycles} cycles, "
+          f"{result.instructions} instructions]")
+    return 0
+
+
+def _stats_views(payload: dict) -> tuple[dict, dict, dict]:
+    """(counters, gauges, span aggregates) from any telemetry JSON shape.
+
+    Accepts an exported Chrome trace (``traceEvents`` + ``metrics``), a
+    merged dump (``processes``), a single recorder dump (``events``) or a
+    flat metrics file (``counters``/``gauges``).
+    """
+    from repro.telemetry import aggregate, export
+
+    if "traceEvents" in payload:
+        metrics = payload.get("metrics", {})
+        spans: dict[str, dict] = {}
+        for event in payload["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            entry = spans.setdefault(
+                event["name"], {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+            ms = event.get("dur", 0) / 1000.0  # trace files are in us
+            entry["count"] += 1
+            entry["total_ms"] += ms
+            entry["max_ms"] = max(entry["max_ms"], ms)
+        spans = {name: {"count": entry["count"],
+                        "total_ms": round(entry["total_ms"], 3),
+                        "max_ms": round(entry["max_ms"], 3)}
+                 for name, entry in sorted(spans.items())}
+        return (metrics.get("counters", {}), metrics.get("gauges", {}),
+                spans)
+    if "events" in payload:
+        payload = aggregate.merge([payload])
+    if "processes" in payload:
+        metrics = export.metrics(payload)
+        return (metrics["counters"], metrics["gauges"],
+                export.span_aggregates(payload))
+    return (payload.get("counters", {}), payload.get("gauges", {}), {})
+
+
+def _cmd_stats(args) -> int:
+    try:
+        with open(args.path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict):
+        print(f"{args.path}: not a telemetry JSON object", file=sys.stderr)
+        return 2
+    counters, gauges, spans = _stats_views(payload)
+    if counters:
+        print("counters")
+        group = None
+        for key in sorted(counters):
+            namespace = key.split(".", 1)[0]
+            if namespace != group:
+                group = namespace
+                print(f"  [{namespace}]")
+            print(f"    {key:44s} {counters[key]:>14}")
+    if gauges:
+        print("gauges")
+        for key in sorted(gauges):
+            print(f"    {key:44s} {gauges[key]:>14g}")
+    if spans:
+        print("spans")
+        print(f"    {'name':32s} {'count':>7s} "
+              f"{'total_ms':>11s} {'max_ms':>11s}")
+        for name, entry in spans.items():
+            print(f"    {name:32s} {entry['count']:7d} "
+                  f"{entry['total_ms']:11.3f} {entry['max_ms']:11.3f}")
+    if not (counters or gauges or spans):
+        print("no telemetry data found")
     return 0
 
 
@@ -187,6 +339,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("chunk", "round_robin"),
                    help="iteration scheduling policy (paper II-E)")
     r.add_argument("--input", type=int, action="append", default=[])
+    r.add_argument("--stats-json",
+                   help="write cycles/instructions and the full stats "
+                        "counter set to this file as JSON")
     r.set_defaults(func=_cmd_run)
 
     f = sub.add_parser("figures", help="regenerate paper figures/tables")
@@ -200,7 +355,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the evaluation fan-out "
                         "(default: all cores; figure output is identical "
                         "at any value; needs the on-disk cache)")
+    f.add_argument("--fig", action="append", default=[],
+                   help="figure to produce (e.g. 7 or fig7); may repeat, "
+                        "adds to the positional list")
+    f.add_argument("--benchmarks",
+                   help="comma-separated workload subset (default: each "
+                        "figure's full benchmark list)")
+    f.add_argument("--telemetry", action="store_true",
+                   help="record spans/counters across the run (workers "
+                        "included) and write one merged Chrome trace; "
+                        "figure output is unchanged")
+    f.add_argument("--trace-out", default="trace.json",
+                   help="Chrome trace path for --telemetry "
+                        "(default: trace.json)")
     f.set_defaults(func=_cmd_figures)
+
+    t = sub.add_parser("trace",
+                       help="run one suite workload under telemetry and "
+                            "write a Chrome trace (chrome://tracing)")
+    t.add_argument("workload", help="suite workload name, e.g. 470.lbm")
+    t.add_argument("-o", "--output", default="trace.json")
+    t.add_argument("--mode", default="janus",
+                   choices=[m.value for m in SelectionMode])
+    t.add_argument("--threads", type=int, default=8)
+    t.add_argument("--metrics-out",
+                   help="also write the flat metrics JSON here")
+    t.set_defaults(func=_cmd_trace)
+
+    st = sub.add_parser("stats",
+                        help="summarise a telemetry JSON (trace, metrics "
+                             "or recorder dump) as a table")
+    st.add_argument("path")
+    st.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -22,6 +22,7 @@ from repro.dbm.interp import Interpreter
 from repro.dbm.machine import Machine, make_main_context
 from repro.dbm.tracecache import run_loop
 from repro.jbin.loader import Process
+from repro.telemetry.core import get_recorder
 
 DEFAULT_INSTRUCTION_LIMIT = 500_000_000
 
@@ -80,7 +81,13 @@ def run_native(process: Process,
             block = cache[pc] = discover_block(process, pc)
         return block
 
-    run_loop(interp, ctx, ctx.pc, lookup, max_instructions=max_instructions)
+    rec = get_recorder()
+    with rec.span("native.run", cat="native") as span:
+        run_loop(interp, ctx, ctx.pc, lookup,
+                 max_instructions=max_instructions)
+        span.set(cycles=ctx.cycles, instructions=ctx.instructions)
+    if rec.enabled:
+        rec.absorb(interp.jit_stats.registry)
     machine.cycles = ctx.cycles
     return ExecutionResult(
         cycles=ctx.cycles,

@@ -52,7 +52,7 @@ def _sign(value) -> int:
 class Interpreter:
     """Executes blocks for one process against one machine."""
 
-    def __init__(self, machine: Machine, process) -> None:
+    def __init__(self, machine: Machine, process, registry=None) -> None:
         self.machine = machine
         self.process = process
         # Hook invoked for RTCALL pseudo-instructions: f(ctx, hid, arg) -> pc|None
@@ -63,8 +63,10 @@ class Interpreter:
         self.active_tx = None
         # Force the reference per-instruction dispatch (differential tests).
         self.force_reference = False
-        # Trace-cache tier counters (see repro.dbm.jit.JITStats).
-        self.jit_stats = JITStats()
+        # Trace-cache tier counters (see repro.dbm.jit.JITStats); the
+        # caller may pass a shared MetricRegistry so jit.* counters land
+        # beside its own (JanusDBM does).
+        self.jit_stats = JITStats(registry)
         # Fork/join bracket state for the JOMP runtime (libgomp analogue).
         self._jomp_stack: list[tuple[int, int]] = []
         self.jomp_overhead_cycles = 2500

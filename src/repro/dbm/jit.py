@@ -50,6 +50,7 @@ from repro.isa.registers import STACK_REG, XMM_BASE
 from repro.jbin import layout
 from repro.dbm.machine import HALT_ADDRESS
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
+from repro.telemetry.core import RegistryView
 
 _I64_MAX = 9223372036854775807
 _I64_MIN = -9223372036854775808
@@ -78,26 +79,19 @@ _PACKED = frozenset((Opcode.MOVAPD, Opcode.ADDPD, Opcode.SUBPD,
                      Opcode.VDIVPD))
 
 
-class JITStats:
-    """Translation/link observability counters (one instance per interp)."""
+class JITStats(RegistryView):
+    """Translation/link observability counters (one instance per interp).
 
-    __slots__ = ("blocks_translated", "instrumented_blocks",
-                 "links_installed", "trace_entries", "trace_exits",
-                 "fallback_instructions")
+    Storage lives in a :class:`~repro.telemetry.core.MetricRegistry`
+    under ``jit.*`` keys; the attributes here are thin property views so
+    existing call sites (including generated block runners) are
+    unchanged.  ``as_dict()`` keeps the legacy unprefixed key names.
+    """
 
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        self.blocks_translated = 0
-        self.instrumented_blocks = 0
-        self.links_installed = 0
-        self.trace_entries = 0
-        self.trace_exits = 0
-        self.fallback_instructions = 0
-
-    def as_dict(self) -> dict:
-        return {name: getattr(self, name) for name in self.__slots__}
+    _NAMESPACE = "jit"
+    _FIELDS = ("blocks_translated", "instrumented_blocks",
+               "links_installed", "trace_entries", "trace_exits",
+               "fallback_instructions")
 
 
 def _identity(value: int) -> int:

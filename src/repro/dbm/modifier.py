@@ -16,8 +16,6 @@ h264ref, section III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.dbm.blocks import Block, discover_block
 from repro.dbm.editor import BlockEditor
 from repro.dbm.executor import DEFAULT_INSTRUCTION_LIMIT, ExecutionResult
@@ -28,30 +26,30 @@ from repro.dbm.tracecache import run_loop
 from repro.isa.costs import DEFAULT_COST_MODEL, CostModel
 from repro.jbin.loader import Process
 from repro.rewrite.schedule import RewriteSchedule
+from repro.telemetry.core import (
+    MetricRegistry,
+    RegistryView,
+    get_recorder,
+)
 
 
-@dataclass
-class DBMStats:
-    """Counters for the execution-time breakdown (paper Fig. 8)."""
+class DBMStats(RegistryView):
+    """Counters for the execution-time breakdown (paper Fig. 8).
 
-    translated_blocks: int = 0
-    translated_instructions: int = 0
-    translation_cycles: int = 0
-    worker_translation_cycles: int = 0
-    check_cycles: int = 0
-    checks_passed: int = 0
-    checks_failed: int = 0
-    init_finish_cycles: int = 0
-    parallel_cycles: int = 0
-    loop_invocations_parallel: int = 0
-    loop_invocations_sequential: int = 0
-    loop_finish_marks: int = 0
-    stm_cycles: int = 0
-    false_sharing_cycles: int = 0
-    rules_applied: int = 0
+    Backed by the DBM's :class:`MetricRegistry` under ``runtime.*`` keys
+    (the attributes are property views); ``as_dict()`` keeps the legacy
+    unprefixed names in declaration order so ``ExecutionResult.stats``
+    is byte-identical to the pre-telemetry layout.
+    """
 
-    def as_dict(self) -> dict:
-        return dict(self.__dict__)
+    _NAMESPACE = "runtime"
+    _FIELDS = ("translated_blocks", "translated_instructions",
+               "translation_cycles", "worker_translation_cycles",
+               "check_cycles", "checks_passed", "checks_failed",
+               "init_finish_cycles", "parallel_cycles",
+               "loop_invocations_parallel", "loop_invocations_sequential",
+               "loop_finish_marks", "stm_cycles", "false_sharing_cycles",
+               "rules_applied")
 
 
 class JanusDBM:
@@ -78,11 +76,16 @@ class JanusDBM:
         self.machine = Machine()
         self.machine.memory.load_words(process.initial_data())
         self.machine.inputs = list(process.inputs)
-        self.interp = Interpreter(self.machine, process)
+        # One registry per execution: runtime.* (this class), jit.* (the
+        # interpreter's trace-cache tier) and stm.* (the parallel
+        # runtime's STM manager) all count into it.
+        self.registry = MetricRegistry()
+        self.interp = Interpreter(self.machine, process,
+                                  registry=self.registry)
         self.interp.rtcall_handler = self._dispatch_rtcall
         self.rtcall_handlers: dict[int, object] = {}
         self.caches: dict[int, dict[int, Block]] = {0: {}}
-        self.stats = DBMStats()
+        self.stats = DBMStats(self.registry)
         # Listeners invoked after every main-thread block execution
         # (the coverage profiler counts instructions this way).
         self.block_listeners: list = []
@@ -137,6 +140,10 @@ class JanusDBM:
         self.stats.translation_cycles += cycles
         if ctx.thread_id != 0:
             self.stats.worker_translation_cycles += cycles
+        rec = get_recorder()
+        if rec.enabled:
+            rec.instant("dbm.translate", cat="jit", pc=pc,
+                        instructions=len(block), thread=ctx.thread_id)
 
         rules = []
         for ins in block.instructions:
@@ -169,9 +176,15 @@ class JanusDBM:
             ) -> ExecutionResult:
         """Execute the whole program under the DBM on the main thread."""
         ctx = make_main_context(self.process.entry, self.machine.memory)
-        run_loop(self.interp, ctx, ctx.pc, self._main_lookup,
-                 max_instructions=max_instructions,
-                 listeners=self.block_listeners)
+        rec = get_recorder()
+        with rec.span("dbm.run", cat="dbm",
+                      threads=self.n_threads) as span:
+            run_loop(self.interp, ctx, ctx.pc, self._main_lookup,
+                     max_instructions=max_instructions,
+                     listeners=self.block_listeners)
+            span.set(cycles=ctx.cycles, instructions=ctx.instructions)
+        if rec.enabled:
+            rec.absorb(self.registry)
         self.machine.cycles = ctx.cycles
         stats = self.stats.as_dict()
         stats.update(self.interp.jit_stats.as_dict())

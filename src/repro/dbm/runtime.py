@@ -58,7 +58,8 @@ from repro.rewrite.metadata import (
     evaluate_runtime_poly,
 )
 from repro.rewrite.rules import RuleID
-from repro.stm.stm import STMManager
+from repro.stm.stm import STMManager, STMStats
+from repro.telemetry.core import get_recorder
 
 WORD = 8
 TLS_MAIN_RSP = 0
@@ -131,7 +132,10 @@ class ParallelRuntime:
 
     def __init__(self, dbm) -> None:
         self.dbm = dbm
-        self.stm = STMManager(memory=dbm.machine.memory, cost=dbm.cost)
+        # stm.* counters share the DBM's metric registry, so one
+        # execution's jit.*/runtime.*/stm.* live side by side.
+        self.stm = STMManager(memory=dbm.machine.memory, cost=dbm.cost,
+                              stats=STMStats(dbm.registry))
         self.pool_started = False
         self.pending_checks: list[int] = []
         self.active_workers: list[WorkerState] = []
@@ -193,6 +197,11 @@ class ParallelRuntime:
 
     def _rt_loop_enter(self, ctx, arg):
         meta = LoopMeta.from_record(self.dbm.schedule.record(arg))
+        with get_recorder().span("runtime.loop", cat="runtime",
+                                 loop=meta.loop_id) as span:
+            return self._loop_enter(ctx, meta, span)
+
+    def _loop_enter(self, ctx, meta, span):
         checks = self.pending_checks
         self.pending_checks = []
 
@@ -204,15 +213,19 @@ class ParallelRuntime:
         # not-taken guard (zero-trip loop) must fall through sequentially.
         if not _cond_holds(init, bound, meta.cond):
             self.dbm.stats.loop_invocations_sequential += 1
+            span.set(parallel=False, reason="zero_trip")
             return None
         trips = loop_iterations(init, bound, meta.step, meta.cond,
                                 meta.test_offset, meta.test_position)
 
         if not self._checks_pass(checks, read_var, init, trips, meta, ctx):
             self.dbm.stats.loop_invocations_sequential += 1
+            span.set(parallel=False, reason="bounds_check_failed")
             return None
         if trips < max(MIN_PARALLEL_ITERATIONS, 2):
             self.dbm.stats.loop_invocations_sequential += 1
+            span.set(parallel=False, reason="too_few_iterations",
+                     trips=trips)
             return None
 
         cost = self.dbm.cost
@@ -248,6 +261,8 @@ class ParallelRuntime:
         self.dbm.stats.parallel_cycles += elapsed
         self.dbm.stats.init_finish_cycles += overhead
         self.dbm.stats.loop_invocations_parallel += 1
+        span.set(parallel=True, trips=trips, workers=len(workers),
+                 elapsed_cycles=elapsed, overhead_cycles=overhead)
 
         self._merge(ctx, meta, workers, rsp0)
         self.active_workers = []
@@ -401,6 +416,11 @@ class ParallelRuntime:
         hook = self._make_shadow_hook(worker)
         previous_hook = interp.mem_hook
         interp.mem_hook = hook
+        span = get_recorder().span("runtime.worker", cat="runtime",
+                                   loop=meta.loop_id,
+                                   thread=worker.thread_id,
+                                   chunks=len(worker.chunks))
+        span.__enter__()
         try:
             for start, end in worker.chunks:
                 self._prepare_chunk(worker, meta, init, iv_bases, start,
@@ -416,6 +436,9 @@ class ParallelRuntime:
                 except WorkerYield:
                     pass
         finally:
+            span.set(cycles=worker.ctx.cycles,
+                     instructions=worker.ctx.instructions)
+            span.__exit__(None, None, None)
             interp.mem_hook = previous_hook
             self._current_worker = None
             if interp.active_tx is not None:
@@ -465,6 +488,13 @@ class ParallelRuntime:
             for tx_reads, tx_writes in worker.tx_log:
                 if tx_reads & later_writes:
                     self.stm.stats.aborts += 1
+                    recorder = get_recorder()
+                    if recorder.enabled:
+                        recorder.instant("stm.abort", cat="stm",
+                                         thread=worker.thread_id,
+                                         reads=len(tx_reads),
+                                         writes=len(tx_writes),
+                                         late_conflict=True)
                     penalty = (cost.stm_abort_cycles
                                + len(tx_reads) * cost.stm_read_cycles
                                + len(tx_writes) * cost.stm_write_cycles)

@@ -84,11 +84,12 @@ FIG7_MODE_LABELS = {
 }
 
 
-def fig7_speedups(harness: EvalHarness | None = None) -> list[dict]:
+def fig7_speedups(harness: EvalHarness | None = None,
+                  benchmarks=None) -> list[dict]:
     """The four configuration bars for the nine parallelisable benchmarks."""
     harness = harness or default_harness()
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         row = {"benchmark": name}
         for mode in FIG7_MODES:
             row[FIG7_MODE_LABELS[mode]] = harness.speedup(name, mode)
@@ -122,12 +123,13 @@ def _breakdown(result) -> dict:
             "check": check, "total": result.cycles}
 
 
-def fig8_breakdown(harness: EvalHarness | None = None) -> list[dict]:
+def fig8_breakdown(harness: EvalHarness | None = None,
+                   benchmarks=None) -> list[dict]:
     """Per-benchmark breakdown for 1 thread and 8 threads, normalised to
     the single-threaded Janus execution (paper Fig. 8)."""
     harness = harness or default_harness()
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         one = _breakdown(harness.run(name, SelectionMode.JANUS, n_threads=1))
         eight = _breakdown(harness.run(name, SelectionMode.JANUS,
                                        n_threads=8))
@@ -144,11 +146,12 @@ def fig8_breakdown(harness: EvalHarness | None = None) -> list[dict]:
 # -- Table I: array-bounds checks -------------------------------------------------------
 
 
-def table1_bounds_checks(harness: EvalHarness | None = None) -> list[dict]:
+def table1_bounds_checks(harness: EvalHarness | None = None,
+                         benchmarks=None) -> list[dict]:
     """Average number of bounds checks per loop that requires them."""
     harness = harness or default_harness()
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         janus = harness.janus_for(name)
         training = harness.training(name)
         selected = janus.select_loops(SelectionMode.JANUS, training)
@@ -168,10 +171,11 @@ def table1_bounds_checks(harness: EvalHarness | None = None) -> list[dict]:
 
 
 def fig9_scaling(harness: EvalHarness | None = None,
-                 thread_counts=(1, 2, 3, 4, 6, 8)) -> list[dict]:
+                 thread_counts=(1, 2, 3, 4, 6, 8),
+                 benchmarks=None) -> list[dict]:
     harness = harness or default_harness()
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         row = {"benchmark": name, "speedups": {}}
         for threads in thread_counts:
             row["speedups"][threads] = harness.speedup(
@@ -183,10 +187,11 @@ def fig9_scaling(harness: EvalHarness | None = None,
 # -- Figure 10: rewrite-schedule size --------------------------------------------------------
 
 
-def fig10_schedule_size(harness: EvalHarness | None = None) -> list[dict]:
+def fig10_schedule_size(harness: EvalHarness | None = None,
+                        benchmarks=None) -> list[dict]:
     harness = harness or default_harness()
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         janus = harness.janus_for(name)
         training = harness.training(name)
         schedule = janus.build_schedule(SelectionMode.JANUS, training)
@@ -205,8 +210,8 @@ def fig10_schedule_size(harness: EvalHarness | None = None) -> list[dict]:
 # -- Figure 11: comparison with compiler parallelisation ---------------------------------------
 
 
-def fig11_compiler_comparison(harness: EvalHarness | None = None
-                              ) -> list[dict]:
+def fig11_compiler_comparison(harness: EvalHarness | None = None,
+                              benchmarks=None) -> list[dict]:
     """gcc/icc auto-parallelisation vs Janus, normalised per-compiler."""
     harness = harness or default_harness()
     gcc = CompileOptions(opt_level=3, personality="gcc")
@@ -214,7 +219,7 @@ def fig11_compiler_comparison(harness: EvalHarness | None = None
     icc = CompileOptions(opt_level=3, personality="icc")
     icc_par = CompileOptions(opt_level=3, personality="icc", parallel=True)
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         gcc_native = harness.native(name, gcc).cycles
         icc_native = harness.native(name, icc).cycles
         rows.append({
@@ -236,7 +241,8 @@ def fig11_compiler_comparison(harness: EvalHarness | None = None
 # -- Figure 12: impact of compiler optimisation ---------------------------------------------------
 
 
-def fig12_opt_levels(harness: EvalHarness | None = None) -> list[dict]:
+def fig12_opt_levels(harness: EvalHarness | None = None,
+                     benchmarks=None) -> list[dict]:
     harness = harness or default_harness()
     configs = {
         "O2": CompileOptions(opt_level=2),
@@ -244,7 +250,7 @@ def fig12_opt_levels(harness: EvalHarness | None = None) -> list[dict]:
         "O3 -mavx": CompileOptions(opt_level=3, mavx=True),
     }
     rows = []
-    for name in FIG7_BENCHMARKS:
+    for name in benchmarks or FIG7_BENCHMARKS:
         row = {"benchmark": name}
         for label, options in configs.items():
             row[label] = harness.speedup(name, SelectionMode.JANUS, options)

@@ -37,6 +37,7 @@ from repro.pipeline import Janus, JanusConfig, SelectionMode
 from repro.pipeline.janus import TrainingData
 from repro.profiling import ProfileResult, run_profiling
 from repro.rewrite import generate_profile_schedule
+from repro.telemetry.core import get_recorder, lane_label
 from repro.workloads import compile_workload, get_workload
 from repro.workloads.suite import workload_source
 
@@ -68,6 +69,10 @@ class EvalHarness:
     # Worker-process count for the evaluation fan-out (``warm``) and the
     # per-function static-analysis pipeline.  1 = fully serial.
     jobs: int = 1
+    # When true (and a cache_dir is set), ``warm`` threads a telemetry
+    # dump directory through the fan-out so worker spans can be merged
+    # into one trace (see repro.telemetry.aggregate).
+    telemetry: bool = False
     _natives: dict = field(default_factory=dict)
     _janus: dict = field(default_factory=dict)
     _trainings: dict = field(default_factory=dict)
@@ -109,8 +114,11 @@ class EvalHarness:
                 self._trainings[key] = training
                 return training
         workload = get_workload(name)
-        training = self.janus_for(name, options).train(
-            train_inputs=list(workload.train_inputs))
+        with get_recorder().span("exec.training", cat="exec",
+                                 lane=lane_label("training", name),
+                                 benchmark=name):
+            training = self.janus_for(name, options).train(
+                train_inputs=list(workload.train_inputs))
         self._trainings[key] = training
         if entry is not None:
             self._disk_put(*entry, training)
@@ -237,7 +245,12 @@ class EvalHarness:
         workload = get_workload(name)
         process = load(self.image(name, options),
                        inputs=list(workload.ref_inputs))
-        result = run_native(process, max_instructions=MAX_INSTRUCTIONS)
+        with get_recorder().span("exec.native", cat="exec",
+                                 lane=lane_label("native", name),
+                                 benchmark=name) as span:
+            result = run_native(process, max_instructions=MAX_INSTRUCTIONS)
+            span.set(cycles=result.cycles,
+                     instructions=result.instructions)
         self._natives[key] = result
         if entry is not None:
             self._disk_put(*entry, result)
@@ -265,8 +278,15 @@ class EvalHarness:
         training = None
         if mode in (SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
             training = self.training(name, options)
-        result = janus.run(mode, inputs=list(workload.ref_inputs),
-                           training=training, n_threads=threads)
+        with get_recorder().span("exec.run", cat="exec",
+                                 lane=lane_label("run", name, mode.name,
+                                                 threads),
+                                 benchmark=name, mode=mode.name,
+                                 threads=threads) as span:
+            result = janus.run(mode, inputs=list(workload.ref_inputs),
+                               training=training, n_threads=threads)
+            span.set(cycles=result.cycles,
+                     instructions=result.instructions)
         self._runs[key] = result
         if entry is not None:
             self._disk_put(*entry, result)
@@ -298,8 +318,11 @@ class EvalHarness:
         workload = get_workload(name)
         process = load(self.image(name, options),
                        inputs=list(workload.train_inputs))
-        profile, _ = run_profiling(process, schedule,
-                                   max_instructions=MAX_INSTRUCTIONS)
+        with get_recorder().span("exec.fig6profile", cat="exec",
+                                 lane=lane_label("fig6profile", name),
+                                 benchmark=name):
+            profile, _ = run_profiling(process, schedule,
+                                       max_instructions=MAX_INSTRUCTIONS)
         self._profiles[key] = profile
         if entry is not None:
             self._disk_put(*entry, profile)
@@ -329,9 +352,17 @@ class EvalHarness:
                                n_threads=self.n_threads)
         if not cells:
             return 0
+        telemetry_dir = self.telemetry_dir() if self.telemetry else None
         scheduler.execute(cells, self.cache_dir, jobs=self.jobs,
-                          n_threads=self.n_threads)
+                          n_threads=self.n_threads,
+                          telemetry_dir=telemetry_dir)
         return len(cells)
+
+    def telemetry_dir(self) -> str | None:
+        """Where worker recorder dumps live (beside the disk cache)."""
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, "telemetry")
 
 
 _DEFAULT: EvalHarness | None = None

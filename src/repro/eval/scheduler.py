@@ -164,12 +164,7 @@ def _worker_harness(cache_dir: str, n_threads: int):
     return harness
 
 
-def run_cell(cell: Cell, cache_dir: str, n_threads: int = 8) -> Cell:
-    """Execute one cell against the shared cache (also the worker body)."""
-    from repro.eval.harness import options_from_key
-
-    harness = _worker_harness(cache_dir, n_threads)
-    options = options_from_key(cell.options_key)
+def _execute_cell(harness, cell: Cell, options) -> None:
     if cell.kind == "native":
         harness.native(cell.benchmark, options)
     elif cell.kind == "training":
@@ -181,6 +176,54 @@ def run_cell(cell: Cell, cache_dir: str, n_threads: int = 8) -> Cell:
                     n_threads=cell.threads)
     else:
         raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def _cell_recorder():
+    """This process's live recorder, installing one on first use.
+
+    In the parent (``jobs <= 1`` serial fallback) the CLI's recorder is
+    reused, which keeps every span in one lane table.  A forked pool
+    worker *inherits* that enabled recorder — parent pid and parent
+    events included — so a recorder whose pid is not ours is replaced
+    with a fresh ``Recorder(label="worker")``: the dump must carry the
+    worker's own pid (the parent's merge drops dumps matching its pid as
+    self-duplicates) and must not replay the parent's span history.
+    """
+    from repro.telemetry import core
+
+    recorder = core.get_recorder()
+    if not recorder.enabled or recorder.pid != os.getpid():
+        recorder = core.enable(label="worker")
+    return recorder
+
+
+def run_cell(cell: Cell, cache_dir: str, n_threads: int = 8,
+             telemetry_dir: str | None = None) -> Cell:
+    """Execute one cell against the shared cache (also the worker body).
+
+    With ``telemetry_dir`` set the cell runs under a ``cell.<kind>`` span
+    in its canonical lane, and the recorder's dump is flushed to the
+    directory after every cell (atomic overwrite), so the parent can
+    merge worker traces even if the pool is torn down abruptly.
+    """
+    from repro.eval.harness import options_from_key
+
+    harness = _worker_harness(cache_dir, n_threads)
+    options = options_from_key(cell.options_key)
+    if telemetry_dir is None:
+        _execute_cell(harness, cell, options)
+        return cell
+
+    from repro.telemetry import aggregate
+    from repro.telemetry.core import lane_label
+
+    recorder = _cell_recorder()
+    lane = lane_label(cell.kind, cell.benchmark, cell.mode, cell.threads)
+    with recorder.span("cell." + cell.kind, cat="cell", lane=lane,
+                       benchmark=cell.benchmark, mode=cell.mode,
+                       threads=cell.threads):
+        _execute_cell(harness, cell, options)
+    aggregate.flush(recorder, telemetry_dir)
     return cell
 
 
@@ -189,7 +232,7 @@ def _run_cell_args(args) -> Cell:
 
 
 def execute(cells, cache_dir: str, jobs: int | None = None,
-            n_threads: int = 8) -> int:
+            n_threads: int = 8, telemetry_dir: str | None = None) -> int:
     """Fan the cells out over worker processes, stage by stage.
 
     Returns the number of cells executed.  ``jobs <= 1`` degrades to an
@@ -202,11 +245,12 @@ def execute(cells, cache_dir: str, jobs: int | None = None,
         for stage in stages:
             for cell in cells:
                 if cell.stage == stage:
-                    run_cell(cell, cache_dir, n_threads)
+                    run_cell(cell, cache_dir, n_threads,
+                             telemetry_dir=telemetry_dir)
         return len(cells)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         for stage in stages:
-            batch = [(cell, cache_dir, n_threads)
+            batch = [(cell, cache_dir, n_threads, telemetry_dir)
                      for cell in cells if cell.stage == stage]
             # list() drains the iterator so worker exceptions surface.
             list(pool.map(_run_cell_args, batch))

@@ -21,6 +21,7 @@ from repro.rewrite import (
 )
 from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
 from repro.rewrite.schedule import RewriteSchedule
+from repro.telemetry.core import get_recorder
 
 
 class SelectionMode(enum.Enum):
@@ -79,14 +80,24 @@ class Janus:
     @property
     def analysis(self) -> BinaryAnalysis:
         if self._analysis is None:
-            self._analysis = analyze_image(self.image,
-                                           jobs=self.config.analysis_jobs)
+            with get_recorder().span("janus.analysis", cat="analysis",
+                                     jobs=self.config.analysis_jobs) as span:
+                self._analysis = analyze_image(self.image,
+                                               jobs=self.config.analysis_jobs)
+                span.set(functions=len(self._analysis.functions),
+                         loops=len(self._analysis.loops))
         return self._analysis
 
     # -- stage 2: training (optional) ------------------------------------------
 
     def train(self, train_inputs: list[int] | None = None) -> TrainingData:
         """Run the two profiling passes with training inputs."""
+        with get_recorder().span("janus.train", cat="profiling") as span:
+            training = self._train(train_inputs)
+            span.set(dependence_pass=training.dependence is not None)
+        return training
+
+    def _train(self, train_inputs: list[int] | None) -> TrainingData:
         analysis = self.analysis
         coverage_schedule = generate_profile_schedule(analysis,
                                                       stage=COVERAGE_STAGE)
@@ -175,8 +186,11 @@ class Janus:
     def build_schedule(self, mode: SelectionMode,
                        training: TrainingData | None = None
                        ) -> RewriteSchedule:
-        selected = self.select_loops(mode, training)
-        return generate_parallel_schedule(self.analysis, selected)
+        with get_recorder().span("janus.build_schedule", cat="rewrite",
+                                 mode=mode.value) as span:
+            selected = self.select_loops(mode, training)
+            span.set(selected_loops=len(selected))
+            return generate_parallel_schedule(self.analysis, selected)
 
     # -- stage 5: execution -------------------------------------------------------------
 

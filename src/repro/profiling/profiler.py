@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.dbm.rtcalls import RTCallID
 from repro.rewrite.metadata import decode_operand
+from repro.telemetry.core import get_recorder
 
 
 @dataclass
@@ -283,5 +284,10 @@ def run_profiling(process, schedule, cost_model=None,
     profiler = Profiler(dbm)
     limit = max_instructions if max_instructions is not None \
         else DEFAULT_INSTRUCTION_LIMIT
-    execution = dbm.run(max_instructions=limit)
-    return profiler.result(execution), execution
+    with get_recorder().span("profiling.run", cat="profiling",
+                             rules=len(schedule.rules)) as span:
+        execution = dbm.run(max_instructions=limit)
+        profile = profiler.result(execution)
+        span.set(loops_profiled=len(profile.loops),
+                 instructions=execution.instructions)
+    return profile, execution

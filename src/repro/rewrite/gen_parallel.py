@@ -40,6 +40,7 @@ from repro.rewrite.metadata import (
 )
 from repro.rewrite.rules import RuleID
 from repro.rewrite.schedule import RewriteSchedule
+from repro.telemetry.core import get_recorder
 
 # TLS layout (must match repro.dbm.handlers): slot 0 holds the main
 # thread's stack pointer, slot 1 the thread's patched loop bound;
@@ -58,9 +59,13 @@ def generate_parallel_schedule(analysis: BinaryAnalysis,
                                selected_loop_ids) -> RewriteSchedule:
     """Emit the parallelisation schedule for the selected loops."""
     schedule = RewriteSchedule.for_image(analysis.image)
-    for loop_id in sorted(selected_loop_ids):
-        result = analysis.loop(loop_id)
-        _generate_for_loop(schedule, analysis, result)
+    loop_ids = sorted(selected_loop_ids)
+    with get_recorder().span("rewrite.parallel_schedule", cat="rewrite",
+                             loops=len(loop_ids)) as span:
+        for loop_id in loop_ids:
+            result = analysis.loop(loop_id)
+            _generate_for_loop(schedule, analysis, result)
+        span.set(rules=len(schedule.rules), records=len(schedule.pool))
     return schedule
 
 

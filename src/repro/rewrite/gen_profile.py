@@ -19,6 +19,7 @@ from repro.analysis.classify import LoopCategory
 from repro.rewrite.metadata import encode_operand
 from repro.rewrite.rules import RuleID
 from repro.rewrite.schedule import RewriteSchedule
+from repro.telemetry.core import get_recorder
 
 COVERAGE_STAGE = "coverage"
 DEPENDENCE_STAGE = "dependence"
@@ -40,6 +41,17 @@ def generate_profile_schedule(analysis: BinaryAnalysis,
     """
     if stage not in (COVERAGE_STAGE, DEPENDENCE_STAGE):
         raise ValueError(f"unknown profiling stage {stage!r}")
+    with get_recorder().span("rewrite.profile_schedule", cat="rewrite",
+                             stage=stage) as span:
+        schedule = _generate_profile_schedule(analysis, stage, loop_ids,
+                                              include_incompatible)
+        span.set(rules=len(schedule.rules), records=len(schedule.pool))
+    return schedule
+
+
+def _generate_profile_schedule(analysis: BinaryAnalysis, stage: str,
+                               loop_ids, include_incompatible: bool
+                               ) -> RewriteSchedule:
     schedule = RewriteSchedule.for_image(analysis.image)
     wanted = set(loop_ids) if loop_ids is not None else None
 

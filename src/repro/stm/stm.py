@@ -17,17 +17,21 @@ from dataclasses import dataclass, field
 
 from repro.isa.costs import CostModel
 from repro.stm.transaction import Transaction
+from repro.telemetry.core import RegistryView, get_recorder
 
 
-@dataclass
-class STMStats:
-    """Counters reported by experiments (paper section III-B)."""
+class STMStats(RegistryView):
+    """Counters reported by experiments (paper section III-B).
 
-    transactions: int = 0
-    reads: int = 0
-    writes: int = 0
-    aborts: int = 0
-    commit_cycles: int = 0
+    Stored in a :class:`~repro.telemetry.core.MetricRegistry` under
+    ``stm.*`` keys; the attributes are property views so call sites are
+    unchanged.  :class:`~repro.dbm.modifier.JanusDBM` passes its own
+    registry in, putting STM counters beside ``runtime.*`` and ``jit.*``.
+    """
+
+    _NAMESPACE = "stm"
+    _FIELDS = ("transactions", "reads", "writes", "aborts",
+               "commit_cycles")
 
 
 @dataclass
@@ -60,6 +64,11 @@ class STMManager:
         aborted = (not tx.validate()) or conflicts_with_later
         if aborted:
             self.stats.aborts += 1
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.instant("stm.abort", cat="stm",
+                                 thread=tx.thread_id, reads=tx.n_reads,
+                                 writes=tx.n_writes)
             cycles += cost.stm_abort_cycles
             # Re-execution as the oldest thread: charge roughly the same
             # access work again (reads + writes, non-speculative).

@@ -1,0 +1,40 @@
+"""Unified tracing, metrics and profile export for the Janus pipeline.
+
+See DESIGN.md section 6.  Quick use::
+
+    from repro import telemetry
+    from repro.telemetry import aggregate, export
+
+    rec = telemetry.enable(label="my run")
+    ...  # anything: analysis, training, figures, DBM runs
+    export.write_chrome_trace("trace.json", aggregate.merge([rec.dump()]))
+
+The default recorder is a :class:`NullRecorder`: all instrumentation
+sites in the pipeline are no-ops until :func:`enable` is called.
+"""
+
+from repro.telemetry.core import (
+    MetricRegistry,
+    NullRecorder,
+    Recorder,
+    RegistryView,
+    Span,
+    disable,
+    enable,
+    get_recorder,
+    lane_label,
+    set_recorder,
+)
+
+__all__ = [
+    "MetricRegistry",
+    "NullRecorder",
+    "Recorder",
+    "RegistryView",
+    "Span",
+    "disable",
+    "enable",
+    "get_recorder",
+    "lane_label",
+    "set_recorder",
+]

@@ -1,0 +1,325 @@
+"""Telemetry core: spans, the metric registry, and the recorder.
+
+This is the observability layer the rest of the pipeline reports into
+(DESIGN.md section 6).  It has three pieces:
+
+* :class:`MetricRegistry` — a flat, namespaced counter store
+  (``"jit.blocks_translated"``, ``"stm.aborts"``, ...).  The legacy stats
+  objects (``JITStats``, ``DBMStats``, ``STMStats``) are thin attribute
+  views over one registry (:class:`RegistryView`), so every counter the
+  system maintains lives under one namespace scheme while old call sites
+  keep working unchanged.
+
+* :class:`Recorder` — wall-clock **spans** (nested, attributed, assigned
+  to named lanes) over ``time.monotonic_ns``, plus instant events and its
+  own counter/gauge maps.  ``dump()`` produces a plain-JSON structure
+  that :mod:`repro.telemetry.aggregate` merges across worker processes.
+
+* :class:`NullRecorder` — the disabled mode.  Every method is a no-op
+  and ``span()`` returns one shared reusable context manager, so an
+  instrumentation site costs one global read, one method call and one
+  ``with`` block when telemetry is off (measured by
+  ``benchmarks/bench_telemetry_overhead.py``).
+
+The process-wide recorder is reached through :func:`get_recorder`;
+``enable()``/``disable()`` swap it.  Hot per-instruction paths are never
+instrumented — spans sit at translation, loop-invocation, pipeline-stage
+and evaluation-cell granularity.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class MetricRegistry:
+    """A flat namespaced counter store shared by one execution's stats."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+
+    def inc(self, key: str, n: int = 1) -> None:
+        counters = self.counters
+        counters[key] = counters.get(key, 0) + n
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self.counters.get(key, default)
+
+    def namespace(self, prefix: str) -> dict[str, int]:
+        """The counters under ``prefix.``, with the prefix stripped."""
+        head = prefix + "."
+        return {key[len(head):]: value
+                for key, value in self.counters.items()
+                if key.startswith(head)}
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(sorted(self.counters.items()))
+
+
+def _registry_field(key: str) -> property:
+    """A read/write attribute backed by one registry counter."""
+
+    def fget(self):
+        return self._registry.counters[key]
+
+    def fset(self, value):
+        self._registry.counters[key] = value
+
+    return property(fget, fset)
+
+
+class RegistryView:
+    """Attribute facade over one namespace of a :class:`MetricRegistry`.
+
+    Subclasses declare ``_NAMESPACE`` and an ordered ``_FIELDS`` tuple;
+    each field becomes a property reading/writing the registry counter
+    ``"<namespace>.<field>"``.  ``as_dict()`` returns the *unprefixed*
+    field names in declaration order, preserving the legacy
+    ``ExecutionResult.stats`` keys byte-for-byte.
+    """
+
+    __slots__ = ("_registry",)
+    _NAMESPACE = ""
+    _FIELDS: tuple[str, ...] = ()
+
+    def __init_subclass__(cls) -> None:
+        super().__init_subclass__()
+        for name in cls._FIELDS:
+            setattr(cls, name,
+                    _registry_field(f"{cls._NAMESPACE}.{name}"))
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self._registry = registry if registry is not None \
+            else MetricRegistry()
+        counters = self._registry.counters
+        for name in self._FIELDS:
+            counters.setdefault(f"{self._NAMESPACE}.{name}", 0)
+
+    @property
+    def registry(self) -> MetricRegistry:
+        return self._registry
+
+    def reset(self) -> None:
+        counters = self._registry.counters
+        for name in self._FIELDS:
+            counters[f"{self._NAMESPACE}.{name}"] = 0
+
+    def as_dict(self) -> dict[str, int]:
+        counters = self._registry.counters
+        return {name: counters[f"{self._NAMESPACE}.{name}"]
+                for name in self._FIELDS}
+
+
+def lane_label(kind: str, benchmark: str, mode: str = "",
+               threads: int = 0) -> str:
+    """The canonical lane name for one evaluation cell.
+
+    Both the fan-out scheduler and the in-process harness paths use this,
+    so a cell's spans land in the same trace lane no matter which side
+    executed it.
+    """
+    label = f"{kind} {benchmark}"
+    if mode:
+        label += f" {mode.lower()}"
+    if threads:
+        label += f" x{threads}"
+    return label
+
+
+class Span:
+    """One timed region.  Context manager; ``set()`` attaches attributes."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "args", "tid", "_rec",
+                 "_saved_tid")
+
+    def __init__(self, rec: "Recorder", name: str, cat: str,
+                 tid: int, args: dict) -> None:
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.tid = tid
+        self.ts = 0
+        self.dur = 0
+        self._rec = rec
+        self._saved_tid = 0
+
+    def set(self, **attrs) -> "Span":
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        rec = self._rec
+        self._saved_tid = rec._tid
+        rec._tid = self.tid
+        self.ts = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        rec = self._rec
+        self.dur = time.monotonic_ns() - self.ts
+        rec._tid = self._saved_tid
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        rec._finish(self)
+        return False
+
+
+class _NullSpan:
+    """The reusable no-op span the :class:`NullRecorder` hands out."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Telemetry off: every operation is a no-op (the default mode)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, cat: str = "", lane: str | None = None,
+             **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "", **attrs) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def absorb(self, registry: MetricRegistry) -> None:
+        pass
+
+    def dump(self) -> dict:
+        return {"pid": os.getpid(), "label": "null", "lanes": {},
+                "events": [], "counters": {}, "gauges": {}}
+
+
+class Recorder(NullRecorder):
+    """Telemetry on: spans, instants, counters and gauges are recorded.
+
+    ``record_spans=False`` gives the counters-only middle tier: counter
+    and gauge updates are kept but ``span()``/``instant()`` degrade to
+    the null path (used by the overhead benchmark and by callers that
+    only want `repro stats` numbers).
+    """
+
+    __slots__ = ("label", "pid", "events", "counters", "gauges",
+                 "record_spans", "max_events", "_lanes", "_tid")
+    enabled = True
+
+    def __init__(self, label: str = "repro", record_spans: bool = True,
+                 max_events: int = 500_000) -> None:
+        self.label = label
+        self.pid = os.getpid()
+        self.events: list[dict] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.record_spans = record_spans
+        self.max_events = max_events
+        # lane label -> tid; tid 0 is the unnamed main lane.
+        self._lanes: dict[str, int] = {}
+        self._tid = 0
+
+    # -- spans ------------------------------------------------------------
+
+    def lane(self, label: str) -> int:
+        tid = self._lanes.get(label)
+        if tid is None:
+            tid = self._lanes[label] = len(self._lanes) + 1
+        return tid
+
+    def span(self, name: str, cat: str = "", lane: str | None = None,
+             **attrs):
+        if not self.record_spans:
+            return _NULL_SPAN
+        tid = self._tid if lane is None else self.lane(lane)
+        return Span(self, name, cat, tid, attrs)
+
+    def instant(self, name: str, cat: str = "", **attrs) -> None:
+        if not self.record_spans:
+            return
+        self._append({"ph": "i", "name": name, "cat": cat,
+                      "ts": time.monotonic_ns(), "dur": 0,
+                      "tid": self._tid, "args": attrs})
+
+    def _finish(self, span: Span) -> None:
+        self._append({"ph": "X", "name": span.name, "cat": span.cat,
+                      "ts": span.ts, "dur": span.dur, "tid": span.tid,
+                      "args": span.args})
+
+    def _append(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            # Never truncate silently: the drop is itself a counter.
+            self.count("telemetry.dropped_events")
+            return
+        self.events.append(event)
+
+    # -- counters / gauges -------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def absorb(self, registry: MetricRegistry) -> None:
+        """Add one execution's registry counters into the recorder totals."""
+        counters = self.counters
+        for key, value in registry.counters.items():
+            counters[key] = counters.get(key, 0) + value
+
+    # -- dumping -----------------------------------------------------------
+
+    def dump(self) -> dict:
+        """A plain-JSON snapshot (the worker-dump aggregation contract)."""
+        return {
+            "pid": self.pid,
+            "label": self.label,
+            "lanes": dict(self._lanes),
+            "events": list(self.events),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+
+_RECORDER: NullRecorder = NullRecorder()
+
+
+def get_recorder() -> NullRecorder:
+    """The process-wide recorder (a :class:`NullRecorder` unless enabled)."""
+    return _RECORDER
+
+
+def set_recorder(recorder) -> NullRecorder:
+    global _RECORDER
+    _RECORDER = recorder
+    return recorder
+
+
+def enable(label: str = "repro", record_spans: bool = True) -> Recorder:
+    """Install and return a live :class:`Recorder`."""
+    return set_recorder(Recorder(label=label, record_spans=record_spans))
+
+
+def disable() -> NullRecorder:
+    """Restore the zero-overhead :class:`NullRecorder`."""
+    return set_recorder(NullRecorder())

@@ -1,0 +1,106 @@
+"""A small, dependency-free JSON-schema validator for trace files.
+
+Supports the subset of JSON Schema the checked-in trace schema uses:
+``type`` (including type lists), ``properties``, ``required``,
+``items``, ``enum``, ``minimum``, ``additionalProperties`` (boolean
+form) — enough to validate the Chrome ``trace_event`` files the
+exporters emit without adding a third-party dependency to CI.
+
+Command-line use (the ``telemetry-smoke`` CI job)::
+
+    python -m repro.telemetry.schema trace.json schemas/trace_event.schema.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The instance does not conform to the schema."""
+
+
+def _type_ok(value, type_name: str) -> bool:
+    if type_name == "number":
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+    expected = _TYPES[type_name]
+    if expected is int and isinstance(value, bool):
+        return False
+    return isinstance(value, expected)
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Raise :class:`SchemaError` (with a JSON path) on the first violation."""
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected type {declared!r}, "
+                f"got {type(instance).__name__}")
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{path}: {instance!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) \
+            and instance < schema["minimum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} below minimum {schema['minimum']!r}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, subschema in properties.items():
+            if name in instance:
+                validate(instance[name], subschema, f"{path}.{name}")
+        if schema.get("additionalProperties") is False:
+            extra = sorted(set(instance) - set(properties))
+            if extra:
+                raise SchemaError(
+                    f"{path}: unexpected keys {extra!r}")
+    if isinstance(instance, list) and "items" in schema:
+        subschema = schema["items"]
+        for index, item in enumerate(instance):
+            validate(item, subschema, f"{path}[{index}]")
+
+
+def validate_file(instance_path: str, schema_path: str) -> dict:
+    """Validate one JSON file; returns the parsed instance."""
+    with open(instance_path) as fh:
+        instance = json.load(fh)
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    validate(instance, schema)
+    return instance
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.telemetry.schema "
+              "<instance.json> <schema.json>", file=sys.stderr)
+        return 2
+    try:
+        instance = validate_file(argv[0], argv[1])
+    except SchemaError as error:
+        print(f"schema violation: {error}", file=sys.stderr)
+        return 1
+    events = instance.get("traceEvents", [])
+    spans = sum(1 for event in events if event.get("ph") == "X")
+    print(f"{argv[0]}: valid ({len(events)} events, {spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""STM abort accounting: cycle charges and registry counters.
+
+Satellite coverage for the telemetry PR: an abort must charge the
+re-execution cycles on top of the clean commit cost, must increment
+``stm.aborts`` exactly once per abort (even when a failed validation and
+a late conflict coincide), and must emit exactly one ``stm.abort``
+instant when telemetry is recording.
+"""
+
+import pytest
+
+from repro.dbm.machine import ThreadContext
+from repro.dbm.memory import Memory
+from repro.isa.costs import CostModel
+from repro.stm import STMManager
+from repro.stm.stm import STMStats
+from repro.telemetry.core import MetricRegistry, Recorder, disable, \
+    set_recorder
+
+
+@pytest.fixture(autouse=True)
+def _restore_recorder():
+    yield
+    disable()
+
+
+def make_memory(contents=None):
+    memory = Memory()
+    for addr, value in (contents or {}).items():
+        memory.write(addr, value)
+    return memory
+
+
+def run_tx(manager, thread_id=1, reads=(), writes=(),
+           poison=None, conflicts=False):
+    """One begin/access/finish round; returns the cycles charged."""
+    tx = manager.begin(thread_id, checkpoint=None)
+    for addr in reads:
+        tx.read(addr)
+    for k, addr in enumerate(writes):
+        tx.write(addr, 100 + k)
+    if poison is not None:
+        # A concurrent writer invalidates the read set before commit.
+        manager.memory.write(poison, 12345)
+    ctx = ThreadContext(thread_id=thread_id)
+    return manager.finish(tx, ctx, conflicts_with_later=conflicts)
+
+
+class TestAbortCycleCharge:
+    def test_abort_charges_reexecution_cycles(self):
+        cost = CostModel()
+        memory = make_memory({0x100: 1, 0x108: 2})
+        manager = STMManager(memory=memory, cost=cost)
+        clean = run_tx(manager, reads=(0x100, 0x108), writes=(0x110,))
+        conflicted = run_tx(manager, thread_id=2,
+                            reads=(0x100, 0x108), writes=(0x110,),
+                            conflicts=True)
+        # The abort pays the rollback plus a non-speculative re-execution
+        # of the access work (paper II-E3): reads + writes again.
+        expected_penalty = (cost.stm_abort_cycles
+                            + 2 * cost.stm_read_cycles
+                            + 1 * cost.stm_write_cycles)
+        assert conflicted - clean == expected_penalty
+
+    def test_abort_cycles_land_in_ctx_and_stats(self):
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel())
+        tx = manager.begin(1, checkpoint=None)
+        tx.read(0x100)
+        ctx = ThreadContext(thread_id=1)
+        charged = manager.finish(tx, ctx, conflicts_with_later=True)
+        assert ctx.cycles == charged
+        assert manager.stats.commit_cycles == charged
+
+
+class TestAbortCounting:
+    def test_one_abort_per_aborted_transaction(self):
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel())
+        run_tx(manager, reads=(0x100,), conflicts=True)
+        run_tx(manager, thread_id=2, reads=(0x100,), poison=0x100)
+        assert manager.stats.aborts == 2
+        assert manager.stats.transactions == 2
+
+    def test_coinciding_causes_count_once(self):
+        """Failed validation + late conflict on one tx is still one abort."""
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel())
+        run_tx(manager, reads=(0x100,), poison=0x100, conflicts=True)
+        assert manager.stats.aborts == 1
+
+    def test_clean_commit_counts_no_abort(self):
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel())
+        run_tx(manager, reads=(0x100,), writes=(0x108,))
+        assert manager.stats.aborts == 0
+
+    def test_aborts_count_into_shared_registry(self):
+        registry = MetricRegistry()
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel(),
+                             stats=STMStats(registry))
+        run_tx(manager, reads=(0x100,), conflicts=True)
+        assert registry.get("stm.aborts") == 1
+        assert registry.get("stm.transactions") == 1
+
+
+class TestAbortInstants:
+    def test_one_instant_per_abort(self):
+        recorder = set_recorder(Recorder(label="test"))
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel())
+        run_tx(manager, reads=(0x100,), writes=(0x108,), conflicts=True)
+        run_tx(manager, thread_id=2, reads=(0x100,))
+        aborts = [e for e in recorder.events if e["name"] == "stm.abort"]
+        assert len(aborts) == 1
+        assert aborts[0]["args"] == {"thread": 1, "reads": 1, "writes": 1}
+
+    def test_no_instants_when_disabled(self):
+        disable()
+        memory = make_memory({0x100: 1})
+        manager = STMManager(memory=memory, cost=CostModel())
+        run_tx(manager, reads=(0x100,), conflicts=True)
+        assert manager.stats.aborts == 1  # counters still work
+
+
+class TestLateConflictCharges:
+    def _runtime(self):
+        from repro.dbm.modifier import JanusDBM
+        from repro.dbm.runtime import ParallelRuntime
+        from repro.jbin.loader import load
+        from repro.jcc import CompileOptions, compile_source
+
+        image = compile_source(
+            "int main() { print_int(1); return 0; }",
+            CompileOptions(opt_level=2))
+        dbm = JanusDBM(load(image))
+        return dbm, ParallelRuntime(dbm)
+
+    def _worker(self, thread_id, tx_log, writes=frozenset()):
+        from repro.dbm.runtime import WorkerState
+
+        return WorkerState(thread_id=thread_id,
+                           ctx=ThreadContext(thread_id=thread_id),
+                           chunks=[], meta=None,
+                           writes=set(writes), tx_log=list(tx_log))
+
+    def test_late_conflict_aborts_and_charges_worker(self):
+        dbm, runtime = self._runtime()
+        early = self._worker(1, tx_log=[({0x100, 0x108}, {0x110})])
+        late = self._worker(2, tx_log=[], writes={0x100})
+        runtime._charge_stm_late_conflicts([early, late])
+        cost = dbm.cost
+        penalty = (cost.stm_abort_cycles + 2 * cost.stm_read_cycles
+                   + 1 * cost.stm_write_cycles)
+        assert runtime.stm.stats.aborts == 1
+        assert dbm.registry.get("stm.aborts") == 1
+        assert early.ctx.cycles == penalty
+        assert dbm.stats.stm_cycles == penalty
+        assert late.ctx.cycles == 0  # the younger thread is not charged
+
+    def test_commit_order_is_respected(self):
+        """Writes by *earlier*-committing threads never abort a later one."""
+        dbm, runtime = self._runtime()
+        early = self._worker(1, tx_log=[], writes={0x100})
+        late = self._worker(2, tx_log=[({0x100}, set())])
+        runtime._charge_stm_late_conflicts([early, late])
+        assert runtime.stm.stats.aborts == 0
+
+    def test_late_conflict_emits_instant(self):
+        recorder = set_recorder(Recorder(label="test"))
+        _dbm, runtime = self._runtime()
+        early = self._worker(1, tx_log=[({0x100}, set())])
+        late = self._worker(2, tx_log=[], writes={0x100})
+        runtime._charge_stm_late_conflicts([early, late])
+        aborts = [e for e in recorder.events if e["name"] == "stm.abort"]
+        assert len(aborts) == 1
+        assert aborts[0]["args"]["late_conflict"] is True

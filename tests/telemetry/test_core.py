@@ -1,0 +1,190 @@
+"""Unit tests for the telemetry core: registry, views, recorder, spans."""
+
+import pytest
+
+from repro.telemetry.core import (
+    MetricRegistry,
+    NullRecorder,
+    Recorder,
+    RegistryView,
+    disable,
+    enable,
+    get_recorder,
+    lane_label,
+    set_recorder,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_recorder():
+    """Every test leaves the process-wide recorder disabled."""
+    yield
+    disable()
+
+
+class TestMetricRegistry:
+    def test_inc_and_get(self):
+        registry = MetricRegistry()
+        registry.inc("jit.blocks", 3)
+        registry.inc("jit.blocks")
+        assert registry.get("jit.blocks") == 4
+        assert registry.get("missing") == 0
+        assert registry.get("missing", -1) == -1
+
+    def test_namespace_strips_prefix(self):
+        registry = MetricRegistry()
+        registry.inc("stm.aborts", 2)
+        registry.inc("stm.reads", 7)
+        registry.inc("jit.blocks", 1)
+        assert registry.namespace("stm") == {"aborts": 2, "reads": 7}
+
+    def test_as_dict_sorted(self):
+        registry = MetricRegistry()
+        registry.inc("b", 1)
+        registry.inc("a", 1)
+        assert list(registry.as_dict()) == ["a", "b"]
+
+
+class _View(RegistryView):
+    _NAMESPACE = "demo"
+    _FIELDS = ("zulu", "alpha")
+
+
+class TestRegistryView:
+    def test_attributes_are_registry_backed(self):
+        view = _View()
+        assert view.zulu == 0
+        view.zulu += 5
+        view.alpha = 2
+        assert view.registry.get("demo.zulu") == 5
+        assert view.registry.get("demo.alpha") == 2
+
+    def test_shared_registry(self):
+        registry = MetricRegistry()
+        a = _View(registry)
+        b = _View(registry)
+        a.zulu += 1
+        assert b.zulu == 1
+
+    def test_as_dict_keeps_declaration_order(self):
+        view = _View()
+        view.zulu = 3
+        assert list(view.as_dict()) == ["zulu", "alpha"]
+        assert view.as_dict() == {"zulu": 3, "alpha": 0}
+
+    def test_reset(self):
+        view = _View()
+        view.zulu = 9
+        view.reset()
+        assert view.zulu == 0
+
+
+class TestLaneLabel:
+    def test_forms(self):
+        assert lane_label("native", "470.lbm") == "native 470.lbm"
+        assert lane_label("run", "470.lbm", "JANUS", 8) \
+            == "run 470.lbm janus x8"
+        assert lane_label("training", "mg", threads=0) == "training mg"
+
+
+class TestNullRecorder:
+    def test_default_recorder_is_disabled(self):
+        assert get_recorder().enabled is False
+
+    def test_span_is_shared_noop(self):
+        recorder = NullRecorder()
+        span = recorder.span("x", cat="c")
+        assert span is recorder.span("y")
+        with span as inner:
+            inner.set(a=1)
+        assert recorder.dump()["events"] == []
+
+
+class TestRecorder:
+    def test_span_records_event(self):
+        recorder = Recorder(label="t")
+        with recorder.span("work", cat="test", n=3) as span:
+            span.set(extra=True)
+        (event,) = recorder.events
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["dur"] >= 0
+        assert event["args"] == {"n": 3, "extra": True}
+
+    def test_nested_spans_inherit_lane(self):
+        recorder = Recorder()
+        with recorder.span("outer", lane="native mg"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = sorted(recorder.events, key=lambda e: e["name"])
+        assert outer["tid"] == recorder.lane("native mg")
+        assert inner["tid"] == outer["tid"]
+        # Lane restored after the with block.
+        assert recorder._tid == 0
+
+    def test_span_records_error(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            with recorder.span("boom"):
+                raise ValueError("nope")
+        (event,) = recorder.events
+        assert event["args"]["error"] == "ValueError"
+
+    def test_instant(self):
+        recorder = Recorder()
+        recorder.instant("tick", cat="test", k=1)
+        (event,) = recorder.events
+        assert event["ph"] == "i"
+        assert event["args"] == {"k": 1}
+
+    def test_counters_only_tier(self):
+        recorder = Recorder(record_spans=False)
+        with recorder.span("ignored"):
+            pass
+        recorder.instant("ignored")
+        recorder.count("stm.aborts", 2)
+        recorder.gauge("speedup", 2.5)
+        assert recorder.events == []
+        assert recorder.counters == {"stm.aborts": 2}
+        assert recorder.gauges == {"speedup": 2.5}
+
+    def test_max_events_drops_are_counted(self):
+        recorder = Recorder(max_events=1)
+        recorder.instant("a")
+        recorder.instant("b")
+        recorder.instant("c")
+        assert len(recorder.events) == 1
+        assert recorder.counters["telemetry.dropped_events"] == 2
+
+    def test_absorb_registry(self):
+        recorder = Recorder()
+        registry = MetricRegistry()
+        registry.inc("jit.blocks", 4)
+        recorder.absorb(registry)
+        recorder.absorb(registry)
+        assert recorder.counters["jit.blocks"] == 8
+
+    def test_dump_shape(self):
+        recorder = Recorder(label="worker")
+        recorder.lane("native mg")
+        with recorder.span("s"):
+            pass
+        dump = recorder.dump()
+        assert set(dump) == {"pid", "label", "lanes", "events",
+                             "counters", "gauges"}
+        assert dump["label"] == "worker"
+        assert dump["lanes"] == {"native mg": 1}
+        assert len(dump["events"]) == 1
+
+
+class TestEnableDisable:
+    def test_enable_swaps_process_recorder(self):
+        recorder = enable(label="test")
+        assert get_recorder() is recorder
+        assert recorder.enabled
+        disable()
+        assert get_recorder().enabled is False
+
+    def test_set_recorder_returns_argument(self):
+        null = NullRecorder()
+        assert set_recorder(null) is null

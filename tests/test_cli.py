@@ -1,8 +1,11 @@
 """Tests for the command-line toolchain (the deployment workflow)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.telemetry.core import disable, get_recorder
 
 SOURCE = """
 int n = 400;
@@ -101,3 +104,69 @@ def test_table2_figure(capsys):
 def test_figures_rejects_unknown_name(capsys):
     assert main(["figures", "fig99"]) == 2
     assert "unknown figures" in capsys.readouterr().err
+
+
+def test_figures_fig_option_normalises_numbers(capsys):
+    # "--fig 99" normalises to fig99, which does not exist: proves the
+    # option feeds the same resolution path as the positional form.
+    assert main(["figures", "--fig", "99"]) == 2
+    assert "fig99" in capsys.readouterr().err
+
+
+def test_run_stats_json_and_stable_stderr(workspace, capsys, tmp_path):
+    binary = workspace / "app.jelf"
+    stats_path = tmp_path / "stats.json"
+    assert main(["run", str(binary), "--mode", "dbm", "--input", "1",
+                 "--stats-json", str(stats_path)]) == 0
+    err = capsys.readouterr().err
+    stats_lines = [line for line in err.splitlines()
+                   if line.startswith("[stats] ")]
+    assert len(stats_lines) == 1
+    # The stderr summary is machine-parseable, sorted JSON.
+    summary = json.loads(stats_lines[0][len("[stats] "):])
+    assert list(summary) == sorted(summary)
+    assert all(value for value in summary.values())
+    payload = json.loads(stats_path.read_text())
+    assert payload["exit_code"] == 0
+    assert payload["cycles"] > 0
+    assert list(payload["stats"]) == sorted(payload["stats"])
+    # The file keeps zero-valued counters; stderr elides them.
+    assert set(summary) <= set(payload["stats"])
+    assert payload["stats"]["translated_blocks"] \
+        == summary["translated_blocks"]
+
+
+def test_trace_and_stats_commands(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    try:
+        assert main(["trace", "470.lbm", "-o", str(trace_path),
+                     "--mode", "native",
+                     "--metrics-out", str(metrics_path)]) == 0
+    finally:
+        disable()
+    out = capsys.readouterr().out
+    assert "spans" in out and "cycles" in out
+    assert get_recorder().enabled is False  # trace cleans up after itself
+
+    trace = json.loads(trace_path.read_text())
+    span_names = {e["name"] for e in trace["traceEvents"]
+                  if e["ph"] == "X"}
+    assert "exec.native" in span_names and "native.run" in span_names
+    assert trace["metrics"]["counters"]["jit.blocks_translated"] > 0
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"] == trace["metrics"]["counters"]
+
+    assert main(["stats", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[jit]" in out
+    assert "jit.blocks_translated" in out
+    assert "exec.native" in out
+
+    assert main(["stats", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "jit.blocks_translated" in out
+
+    missing = tmp_path / "missing.json"
+    assert main(["stats", str(missing)]) == 2
+    assert "cannot read" in capsys.readouterr().err
