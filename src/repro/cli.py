@@ -157,10 +157,14 @@ def _cmd_figures(args) -> int:
         "table2": (lambda _h=None, benchmarks=None:
                    figures.table2_features(),
                    reporting.render_table2),
+        "verify": (figures.verify_rows, reporting.render_verify),
     }
     names = list(args.which or ())
     names += [_normalise_figure(name) for name in args.fig]
-    names = names or sorted(producers)
+    if args.verify and "verify" not in names:
+        names.append("verify")
+    # --verify alone means "just the verification table", not "everything".
+    names = names or [n for n in sorted(producers) if n != "verify"]
     unknown = [name for name in names if name not in producers]
     if unknown:
         print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
@@ -179,13 +183,16 @@ def _cmd_figures(args) -> int:
     # cache hits, bit-identical to a serial run.  Telemetry rides along:
     # workers flush recorder dumps beside the cache and the parent merges
     # them below, so figure *output* is unchanged by tracing.
-    harness.warm([name for name in names if name != "table2"],
+    harness.warm([name for name in names if name not in ("table2", "verify")],
                  benchmarks=benchmarks)
+    verify_confirmed = 0
     for name in names:
         produce, render = producers[name]
         rows = produce(harness, benchmarks=benchmarks)
         print(render(rows))
         print()
+        if name == "verify":
+            verify_confirmed += sum(row["confirmed_unsound"] for row in rows)
 
     if recorder is not None:
         from repro.telemetry import aggregate, core, export
@@ -198,7 +205,46 @@ def _cmd_figures(args) -> int:
               f"{len(trace['metrics']['counters'])} counters",
               file=sys.stderr)
         core.disable()
-    return 0
+    return 1 if verify_confirmed else 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify import Severity, exit_code, verify_workload
+    from repro.workloads import all_benchmarks
+
+    names = args.workloads or all_benchmarks()
+    reports = []
+    for name in names:
+        report = verify_workload(name, train=not args.no_train,
+                                 max_iterations=args.max_iterations,
+                                 max_instructions=args.max_instructions,
+                                 demote=args.demote)
+        reports.append(report)
+        verdict = "UNSOUND" if report.confirmed else "ok"
+        print(f"{name:18s} {verdict:8s} "
+              f"functions={report.functions_checked} "
+              f"loops={report.loops_checked} rules={report.rules_linted} "
+              f"oracle={report.oracle_loops} loops/"
+              f"{report.oracle_iterations} iters "
+              f"warnings={len(report.by_severity(Severity.WARNING))} "
+              f"errors={len(report.errors)} "
+              f"unsound={len(report.confirmed)}")
+        for finding in report.findings:
+            if finding.severity is not Severity.INFO:
+                print(f"  {finding}")
+        if report.demoted_loops:
+            print(f"  demoted loops: {report.demoted_loops}")
+    if args.output:
+        payload = {
+            "workloads": [report.to_dict() for report in reports],
+            "confirmed": sum(len(r.confirmed) for r in reports),
+            "errors": sum(len(r.errors) for r in reports),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return exit_code(reports)
 
 
 def _cmd_trace(args) -> int:
@@ -361,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--benchmarks",
                    help="comma-separated workload subset (default: each "
                         "figure's full benchmark list)")
+    f.add_argument("--verify", action="store_true",
+                   help="also run the soundness verifier over the "
+                        "benchmarks and print its summary table "
+                        "(exit 1 on confirmed unsoundness)")
     f.add_argument("--telemetry", action="store_true",
                    help="record spans/counters across the run (workers "
                         "included) and write one merged Chrome trace; "
@@ -369,6 +419,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Chrome trace path for --telemetry "
                         "(default: trace.json)")
     f.set_defaults(func=_cmd_figures)
+
+    v = sub.add_parser("verify",
+                       help="soundness-check analysis results, rewrite "
+                            "schedules and DOALL claims (exit 1 on "
+                            "confirmed unsoundness)")
+    v.add_argument("workloads", nargs="*",
+                   help="suite workload names (default: all)")
+    v.add_argument("-o", "--output",
+                   help="write the full findings JSON to this file")
+    v.add_argument("--max-iterations", type=int, default=128,
+                   help="oracle replay bound per loop invocation")
+    v.add_argument("--max-instructions", type=int, default=None,
+                   help="instruction cap per oracle/profiling run")
+    v.add_argument("--no-train", action="store_true",
+                   help="skip the profiling passes; verify the untrained "
+                        "pipeline's claims")
+    v.add_argument("--demote", action="store_true",
+                   help="demote confirmed-unsound loops "
+                        "(JanusConfig.verify_demote)")
+    v.set_defaults(func=_cmd_verify)
 
     t = sub.add_parser("trace",
                        help="run one suite workload under telemetry and "

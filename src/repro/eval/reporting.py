@@ -126,3 +126,22 @@ def render_table2(rows) -> str:
             f"{'yes' if row['shared_libraries'] else 'no':>7s} "
             f"{row['parallelisation']:>17s}")
     return "\n".join(lines)
+
+
+def render_verify(rows) -> str:
+    lines = ["Verification: invariants / schedule lint / DOALL oracle",
+             f"{'benchmark':18s} {'fns':>5s} {'loops':>6s} {'rules':>6s} "
+             f"{'oracle':>7s} {'iters':>7s} {'warn':>5s} {'err':>5s} "
+             f"{'unsound':>8s}"]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:18s} {row['functions']:5d} "
+            f"{row['loops']:6d} {row['rules']:6d} "
+            f"{row['oracle_loops']:7d} {row['oracle_iterations']:7d} "
+            f"{row['warnings']:5d} {row['errors']:5d} "
+            f"{row['confirmed_unsound']:8d}")
+    total = sum(row["confirmed_unsound"] for row in rows)
+    lines.append("verdict: " + ("SOUND (no confirmed-unsound findings)"
+                                if total == 0 else
+                                f"UNSOUND ({total} confirmed findings)"))
+    return "\n".join(lines)

@@ -63,6 +63,9 @@ def decode_instruction(data: bytes, offset: int, address: int) -> Instruction:
                 base = data[pos + 1] if flags & 1 else None
                 index = data[pos + 2] if flags & 2 else None
                 scale = data[pos + 3]
+                if scale not in (1, 2, 4, 8):
+                    raise DecodingError(
+                        f"invalid memory scale {scale} at {address:#x}")
                 (disp,) = _I64.unpack_from(data, pos + 4)
                 operands.append(Mem(base=base, index=index,
                                     scale=scale, disp=disp))

@@ -57,6 +57,10 @@ class JanusConfig:
     # Worker processes for the per-function static-analysis pipeline
     # (1 = serial; results are identical either way).
     analysis_jobs: int = 1
+    # When the verification oracle (repro verify) confirms a claimed-DOALL
+    # loop carries a cross-iteration dependence, demote its category so the
+    # selector can no longer parallelise it.
+    verify_demote: bool = False
 
 
 @dataclass

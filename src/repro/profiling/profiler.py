@@ -235,10 +235,15 @@ class Profiler:
             # The call's accesses also feed the enclosing loop's
             # dependence shadow: dynamically discovered code can carry
             # cross-iteration dependences (e.g. overlapping halos).
-            if frame is None:
-                return
-            for k in range(lanes):
-                self._shadow_access(profile, frame, addr + 8 * k, is_write)
+            if frame is not None:
+                for k in range(lanes):
+                    self._shadow_access(profile, frame, addr + 8 * k,
+                                        is_write)
+            # Chain to the window below: when two instrumented loops share
+            # a call site (a nested loop pair), every open window must see
+            # the call's accesses, not just the innermost one's.
+            if previous is not None:
+                previous(hctx, ins, addr, is_write, lanes)
 
         previous = self.dbm.interp.mem_hook
         self.dbm.interp.mem_hook = hook

@@ -10,7 +10,7 @@ schedule generation for the profiling and parallelisation stages lives in
 :mod:`repro.rewrite.gen_profile` and :mod:`repro.rewrite.gen_parallel`.
 """
 
-from repro.rewrite.rules import RewriteRule, RuleID
+from repro.rewrite.rules import RewriteRule, RuleID, ScheduleFormatError
 from repro.rewrite.schedule import RewriteSchedule
 from repro.rewrite.gen_profile import generate_profile_schedule
 from repro.rewrite.gen_parallel import generate_parallel_schedule
@@ -18,6 +18,7 @@ from repro.rewrite.gen_parallel import generate_parallel_schedule
 __all__ = [
     "RewriteRule",
     "RuleID",
+    "ScheduleFormatError",
     "RewriteSchedule",
     "generate_profile_schedule",
     "generate_parallel_schedule",

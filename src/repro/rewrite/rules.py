@@ -57,6 +57,10 @@ _RULE_STRUCT = struct.Struct("<QHq")
 RULE_SIZE = _RULE_STRUCT.size  # 18 bytes
 
 
+class ScheduleFormatError(ValueError):
+    """Malformed rewrite-rule bytes: wrong size or unknown rule ID."""
+
+
 @dataclass(frozen=True)
 class RewriteRule:
     """One fixed-length rewrite rule."""
@@ -70,8 +74,29 @@ class RewriteRule:
 
     @classmethod
     def unpack(cls, raw: bytes, offset: int = 0) -> "RewriteRule":
+        """Decode one record starting at ``offset`` in a larger buffer."""
+        if offset < 0:
+            raise ScheduleFormatError(f"negative rule offset {offset}")
+        if offset + RULE_SIZE > len(raw):
+            raise ScheduleFormatError(
+                f"truncated rule record: need {RULE_SIZE} bytes at offset "
+                f"{offset}, buffer holds {len(raw)}")
         address, rule_id, data = _RULE_STRUCT.unpack_from(raw, offset)
-        return cls(address=address, rule_id=RuleID(rule_id), data=data)
+        try:
+            rule_id = RuleID(rule_id)
+        except ValueError:
+            raise ScheduleFormatError(
+                f"unknown rule id {rule_id} at offset {offset}") from None
+        return cls(address=address, rule_id=rule_id, data=data)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RewriteRule":
+        """Decode exactly one record; rejects truncated AND oversized input."""
+        if len(raw) != RULE_SIZE:
+            raise ScheduleFormatError(
+                f"rule record must be exactly {RULE_SIZE} bytes, "
+                f"got {len(raw)}")
+        return cls.unpack(raw)
 
     def __repr__(self) -> str:
         return f"<{self.rule_id.name} @{self.address:#x} data={self.data}>"

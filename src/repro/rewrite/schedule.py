@@ -18,7 +18,12 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.rewrite import cereal
-from repro.rewrite.rules import RULE_SIZE, RewriteRule, RuleID
+from repro.rewrite.rules import (
+    RULE_SIZE,
+    RewriteRule,
+    RuleID,
+    ScheduleFormatError,
+)
 
 _MAGIC = b"JRS1"
 _HEADER = struct.Struct("<HIII")
@@ -114,10 +119,12 @@ class RewriteSchedule:
             raise ScheduleError(f"unsupported schedule version {version}")
         pos = 4 + _HEADER.size
         rules = []
-        for _ in range(n_rules):
-            if pos + RULE_SIZE > len(raw):
-                raise ScheduleError("truncated rule table")
-            rules.append(RewriteRule.unpack(raw, pos))
+        for index in range(n_rules):
+            try:
+                rules.append(RewriteRule.unpack(raw, pos))
+            except ScheduleFormatError as exc:
+                raise ScheduleError(
+                    f"rule {index} of {n_rules}: {exc}") from None
             pos += RULE_SIZE
         pool_bytes = raw[pos:pos + pool_len]
         if len(pool_bytes) != pool_len:

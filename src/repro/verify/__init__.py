@@ -1,0 +1,42 @@
+"""janus-verify: a soundness checker for analysis results and schedules.
+
+Three independent tiers, all reporting structured :class:`Finding` records
+instead of raising:
+
+1. :mod:`repro.verify.invariants` — CFG / dominator / SSA / loop-nest
+   invariants over every analysed function;
+2. :mod:`repro.verify.lint_schedule` — every rewrite rule in a schedule
+   checked against the image and the generator placement contracts;
+3. :mod:`repro.verify.oracle` — bounded single-threaded replay of every
+   claimed-DOALL loop hunting cross-iteration dependences.
+
+``repro verify <workload>`` drives all three and exits 1 on any
+``CONFIRMED_UNSOUND`` finding.
+"""
+
+from repro.verify.driver import exit_code, verify_workload
+from repro.verify.findings import Finding, Severity, VerifyReport, VerifyStats
+from repro.verify.invariants import check_analysis, check_function
+from repro.verify.lint_schedule import lint_schedule
+from repro.verify.oracle import (
+    DOALLOracle,
+    OracleResult,
+    claimed_doall_loops,
+    run_doall_oracle,
+)
+
+__all__ = [
+    "DOALLOracle",
+    "Finding",
+    "OracleResult",
+    "Severity",
+    "VerifyReport",
+    "VerifyStats",
+    "check_analysis",
+    "check_function",
+    "claimed_doall_loops",
+    "exit_code",
+    "lint_schedule",
+    "run_doall_oracle",
+    "verify_workload",
+]

@@ -1,0 +1,120 @@
+"""Structured verification findings and the per-workload report.
+
+Every tier of the verifier (IR invariants, schedule linter, DOALL oracle)
+reports :class:`Finding` records instead of raising — a corrupt artefact
+must produce a diagnosis, not a stack trace.  Severities form a ladder:
+
+* ``INFO`` — observations (e.g. an oracle sample) with no soundness impact;
+* ``WARNING`` — suspicious but not provably wrong (e.g. a schedule rule the
+  linter cannot attribute to a known generator pattern);
+* ``ERROR`` — a broken internal invariant: the artefact is malformed, but
+  no wrong *parallel output* has been demonstrated;
+* ``CONFIRMED_UNSOUND`` — the DOALL oracle replayed the loop and observed a
+  cross-iteration dependence the classifier claimed absent.  Parallelising
+  this loop would produce wrong answers; ``repro verify`` exits 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.telemetry.core import RegistryView
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+    CONFIRMED_UNSOUND = "confirmed_unsound"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification finding."""
+
+    tier: str       # "invariants" | "schedule" | "oracle"
+    check: str      # dotted check name, e.g. "cfg.edge-target"
+    severity: Severity
+    location: str   # human-readable anchor: function/block/loop/rule
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "check": self.check,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return (f"[{self.severity.value}] {self.tier}/{self.check} "
+                f"{self.location}: {self.message}")
+
+
+@dataclass
+class VerifyReport:
+    """Everything one ``verify_workload`` invocation learned."""
+
+    workload: str
+    findings: list[Finding] = field(default_factory=list)
+    functions_checked: int = 0
+    loops_checked: int = 0
+    rules_linted: int = 0
+    oracle_loops: int = 0
+    oracle_iterations: int = 0
+    demoted_loops: list[int] = field(default_factory=list)
+
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def confirmed(self) -> list[Finding]:
+        return self.by_severity(Severity.CONFIRMED_UNSOUND)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        """No demonstrated unsoundness (errors/warnings may still exist)."""
+        return not self.confirmed
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "functions_checked": self.functions_checked,
+            "loops_checked": self.loops_checked,
+            "rules_linted": self.rules_linted,
+            "oracle_loops": self.oracle_loops,
+            "oracle_iterations": self.oracle_iterations,
+            "demoted_loops": list(self.demoted_loops),
+            "confirmed_unsound": len(self.confirmed),
+            "errors": len(self.errors),
+            "warnings": len(self.by_severity(Severity.WARNING)),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class VerifyStats(RegistryView):
+    """``verify.*`` counters on the shared telemetry registry."""
+
+    _NAMESPACE = "verify"
+    _FIELDS = ("functions_checked", "loops_checked", "schedules_linted",
+               "rules_linted", "oracle_loops", "oracle_invocations",
+               "oracle_iterations", "oracle_accesses", "oracle_conflicts",
+               "loops_demoted", "findings_info", "findings_warning",
+               "findings_error", "findings_confirmed")
+
+    def count_findings(self, findings) -> None:
+        for finding in findings:
+            if finding.severity is Severity.INFO:
+                self.findings_info += 1
+            elif finding.severity is Severity.WARNING:
+                self.findings_warning += 1
+            elif finding.severity is Severity.ERROR:
+                self.findings_error += 1
+            else:
+                self.findings_confirmed += 1

@@ -1,0 +1,196 @@
+"""Edge paths of the loop classifier: rejection reasons and C/D edges.
+
+Complements test_classify.py: these tests pin the *reason strings*
+attached to each rejection (the verifier and the reports surface them
+verbatim) and the less-travelled promotion/demotion edges around the
+dependence profile.
+"""
+
+from repro.analysis import LoopCategory, VariableClass, analyze_image
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+
+from tests.analysis.conftest import assemble
+
+RAX, RCX, RDI = Reg(R.rax), Reg(R.rcx), Reg(R.rdi)
+
+
+def single_loop(image):
+    analysis = analyze_image(image)
+    assert len(analysis.loops) == 1
+    return analysis.loops[0]
+
+
+class TestNonAffineAccumulators:
+    def test_geometric_accumulator_is_not_a_reduction(self):
+        """sum = 2*sum + a[i]: the carried register folds multiplicatively,
+        so it cannot be privatised per-thread and recombined."""
+
+        def build(a):
+            a.word("arr", *range(16))
+            a.label("_start")
+            a.emit(O.MOV, RAX, Imm(1))
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.IMUL, RAX, Imm(2))
+            a.emit(O.ADD, RAX, Mem(index=R.rcx, scale=8, disp=Label("arr")))
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DEPENDENCE
+        assert not loop.is_parallelisable
+        info = loop.variables.get(R.rax)
+        assert info is None or info.vclass is not VariableClass.REDUCTION
+        assert any("loop-carried register value" in r for r in loop.reasons)
+
+    def test_alternating_sign_via_sub_still_reduces(self):
+        """sum -= a[i] folds into the additive polynomial: still type A."""
+
+        def build(a):
+            a.word("arr", *range(16))
+            a.label("_start")
+            a.emit(O.MOV, RAX, Imm(0))
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.SUB, RAX, Mem(index=R.rcx, scale=8, disp=Label("arr")))
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.STATIC_DOALL
+        assert loop.variables[R.rax].vclass is VariableClass.REDUCTION
+
+
+class TestIncompatibleReasons:
+    """The exact _mark_incompatible strings reports rely on."""
+
+    def test_syscall_reason(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RDI, RCX)
+            a.emit(O.MOV, RAX, Imm(1))
+            a.emit(O.SYSCALL)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(4))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+        assert "system call in loop body" in loop.reasons
+
+    def test_io_call_reason_names_the_symbol(self):
+        def build(a):
+            pr = a.import_symbol("print_int")
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RDI, RCX)
+            a.emit(O.CALL, pr)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(4))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+        assert "IO library call print_int" in loop.reasons
+
+    def test_no_induction_variable_reason(self):
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(1))
+            a.label("loop")
+            a.emit(O.IMUL, RCX, Imm(2))
+            a.emit(O.CMP, RCX, Imm(1024))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+        assert "no recognisable induction variable" in loop.reasons
+
+    def test_reserved_register_reason(self):
+        def build(a):
+            arr = a.space("arr", 16)
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, Reg(R.r14), RCX)
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=arr), Reg(R.r14))
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        assert loop.category is LoopCategory.INCOMPATIBLE
+        assert "loop uses the Janus-reserved registers r14/r15" \
+            in loop.reasons
+
+    def test_incompatible_is_terminal_for_the_profile(self):
+        """apply_dependence_profile must not resurrect an incompatible
+        loop whatever the profiler claims."""
+
+        def build(a):
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, RAX, Imm(1))
+            a.emit(O.SYSCALL)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(4))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        loop = single_loop(assemble(build))
+        loop.apply_dependence_profile(False)
+        assert loop.category is LoopCategory.INCOMPATIBLE
+
+
+class TestProfileEdges:
+    def _doall_loop(self):
+        def build(a):
+            a.space("arr", 16)
+            a.label("_start")
+            a.emit(O.MOV, RCX, Imm(0))
+            a.label("loop")
+            a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RCX)
+            a.emit(O.INC, RCX)
+            a.emit(O.CMP, RCX, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        return single_loop(assemble(build))
+
+    def test_static_doall_untouched_by_dependence_profile(self):
+        """A static claim is already resolved: the C/D split only moves
+        dynamic candidates."""
+        loop = self._doall_loop()
+        assert loop.category is LoopCategory.STATIC_DOALL
+        loop.apply_dependence_profile(True)
+        assert loop.category is LoopCategory.STATIC_DOALL
+        assert loop.profiled_dependence is True
+
+    def test_dynamic_doall_survives_a_clean_profile(self):
+        loop = self._doall_loop()
+        loop.category = LoopCategory.DYNAMIC_DOALL
+        loop.apply_dependence_profile(False)
+        assert loop.category is LoopCategory.DYNAMIC_DOALL
+        assert loop.is_parallelisable
+
+    def test_demotion_reason_recorded(self):
+        loop = self._doall_loop()
+        loop.category = LoopCategory.DYNAMIC_DOALL
+        loop.apply_dependence_profile(True)
+        assert loop.category is LoopCategory.DYNAMIC_DEPENDENCE
+        assert "dependence observed during profiling" in loop.reasons
+        assert not loop.is_parallelisable

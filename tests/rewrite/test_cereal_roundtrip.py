@@ -1,0 +1,99 @@
+"""Property tests for the fixed-length rewrite-rule wire format.
+
+Every RuleID with boundary operands must byte-round-trip through
+pack/unpack, and malformed buffers (truncated, oversized, unknown IDs)
+must raise :class:`ScheduleFormatError` — with the schedule deserialiser
+reporting *which* rule record was at fault.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rewrite.rules import (
+    RULE_SIZE,
+    RewriteRule,
+    RuleID,
+    ScheduleFormatError,
+)
+from repro.rewrite.schedule import RewriteSchedule, ScheduleError
+
+addresses = st.integers(min_value=0, max_value=2**64 - 1)
+datas = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+rule_ids = st.sampled_from(sorted(RuleID))
+
+
+@given(addresses, rule_ids, datas)
+def test_pack_unpack_round_trip(address, rule_id, data):
+    rule = RewriteRule(address=address, rule_id=rule_id, data=data)
+    raw = rule.pack()
+    assert len(raw) == RULE_SIZE
+    assert RewriteRule.unpack(raw) == rule
+    assert RewriteRule.from_bytes(raw) == rule
+
+
+@given(addresses, rule_ids, datas, st.integers(min_value=0, max_value=64))
+def test_unpack_at_offset(address, rule_id, data, pad):
+    rule = RewriteRule(address=address, rule_id=rule_id, data=data)
+    raw = b"\xaa" * pad + rule.pack()
+    assert RewriteRule.unpack(raw, pad) == rule
+
+
+@given(st.integers(min_value=0, max_value=RULE_SIZE - 1))
+def test_truncated_buffer_rejected(size):
+    raw = RewriteRule(address=0, rule_id=RuleID.TX_START).pack()[:size]
+    with pytest.raises(ScheduleFormatError):
+        RewriteRule.unpack(raw)
+    with pytest.raises(ScheduleFormatError):
+        RewriteRule.from_bytes(raw)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_oversized_buffer_rejected_by_from_bytes(extra):
+    raw = RewriteRule(address=0, rule_id=RuleID.TX_START).pack()
+    with pytest.raises(ScheduleFormatError):
+        RewriteRule.from_bytes(raw + b"\x00" * extra)
+
+
+def test_negative_offset_rejected():
+    raw = RewriteRule(address=0, rule_id=RuleID.LOOP_INIT).pack()
+    with pytest.raises(ScheduleFormatError):
+        RewriteRule.unpack(raw, -1)
+
+
+def test_unknown_rule_id_rejected():
+    known = {int(r) for r in RuleID}
+    bogus = next(v for v in range(2**16) if v not in known)
+    raw = struct.pack("<QHq", 0x1234, bogus, 0)
+    with pytest.raises(ScheduleFormatError, match="unknown rule id"):
+        RewriteRule.unpack(raw)
+
+
+def test_truncation_error_names_the_offset():
+    with pytest.raises(ScheduleFormatError, match="offset 4"):
+        RewriteRule.unpack(b"\x00" * 10, 4)
+
+
+def test_schedule_error_reports_rule_index():
+    schedule = RewriteSchedule(text_checksum=1)
+    schedule.add_rule(0x1000, RuleID.PROF_LOOP_START, 0)
+    schedule.add_rule(0x2000, RuleID.PROF_LOOP_ITER, 0)
+    raw = bytearray(schedule.serialize())
+    # Magic (4) + header (14) + one rule (18) + address field (8): the
+    # second rule's id bytes.
+    offset = 4 + 14 + RULE_SIZE + 8
+    raw[offset:offset + 2] = b"\xff\xff"
+    with pytest.raises(ScheduleError, match="rule 1 of 2"):
+        RewriteSchedule.deserialize(bytes(raw))
+
+
+def test_schedule_truncated_rule_table_reports_index():
+    schedule = RewriteSchedule(text_checksum=1)
+    schedule.add_rule(0x1000, RuleID.PROF_LOOP_START, 0)
+    schedule.add_rule(0x2000, RuleID.PROF_LOOP_ITER, 0)
+    raw = schedule.serialize()
+    # Chop mid-way through the second rule record.
+    cut = raw[:4 + 14 + RULE_SIZE + 6]
+    with pytest.raises(ScheduleError, match="rule 1 of 2"):
+        RewriteSchedule.deserialize(cut)

@@ -1,0 +1,125 @@
+"""Tier 2: the schedule linter against generated and corrupted schedules."""
+
+from repro.analysis import analyze_image
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label
+from repro.isa.registers import R
+from repro.rewrite import (
+    generate_parallel_schedule,
+    generate_profile_schedule,
+)
+from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
+from repro.rewrite.rules import RewriteRule, RuleID
+from repro.verify import lint_schedule
+
+from tests.analysis.conftest import assemble
+
+RCX = Reg(R.rcx)
+
+
+def doall_image():
+    def build(a):
+        a.space("arr", 64)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("loop"))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+def checks(findings):
+    return {f.check for f in findings}
+
+
+class TestCleanSchedules:
+    def test_coverage_schedule_lints_clean(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        assert lint_schedule(analysis, schedule) == []
+
+    def test_dependence_schedule_lints_clean(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis,
+                                             stage=DEPENDENCE_STAGE)
+        assert lint_schedule(analysis, schedule) == []
+
+    def test_parallel_schedule_lints_clean(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_parallel_schedule(analysis, [0])
+        assert lint_schedule(analysis, schedule) == []
+
+
+class TestCorruptedSchedules:
+    def test_off_boundary_address(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.rules.append(RewriteRule(
+            address=0xDEAD01, rule_id=RuleID.PROF_LOOP_ITER, data=0))
+        assert "rule.address-boundary" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_unknown_rule_id(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.rules.append(RewriteRule(
+            address=schedule.rules[0].address, rule_id=99, data=0))
+        assert "rule.unknown-id" in checks(lint_schedule(analysis, schedule))
+
+    def test_exact_duplicate_rule(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.rules.append(schedule.rules[0])
+        assert "rule.duplicate" in checks(lint_schedule(analysis, schedule))
+
+    def test_pool_index_out_of_range(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_parallel_schedule(analysis, [0])
+        bad = len(schedule.pool) + 5
+        schedule.rules.append(RewriteRule(
+            address=schedule.rules[0].address,
+            rule_id=RuleID.THREAD_SCHEDULE, data=bad))
+        assert "rule.operand-range" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_missing_loop_finish(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.rules = [r for r in schedule.rules
+                          if r.rule_id is not RuleID.PROF_LOOP_FINISH]
+        assert "rule.prof-bracket" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_misplaced_loop_init(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_parallel_schedule(analysis, [0])
+        moved = []
+        for rule in schedule.rules:
+            if rule.rule_id is RuleID.LOOP_INIT:
+                # Shift LOOP_INIT onto another real instruction boundary.
+                target = next(a for a in analysis.disassembly.instructions
+                              if a != rule.address)
+                rule = RewriteRule(address=target, rule_id=rule.rule_id,
+                                   data=rule.data)
+            moved.append(rule)
+        schedule.rules = moved
+        assert "rule.init-placement" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_checksum_mismatch(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.text_checksum ^= 0xFFFF
+        assert "schedule.checksum" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_linter_never_raises_on_garbage(self):
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.rules.append(RewriteRule(address=2**63, rule_id=7, data=-1))
+        findings = lint_schedule(analysis, schedule)
+        assert findings  # reported, not raised

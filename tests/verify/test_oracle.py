@@ -1,0 +1,186 @@
+"""Tier 3: the DOALL oracle — replay, guard classification, demotion.
+
+The acceptance-critical case: a loop with a genuine loop-carried
+dependence whose category is forcibly (mis)set to STATIC_DOALL must come
+back CONFIRMED_UNSOUND, be demoted under ``demote=True``, and drive the
+``repro verify`` exit code to 1.
+"""
+
+from repro.analysis import LoopCategory, analyze_image
+from repro.isa import Imm, Mem, Opcode as O, Reg
+from repro.isa.operands import Label, LabelRef
+from repro.isa.registers import R
+from repro.verify import (
+    Severity,
+    VerifyReport,
+    claimed_doall_loops,
+    exit_code,
+    run_doall_oracle,
+)
+
+from tests.analysis.conftest import assemble
+
+RAX, RCX = Reg(R.rax), Reg(R.rcx)
+
+
+def array_fill_image():
+    def build(a):
+        a.space("arr", 64)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("loop"))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+def recurrence_image():
+    """a[i] = a[i-1]: a distance-1 flow dependence every iteration."""
+
+    def build(a):
+        a.space("arr", 64)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(1))
+        a.label("loop")
+        a.emit(O.MOV, RAX,
+               Mem(index=R.rcx, scale=8, disp=LabelRef("arr", -8)))
+        a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RAX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("loop"))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+def seeded_misclassification(category):
+    """Analyse the recurrence and force the dependent loop's category."""
+    image = recurrence_image()
+    analysis = analyze_image(image)
+    loop = analysis.loops[0]
+    assert loop.category is LoopCategory.STATIC_DEPENDENCE
+    loop.category = category
+    return image, analysis, loop
+
+
+class TestCleanClaims:
+    def test_true_doall_replays_clean(self):
+        image = array_fill_image()
+        analysis = analyze_image(image)
+        claimed = claimed_doall_loops(analysis)
+        assert [r.loop_id for r in claimed] == [0]
+        result = run_doall_oracle(image, analysis)
+        stats = result.loops[0]
+        assert stats.invocations == 1
+        assert stats.iterations > 0
+        assert result.confirmed_totals == {}
+        assert result.guarded_totals == {}
+        assert result.findings() == []
+        assert result.demoted == []
+
+    def test_no_claims_no_replay(self):
+        image = recurrence_image()
+        analysis = analyze_image(image)  # STATIC_DEPENDENCE: not claimed
+        result = run_doall_oracle(image, analysis)
+        assert result.loops == {}
+        assert result.instructions == 0
+
+
+class TestSeededMisclassification:
+    def test_static_doall_claim_is_confirmed_unsound(self):
+        image, analysis, loop = seeded_misclassification(
+            LoopCategory.STATIC_DOALL)
+        result = run_doall_oracle(image, analysis)
+        assert result.confirmed_totals.get(loop.loop_id, 0) > 0
+        assert loop.loop_id in result.unsound_loop_ids
+        kinds = {c.kind for c in result.conflicts if c.guard is None}
+        assert "W->R" in kinds  # the flow dependence a[i-1] -> a[i]
+        findings = result.findings()
+        assert any(f.severity is Severity.CONFIRMED_UNSOUND
+                   for f in findings)
+
+    def test_confirmed_unsound_drives_exit_code_1(self):
+        image, analysis, _ = seeded_misclassification(
+            LoopCategory.STATIC_DOALL)
+        result = run_doall_oracle(image, analysis)
+        report = VerifyReport(workload="seeded")
+        report.findings.extend(result.findings())
+        assert report.confirmed
+        assert exit_code([report]) == 1
+        clean = VerifyReport(workload="clean")
+        assert exit_code([clean]) == 0
+        assert exit_code([clean, report]) == 1
+
+    def test_demote_downgrades_the_loop_in_place(self):
+        image, analysis, loop = seeded_misclassification(
+            LoopCategory.STATIC_DOALL)
+        result = run_doall_oracle(image, analysis, demote=True)
+        assert result.demoted == [loop.loop_id]
+        assert loop.category is LoopCategory.STATIC_DEPENDENCE
+        assert any("verification oracle" in r for r in loop.reasons)
+        # A demoted loop no longer qualifies as a DOALL claim.
+        assert claimed_doall_loops(analysis) == []
+
+    def test_dynamic_claim_is_profile_gated_not_confirmed(self):
+        # The same dependence under a DYNAMIC_DOALL claim is visible to
+        # the dependence profiler (both accesses are analysed), so any
+        # selection path demotes it before parallel execution: a WARNING,
+        # not confirmed unsoundness.
+        image, analysis, loop = seeded_misclassification(
+            LoopCategory.DYNAMIC_DOALL)
+        result = run_doall_oracle(image, analysis, demote=True)
+        assert result.confirmed_totals == {}
+        assert result.guarded_totals[loop.loop_id]["profile"] > 0
+        assert result.demoted == []
+        findings = result.findings()
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+
+class TestReplayBounds:
+    def test_iteration_bound_caps_the_shadow(self):
+        image = array_fill_image()
+        analysis = analyze_image(image)
+        result = run_doall_oracle(image, analysis, max_iterations=8)
+        assert 0 < result.loops[0].iterations <= 8
+
+    def test_instruction_bound_caps_the_run(self):
+        image = array_fill_image()
+        analysis = analyze_image(image)
+        result = run_doall_oracle(image, analysis, max_instructions=50)
+        assert result.instructions <= 50
+
+
+class TestSpeculatedCallWindows:
+    def test_stm_guarded_rand_state_is_not_a_conflict(self):
+        # rand() advances a hidden LCG word every call: a genuine
+        # cross-iteration W->W on __rand_state.  The call site is an STM
+        # site (TX_START/TX_FINISH at parallel runtime), so the oracle
+        # must attribute those accesses to speculation, not the shadow.
+        def build(a):
+            randf = a.import_symbol("rand")
+            rbx = Reg(R.rbx)
+            a.space("arr", 16)
+            a.label("_start")
+            a.emit(O.MOV, rbx, Imm(0))
+            a.label("loop")
+            a.emit(O.CALL, randf)
+            a.emit(O.MOV, Mem(index=R.rbx, scale=8, disp=Label("arr")), RAX)
+            a.emit(O.INC, rbx)
+            a.emit(O.CMP, rbx, Imm(16))
+            a.emit(O.JL, Label("loop"))
+            a.emit(O.RET)
+
+        image = assemble(build)
+        analysis = analyze_image(image)
+        loop = analysis.loops[0]
+        assert loop.category is LoopCategory.DYNAMIC_DOALL
+        assert loop.stm_call_sites
+        result = run_doall_oracle(image, analysis)
+        stats = result.loops[loop.loop_id]
+        assert stats.speculated_accesses > 0
+        assert result.confirmed_totals == {}
