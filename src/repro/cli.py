@@ -22,7 +22,7 @@ import os
 import sys
 
 from repro.analysis import analyze_image
-from repro.dbm.executor import run_native
+from repro.dbm.executor import DEFAULT_INSTRUCTION_LIMIT, run_native
 from repro.dbm.modifier import JanusDBM, run_under_dbm
 from repro.dbm.runtime import ParallelRuntime
 from repro.jbin.image import JELF
@@ -270,6 +270,53 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+_JIT_TIERS = (("fast", "jit_fast"),
+              ("instrumented", "jit_inst"),
+              ("superblock", "jit_super"))
+
+
+def _cmd_jit_dump(args) -> int:
+    from repro.workloads import compile_workload, get_workload
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        print(f"unknown workload: {args.workload}", file=sys.stderr)
+        return 2
+    target = None
+    if args.pc is not None:
+        try:
+            target = int(args.pc, 0)
+        except ValueError:
+            print(f"bad --pc value: {args.pc}", file=sys.stderr)
+            return 2
+    image = compile_workload(args.workload)
+    inputs = args.input or list(workload.train_inputs)
+    process = load(image, inputs=inputs)
+    cache: dict = {}
+    run_native(process, max_instructions=args.max_instructions,
+               block_cache=cache)
+    if target is not None and target not in cache:
+        print(f"no block at {target:#x} in the code cache "
+              f"({len(cache)} blocks)", file=sys.stderr)
+        return 1
+    pcs = sorted(cache) if target is None else [target]
+    shown = 0
+    for pc in pcs:
+        block = cache[pc]
+        for tier, attr in _JIT_TIERS:
+            source = getattr(getattr(block, attr), "__jit_source__", None)
+            if source is None:
+                continue
+            shown += 1
+            print(f"-- {pc:#x} [{tier}] "
+                  f"{len(block.instructions)} instructions")
+            print(source)
+    print(f"[jit-dump] {len(cache)} blocks in code cache, "
+          f"{shown} compiled runners printed", file=sys.stderr)
+    return 0
+
+
 def _stats_views(payload: dict) -> tuple[dict, dict, dict]:
     """(counters, gauges, span aggregates) from any telemetry JSON shape.
 
@@ -451,6 +498,22 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--metrics-out",
                    help="also write the flat metrics JSON here")
     t.set_defaults(func=_cmd_trace)
+
+    jd = sub.add_parser("jit-dump",
+                        help="run a suite workload natively and print the "
+                             "generated-Python source of its compiled "
+                             "blocks, traces and superblocks")
+    jd.add_argument("workload", help="suite workload name, e.g. 470.lbm")
+    jd.add_argument("--pc",
+                    help="only the block at this address (0x-hex or "
+                         "decimal; must be a block start)")
+    jd.add_argument("--input", type=int, action="append", default=[],
+                    help="program input (default: the workload's "
+                         "train inputs)")
+    jd.add_argument("--max-instructions", type=int,
+                    default=DEFAULT_INSTRUCTION_LIMIT,
+                    help="instruction cap for the warm-up run")
+    jd.set_defaults(func=_cmd_jit_dump)
 
     st = sub.add_parser("stats",
                         help="summarise a telemetry JSON (trace, metrics "

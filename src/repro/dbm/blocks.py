@@ -31,6 +31,15 @@ class Block:
     # instrumented variant (mem_hook/transaction threaded through).
     jit_fast: object = field(default=None, repr=False, compare=False)
     jit_inst: object = field(default=None, repr=False, compare=False)
+    # Superblock tier runner (repro.dbm.superblock): the whole hot loop
+    # body stitched into one compiled function with side-exit guards.
+    # Only ever entered from the dispatcher's fast path.
+    jit_super: object = field(default=None, repr=False, compare=False)
+    # Set by the block compiler when the fast runner was built as a
+    # self-loop trace; the dispatcher counts entries to such blocks
+    # toward superblock promotion (their back edges spin internally and
+    # are invisible at block boundaries).
+    is_self_loop: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.cost:

@@ -65,15 +65,21 @@ class ExecutionResult:
 
 
 def run_native(process: Process,
-               max_instructions: int = DEFAULT_INSTRUCTION_LIMIT
+               max_instructions: int = DEFAULT_INSTRUCTION_LIMIT,
+               block_cache: dict[int, Block] | None = None
                ) -> ExecutionResult:
-    """Execute the process unmodified, as native hardware would."""
+    """Execute the process unmodified, as native hardware would.
+
+    ``block_cache`` (optional) is used as the code cache and is left
+    populated after the run — ``repro jit-dump`` reads the compiled
+    runners' generated sources out of it.
+    """
     machine = Machine()
     machine.memory.load_words(process.initial_data())
     machine.inputs = list(process.inputs)
     ctx = make_main_context(process.entry, machine.memory)
     interp = Interpreter(machine, process)
-    cache: dict[int, Block] = {}
+    cache: dict[int, Block] = block_cache if block_cache is not None else {}
 
     def lookup(pc: int, _ctx) -> Block:
         block = cache.get(pc)
@@ -89,11 +95,13 @@ def run_native(process: Process,
     if rec.enabled:
         rec.absorb(interp.jit_stats.registry)
     machine.cycles = ctx.cycles
+    stats = interp.jit_stats.as_dict()
+    stats.update(interp.sb_stats.as_dict())
     return ExecutionResult(
         cycles=ctx.cycles,
         instructions=ctx.instructions,
         outputs=machine.outputs,
         exit_code=ctx.exit_code,
         machine=machine,
-        stats=interp.jit_stats.as_dict(),
+        stats=stats,
     )

@@ -26,7 +26,8 @@ from repro.jbin import layout, syscalls
 from repro.dbm.blocks import Block
 # Module-level import (not per-call in execute_block): jit never imports
 # interp at module scope, so this cannot cycle.
-from repro.dbm.jit import JITStats, compile_block_fn
+from repro.dbm.jit import JITStats, TRACE_BUDGET, compile_block_fn
+from repro.dbm.superblock import SUPERBLOCK_THRESHOLD, SuperblockStats
 from repro.dbm.machine import HALT_ADDRESS, Machine, ThreadContext
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
 
@@ -67,6 +68,16 @@ class Interpreter:
         # caller may pass a shared MetricRegistry so jit.* counters land
         # beside its own (JanusDBM does).
         self.jit_stats = JITStats(registry)
+        # Superblock tier counters share the same registry
+        # (jit.superblock.* keys).
+        self.sb_stats = SuperblockStats(self.jit_stats.registry)
+        # Iterations a self-loop trace or superblock may spin before
+        # returning to the dispatcher (JanusConfig.trace_budget).
+        self.trace_budget = TRACE_BUDGET
+        # Superblock promotion: back-edge/trace-entry count at which the
+        # dispatcher attempts formation; enabled on the fast path only.
+        self.superblocks_enabled = True
+        self.superblock_threshold = SUPERBLOCK_THRESHOLD
         # Fork/join bracket state for the JOMP runtime (libgomp analogue).
         self._jomp_stack: list[tuple[int, int]] = []
         self.jomp_overhead_cycles = 2500

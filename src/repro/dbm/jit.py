@@ -56,8 +56,10 @@ _I64_MAX = 9223372036854775807
 _I64_MIN = -9223372036854775808
 _U64 = (1 << 64) - 1
 
-# Iterations a self-loop trace may spin before returning to the dispatcher
-# (bounds how late an instruction limit can be detected).
+# Iterations a self-loop trace (or a superblock) may spin before returning
+# to the dispatcher (bounds how late an instruction limit can be detected).
+# Default for ``Interpreter.trace_budget``; configure per run through
+# ``JanusConfig.trace_budget``.
 TRACE_BUDGET = 4096
 
 _COND_EXPR = {
@@ -91,7 +93,7 @@ class JITStats(RegistryView):
     _NAMESPACE = "jit"
     _FIELDS = ("blocks_translated", "instrumented_blocks",
                "links_installed", "trace_entries", "trace_exits",
-               "fallback_instructions")
+               "trace_budget_bailouts", "fallback_instructions")
 
 
 def _identity(value: int) -> int:
@@ -234,15 +236,23 @@ class _BlockCompiler:
         self.ns[name] = ins
         return name
 
+    def greg(self, rid: int) -> str:
+        """The expression for general-purpose register ``rid``.
+
+        The superblock compiler overrides this to return a promoted Python
+        local; every GPR access in generated code must go through here.
+        """
+        return f"g[{rid}]"
+
     def ea(self, m: Mem) -> str:
         parts = []
         if m.base is not None:
-            parts.append(f"g[{m.base}]")
+            parts.append(self.greg(m.base))
         if m.index is not None:
             if m.scale != 1:
-                parts.append(f"g[{m.index}]*{m.scale}")
+                parts.append(f"{self.greg(m.index)}*{m.scale}")
             else:
-                parts.append(f"g[{m.index}]")
+                parts.append(self.greg(m.index))
         if m.disp or not parts:
             parts.append(str(m.disp))
         return " + ".join(parts)
@@ -250,7 +260,7 @@ class _BlockCompiler:
     def iread(self, op, k: int, ins: Instruction) -> str:
         t = type(op)
         if t is Reg:
-            return f"g[{op.id}]"
+            return self.greg(op.id)
         if t is Imm:
             return repr(op.value)
         if self.instrumented:
@@ -259,7 +269,7 @@ class _BlockCompiler:
 
     def istore(self, op, k: int, ins: Instruction, value: str) -> None:
         if type(op) is Reg:
-            self.emit(f"g[{op.id}] = {value}")
+            self.emit(f"{self.greg(op.id)} = {value}")
         elif self.instrumented:
             self.emit(f"_hw(ctx, {self.ea(op)}, "
                       f"{self.ins_name(k, ins)}, {value})")
@@ -376,7 +386,7 @@ class _BlockCompiler:
         elif op is Opcode.LEA:
             self.emit(f"t = {self.ea(ops[1])}")
             self.wrap()
-            self.emit(f"g[{ops[0].id}] = t")
+            self.emit(f"{self.greg(ops[0].id)} = t")
         elif op is Opcode.ADD:
             self.emit(f"t = {self.iread(ops[0], k, ins)}"
                       f" + {self.iread(ops[1], k, ins)}")
@@ -469,8 +479,8 @@ class _BlockCompiler:
         elif op is Opcode.PUSH:
             # sp moves before the value is read (matches reference order:
             # a push of rsp or an rsp-relative operand sees the new sp).
-            self.emit(f"sp = g[{STACK_REG}] - 8")
-            self.emit(f"g[{STACK_REG}] = sp")
+            self.emit(f"sp = {self.greg(STACK_REG)} - 8")
+            self.emit(f"{self.greg(STACK_REG)} = sp")
             value = self.iread(ops[0], k, ins)
             if self.instrumented:
                 self.emit(f"_wat(ctx, sp, {value})")
@@ -479,12 +489,12 @@ class _BlockCompiler:
         elif op is Opcode.POP:
             # Store happens before sp moves: a Mem destination's effective
             # address uses the old sp (matches reference order).
-            self.emit(f"sp = g[{STACK_REG}]")
+            self.emit(f"sp = {self.greg(STACK_REG)}")
             if self.instrumented:
                 self.istore(ops[0], k, ins, "_rat(ctx, sp)")
             else:
                 self.istore(ops[0], k, ins, "_mr(sp)")
-            self.emit(f"g[{STACK_REG}] = sp + 8")
+            self.emit(f"{self.greg(STACK_REG)} = sp + 8")
         # ---- scalar floating point ------------------------------------
         elif op is Opcode.MOVSD:
             self.fstore(ops[0], k, ins, self.fread(ops[1], k, ins))
@@ -651,6 +661,7 @@ class _BlockCompiler:
                 self.emit("    n -= 1")
                 self.emit("    if n == 0:")
                 self.emit("        ctx.flags = f")
+                self.emit("        _st.trace_budget_bailouts += 1")
                 self.emit("        return _self")
                 self.emit("    continue")
                 self.emit("ctx.flags = f")
@@ -668,13 +679,14 @@ class _BlockCompiler:
                 self.emit("n -= 1")
                 self.emit("if n == 0:")
                 self.emit("    ctx.flags = f")
+                self.emit("    _st.trace_budget_bailouts += 1")
                 self.emit("    return _self")
                 return
             self.emit("ctx.flags = f")
             self.emit_link_return(self.resolve(ops[0].value))
         elif op is Opcode.CALL:
-            self.emit(f"sp = g[{STACK_REG}] - 8")
-            self.emit(f"g[{STACK_REG}] = sp")
+            self.emit(f"sp = {self.greg(STACK_REG)} - 8")
+            self.emit(f"{self.greg(STACK_REG)} = sp")
             ret_addr = ins.address + ins.size
             if self.instrumented:
                 self.emit(f"_wat(ctx, sp, {ret_addr})")
@@ -685,8 +697,8 @@ class _BlockCompiler:
         elif op is Opcode.CALLI:
             # Target read precedes the push (matches reference order).
             self.emit(f"t = {self.iread(ops[0], k, ins)}")
-            self.emit(f"sp = g[{STACK_REG}] - 8")
-            self.emit(f"g[{STACK_REG}] = sp")
+            self.emit(f"sp = {self.greg(STACK_REG)} - 8")
+            self.emit(f"{self.greg(STACK_REG)} = sp")
             ret_addr = ins.address + ins.size
             if self.instrumented:
                 self.emit(f"_wat(ctx, sp, {ret_addr})")
@@ -699,12 +711,12 @@ class _BlockCompiler:
             self.emit("ctx.flags = f")
             self.emit_indirect_return(resolve_target=True)
         elif op is Opcode.RET:
-            self.emit(f"sp = g[{STACK_REG}]")
+            self.emit(f"sp = {self.greg(STACK_REG)}")
             if self.instrumented:
                 self.emit("t = _rat(ctx, sp)")
             else:
                 self.emit("t = _mr(sp)")
-            self.emit(f"g[{STACK_REG}] = sp + 8")
+            self.emit(f"{self.greg(STACK_REG)} = sp + 8")
             self.emit("ctx.flags = f")
             self.emit(f"if t == {HALT_ADDRESS}:")
             self.emit("    ctx.halted = True")
@@ -752,8 +764,11 @@ class _BlockCompiler:
             "    f = ctx.flags",
         ]
         if trace:
+            # The dispatcher counts entries to self-loop heads toward
+            # superblock promotion (repro.dbm.superblock).
+            block.is_self_loop = True
             head.append("    _st.trace_entries += 1")
-            head.append(f"    n = {TRACE_BUDGET}")
+            head.append(f"    n = {self.interp.trace_budget}")
             head.append("    while True:")
             self.ns["_self"] = block
             self.indent = 2

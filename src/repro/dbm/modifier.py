@@ -61,7 +61,8 @@ class JanusDBM:
                  n_threads: int = 1,
                  strict: bool = True,
                  scheduling: str = "chunk",
-                 rr_block: int = 8) -> None:
+                 rr_block: int = 8,
+                 trace_budget: int | None = None) -> None:
         self.process = process
         self.schedule = schedule
         self.rule_index = schedule.build_index() if schedule else {}
@@ -82,6 +83,8 @@ class JanusDBM:
         self.registry = MetricRegistry()
         self.interp = Interpreter(self.machine, process,
                                   registry=self.registry)
+        if trace_budget is not None:
+            self.interp.trace_budget = trace_budget
         self.interp.rtcall_handler = self._dispatch_rtcall
         self.rtcall_handlers: dict[int, object] = {}
         self.caches: dict[int, dict[int, Block]] = {0: {}}
@@ -188,6 +191,7 @@ class JanusDBM:
         self.machine.cycles = ctx.cycles
         stats = self.stats.as_dict()
         stats.update(self.interp.jit_stats.as_dict())
+        stats.update(self.interp.sb_stats.as_dict())
         return ExecutionResult(
             cycles=ctx.cycles,
             instructions=ctx.instructions,

@@ -13,12 +13,24 @@ re-checks the hook/transaction *per access*, so mid-block installation —
 e.g. a profiler external-call window — behaves exactly like the reference
 interpreter).  Listeners force per-block dispatch (never traces) because
 the coverage profiler attributes instructions block-by-block.
+
+On top of the block tier, the dispatcher drives **superblock promotion**
+(:mod:`repro.dbm.superblock`): while on the fast path it records each
+block's most-recently-taken successor and counts loop-head heat — a
+backward transfer, or any entry to a self-loop trace head (whose back
+edges spin internally and are invisible here).  When a head crosses
+``interp.superblock_threshold`` the superblock former stitches the biased
+loop body into one compiled function; from then on the head's
+``jit_super`` runner is preferred whenever the fast path is legal.
+Superblock side exits, budget bailouts and legality deopts all land back
+in this loop at clean block boundaries.
 """
 
 from __future__ import annotations
 
 from repro.dbm.blocks import Block
 from repro.dbm.jit import compile_block_fn
+from repro.dbm.superblock import maybe_form_superblock
 
 
 def run_loop(interp, ctx, pc: int, lookup,
@@ -32,10 +44,17 @@ def run_loop(interp, ctx, pc: int, lookup,
 
     Raises :class:`~repro.dbm.interp.ExecutionLimitExceeded` when
     ``max_instructions`` is crossed (checked at block boundaries; a
-    self-loop trace bails out at least every
-    :data:`~repro.dbm.jit.TRACE_BUDGET` iterations, bounding the overshoot).
+    self-loop trace or superblock bails out at least every
+    ``interp.trace_budget`` iterations, bounding the overshoot).
     """
     from repro.dbm.interp import ExecutionLimitExceeded
+
+    threshold = interp.superblock_threshold
+    counting = interp.superblocks_enabled and threshold > 0
+    # Loop-head heat and most-recently-taken successors, both keyed by
+    # block start; scoped to this invocation like the code cache itself.
+    hot: dict[int, int] = {}
+    last_succ: dict[int, int] = {}
 
     block = lookup(pc, ctx)
     while True:
@@ -52,12 +71,15 @@ def run_loop(interp, ctx, pc: int, lookup,
                 return
             block = lookup(nxt, ctx)
             continue
-        if interp.mem_hook is None and interp.active_tx is None \
-                and not listeners:
-            run = block.jit_fast
+        fast = interp.mem_hook is None and interp.active_tx is None \
+            and not listeners
+        if fast:
+            run = block.jit_super
             if run is None:
-                run = block.jit_fast = compile_block_fn(
-                    block, interp, lookup)
+                run = block.jit_fast
+                if run is None:
+                    run = block.jit_fast = compile_block_fn(
+                        block, interp, lookup)
         else:
             run = block.jit_inst
             if run is None:
@@ -72,8 +94,20 @@ def run_loop(interp, ctx, pc: int, lookup,
             raise ExecutionLimitExceeded(
                 f"exceeded {max_instructions} instructions")
         if nxt.__class__ is Block:
+            if fast and counting:
+                start = nxt.start
+                last_succ[block.start] = start
+                if nxt.jit_super is None \
+                        and (start <= block.start or nxt.is_self_loop):
+                    count = hot.get(start, 0) + 1
+                    hot[start] = count
+                    if count == threshold:
+                        nxt.jit_super = maybe_form_superblock(
+                            nxt, interp, lookup, ctx, last_succ)
             block = nxt
         elif nxt == -1:
             return
         else:
+            if fast and counting:
+                last_succ[block.start] = nxt
             block = lookup(nxt, ctx)

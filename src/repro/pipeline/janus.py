@@ -54,6 +54,10 @@ class JanusConfig:
     scheduling: str = "chunk"
     rr_block: int = 8
     max_instructions: int = 500_000_000
+    # Iterations a self-loop trace or superblock may spin inside compiled
+    # code before bailing back to the dispatcher (bounds how late an
+    # instruction limit is detected; see repro.dbm.jit.TRACE_BUDGET).
+    trace_budget: int = 4096
     # Worker processes for the per-function static-analysis pipeline
     # (1 = serial; results are identical either way).
     analysis_jobs: int = 1
@@ -216,6 +220,7 @@ class Janus:
         dbm = JanusDBM(process, schedule=schedule, cost_model=cost,
                        n_threads=threads, strict=self.config.strict,
                        scheduling=self.config.scheduling,
-                       rr_block=self.config.rr_block)
+                       rr_block=self.config.rr_block,
+                       trace_budget=self.config.trace_budget)
         ParallelRuntime(dbm)
         return dbm.run(max_instructions=limit)

@@ -37,7 +37,8 @@ def run_with_path(process, mode: str = "fast", record_hook: bool = False):
     """Execute a process through one of the execution tiers.
 
     ``mode`` is ``"fast"`` (compiled, no instrumentation), ``"reference"``
-    (per-instruction reference dispatch) or ``"inst"``; with
+    (per-instruction reference dispatch) or ``"superblock"`` (the full
+    trace-cache dispatcher with instant hot-loop promotion); with
     ``record_hook`` a recording memory hook is installed, which routes
     compiled execution through the instrumented variant.
     """
@@ -54,6 +55,19 @@ def run_with_path(process, mode: str = "fast", record_hook: bool = False):
             log.append((ins.address, addr, bool(is_write), lanes))
         interp.mem_hook = hook
     cache = {}
+    if mode == "superblock":
+        from repro.dbm.tracecache import run_loop
+
+        interp.superblock_threshold = 1
+
+        def lookup(pc, _ctx):
+            block = cache.get(pc)
+            if block is None:
+                block = cache[pc] = discover_block(process, pc)
+            return block
+
+        run_loop(interp, ctx, ctx.pc, lookup)
+        return ctx, machine, log
     pc = ctx.pc
     steps = 0
     while pc is not None:
@@ -94,12 +108,14 @@ def assert_equivalent(build_process):
     """
     ref_ctx, ref_machine, _ = run_with_path(build_process(), "reference")
     fast_ctx, fast_machine, _ = run_with_path(build_process(), "fast")
+    sb_ctx, sb_machine, _ = run_with_path(build_process(), "superblock")
     href_ctx, href_machine, href_log = run_with_path(
         build_process(), "reference", record_hook=True)
     inst_ctx, inst_machine, inst_log = run_with_path(
         build_process(), "fast", record_hook=True)
     reference = _state(ref_ctx, ref_machine)
     assert _state(fast_ctx, fast_machine) == reference
+    assert _state(sb_ctx, sb_machine) == reference
     assert _state(href_ctx, href_machine) == reference
     assert _state(inst_ctx, inst_machine) == reference
     assert inst_log == href_log
@@ -550,6 +566,78 @@ def test_differential_random_programs(seed, size, use_floats):
     lines.append("}")
     image = compile_source("\n".join(lines), CompileOptions(opt_level=2))
     assert_equivalent(lambda: load(image))
+
+
+def _random_branchy_source(rng) -> str:
+    """A random hot loop whose body is a chain of data-dependent branches.
+
+    The shape the superblock former targets: a multi-block loop body with
+    conditionals whose bias can flip mid-run (guard side exits) and an
+    integer accumulator that makes the branch history input-dependent.
+    """
+    n = rng.randint(48, 128)
+    reps = rng.randint(4, 8)
+    lines = [
+        f"double xs[{n}];",
+        f"double ys[{n}];",
+        "int main() {",
+        "    int i; int r; int acc = 0;",
+        f"    for (i = 0; i < {n}; i++) {{",
+        f"        xs[i] = 0.25 * i - {rng.randint(0, 20)}.0;",
+        "        ys[i] = 1.0 + 0.5 * i;",
+        "    }",
+        f"    for (r = 0; r < {reps}; r++) {{",
+        f"        for (i = 0; i < {n}; i++) {{",
+    ]
+    for _ in range(rng.randint(1, 3)):
+        cond = rng.choice([
+            f"xs[i] > {rng.uniform(-10, 10):.2f}",
+            f"i % {rng.randint(2, 5)} == {rng.randint(0, 1)}",
+            f"acc % {rng.randint(2, 7)} < {rng.randint(1, 3)}",
+        ])
+        then = rng.choice([
+            "xs[i] = xs[i] * 0.5 + ys[i];",
+            f"acc += {rng.randint(1, 9)};",
+            f"ys[i] = ys[i] + {rng.uniform(0.1, 2.0):.2f};",
+        ])
+        alt = rng.choice([
+            f"xs[i] = xs[i] + {rng.uniform(-1.0, 1.0):.2f};",
+            f"acc -= {rng.randint(1, 5)};",
+            "xs[i] = ys[i] - xs[i];",
+        ])
+        if rng.random() < 0.5:
+            lines.append(
+                f"            if ({cond}) {{ {then} }} else {{ {alt} }}")
+        else:
+            lines.append(f"            if ({cond}) {{ {then} }}")
+    lines += [
+        "        }",
+        "    }",
+        "    print_int(acc);",
+        f"    print_double(xs[{rng.randint(0, 40)}]);",
+        "    print_double(ys[3]);",
+        "    return 0;",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_superblock_differential_random_branchy_cfg(seed):
+    """Random branchy-CFG loops: superblock state bit-identical to reference.
+
+    ``superblock_threshold = 1`` (inside ``run_with_path``) promotes every
+    observed loop head immediately, so the stitched fast path — guards,
+    side exits, register promotion and the exit-time cycle accounting —
+    carries essentially the whole run.
+    """
+    rng = random.Random(seed)
+    source = _random_branchy_source(rng)
+    image = compile_source(source, CompileOptions(opt_level=3))
+    ref_ctx, ref_machine, _ = run_with_path(load(image), "reference")
+    sb_ctx, sb_machine, _ = run_with_path(load(image), "superblock")
+    assert _state(sb_ctx, sb_machine) == _state(ref_ctx, ref_machine)
 
 
 def test_differential_loops_and_calls():

@@ -44,7 +44,14 @@ LEGACY_DBM_KEYS = [
 
 LEGACY_JIT_KEYS = [
     "blocks_translated", "instrumented_blocks", "links_installed",
-    "trace_entries", "trace_exits", "fallback_instructions",
+    "trace_entries", "trace_exits", "trace_budget_bailouts",
+    "fallback_instructions",
+]
+
+SUPERBLOCK_KEYS = [
+    "superblock_formed", "superblock_formation_failures",
+    "superblock_entries", "superblock_side_exits", "superblock_deopts",
+    "superblock_bailouts",
 ]
 
 
@@ -100,11 +107,19 @@ class TestJanusDBMSharedRegistry:
 class TestLegacyStatsLayout:
     def test_dbm_result_stats_keys(self, image):
         result = JanusDBM(load(image)).run()
-        assert list(result.stats) == LEGACY_DBM_KEYS + LEGACY_JIT_KEYS
+        assert list(result.stats) \
+            == LEGACY_DBM_KEYS + LEGACY_JIT_KEYS + SUPERBLOCK_KEYS
 
     def test_janus_run_matches_dbm_only_baseline(self, image):
         janus = Janus(image, JanusConfig(n_threads=2))
         result = janus.run(SelectionMode.JANUS)
         assert result.exit_code == 0
-        assert set(LEGACY_DBM_KEYS + LEGACY_JIT_KEYS) <= set(result.stats)
+        assert set(LEGACY_DBM_KEYS + LEGACY_JIT_KEYS + SUPERBLOCK_KEYS) \
+            <= set(result.stats)
         assert result.stats["loop_invocations_parallel"] >= 1
+
+    def test_superblock_counters_namespaced(self, image):
+        from repro.dbm.executor import run_native
+
+        result = run_native(load(image))
+        assert set(LEGACY_JIT_KEYS + SUPERBLOCK_KEYS) <= set(result.stats)

@@ -136,6 +136,34 @@ def test_run_stats_json_and_stable_stderr(workspace, capsys, tmp_path):
         == summary["translated_blocks"]
 
 
+def test_jit_dump_command(capsys):
+    assert main(["jit-dump", "462.libquantum"]) == 0
+    captured = capsys.readouterr()
+    assert "[fast]" in captured.out
+    assert "def _jx_" in captured.out
+    # The hot multi-block loop gets stitched into a superblock.
+    assert "[superblock]" in captured.out
+    assert "def _jsb_" in captured.out
+    assert "compiled runners printed" in captured.err
+
+    # --pc narrows the dump to one block (here: the superblock head).
+    head = next(line.split()[1] for line in captured.out.splitlines()
+                if line.startswith("-- ") and "[superblock]" in line)
+    assert main(["jit-dump", "462.libquantum", "--pc", head]) == 0
+    captured = capsys.readouterr()
+    assert "def _jsb_" in captured.out
+    assert all(line.split()[1] == head
+               for line in captured.out.splitlines()
+               if line.startswith("-- "))
+
+    assert main(["jit-dump", "no.such"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+    assert main(["jit-dump", "462.libquantum", "--pc", "0x1"]) == 1
+    assert "no block at 0x1" in capsys.readouterr().err
+    assert main(["jit-dump", "462.libquantum", "--pc", "zap"]) == 2
+    assert "bad --pc" in capsys.readouterr().err
+
+
 def test_trace_and_stats_commands(capsys, tmp_path):
     trace_path = tmp_path / "trace.json"
     metrics_path = tmp_path / "metrics.json"
