@@ -1,0 +1,164 @@
+"""Benchmark: simulated-cycle reduction of the vector rewrite mode.
+
+The bundled C workloads never pass the vector legality whitelist (the JC
+compiler spills the induction variable to the stack, and its -O3 bodies
+are already compiler-packed), so this benchmark hand-assembles the DOALL
+shapes the whitelist targets — ``b[i] = a[i] * 3 + a[i] * 3`` over 8-byte
+words — and measures the packed rewrite against the plain scalar DBM:
+
+* ``scale_add`` — 32-byte aligned accesses, widened to four lanes;
+* ``scale_add_unaligned`` — the same body shifted one word off alignment,
+  which caps the rewrite at two lanes;
+* ``scale_add_odd`` — a trip count that forces a 1-iteration scalar
+  epilogue peel on top of the packed chunks.
+
+Cycle counts come from the cost model, not wall time, so the ratios are
+deterministic and the CI floor is a hard assertion: every vectorisable
+workload must show >= 1.3x cycle reduction, and every run must remain
+bit-identical to the scalar reference.  A prefetch row rides along for
+the snapshot (its ratio is informational; correctness is the gate).
+
+Run as a script to print a JSON report and write ``BENCH_vector.json``
+via the telemetry BENCH exporter::
+
+    PYTHONPATH=src python benchmarks/bench_vector.py [out.json]
+
+The pytest entry point runs the same workloads and asserts the floor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.analysis import analyze_image
+from repro.dbm.modifier import run_under_dbm
+from repro.isa import Opcode as O
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import R
+from repro.jbin import layout
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.rewrite.gen_prefetch import generate_prefetch_schedule
+from repro.rewrite.gen_vector import (
+    generate_vector_schedule,
+    vector_candidates,
+)
+from repro.telemetry import core
+
+A = layout.DATA_BASE
+B = layout.DATA_BASE + 0x10000
+
+VECTOR_FLOOR = 1.3
+
+# (name, byte offset off 32-byte alignment, trip count, expected lanes)
+WORKLOADS = (
+    ("scale_add", 0, 2001, 4),
+    ("scale_add_unaligned", 8, 2001, 2),
+    ("scale_add_odd", 0, 509, 4),
+)
+
+
+def build_image(n: int, offset: int = 0):
+    """Seed a[0..n) = float(i), then b[i] = a[i] * 3 + a[i] * 3."""
+    a = Assembler()
+    a.label("_start")
+    a.emit(O.MOV, Reg(R.rcx), Imm(0))
+    a.label("init")
+    a.emit(O.CVTSI2SD, Reg(R.xmm0), Reg(R.rcx))
+    a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=A + offset), Reg(R.xmm0))
+    a.emit(O.INC, Reg(R.rcx))
+    a.emit(O.CMP, Reg(R.rcx), Imm(n))
+    a.emit(O.JL, Label("init"))
+    a.emit(O.MOV, Reg(R.rax), Imm(3))
+    a.emit(O.CVTSI2SD, Reg(R.xmm1), Reg(R.rax))
+    a.emit(O.MOV, Reg(R.rcx), Imm(0))
+    a.label("loop")
+    a.emit(O.MOVSD, Reg(R.xmm0), Mem(index=R.rcx, scale=8, disp=A + offset))
+    a.emit(O.MULSD, Reg(R.xmm0), Reg(R.xmm1))
+    a.emit(O.ADDSD, Reg(R.xmm0), Reg(R.xmm0))
+    a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=B + offset), Reg(R.xmm0))
+    a.emit(O.INC, Reg(R.rcx))
+    a.emit(O.CMP, Reg(R.rcx), Imm(n))
+    a.emit(O.JL, Label("loop"))
+    a.emit(O.RET)
+    return a.assemble(entry="_start")
+
+
+def _assert_identical(name, mode, ref, run, offset, n):
+    ref_words = [ref.machine.memory.read(B + offset + 8 * i)
+                 for i in range(n)]
+    run_words = [run.machine.memory.read(B + offset + 8 * i)
+                 for i in range(n)]
+    assert run_words == ref_words, f"{name}/{mode} diverged"
+    assert run.outputs == ref.outputs, f"{name}/{mode} diverged"
+    assert run.exit_code == ref.exit_code, f"{name}/{mode} diverged"
+
+
+def measure_workload(name: str, offset: int, n: int,
+                     expect_lanes: int) -> dict:
+    rec = core.get_recorder()
+    image = build_image(n, offset)
+    analysis = analyze_image(image)
+    vec_schedule = generate_vector_schedule(analysis)
+    assert len(vec_schedule), f"{name}: no vector rules emitted"
+    lanes = sorted({v.lanes for v in vector_candidates(analysis) if v.ok})
+    assert lanes == [expect_lanes], f"{name}: lanes {lanes}"
+    pf_schedule = generate_prefetch_schedule(analysis)
+
+    with rec.span(f"bench.vector.{name}", cat="bench"):
+        ref = run_under_dbm(load(image))
+        vec = run_under_dbm(load(image), schedule=vec_schedule)
+        pf = run_under_dbm(load(image), schedule=pf_schedule)
+    _assert_identical(name, "vector", ref, vec, offset, n)
+    _assert_identical(name, "prefetch", ref, pf, offset, n)
+
+    report = {
+        "workload": name, "trip_count": n, "lanes": expect_lanes,
+        "cycles": {"reference": ref.cycles, "vector": vec.cycles,
+                   "prefetch": pf.cycles},
+        "ratios": {
+            "vector_vs_reference": round(ref.cycles / vec.cycles, 3),
+            "prefetch_vs_reference": round(ref.cycles / pf.cycles, 3),
+        },
+    }
+    for key, value in report["ratios"].items():
+        rec.gauge(f"bench.vector.{name}.{key}", value)
+    return report
+
+
+def measure() -> dict:
+    return {"floor": VECTOR_FLOOR,
+            "workloads": {name: measure_workload(name, offset, n, lanes)
+                          for name, offset, n, lanes in WORKLOADS}}
+
+
+def test_vector_speedup_floor():
+    """CI gate: >= 1.3x cycle reduction on every vectorisable workload."""
+    report = measure()
+    for name, row in report["workloads"].items():
+        assert row["ratios"]["vector_vs_reference"] >= VECTOR_FLOOR, report
+
+
+def main(argv: list[str]) -> int:
+    from repro.telemetry import aggregate, export
+
+    out = argv[1] if len(argv) > 1 else "BENCH_vector.json"
+    recorder = core.enable(label="bench_vector")
+    report = measure()
+    merged = aggregate.merge([recorder.dump()])
+    core.disable()
+    export.write_bench_snapshot(out, merged, name="vector")
+    print(json.dumps(report, indent=2))
+    worst = min(row["ratios"]["vector_vs_reference"]
+                for row in report["workloads"].values())
+    if worst < VECTOR_FLOOR:
+        print(f"FAIL: worst vector ratio {worst} < floor {VECTOR_FLOOR}",
+              file=sys.stderr)
+        return 1
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

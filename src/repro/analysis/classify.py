@@ -249,6 +249,213 @@ def classify_loop(loop: Loop, cfg: FunctionCFG, dom: DominatorInfo,
     return result
 
 
+@dataclass
+class VectorLegality:
+    """Outcome of the packed-rewrite legality assessment for one loop.
+
+    The vector mode (paper section III-F) only widens loops whose packed
+    execution is provably bit-identical to the scalar reference: lane ``k``
+    of every packed op must compute exactly what scalar iteration ``i + k``
+    computed, on the same inputs, in an order no dependence can observe.
+    """
+
+    loop_id: int
+    ok: bool = True
+    lanes: int = 0
+    aligned: bool = False
+    reasons: list[str] = field(default_factory=list)
+    # Addresses of scalar FP instructions to widen, in body order.
+    convert_addresses: list[int] = field(default_factory=list)
+    # Address of the single induction-variable update to scale by ``lanes``.
+    iv_update_address: int | None = None
+    # Loop-invariant xmm registers whose lane 0 must be broadcast across
+    # the packed lanes on loop entry.
+    broadcast_regs: list[int] = field(default_factory=list)
+    # xmm registers written by widened ops (their high lanes get dirtied).
+    packed_def_regs: list[int] = field(default_factory=list)
+
+
+def _vec_reject(legality: VectorLegality, reason: str) -> VectorLegality:
+    legality.ok = False
+    legality.reasons.append(reason)
+    return legality
+
+
+def assess_vector_legality(result: LoopAnalysisResult, cfg: FunctionCFG,
+                           max_lanes: int = 4) -> VectorLegality:
+    """Decide whether (and how wide) a loop can be packed-vectorised.
+
+    Legality facts established here, consumed by ``rewrite/gen_vector.py``:
+
+    * the loop is a proven static DOALL with a register iterator stepping
+      by one, tested at the bottom of a single-block body;
+    * the body is exactly: widenable scalar FP ops, one iterator update,
+      the loop compare, and the backedge jump — nothing else;
+    * every FP memory access is unit-stride (``theta_coeff == WORD``) so
+      lanes read/write consecutive words;
+    * every xmm source is either packed-defined earlier in the body or
+      loop-invariant (the latter become broadcast registers);
+    * no write/other pair within one base group falls inside the vector
+      width, so lanes cannot observe each other's effects;
+    * 4 lanes additionally require every access to be provably 32-byte
+      aligned at the first iteration; otherwise width falls back to 2.
+    """
+    from repro.isa.instructions import VECTOR_WIDEN
+    from repro.isa.operands import Imm, Mem, Reg
+    from repro.isa.registers import is_xmm
+
+    WORD = 8
+    legality = VectorLegality(loop_id=result.loop_id)
+    if result.category is not LoopCategory.STATIC_DOALL:
+        return _vec_reject(
+            legality, f"loop is {result.category.value}, not a static DOALL")
+    if not result.is_parallelisable:
+        return _vec_reject(legality, "loop is not parallelisable")
+    induction = result.induction
+    assert induction is not None and induction.iterator is not None
+    iterator = induction.iterator
+    iv = iterator.iv
+    if not isinstance(iv.var, int) or is_xmm(iv.var):
+        return _vec_reject(legality, "iterator is not an integer register")
+    if iv.step != 1:
+        return _vec_reject(legality,
+                           f"non-unit induction step {iv.step}")
+    if (iterator.test_position != "bottom"
+            or iterator.test_offset != iv.step):
+        return _vec_reject(
+            legality,
+            "loop test shape unsupported (need a bottom test of the "
+            "updated iterator)")
+    if len(result.loop.body) != 1:
+        return _vec_reject(legality, "multi-block loop body")
+    if result.loop.preheader is None:
+        return _vec_reject(legality, "loop has no preheader to anchor "
+                                     "the vector entry trap")
+    if any(info.vclass is VariableClass.REDUCTION
+           for info in result.variables.values()):
+        return _vec_reject(legality, "register reduction in body")
+    alias = result.alias
+    assert alias is not None
+    if alias.reductions:
+        return _vec_reject(legality, "memory reduction in body")
+
+    access_by_site: dict[tuple[int, bool], object] = {}
+    for acc in alias.accesses:
+        access_by_site[(acc.address, acc.is_write)] = acc
+
+    block = cfg.blocks[result.loop.header]
+    widenable = VECTOR_WIDEN[2]  # same opcode set at every width
+    packed_defs: set[int] = set()
+    broadcast: list[int] = []
+    last = len(block.instructions) - 1
+    for index, ins in enumerate(block.instructions):
+        if index == last:
+            if ins.address != iterator.jcc_address:
+                return _vec_reject(
+                    legality, "terminator is not the iterator test jump")
+            continue
+        if ins.address == iterator.cmp_address:
+            continue  # the loop compare; VECT_BOUND repoints its bound
+        if ins.opcode in widenable:
+            for is_write, mems in ((False, ins.mem_reads()),
+                                   (True, ins.mem_writes())):
+                for _ in mems:
+                    acc = access_by_site.get((ins.address, is_write))
+                    if acc is None or acc.theta_coeff != WORD:
+                        return _vec_reject(
+                            legality,
+                            f"FP access at {ins.address:#x} is not "
+                            "analysed unit-stride")
+            dst, src = ins.operands
+            if type(src) is Reg and is_xmm(src.id):
+                if src.id not in packed_defs and src.id not in broadcast:
+                    broadcast.append(src.id)
+            if type(dst) is Reg and is_xmm(dst.id):
+                # Read-modify-write FP ops consume the destination too.
+                if ins.opcode is not Opcode.MOVSD \
+                        and dst.id not in packed_defs:
+                    return _vec_reject(
+                        legality,
+                        f"xmm{dst.id} read at {ins.address:#x} before "
+                        "any packed definition (loop-carried value)")
+                packed_defs.add(dst.id)
+            legality.convert_addresses.append(ins.address)
+            continue
+        from repro.isa.instructions import FLAGS_REG
+
+        defs = ins.reg_defs() - {FLAGS_REG}
+        if defs == {iv.var}:
+            ops = ins.operands
+            is_update = (
+                (ins.opcode is Opcode.INC and len(ops) == 1)
+                or (ins.opcode is Opcode.ADD and len(ops) == 2
+                    and type(ops[1]) is Imm)
+                or (ins.opcode is Opcode.LEA and len(ops) == 2
+                    and type(ops[1]) is Mem and ops[1].base == iv.var
+                    and ops[1].index is None))
+            if is_update:
+                if legality.iv_update_address is not None:
+                    return _vec_reject(legality,
+                                       "multiple iterator updates")
+                legality.iv_update_address = ins.address
+                continue
+        return _vec_reject(
+            legality,
+            f"unsupported instruction {ins.opcode.name} "
+            f"at {ins.address:#x}")
+
+    if not legality.convert_addresses:
+        return _vec_reject(legality, "no widenable FP operations")
+    if legality.iv_update_address is None:
+        return _vec_reject(legality, "iterator update not found in body")
+
+    # Overlap within the vector width: a write and another access to the
+    # same base whose constant offsets differ by fewer than ``lanes``
+    # words would let lanes of one packed chunk observe each other.
+    # (Static DOALL proof makes this unreachable in practice — a
+    # same-base pair that close is a cross-iteration dependence — but
+    # the width must never silently rely on that.)
+    allowed = max_lanes
+    for group in alias.groups:
+        if group.theta_coeff != WORD or not group.has_write:
+            continue
+        for write in group.accesses:
+            if not write.is_write:
+                continue
+            for other in group.accesses:
+                if other is write:
+                    continue
+                delta = abs(other.const_offset - write.const_offset)
+                if delta:
+                    allowed = min(allowed, delta // WORD)
+    if allowed < 2:
+        return _vec_reject(
+            legality, "write/read pair overlaps within the vector width")
+
+    # Alignment fact for the 4-lane width: every access must sit at a
+    # statically known address that is 32-byte aligned on iteration one.
+    aligned = iterator.static_init is not None
+    if aligned:
+        for acc in alias.accesses:
+            base = acc.base
+            if base is None or any(m != () for m in base.terms):
+                aligned = False
+                break
+            first = WORD * iterator.static_init + acc.const_offset
+            if first % 32:
+                aligned = False
+                break
+    legality.aligned = aligned
+
+    # Packed widths come in powers of two only: an ``allowed`` of three
+    # must fall back to two lanes, not a nonexistent three-lane form.
+    lanes = 4 if (allowed >= 4 and max_lanes >= 4 and aligned) else 2
+    legality.lanes = lanes
+    legality.broadcast_regs = broadcast
+    legality.packed_def_regs = sorted(packed_defs)
+    return legality
+
+
 def _phi_is_live(ssa: SSAForm, phi: Phi) -> bool:
     """True if the phi's value can reach a real instruction use.
 

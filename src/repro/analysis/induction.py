@@ -149,6 +149,24 @@ def patched_bound(chunk_init: int, n_iterations: int, step: int, cond: str,
     return first_failing  # l / g / ne fail exactly at equality
 
 
+def vector_trip_split(total_trips: int, lanes: int) -> tuple[int, int]:
+    """Split a concrete trip count into (packed_trips, scalar_remainder).
+
+    The vector runtime runs ``packed_trips`` lane-stepped iterations of the
+    widened body, then ``scalar_remainder`` iterations of the *original*
+    scalar code as the epilogue peel.  At least one iteration is always
+    peeled so the loop's final architectural state (iterator, flags from
+    the last compare) comes from genuine scalar execution — that is what
+    keeps packed runs bit-identical to the reference.
+    """
+    if total_trips < 1:
+        raise ValueError("vector split needs a loop that executes")
+    if lanes < 2:
+        raise ValueError("vector lanes must be >= 2")
+    packed = max((total_trips - 1) // lanes, 0)
+    return packed, total_trips - packed * lanes
+
+
 def chunk_bounds(total_trips: int, n_threads: int) -> list[tuple[int, int]]:
     """Split [0, total_trips) into contiguous per-thread chunks.
 

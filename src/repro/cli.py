@@ -65,6 +65,31 @@ def _cmd_analyze(args) -> int:
         print(f"{result.loop_id:4d} {result.loop.function_entry:#10x} "
               f"{result.loop.header:#10x} {result.category.value:20s} "
               f"{trips:>8s} {checks:6d} {note}")
+    if args.mode == "vector":
+        from repro.rewrite import vector_candidates
+
+        print()
+        print(f"{'loop':>4s} {'vector':>7s} {'lanes':>5s} {'aligned':>7s} "
+              f"reason")
+        for verdict in vector_candidates(analysis):
+            status = "legal" if verdict.ok else "reject"
+            reason = "" if verdict.ok else (verdict.reasons[0]
+                                            if verdict.reasons else "")
+            print(f"{verdict.loop_id:4d} {status:>7s} {verdict.lanes:5d} "
+                  f"{str(verdict.aligned):>7s} {reason}")
+    elif args.mode == "prefetch":
+        from repro.rewrite import generate_prefetch_schedule
+
+        schedule = generate_prefetch_schedule(analysis)
+        by_loop: dict[int, int] = {}
+        for rule in schedule.rules:
+            record = schedule.record(rule.data)
+            by_loop[record[1]] = by_loop.get(record[1], 0) + 1
+        print()
+        print(f"prefetch: {len(schedule.rules)} hint rules across "
+              f"{len(by_loop)} loops")
+        for loop_id in sorted(by_loop):
+            print(f"{loop_id:4d} {by_loop[loop_id]:3d} hints")
     return 0
 
 
@@ -247,6 +272,70 @@ def _cmd_verify(args) -> int:
     return exit_code(reports)
 
 
+def _cmd_modediff(args) -> int:
+    """Differential check: vector/prefetch runs must match scalar exactly.
+
+    For every bundled workload this runs the scalar DBM reference, then the
+    same binary under each requested rewrite mode, and compares the
+    observable results (program output bytes and exit code).  Any
+    divergence is a soundness bug in that rewrite family; exit 1.
+    """
+    from repro.rewrite import (
+        generate_prefetch_schedule,
+        generate_vector_schedule,
+    )
+    from repro.workloads import all_benchmarks, compile_workload, get_workload
+
+    modes = args.modes or ["vector", "prefetch"]
+    names = args.workloads or all_benchmarks()
+    rows = []
+    failures = 0
+    print(f"{'workload':18s} {'mode':9s} {'verdict':9s} {'rules':>5s} "
+          f"{'ref cycles':>12s} {'mode cycles':>12s} {'ratio':>6s}")
+    for name in names:
+        workload = get_workload(name)
+        image = compile_workload(name)
+        inputs = list(workload.train_inputs)
+        analysis = analyze_image(image)
+        ref = run_under_dbm(load(image, inputs=inputs),
+                            max_instructions=args.max_instructions)
+        for mode in modes:
+            if mode == "vector":
+                schedule = generate_vector_schedule(analysis)
+            else:
+                schedule = generate_prefetch_schedule(analysis)
+            result = run_under_dbm(load(image, inputs=inputs),
+                                   schedule=schedule,
+                                   max_instructions=args.max_instructions)
+            same = (result.output_text == ref.output_text
+                    and result.exit_code == ref.exit_code)
+            if not same:
+                failures += 1
+            ratio = ref.cycles / result.cycles if result.cycles else 0.0
+            verdict = "ok" if same else "DIVERGED"
+            print(f"{name:18s} {mode:9s} {verdict:9s} "
+                  f"{len(schedule):5d} {ref.cycles:12d} "
+                  f"{result.cycles:12d} {ratio:6.3f}")
+            rows.append({
+                "workload": name,
+                "mode": mode,
+                "identical": same,
+                "rules": len(schedule),
+                "ref_cycles": ref.cycles,
+                "mode_cycles": result.cycles,
+                "ratio": ratio,
+            })
+    if args.output:
+        payload = {"rows": rows, "failures": failures}
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if failures:
+        print(f"{failures} diverging run(s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args) -> int:
     from repro.eval.harness import EvalHarness
     from repro.telemetry import aggregate, core, export
@@ -410,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the per-function analysis "
                         "pipeline (results are identical at any value)")
+    a.add_argument("--mode", default="parallel",
+                   choices=("parallel", "vector", "prefetch"),
+                   help="also report the named rewrite family's "
+                        "per-loop legality (vector) or hint plan "
+                        "(prefetch)")
     a.set_defaults(func=_cmd_analyze)
 
     s = sub.add_parser("schedule",
@@ -486,6 +580,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="demote confirmed-unsound loops "
                         "(JanusConfig.verify_demote)")
     v.set_defaults(func=_cmd_verify)
+
+    md = sub.add_parser("modediff",
+                        help="check that vector/prefetch rewrite modes "
+                             "produce byte-identical observable results "
+                             "to the scalar DBM reference (exit 1 on "
+                             "divergence)")
+    md.add_argument("workloads", nargs="*",
+                    help="suite workload names (default: all)")
+    md.add_argument("--modes", action="append", default=[],
+                    choices=("vector", "prefetch"),
+                    help="rewrite families to compare (default: both)")
+    md.add_argument("-o", "--output",
+                    help="write the per-run comparison JSON to this file")
+    md.add_argument("--max-instructions", type=int,
+                    default=DEFAULT_INSTRUCTION_LIMIT,
+                    help="instruction cap per run")
+    md.set_defaults(func=_cmd_modediff)
 
     t = sub.add_parser("trace",
                        help="run one suite workload under telemetry and "

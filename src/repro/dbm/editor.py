@@ -27,6 +27,7 @@ class BlockEditor:
         self.instructions: list[Instruction] = list(block.instructions)
         self._preludes: set = set()
         self._anchor_counts: dict[int, int] = {}
+        self._cycle_credit = 0
 
     # -- queries ---------------------------------------------------------
 
@@ -99,8 +100,20 @@ class BlockEditor:
     def rtcall(self, rtcall_id: int, arg: int = 0) -> Instruction:
         return Instruction(Opcode.RTCALL, (Imm(int(rtcall_id)), Imm(arg)))
 
+    def credit_cycles(self, cycles: int) -> None:
+        """Reduce the block's per-execution cost by ``cycles``.
+
+        Used by rules whose effect is a modelled saving rather than a code
+        change the static cost can see (e.g. a PREFETCH hint turning a
+        covered access into a cache hit).  Applied once in :meth:`finish`,
+        floored so a block never goes non-positive.
+        """
+        self._cycle_credit += cycles
+
     def finish(self) -> Block:
         block = Block(start=self.start, instructions=self.instructions,
                       end=self.end, cost=0)
         block.recompute_cost()
+        if self._cycle_credit:
+            block.cost = max(1, block.cost - self._cycle_credit)
         return block

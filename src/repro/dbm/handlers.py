@@ -183,6 +183,114 @@ def _h_mem_recover_reg(editor: BlockEditor, rule: RewriteRule,
             (Reg(reg), Mem(base=TLS_REG, disp=WORD * (base_slot + offset)))))
 
 
+# -- vectorisation handlers (main thread only; vector mode never spawns) --------
+
+def _h_vect_init(editor: BlockEditor, rule: RewriteRule,
+                 tctx: TranslationContext) -> None:
+    if not tctx.is_main:
+        return
+    editor.insert_at_anchor(
+        rule.address, editor.rtcall(RTCallID.VECTOR_LOOP_ENTER, rule.data))
+
+
+def _h_vect_bound(editor: BlockEditor, rule: RewriteRule,
+                  tctx: TranslationContext) -> None:
+    """Point the loop compare at the packed-bound scratch word.
+
+    The word is addressed absolutely (no base register), so application
+    registers stay untouched; VECTOR_LOOP_ENTER writes the packed bound
+    there before the loop body ever reaches the compare.
+    """
+    if not tctx.is_main:
+        return
+    from repro.jbin.layout import vector_scratch_address
+    from repro.rewrite.metadata import VectorMeta
+
+    meta = VectorMeta.from_record(tctx.record(rule.data))
+    cmp_ins = editor.instruction_at(meta.cmp_address)
+    bound_position = 1 - meta.iv_operand_index
+    new_ops = list(cmp_ins.operands)
+    new_ops[bound_position] = Mem(
+        base=None, disp=vector_scratch_address(meta.ordinal))
+    editor.replace(meta.cmp_address,
+                   Instruction(cmp_ins.opcode, tuple(new_ops)))
+
+
+def _h_vect_convert(editor: BlockEditor, rule: RewriteRule,
+                    tctx: TranslationContext) -> None:
+    """Widen one scalar FP instruction to its packed form (rule data is
+    the lane count; the opcode map is the only payload needed)."""
+    if not tctx.is_main:
+        return
+    from repro.isa.instructions import VECTOR_WIDEN
+
+    target = editor.instruction_at(rule.address)
+    packed = VECTOR_WIDEN[rule.data].get(target.opcode)
+    if packed is None:
+        raise EditorUnsupportedRule(
+            f"VECT_CONVERT on non-widenable {target.opcode.name} "
+            f"at {rule.address:#x}")
+    editor.replace(rule.address, Instruction(packed, target.operands))
+
+
+def _h_vect_induction_update(editor: BlockEditor, rule: RewriteRule,
+                             tctx: TranslationContext) -> None:
+    """Scale the iterator update by the lane count (rule data)."""
+    if not tctx.is_main:
+        return
+    lanes = rule.data
+    target = editor.instruction_at(rule.address)
+    ops = target.operands
+    if target.opcode is Opcode.INC:
+        replacement = Instruction(Opcode.ADD, (ops[0], Imm(lanes)))
+    elif target.opcode is Opcode.ADD and isinstance(ops[1], Imm):
+        replacement = Instruction(Opcode.ADD,
+                                  (ops[0], Imm(ops[1].value * lanes)))
+    elif target.opcode is Opcode.LEA and isinstance(ops[1], Mem):
+        mem = ops[1]
+        replacement = Instruction(Opcode.LEA, (ops[0], Mem(
+            base=mem.base, index=mem.index, scale=mem.scale,
+            disp=mem.disp * lanes)))
+    else:
+        raise EditorUnsupportedRule(
+            f"VECT_INDUCTION_UPDATE on unsupported "
+            f"{target.opcode.name} at {rule.address:#x}")
+    editor.replace(rule.address, replacement)
+
+
+def _h_vect_finish(editor: BlockEditor, rule: RewriteRule,
+                   tctx: TranslationContext) -> None:
+    if not tctx.is_main:
+        return
+    editor.insert_at_start(
+        editor.rtcall(RTCallID.VECTOR_EPILOGUE, rule.data))
+
+
+class EditorUnsupportedRule(Exception):
+    """A vector/prefetch rule targeted an instruction it cannot rewrite."""
+
+
+# -- prefetch handler (purely local: insert a hint, credit the saving) ----------
+
+def _h_mem_prefetch(editor: BlockEditor, rule: RewriteRule,
+                    tctx: TranslationContext) -> None:
+    from repro.isa.costs import PREFETCH_SAVINGS_CYCLES
+    from repro.rewrite.metadata import PrefetchDesc
+
+    desc = PrefetchDesc.from_record(tctx.record(rule.data))
+    target = editor.instruction_at(rule.address)
+    mem = next((op for op in target.operands if isinstance(op, Mem)), None)
+    if mem is None:
+        raise EditorUnsupportedRule(
+            f"MEM_PREFETCH on memory-free instruction at {rule.address:#x}")
+    shift = desc.stride * desc.distance
+    hint = Instruction(Opcode.PREFETCH, (Mem(
+        base=mem.base, index=mem.index, scale=mem.scale,
+        disp=mem.disp + shift),))
+    editor.insert_before(rule.address, hint)
+    editor.credit_cycles(PREFETCH_SAVINGS_CYCLES)
+
+
 # -- profiling handlers (main thread only; profiling is single-threaded) --------
 
 def _h_prof_loop_start(editor, rule, tctx) -> None:
@@ -235,6 +343,12 @@ HANDLERS = {
     RuleID.TX_FINISH: _h_tx_finish,
     RuleID.MEM_SPILL_REG: _h_mem_spill_reg,
     RuleID.MEM_RECOVER_REG: _h_mem_recover_reg,
+    RuleID.VECT_INIT: _h_vect_init,
+    RuleID.VECT_BOUND: _h_vect_bound,
+    RuleID.VECT_CONVERT: _h_vect_convert,
+    RuleID.VECT_INDUCTION_UPDATE: _h_vect_induction_update,
+    RuleID.VECT_FINISH: _h_vect_finish,
+    RuleID.MEM_PREFETCH: _h_mem_prefetch,
     RuleID.PROF_LOOP_START: _h_prof_loop_start,
     RuleID.PROF_LOOP_ITER: _h_prof_loop_iter,
     RuleID.PROF_LOOP_FINISH: _h_prof_loop_finish,

@@ -440,6 +440,8 @@ class Interpreter:
             return self._syscall(ctx)
         elif op is Opcode.NOP:
             pass
+        elif op is Opcode.PREFETCH:
+            pass  # a hint: computes nothing, touches no architectural state
         elif op is Opcode.HLT:
             ctx.halted = True
             return -1

@@ -558,6 +558,8 @@ class _BlockCompiler:
             self.emit("    return -1")
         elif op is Opcode.NOP:
             pass
+        elif op is Opcode.PREFETCH:
+            pass  # hint only; no architectural effect in any tier
         elif op is Opcode.RTCALL:
             hid = ops[0].value
             arg = ops[1].value if len(ops) > 1 else 0

@@ -19,6 +19,9 @@ class RTCallID(IntEnum):
     LOOP_FINISH_MARK = 4  # arg: loop metadata record index (bookkeeping)
     TX_START = 5         # arg: loop metadata record index
     TX_FINISH = 6        # arg: loop metadata record index
+    # Vectorisation runtime (main thread only; see rewrite/gen_vector.py).
+    VECTOR_LOOP_ENTER = 20  # arg: vector metadata record index
+    VECTOR_EPILOGUE = 21    # arg: vector metadata record index
     # Profiling runtime.
     PROF_LOOP_START = 10  # arg: loop id
     PROF_LOOP_ITER = 11   # arg: loop id

@@ -41,7 +41,9 @@ from repro.analysis.induction import (
     loop_iterations,
     patched_bound,
     round_robin_bounds,
+    vector_trip_split,
 )
+from repro.dbm.blocks import discover_block
 from repro.dbm.checks import evaluate_bounds_check, make_read_var
 from repro.dbm.machine import ThreadContext
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
@@ -53,6 +55,7 @@ from repro.jbin import layout
 from repro.rewrite.metadata import (
     BoundsCheckDesc,
     LoopMeta,
+    VectorMeta,
     decode_operand,
     decode_var,
     evaluate_runtime_poly,
@@ -146,6 +149,14 @@ class ParallelRuntime:
         dbm.register_rtcall(RTCallID.LOOP_FINISH_MARK, self._rt_finish_mark)
         dbm.register_rtcall(RTCallID.TX_START, self._rt_tx_start)
         dbm.register_rtcall(RTCallID.TX_FINISH, self._rt_tx_finish)
+        dbm.register_rtcall(RTCallID.VECTOR_LOOP_ENTER,
+                            self._rt_vector_enter)
+        dbm.register_rtcall(RTCallID.VECTOR_EPILOGUE,
+                            self._rt_vector_epilogue)
+        # Vector-mode state: per-loop pending epilogue peels and a cache
+        # of *unmodified* blocks used to interpret original scalar code.
+        self._vector_pending: dict[int, tuple] = {}
+        self._plain_blocks: dict = {}
         dbm.runtime = self
 
     def _worker_lookup(self, pc: int, ctx):
@@ -192,6 +203,97 @@ class ParallelRuntime:
         self.dbm.stats.stm_cycles += ctx.cycles - before
         worker.tx_log.append((set(tx.read_log), set(tx.write_buffer)))
         return None
+
+    # -- vectorisation rtcalls ---------------------------------------------
+
+    def _rt_vector_enter(self, ctx, arg):
+        meta = VectorMeta.from_record(self.dbm.schedule.record(arg))
+        with get_recorder().span("runtime.vector_loop", cat="runtime",
+                                 loop=meta.loop_id) as span:
+            return self._vector_enter(ctx, meta, span)
+
+    def _vector_enter(self, ctx, meta: VectorMeta, span):
+        """Split the trip count and arm the packed loop body.
+
+        The split always peels at least one scalar iteration (see
+        :func:`repro.analysis.induction.vector_trip_split`): the loop's
+        final compare/branch then executes in original code against the
+        original bound, so the post-loop architectural state is
+        bit-identical to a scalar run.
+        """
+        rsp0 = ctx.gregs[STACK_REG] - meta.delta_header
+        init = self._read_iterator(ctx, meta, rsp0)
+        bound = self._read_bound(ctx, meta, rsp0)
+        # Bottom-test loops run at least once even when the condition
+        # fails up front; loop_iterations models exactly that.
+        trips = loop_iterations(init, bound, meta.step, meta.cond,
+                                meta.test_offset, meta.test_position)
+        packed, remainder = vector_trip_split(trips, meta.lanes)
+        if packed == 0:
+            # Too few iterations for one packed pass: run the loop in
+            # its original scalar form and skip the rewritten body.
+            self.dbm.registry.inc("runtime.vector.scalar_fallbacks")
+            span.set(packed=0, trips=trips)
+            self._interpret_original(ctx, meta.header_addr,
+                                     meta.exit_target)
+            return meta.exit_target
+        scratch = layout.vector_scratch_address(meta.ordinal)
+        bound_value = patched_bound(init, packed, meta.step * meta.lanes,
+                                    meta.cond,
+                                    meta.test_offset * meta.lanes,
+                                    meta.test_position)
+        self.dbm.machine.memory.write(scratch, s64(bound_value))
+        # Snapshot every xmm high lane (packed ops dirty them), then
+        # broadcast the loop-invariant registers across the lanes.
+        saved_fregs = list(ctx.fregs)
+        for reg in meta.broadcast_regs:
+            base = (reg - XMM_BASE) * 4
+            for lane in range(1, meta.lanes):
+                ctx.fregs[base + lane] = ctx.fregs[base]
+        self._vector_pending[meta.loop_id] = (remainder, saved_fregs)
+        self.dbm.registry.inc("runtime.vector.packed_invocations")
+        span.set(packed=packed, remainder=remainder, trips=trips,
+                 lanes=meta.lanes)
+        return None
+
+    def _rt_vector_epilogue(self, ctx, arg):
+        meta = VectorMeta.from_record(self.dbm.schedule.record(arg))
+        pending = self._vector_pending.pop(meta.loop_id, None)
+        if pending is None:
+            # Reached without an armed packed pass (scalar fallback, or
+            # ordinary control flow into the exit block): nothing to peel.
+            return None
+        remainder, saved_fregs = pending
+        # The iterator sits exactly packed*lanes steps in; the original
+        # code's compare reads the original bound, so interpreting from
+        # the header runs precisely the ``remainder`` peeled iterations.
+        self._interpret_original(ctx, meta.header_addr, meta.exit_target)
+        # Scalar code never reads or writes xmm lanes 1..3: restore the
+        # pre-loop values so packed execution stays invisible.
+        for base in range(0, len(saved_fregs), 4):
+            ctx.fregs[base + 1:base + 4] = saved_fregs[base + 1:base + 4]
+        self.dbm.registry.inc("runtime.vector.epilogue_peels", remainder)
+        return None
+
+    def _interpret_original(self, ctx, start_pc: int, stop_pc: int) -> None:
+        """Execute *unmodified* image code from start_pc up to stop_pc.
+
+        Used by the vector runtime for the scalar epilogue peel and the
+        too-few-iterations fallback.  Original code contains no RTCALLs,
+        so this can never re-enter the runtime.
+        """
+        interp = self.dbm.interp
+        pc = start_pc
+        while pc != stop_pc:
+            block = self._plain_blocks.get(pc)
+            if block is None:
+                block = discover_block(self.dbm.process, pc)
+                self._plain_blocks[pc] = block
+            nxt = interp.execute_block_reference(ctx, block)
+            if nxt is None:
+                raise RuntimeError_(
+                    f"original-code interpretation halted at {pc:#x}")
+            pc = nxt
 
     # -- the main event ------------------------------------------------------
 

@@ -445,11 +445,22 @@ class _SuperblockCompiler(_BlockCompiler):
             svals = [self.flane(sbase + i) for i in range(lanes)]
         else:
             expr, aligned = self.mem_ref(src)
-            if not aligned:
-                super().packed(ins, k)
-                return
-            svals = [self._fload(expr if i == 0 else f"{expr} + {8 * i}")
-                     for i in range(lanes)]
+            if aligned:
+                svals = [self._fload(expr if i == 0 else f"{expr} + {8 * i}")
+                         for i in range(lanes)]
+            else:
+                # Not provably 8-aligned: load through the checked helper,
+                # but still land in the promoted lane locals.  The base
+                # compiler's packed path writes ctx.fregs directly, which
+                # the locals would never observe (stale-lane corruption).
+                self.emit(f"a2 = {expr}")
+                svals = []
+                for i in range(lanes):
+                    offset = f" + {8 * i}" if i else ""
+                    name = f"mf{self._n_addr}"
+                    self._n_addr += 1
+                    self.emit(f"{name} = _i2f(_mr(a2{offset}))")
+                    svals.append(name)
         if is_move:
             results = svals
         else:

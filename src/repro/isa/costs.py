@@ -54,16 +54,28 @@ OPCODE_CYCLES: dict[Opcode, int] = {
     Opcode.VDIVPD: 28,
     Opcode.SYSCALL: 150,
     Opcode.NOP: 1,
+    Opcode.PREFETCH: 1,
     Opcode.RTCALL: 2,
 }
 
 # Extra cycles for each memory operand touched (cache-hit cost).
 MEM_OPERAND_CYCLES = 3
 
+# Cycles credited back to a block for each access a PREFETCH hint covers:
+# the access is modelled as hitting cache instead of paying the flat
+# MEM_OPERAND_CYCLES.  Net effect per covered access per iteration is
+# (PREFETCH issue cost - this), so prefetch is only profitable while
+# this exceeds OPCODE_CYCLES[PREFETCH].
+PREFETCH_SAVINGS_CYCLES = 2
+
 
 def instruction_cycles(ins: Instruction) -> int:
     """Base cost of one dynamic execution of ``ins`` (no runtime overheads)."""
     cycles = OPCODE_CYCLES.get(ins.opcode, 1)
+    if ins.opcode is Opcode.PREFETCH:
+        # A hint only occupies an issue slot; its address is never
+        # dereferenced, so it pays no memory-operand cost.
+        return cycles
     n_mem = sum(1 for op in ins.operands if type(op).__name__ == "Mem")
     return cycles + MEM_OPERAND_CYCLES * n_mem
 
@@ -109,6 +121,11 @@ class CostModel:
 
     # Profiling instrumentation costs (training stage only).
     prof_event_cycles: int = 12
+
+    # Prefetch rewrite mode: how many iterations ahead a generated
+    # PREFETCH hint targets.  Purely a hint distance — it shifts the
+    # prefetched address, never the modelled saving.
+    prefetch_distance_iterations: int = 8
 
     # False-sharing penalty: extra cycles charged when two different threads
     # write words in the same cache line within a parallel loop.

@@ -104,6 +104,9 @@ class Opcode(IntEnum):
     SYSCALL = 95
     NOP = 96
     HLT = 97
+    # Software prefetch hint: computes its address, touches no architectural
+    # state (the cost model credits covered accesses as cache hits).
+    PREFETCH = 98
     # DBM-inserted pseudo instruction (never present in binaries)
     RTCALL = 120
 
@@ -163,6 +166,18 @@ _PACKED_RMW = frozenset(
     (Opcode.ADDPD, Opcode.SUBPD, Opcode.MULPD, Opcode.DIVPD,
      Opcode.VADDPD, Opcode.VSUBPD, Opcode.VMULPD, Opcode.VDIVPD)
 )
+
+# Scalar FP opcode -> its packed equivalent, per lane count.  Only these
+# scalar ops are auto-vectorisable (SQRTSD/MINSD/MAXSD/UCOMISD/CVT* have
+# no packed JX form, so loops containing them fail vector legality).
+VECTOR_WIDEN: dict[int, dict[Opcode, Opcode]] = {
+    2: {Opcode.MOVSD: Opcode.MOVAPD, Opcode.ADDSD: Opcode.ADDPD,
+        Opcode.SUBSD: Opcode.SUBPD, Opcode.MULSD: Opcode.MULPD,
+        Opcode.DIVSD: Opcode.DIVPD},
+    4: {Opcode.MOVSD: Opcode.VMOVAPD, Opcode.ADDSD: Opcode.VADDPD,
+        Opcode.SUBSD: Opcode.VSUBPD, Opcode.MULSD: Opcode.VMULPD,
+        Opcode.DIVSD: Opcode.VDIVPD},
+}
 
 # Two-operand integer read-modify-write opcodes.
 _INT_RMW = frozenset(

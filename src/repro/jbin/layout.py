@@ -39,6 +39,19 @@ def thread_tls_base(thread_id: int) -> int:
     return TLS_BASE + thread_id * TLS_THREAD_SIZE
 
 
+# Vector mode parks each packed loop's patched bound in a scratch word of
+# the main thread's TLS block, far above the slots the parallel rewrites
+# use (slot 0 = main rsp, 1 = chunk bound, 2+ = privatised words).  The
+# packed compare addresses the word absolutely, so no register is stolen.
+VECTOR_SCRATCH_FIRST_SLOT = 32
+
+
+def vector_scratch_address(ordinal: int) -> int:
+    """Address of the packed-bound scratch word for the ``ordinal``-th
+    vectorised loop (main thread only; vector mode is single-threaded)."""
+    return thread_tls_base(0) + WORD * (VECTOR_SCRATCH_FIRST_SLOT + ordinal)
+
+
 def is_stack_address(addr: int) -> bool:
     """True if ``addr`` lies in any thread's stack region."""
     return STACK_TOP - 64 * THREAD_STACK_SIZE <= addr <= STACK_TOP

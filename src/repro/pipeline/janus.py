@@ -17,7 +17,10 @@ from repro.jbin.loader import load
 from repro.profiling import ProfileResult, run_profiling
 from repro.rewrite import (
     generate_parallel_schedule,
+    generate_prefetch_schedule,
     generate_profile_schedule,
+    generate_vector_schedule,
+    vector_candidates,
 )
 from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
 from repro.rewrite.schedule import RewriteSchedule
@@ -65,6 +68,10 @@ class JanusConfig:
     # loop carries a cross-iteration dependence, demote its category so the
     # selector can no longer parallelise it.
     verify_demote: bool = False
+    # Rewrite-rule family emitted by build_schedule: "parallel" (thread-level
+    # DOALL, the paper's main path), "vector" (packed-lane widening of scalar
+    # DOALL bodies) or "prefetch" (stride-ahead cache hints).
+    mode: str = "parallel"
 
 
 @dataclass
@@ -194,10 +201,23 @@ class Janus:
     def build_schedule(self, mode: SelectionMode,
                        training: TrainingData | None = None
                        ) -> RewriteSchedule:
+        family = self.config.mode
+        if family not in ("parallel", "vector", "prefetch"):
+            raise ValueError(f"unknown rewrite mode {family!r}")
         with get_recorder().span("janus.build_schedule", cat="rewrite",
-                                 mode=mode.value) as span:
+                                 mode=mode.value, family=family) as span:
             selected = self.select_loops(mode, training)
             span.set(selected_loops=len(selected))
+            if family == "vector":
+                legal = {v.loop_id
+                         for v in vector_candidates(self.analysis) if v.ok}
+                return generate_vector_schedule(
+                    self.analysis, [i for i in selected if i in legal])
+            if family == "prefetch":
+                return generate_prefetch_schedule(
+                    self.analysis, selected_loop_ids=selected or None,
+                    distance=self.config.cost_model
+                    .prefetch_distance_iterations)
             return generate_parallel_schedule(self.analysis, selected)
 
     # -- stage 5: execution -------------------------------------------------------------

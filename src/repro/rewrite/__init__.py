@@ -14,6 +14,8 @@ from repro.rewrite.rules import RewriteRule, RuleID, ScheduleFormatError
 from repro.rewrite.schedule import RewriteSchedule
 from repro.rewrite.gen_profile import generate_profile_schedule
 from repro.rewrite.gen_parallel import generate_parallel_schedule
+from repro.rewrite.gen_vector import generate_vector_schedule, vector_candidates
+from repro.rewrite.gen_prefetch import generate_prefetch_schedule
 
 __all__ = [
     "RewriteRule",
@@ -22,4 +24,7 @@ __all__ = [
     "RewriteSchedule",
     "generate_profile_schedule",
     "generate_parallel_schedule",
+    "generate_vector_schedule",
+    "vector_candidates",
+    "generate_prefetch_schedule",
 ]

@@ -1,0 +1,130 @@
+"""Vectorisation rewrite-schedule generation (paper section III-F).
+
+Janus' vector mode (the upstream ``-v`` flag) rewrites scalar DOALL loop
+bodies into packed 2- or 4-lane JX ops.  For every loop that passes
+:func:`repro.analysis.classify.assess_vector_legality` this emits:
+
+* ``VECT_INIT`` at the preheader terminator — the runtime traps in,
+  computes the packed/scalar trip split, writes the packed bound into the
+  loop's scratch word, and broadcasts loop-invariant xmm registers across
+  the packed lanes (falling back to scalar interpretation when the trip
+  count cannot fill even one packed iteration);
+* ``VECT_BOUND`` at the iterator's compare — the bound operand is
+  repointed at the scratch word so the widened body iterates
+  ``floor((trips - 1) / lanes)`` times;
+* ``VECT_CONVERT`` on every scalar FP instruction of the body — the opcode
+  is widened via ``repro.isa.instructions.VECTOR_WIDEN`` (rule data is the
+  lane count, no pool record needed);
+* ``VECT_INDUCTION_UPDATE`` on the iterator update — the step is scaled by
+  the lane count;
+* ``VECT_FINISH`` at the loop's exit target — the runtime peels the
+  remaining 1..lanes iterations by interpreting the *original* scalar
+  code, then restores the dirtied xmm high lanes.
+
+At least one iteration is always peeled (see
+:func:`repro.analysis.induction.vector_trip_split`), so the loop's final
+architectural state comes from genuine scalar execution and packed runs
+are bit-identical to the scalar reference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.analyzer import BinaryAnalysis
+from repro.analysis.classify import (
+    LoopAnalysisResult,
+    VectorLegality,
+    assess_vector_legality,
+)
+from repro.rewrite.gen_parallel import GenerationError, _bound_form
+from repro.rewrite.metadata import VectorMeta, encode_var
+from repro.rewrite.rules import RuleID
+from repro.rewrite.schedule import RewriteSchedule
+from repro.telemetry.core import get_recorder
+
+
+def vector_candidates(analysis: BinaryAnalysis) -> list[VectorLegality]:
+    """Legality verdicts for every loop in the binary, in loop-id order."""
+    verdicts = []
+    for result in analysis.loops:
+        fa = analysis.function_of_loop(result)
+        verdicts.append(assess_vector_legality(result, fa.cfg))
+    return verdicts
+
+
+def generate_vector_schedule(analysis: BinaryAnalysis,
+                             selected_loop_ids=None) -> RewriteSchedule:
+    """Emit the packed-rewrite schedule.
+
+    With ``selected_loop_ids`` of ``None`` every legally vectorisable loop
+    is rewritten; otherwise the selection is honoured and an illegal
+    selected loop raises :class:`GenerationError`.
+    """
+    schedule = RewriteSchedule.for_image(analysis.image)
+    recorder = get_recorder()
+    with recorder.span("rewrite.vector_schedule", cat="rewrite") as span:
+        ordinal = 0
+        legal = 0
+        rejected = 0
+        for result in analysis.loops:
+            selected = (selected_loop_ids is None
+                        or result.loop_id in set(selected_loop_ids))
+            if not selected:
+                continue
+            fa = analysis.function_of_loop(result)
+            legality = assess_vector_legality(result, fa.cfg)
+            if not legality.ok:
+                rejected += 1
+                recorder.count("rewrite.vector.rejected")
+                if selected_loop_ids is not None:
+                    raise GenerationError(
+                        f"loop {result.loop_id} is not vectorisable: "
+                        f"{legality.reasons}")
+                continue
+            legal += 1
+            recorder.count("rewrite.vector.legal")
+            recorder.count(f"rewrite.vector.lanes.{legality.lanes}")
+            _emit_for_loop(schedule, fa, result, legality, ordinal)
+            ordinal += 1
+        span.set(legal=legal, rejected=rejected,
+                 rules=len(schedule.rules))
+        recorder.count("rewrite.vector.rules", len(schedule.rules))
+    return schedule
+
+
+def _emit_for_loop(schedule: RewriteSchedule, fa,
+                   result: LoopAnalysisResult, legality: VectorLegality,
+                   ordinal: int) -> None:
+    loop = result.loop
+    iterator = result.induction.iterator
+    ssa = fa.ssa
+    assert ssa is not None and loop.preheader is not None
+
+    meta = VectorMeta(
+        loop_id=result.loop_id,
+        header_addr=loop.header,
+        preheader_addr=loop.preheader,
+        exit_target=iterator.exit_target,
+        iterator_var=encode_var(iterator.iv.var),
+        step=iterator.iv.step,
+        cond=iterator.cond,
+        test_offset=iterator.test_offset,
+        test_position=iterator.test_position,
+        bound_form=_bound_form(iterator),
+        cmp_address=iterator.cmp_address,
+        iv_operand_index=iterator.iv_operand_index,
+        delta_header=ssa.rsp_deltas[loop.header],
+        lanes=legality.lanes,
+        ordinal=ordinal,
+        broadcast_regs=list(legality.broadcast_regs),
+    )
+    meta_index = schedule.add_record(meta.to_record())
+
+    preheader_anchor = fa.cfg.blocks[loop.preheader].terminator.address
+    schedule.add_rule(preheader_anchor, RuleID.VECT_INIT, meta_index)
+    schedule.add_rule(iterator.cmp_address, RuleID.VECT_BOUND, meta_index)
+    for address in legality.convert_addresses:
+        schedule.add_rule(address, RuleID.VECT_CONVERT, legality.lanes)
+    assert legality.iv_update_address is not None
+    schedule.add_rule(legality.iv_update_address,
+                      RuleID.VECT_INDUCTION_UPDATE, legality.lanes)
+    schedule.add_rule(iterator.exit_target, RuleID.VECT_FINISH, meta_index)

@@ -213,6 +213,91 @@ class BoundsCheckDesc:
 
 
 @dataclass
+class VectorMeta:
+    """Everything the runtime needs to run one loop's packed rewrite.
+
+    Mirrors the iterator/bound description of :class:`LoopMeta` (the
+    VECT_INIT trap re-reads the live bound exactly like LOOP_ENTER does)
+    plus the vector-specific facts: lane width, the scratch-word ordinal
+    holding the packed bound, and the invariant xmm registers whose lane 0
+    is broadcast across the packed lanes for the duration of the loop.
+    """
+
+    loop_id: int
+    header_addr: int
+    preheader_addr: int
+    exit_target: int
+    iterator_var: tuple
+    step: int
+    cond: str
+    test_offset: int
+    test_position: str
+    bound_form: tuple
+    cmp_address: int
+    iv_operand_index: int
+    delta_header: int
+    lanes: int
+    # Index of this loop's packed-bound scratch word (see dbm/runtime.py).
+    ordinal: int
+    broadcast_regs: list[int] = field(default_factory=list)
+
+    def to_record(self):
+        return ("vec", self.loop_id, self.header_addr, self.preheader_addr,
+                self.exit_target, self.iterator_var, self.step, self.cond,
+                self.test_offset, self.test_position, self.bound_form,
+                self.cmp_address, self.iv_operand_index, self.delta_header,
+                self.lanes, self.ordinal, self.broadcast_regs)
+
+    @classmethod
+    def from_record(cls, rec) -> "VectorMeta":
+        (_, loop_id, header_addr, preheader_addr, exit_target, iterator_var,
+         step, cond, test_offset, test_position, bound_form, cmp_address,
+         iv_operand_index, delta_header, lanes, ordinal, broadcast) = rec
+        return cls(
+            loop_id=loop_id,
+            header_addr=header_addr,
+            preheader_addr=preheader_addr,
+            exit_target=exit_target,
+            iterator_var=tuple(iterator_var),
+            step=step,
+            cond=cond,
+            test_offset=test_offset,
+            test_position=test_position,
+            bound_form=tuple(bound_form),
+            cmp_address=cmp_address,
+            iv_operand_index=iv_operand_index,
+            delta_header=delta_header,
+            lanes=lanes,
+            ordinal=ordinal,
+            broadcast_regs=list(broadcast),
+        )
+
+
+@dataclass
+class PrefetchDesc:
+    """A MEM_PREFETCH payload: where the hint aims relative to its access.
+
+    ``stride`` is the covered access's per-iteration advance in bytes and
+    ``distance`` the hint distance in iterations, so the inserted PREFETCH
+    targets the access's address displaced by ``stride * distance``.
+    """
+
+    loop_id: int
+    access_address: int
+    stride: int
+    distance: int
+
+    def to_record(self):
+        return ("pf", self.loop_id, self.access_address, self.stride,
+                self.distance)
+
+    @classmethod
+    def from_record(cls, rec) -> "PrefetchDesc":
+        return cls(loop_id=rec[1], access_address=rec[2], stride=rec[3],
+                   distance=rec[4])
+
+
+@dataclass
 class LoopMeta:
     """Everything the runtime needs to execute one loop in parallel."""
 

@@ -1,10 +1,15 @@
 """Rewrite-rule IDs and the fixed-length rule structure (paper Fig. 3).
 
-Six profiling rules and twelve parallelisation rules.  Every rule is a
-fixed-length record: a 64-bit trigger address in the original binary, a
-16-bit rule ID, and a 64-bit data field whose meaning is rule-specific —
-either an immediate (register number, slot offset) or an index into the
-schedule's data pool.
+Six profiling rules, twelve parallelisation rules, and the vectorisation /
+prefetch families (upstream Janus's ``-v`` and ``-f`` modes share this same
+schedule interface).  Every rule is a fixed-length record: a 64-bit trigger
+address in the original binary, a 16-bit rule ID, and a 64-bit data field
+whose meaning is rule-specific — either an immediate (register number, slot
+offset, lane count) or an index into the schedule's data pool.
+
+Rule families are *registered*: tools that grow new families call
+:func:`register_rule_family` and their IDs survive serialisation even on
+readers that predate the family's :class:`RuleID` members.
 """
 
 from __future__ import annotations
@@ -39,6 +44,16 @@ class RuleID(IntEnum):
     TX_START = 20          # start a software transaction
     TX_FINISH = 21         # validate and commit a software transaction
 
+    # -- vectorisation rules (upstream -v mode) ----------------------------
+    VECT_INIT = 30         # runtime trap: compute packed trip split
+    VECT_BOUND = 31        # point the loop compare at the packed bound word
+    VECT_CONVERT = 32      # widen one scalar FP op to its packed form
+    VECT_INDUCTION_UPDATE = 33  # scale the induction step by the lane count
+    VECT_FINISH = 34       # runtime trap: run the scalar epilogue peel
+
+    # -- prefetch rules (upstream -f mode) --------------------------------
+    MEM_PREFETCH = 40      # insert a PREFETCH hint ahead of a striding access
+
 
 PROFILING_RULES = frozenset((
     RuleID.PROF_LOOP_START, RuleID.PROF_LOOP_FINISH, RuleID.PROF_LOOP_ITER,
@@ -52,6 +67,46 @@ PARALLEL_RULES = frozenset((
     RuleID.MEM_PRIVATISE, RuleID.MEM_BOUNDS_CHECK, RuleID.MEM_SPILL_REG,
     RuleID.MEM_RECOVER_REG, RuleID.TX_START, RuleID.TX_FINISH,
 ))
+
+VECTOR_RULES = frozenset((
+    RuleID.VECT_INIT, RuleID.VECT_BOUND, RuleID.VECT_CONVERT,
+    RuleID.VECT_INDUCTION_UPDATE, RuleID.VECT_FINISH,
+))
+
+PREFETCH_RULES = frozenset((RuleID.MEM_PREFETCH,))
+
+# name -> frozenset of integer rule IDs.  The four built-in families are
+# always present; extensions register theirs so their IDs round-trip
+# through (de)serialisation and lint as WARNING rather than ERROR.
+RULE_FAMILIES: dict[str, frozenset[int]] = {
+    "profiling": frozenset(int(r) for r in PROFILING_RULES),
+    "parallel": frozenset(int(r) for r in PARALLEL_RULES),
+    "vector": frozenset(int(r) for r in VECTOR_RULES),
+    "prefetch": frozenset(int(r) for r in PREFETCH_RULES),
+}
+
+
+def register_rule_family(name: str, rule_ids) -> None:
+    """Register (or extend) a rule family by name.
+
+    IDs need not be :class:`RuleID` members: registered non-member IDs
+    survive :meth:`RewriteRule.unpack` as plain ints instead of raising,
+    so schedules carrying a newer tool's rules still round-trip here.
+    """
+    ids = frozenset(int(r) for r in rule_ids)
+    for value in ids:
+        if not 0 <= value < 2 ** 16:
+            raise ValueError(f"rule id {value} does not fit in 16 bits")
+    RULE_FAMILIES[name] = RULE_FAMILIES.get(name, frozenset()) | ids
+
+
+def registered_rule_ids() -> frozenset[int]:
+    """Every rule ID belonging to any registered family."""
+    ids: frozenset[int] = frozenset()
+    for family in RULE_FAMILIES.values():
+        ids |= family
+    return ids
+
 
 _RULE_STRUCT = struct.Struct("<QHq")
 RULE_SIZE = _RULE_STRUCT.size  # 18 bytes
@@ -85,8 +140,13 @@ class RewriteRule:
         try:
             rule_id = RuleID(rule_id)
         except ValueError:
-            raise ScheduleFormatError(
-                f"unknown rule id {rule_id} at offset {offset}") from None
+            # Unknown-but-registered IDs round-trip as plain ints so a
+            # reader without the family's enum members still preserves
+            # the schedule byte-for-byte (the linter downgrades these to
+            # WARNING); anything unregistered is a format error.
+            if rule_id not in registered_rule_ids():
+                raise ScheduleFormatError(
+                    f"unknown rule id {rule_id} at offset {offset}") from None
         return cls(address=address, rule_id=rule_id, data=data)
 
     @classmethod
@@ -99,4 +159,5 @@ class RewriteRule:
         return cls.unpack(raw)
 
     def __repr__(self) -> str:
-        return f"<{self.rule_id.name} @{self.address:#x} data={self.data}>"
+        name = getattr(self.rule_id, "name", f"RULE_{int(self.rule_id)}")
+        return f"<{name} @{self.address:#x} data={self.data}>"

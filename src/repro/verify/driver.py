@@ -5,8 +5,10 @@
 turns the verifier loose on every artefact it produced:
 
 * tier 1 — IR invariants over every analysed function;
-* tier 2 — the schedule linter over both the coverage-profiling schedule
-  and the full JANUS-mode parallel schedule;
+* tier 2 — the schedule linter over the coverage-profiling schedule, the
+  full JANUS-mode parallel schedule and the vector/prefetch schedules,
+  plus a differential replay of the latter two families against the plain
+  DBM (any observable divergence is confirmed unsoundness);
 * tier 3 — the DOALL oracle replaying every claimed-independent loop
   against the training inputs.
 
@@ -17,10 +19,14 @@ telemetry is enabled.
 
 from __future__ import annotations
 
+from repro.dbm.modifier import run_under_dbm
+from repro.jbin.loader import load
 from repro.pipeline.janus import Janus, JanusConfig, SelectionMode
+from repro.rewrite.gen_prefetch import generate_prefetch_schedule
 from repro.rewrite.gen_profile import COVERAGE_STAGE, generate_profile_schedule
+from repro.rewrite.gen_vector import generate_vector_schedule
 from repro.telemetry.core import get_recorder
-from repro.verify.findings import VerifyReport, VerifyStats
+from repro.verify.findings import Finding, Severity, VerifyReport, VerifyStats
 from repro.verify.invariants import check_analysis
 from repro.verify.lint_schedule import lint_schedule
 from repro.verify.oracle import (
@@ -65,15 +71,59 @@ def verify_workload(name: str, *, train: bool = True,
         if train:
             training = janus.train(list(workload.train_inputs))
 
-        # Tier 2: both schedules the pipeline emits.
+        # Tier 2: every schedule family the pipeline can emit.
+        vector_schedule = generate_vector_schedule(analysis)
+        prefetch_schedule = generate_prefetch_schedule(analysis)
         with recorder.span("verify.lint", cat="verify") as span:
             for schedule in (
                     generate_profile_schedule(analysis, stage=COVERAGE_STAGE),
-                    janus.build_schedule(SelectionMode.JANUS, training)):
+                    janus.build_schedule(SelectionMode.JANUS, training),
+                    vector_schedule,
+                    prefetch_schedule):
                 report.findings.extend(lint_schedule(analysis, schedule))
                 report.rules_linted += len(schedule)
                 stats.schedules_linted += 1
             span.set(rules=report.rules_linted)
+
+        # Tier 2b: differential replay of the vector/prefetch rewrites.
+        # These families must be observationally invisible — same output
+        # bytes, same exit code as the plain DBM; a divergence is a
+        # demonstrated wrong answer, the same standard the DOALL oracle
+        # applies to parallel schedules.
+        families = [(family, schedule) for family, schedule in
+                    (("vector", vector_schedule),
+                     ("prefetch", prefetch_schedule)) if len(schedule)]
+        if families:
+            with recorder.span("verify.modediff", cat="verify") as span:
+                reference = run_under_dbm(
+                    load(image, inputs=list(workload.train_inputs)),
+                    max_instructions=config.max_instructions)
+                diverged = 0
+                for family, schedule in families:
+                    result = run_under_dbm(
+                        load(image, inputs=list(workload.train_inputs)),
+                        schedule=schedule,
+                        max_instructions=config.max_instructions)
+                    same = (result.output_text == reference.output_text
+                            and result.exit_code == reference.exit_code)
+                    if same:
+                        report.findings.append(Finding(
+                            tier="oracle", check=f"modediff.{family}",
+                            severity=Severity.INFO, location=family,
+                            message=f"{len(schedule)} {family} rules: "
+                                    f"observable results identical to the "
+                                    f"scalar reference"))
+                    else:
+                        diverged += 1
+                        report.findings.append(Finding(
+                            tier="oracle", check=f"modediff.{family}",
+                            severity=Severity.CONFIRMED_UNSOUND,
+                            location=family,
+                            message=f"{family} rewrite diverged from the "
+                                    f"scalar reference (exit "
+                                    f"{result.exit_code} vs "
+                                    f"{reference.exit_code})"))
+                span.set(families=len(families), diverged=diverged)
 
         # Tier 3: replay the DOALL claims against the training inputs.
         claimed = claimed_doall_loops(analysis)

@@ -10,12 +10,15 @@ instruction replacements, and byte-round-trip through the on-disk format.
 
 from __future__ import annotations
 
-from repro.rewrite.metadata import LoopMeta
+from repro.rewrite.metadata import LoopMeta, VectorMeta
 from repro.rewrite.rules import (
     PARALLEL_RULES,
+    PREFETCH_RULES,
     PROFILING_RULES,
+    VECTOR_RULES,
     RewriteRule,
     RuleID,
+    registered_rule_ids,
 )
 from repro.rewrite.schedule import RewriteSchedule, ScheduleError
 from repro.verify.findings import Finding, Severity
@@ -37,7 +40,15 @@ _POOL_TAG = {
     RuleID.MEM_BOUNDS_CHECK: "bc",
     RuleID.TX_START: "loop",
     RuleID.TX_FINISH: "loop",
+    RuleID.VECT_INIT: "vec",
+    RuleID.VECT_BOUND: "vec",
+    RuleID.VECT_FINISH: "vec",
+    RuleID.MEM_PREFETCH: "pf",
 }
+
+# Rules whose data field is a lane count, not a pool index.
+_LANE_COUNT_RULES = frozenset((RuleID.VECT_CONVERT,
+                               RuleID.VECT_INDUCTION_UPDATE))
 
 # Rules whose data field is a loop id.
 _LOOP_ID_RULES = frozenset((RuleID.PROF_LOOP_START, RuleID.PROF_LOOP_ITER,
@@ -46,9 +57,12 @@ _LOOP_ID_RULES = frozenset((RuleID.PROF_LOOP_START, RuleID.PROF_LOOP_ITER,
 # Rules that *replace* the triggering instruction in the code cache (see
 # repro.dbm.handlers): two of these on one address cannot both apply.
 _REPLACING_RULES = frozenset((RuleID.LOOP_UPDATE_BOUND,
-                              RuleID.MEM_MAIN_STACK, RuleID.MEM_PRIVATISE))
+                              RuleID.MEM_MAIN_STACK, RuleID.MEM_PRIVATISE,
+                              RuleID.VECT_BOUND, RuleID.VECT_CONVERT,
+                              RuleID.VECT_INDUCTION_UPDATE))
 
-_KNOWN_RULES = PROFILING_RULES | PARALLEL_RULES
+_KNOWN_RULES = (PROFILING_RULES | PARALLEL_RULES | VECTOR_RULES
+                | PREFETCH_RULES)
 
 
 def _finding(check: str, location: str, message: str,
@@ -74,9 +88,19 @@ def lint_schedule(analysis, schedule: RewriteSchedule) -> list[Finding]:
         name = getattr(rule.rule_id, "name", str(rule.rule_id))
         loc = f"rule {i} ({name} @{rule.address:#x})"
         if rule.rule_id not in _KNOWN_RULES:
-            findings.append(_finding(
-                "rule.unknown-id", loc,
-                f"rule id {int(rule.rule_id)} is not a known RuleID"))
+            if int(rule.rule_id) in registered_rule_ids():
+                # A registered extension family: the DBM will route it to
+                # its registered handler, so it is not a format error, but
+                # the linter has no contract to check against.
+                findings.append(_finding(
+                    "rule.extension-id", loc,
+                    f"rule id {int(rule.rule_id)} belongs to a registered "
+                    f"extension family; no placement contract checked",
+                    severity=Severity.WARNING))
+            else:
+                findings.append(_finding(
+                    "rule.unknown-id", loc,
+                    f"rule id {int(rule.rule_id)} is not a known RuleID"))
             continue
         if rule.address not in instructions:
             findings.append(_finding(
@@ -104,10 +128,17 @@ def lint_schedule(analysis, schedule: RewriteSchedule) -> list[Finding]:
                     "rule.operand-range", loc,
                     f"loop id {rule.data} out of range "
                     f"(binary has {n_loops} loops)"))
+        elif rule.rule_id in _LANE_COUNT_RULES:
+            if rule.data not in (2, 4):
+                findings.append(_finding(
+                    "rule.operand-range", loc,
+                    f"lane count {rule.data} is not a supported packed "
+                    f"width (2 or 4)"))
 
     findings.extend(_check_conflicts(schedule))
     findings.extend(_check_parallel_pairing(analysis, schedule))
     findings.extend(_check_profile_pairing(analysis, schedule))
+    findings.extend(_check_vector_pairing(analysis, schedule))
     return findings
 
 
@@ -333,6 +364,64 @@ def _check_profile_pairing(analysis, schedule: RewriteSchedule
         _by_record(schedule, RuleID.PROF_EXCALL_START),
         _by_record(schedule, RuleID.PROF_EXCALL_FINISH),
         "PROF_EXCALL_START", "PROF_EXCALL_FINISH", "rule.excall-pairing"))
+    return findings
+
+
+# -- vector-rule pairing and placement -----------------------------------------
+
+def _check_vector_pairing(analysis, schedule: RewriteSchedule
+                          ) -> list[Finding]:
+    """VECT_INIT/VECT_FINISH bracket one loop; BOUND sits on the cmp."""
+    findings: list[Finding] = []
+    inits = _by_record(schedule, RuleID.VECT_INIT)
+    bounds = _by_record(schedule, RuleID.VECT_BOUND)
+    finishes = _by_record(schedule, RuleID.VECT_FINISH)
+    for meta_index in sorted(set(inits) | set(bounds) | set(finishes)):
+        loc = f"vector meta {meta_index}"
+        n_init = len(inits.get(meta_index, ()))
+        n_finish = len(finishes.get(meta_index, ()))
+        if n_init != 1 or n_finish != 1:
+            findings.append(_finding(
+                "rule.vect-pairing", loc,
+                f"VECT_INIT x{n_init} / VECT_FINISH x{n_finish} for one "
+                f"vector metadata record (expected exactly one of each)"))
+            continue
+        try:
+            meta = VectorMeta.from_record(schedule.record(meta_index))
+        except Exception as exc:
+            findings.append(_finding(
+                "rule.vect-meta", loc,
+                f"vector metadata record does not decode: {exc}"))
+            continue
+        if meta.lanes not in (2, 4):
+            findings.append(_finding(
+                "rule.vect-meta", loc,
+                f"lane count {meta.lanes} is not a supported packed width"))
+        try:
+            anchor, header, exits = _loop_anchors(analysis, meta.loop_id)
+        except (IndexError, KeyError):
+            findings.append(_finding(
+                "rule.vect-meta", loc,
+                f"metadata names unknown loop id {meta.loop_id}"))
+            continue
+        init = inits[meta_index][0]
+        finish = finishes[meta_index][0]
+        if anchor is not None and init.address != anchor:
+            findings.append(_finding(
+                "rule.vect-init-placement", loc,
+                f"VECT_INIT at {init.address:#x}, expected the loop-entry "
+                f"(preheader terminator) address {anchor:#x}"))
+        if finish.address != meta.exit_target:
+            findings.append(_finding(
+                "rule.vect-finish-placement", loc,
+                f"VECT_FINISH at {finish.address:#x}, expected the loop "
+                f"exit target {meta.exit_target:#x}"))
+        for rule in bounds.get(meta_index, ()):
+            if rule.address != meta.cmp_address:
+                findings.append(_finding(
+                    "rule.vect-bound-placement", loc,
+                    f"VECT_BOUND at {rule.address:#x}, expected the "
+                    f"iterator cmp {meta.cmp_address:#x}"))
     return findings
 
 

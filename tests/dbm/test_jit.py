@@ -326,6 +326,29 @@ def test_opcode_sweep(op):
         assert_equivalent(lambda: load(image))
 
 
+def test_prefetch_hint():
+    """PREFETCH evaluates its address operand but changes no state.
+
+    The hint may legitimately target memory outside any mapped buffer
+    (the rewrite rules add a stride*distance offset), so one case aims
+    far past wbuf on purpose.
+    """
+    for seed in (1, 2, 3):
+        rng = random.Random(seed)
+        a = Assembler()
+        _sweep_prologue(a, rng)
+        for _ in range(8):
+            a.emit(O.PREFETCH, _mem_operand(rng))
+            _emit_int_case(a, rng, rng.choice((O.ADD, O.MOV, O.IMUL)))
+            a.emit(O.PREFETCH, _mem_operand(rng, base=_FBUF_BASE))
+            _emit_fp_case(a, rng, rng.choice((O.ADDSD, O.MOVSD)))
+        a.emit(O.PREFETCH, Mem(base=_WBUF_BASE, disp=8 * 100_000))
+        a.emit(O.PREFETCH, Mem(base=None, disp=8))
+        _sweep_epilogue(a)
+        image = a.assemble(entry="_start")
+        assert_equivalent(lambda: load(image))
+
+
 def test_stack_ops():
     """PUSH/POP with register, immediate and memory operands."""
     for seed in (1, 2, 3):
@@ -471,7 +494,7 @@ def test_sweep_covers_every_opcode():
     covered = set(_INT_ALU) | set(_FP_ALU) | set(_PACKED_ALU)
     covered |= {O.PUSH, O.POP, O.JMP, O.JE, O.JNE, O.JL, O.JLE, O.JG,
                 O.JGE, O.JMPI, O.CALL, O.CALLI, O.RET, O.SYSCALL, O.NOP,
-                O.HLT}
+                O.HLT, O.PREFETCH}
     missing = set(O) - covered - {O.RTCALL}
     assert not missing, sorted(op.name for op in missing)
 

@@ -1,0 +1,282 @@
+"""Vector rewrite mode: legality gating, trip splitting and execution.
+
+The packed rewrite must be observationally invisible: every test that
+runs a vectorised schedule compares outputs, exit code and the touched
+memory words against the plain-DBM scalar reference.
+"""
+
+import pytest
+
+from repro.analysis import LoopCategory, analyze_image
+from repro.analysis.classify import assess_vector_legality
+from repro.analysis.induction import vector_trip_split
+from repro.dbm.modifier import JanusDBM, run_under_dbm
+from repro.dbm.runtime import ParallelRuntime
+from repro.isa import Opcode as O
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import R
+from repro.jbin import layout
+from repro.jbin.asm import Assembler
+from repro.jbin.loader import load
+from repro.rewrite.gen_parallel import GenerationError
+from repro.rewrite.gen_vector import (
+    generate_vector_schedule,
+    vector_candidates,
+)
+from repro.rewrite.rules import RuleID
+
+A = layout.DATA_BASE
+B = layout.DATA_BASE + 0x10000
+
+
+def _seed(a, n):
+    """a[i] = float(i) for i in range(n) — not vectorisable (CVTSI2SD)."""
+    a.emit(O.MOV, Reg(R.rcx), Imm(0))
+    a.label("init")
+    a.emit(O.CVTSI2SD, Reg(R.xmm0), Reg(R.rcx))
+    a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=A), Reg(R.xmm0))
+    a.emit(O.INC, Reg(R.rcx))
+    a.emit(O.CMP, Reg(R.rcx), Imm(n))
+    a.emit(O.JL, Label("init"))
+
+
+def _image(body, seed_n=64):
+    a = Assembler()
+    a.label("_start")
+    _seed(a, seed_n)
+    a.emit(O.MOV, Reg(R.rax), Imm(3))
+    a.emit(O.CVTSI2SD, Reg(R.xmm1), Reg(R.rax))
+    body(a)
+    a.emit(O.RET)
+    return a.assemble(entry="_start")
+
+
+def _doall_body(n, step=1, updater="inc"):
+    """b[i] = a[i] * 3 + a[i] * 3 over i in range(0, n, step)."""
+    def body(a):
+        a.emit(O.MOV, Reg(R.rcx), Imm(0))
+        a.label("loop")
+        a.emit(O.MOVSD, Reg(R.xmm0), Mem(index=R.rcx, scale=8, disp=A))
+        a.emit(O.MULSD, Reg(R.xmm0), Reg(R.xmm1))
+        a.emit(O.ADDSD, Reg(R.xmm0), Reg(R.xmm0))
+        a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=B), Reg(R.xmm0))
+        if updater == "inc":
+            a.emit(O.INC, Reg(R.rcx))
+        elif updater == "lea":
+            a.emit(O.LEA, Reg(R.rcx), Mem(base=R.rcx, disp=step))
+        else:
+            a.emit(O.ADD, Reg(R.rcx), Imm(step))
+        a.emit(O.CMP, Reg(R.rcx), Imm(n))
+        a.emit(O.JL, Label("loop"))
+    return body
+
+
+def _verdict_for_doall(image):
+    analysis = analyze_image(image)
+    verdicts = [v for v in vector_candidates(analysis)
+                if analysis.loop(v.loop_id).category
+                is not LoopCategory.STATIC_DEPENDENCE or not v.ok]
+    # The seeding loop always rejects; the loop under test is the last one.
+    return analysis, verdicts[-1]
+
+
+def _run_pair(image, n, inputs=None):
+    """(reference, vectorised) execution results plus the schedule."""
+    analysis = analyze_image(image)
+    schedule = generate_vector_schedule(analysis)
+    ref = run_under_dbm(load(image, inputs=inputs))
+    vec = run_under_dbm(load(image, inputs=inputs), schedule=schedule)
+    ref_words = [ref.machine.memory.read(B + 8 * i) for i in range(n)]
+    vec_words = [vec.machine.memory.read(B + 8 * i) for i in range(n)]
+    assert vec_words == ref_words
+    assert vec.outputs == ref.outputs
+    assert vec.exit_code == ref.exit_code
+    return ref, vec, schedule
+
+
+# -- legality gating ----------------------------------------------------------
+
+def test_unit_stride_doall_is_legal_four_lanes_aligned():
+    image = _image(_doall_body(64))
+    analysis, verdict = _verdict_for_doall(image)
+    assert verdict.ok
+    assert verdict.lanes == 4
+    assert verdict.aligned
+    assert len(verdict.convert_addresses) == 4
+    assert verdict.iv_update_address is not None
+    # xmm1 is read without a prior packed definition: a broadcast.
+    assert R.xmm1 in verdict.broadcast_regs
+
+
+def test_negative_stride_rejected():
+    def body(a):
+        a.emit(O.MOV, Reg(R.rcx), Imm(63))
+        a.label("loop")
+        a.emit(O.MOVSD, Reg(R.xmm0), Mem(index=R.rcx, scale=8, disp=A))
+        a.emit(O.MULSD, Reg(R.xmm0), Reg(R.xmm1))
+        a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=B), Reg(R.xmm0))
+        a.emit(O.DEC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(0))
+        a.emit(O.JGE, Label("loop"))
+    _analysis, verdict = _verdict_for_doall(_image(body))
+    assert not verdict.ok
+    assert any("step -1" in reason for reason in verdict.reasons)
+
+
+def test_non_unit_stride_rejected():
+    _analysis, verdict = _verdict_for_doall(
+        _image(_doall_body(64, step=2, updater="add")))
+    assert not verdict.ok
+    assert any("step 2" in reason for reason in verdict.reasons)
+
+
+def _overlap_image(read_offset):
+    """b[i] = b[i + k] * 3: carried dependence at distance k words."""
+    def body(a):
+        a.emit(O.MOV, Reg(R.rcx), Imm(0))
+        a.label("loop")
+        a.emit(O.MOVSD, Reg(R.xmm0),
+               Mem(index=R.rcx, scale=8, disp=B + read_offset))
+        a.emit(O.MULSD, Reg(R.xmm0), Reg(R.xmm1))
+        a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=B), Reg(R.xmm0))
+        a.emit(O.INC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(56))
+        a.emit(O.JL, Label("loop"))
+    return _image(body)
+
+
+def test_loop_carried_overlap_rejected_by_classifier():
+    # The classifier proves the cross-iteration dependence, so the loop
+    # never reaches the width check in the first place.
+    _analysis, verdict = _verdict_for_doall(_overlap_image(16))
+    assert not verdict.ok
+    assert any("static DOALL" in reason for reason in verdict.reasons)
+
+
+def test_overlap_width_check_is_defense_in_depth():
+    # Force the category past the classifier to confirm the width check
+    # independently gates overlapping write/read pairs: a two-word gap
+    # caps the width at two lanes, a one-word gap rejects outright.
+    for offset, expect_ok, expect_lanes in ((16, True, 2), (8, False, 0)):
+        analysis = analyze_image(_overlap_image(offset))
+        result = analysis.loops[-1]
+        result.category = LoopCategory.STATIC_DOALL
+        fa = analysis.function_of_loop(result)
+        verdict = assess_vector_legality(result, fa.cfg)
+        assert verdict.ok is expect_ok
+        if expect_ok:
+            assert verdict.lanes == expect_lanes
+        else:
+            assert any("overlaps within the vector width" in reason
+                       for reason in verdict.reasons)
+
+
+def test_unaligned_loop_falls_back_to_two_lanes():
+    # B + 8 shifts every access off 32-byte alignment at iteration zero.
+    def body(a):
+        a.emit(O.MOV, Reg(R.rcx), Imm(0))
+        a.label("loop")
+        a.emit(O.MOVSD, Reg(R.xmm0),
+               Mem(index=R.rcx, scale=8, disp=A + 8))
+        a.emit(O.MULSD, Reg(R.xmm0), Reg(R.xmm1))
+        a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=B + 8), Reg(R.xmm0))
+        a.emit(O.INC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(60))
+        a.emit(O.JL, Label("loop"))
+    _analysis, verdict = _verdict_for_doall(_image(body))
+    assert verdict.ok
+    assert not verdict.aligned
+    assert verdict.lanes == 2
+
+
+# -- trip splitting -----------------------------------------------------------
+
+def test_vector_trip_split_always_peels_an_epilogue():
+    for total in range(1, 40):
+        for lanes in (2, 4):
+            packed, remainder = vector_trip_split(total, lanes)
+            assert packed * lanes + remainder == total
+            assert 1 <= remainder <= lanes
+            assert packed >= 0
+
+
+def test_vector_trip_split_small_and_exact_counts():
+    assert vector_trip_split(1, 4) == (0, 1)
+    assert vector_trip_split(3, 4) == (0, 3)
+    assert vector_trip_split(4, 4) == (0, 4)   # exact: still one full peel
+    assert vector_trip_split(5, 4) == (1, 1)
+    assert vector_trip_split(8, 2) == (3, 2)
+
+
+def test_vector_trip_split_rejects_degenerate_inputs():
+    with pytest.raises(ValueError):
+        vector_trip_split(0, 4)
+    with pytest.raises(ValueError):
+        vector_trip_split(8, 1)
+
+
+# -- schedule generation ------------------------------------------------------
+
+def test_schedule_shape_for_legal_loop():
+    analysis = analyze_image(_image(_doall_body(64)))
+    schedule = generate_vector_schedule(analysis)
+    kinds = sorted(r.rule_id.name for r in schedule.rules)
+    assert kinds == ["VECT_BOUND", "VECT_CONVERT", "VECT_CONVERT",
+                     "VECT_CONVERT", "VECT_CONVERT", "VECT_FINISH",
+                     "VECT_INDUCTION_UPDATE", "VECT_INIT"]
+    lanes = {r.data for r in schedule.rules
+             if r.rule_id in (RuleID.VECT_CONVERT,
+                              RuleID.VECT_INDUCTION_UPDATE)}
+    assert lanes == {4}
+
+
+def test_explicit_selection_of_illegal_loop_raises():
+    analysis = analyze_image(_image(_doall_body(64, step=2, updater="add")))
+    illegal = [v.loop_id for v in vector_candidates(analysis) if not v.ok]
+    with pytest.raises(GenerationError):
+        generate_vector_schedule(analysis, selected_loop_ids=illegal[:1])
+
+
+# -- execution differentials --------------------------------------------------
+
+def test_vectorised_run_bit_identical_even_multiple():
+    _run_pair(_image(_doall_body(64)), 64)
+
+
+def test_vectorised_run_bit_identical_odd_trip_count():
+    # 61 = 15 packed chunks of 4 + a 1-iteration scalar epilogue.
+    _run_pair(_image(_doall_body(61)), 61)
+
+
+def test_trip_count_below_lane_width_takes_scalar_fallback():
+    image = _image(_doall_body(3))
+    analysis = analyze_image(image)
+    schedule = generate_vector_schedule(analysis)
+    ref = run_under_dbm(load(image))
+    dbm = JanusDBM(load(image), schedule=schedule)
+    ParallelRuntime(dbm)
+    vec = dbm.run()
+    assert [vec.machine.memory.read(B + 8 * i) for i in range(3)] \
+        == [ref.machine.memory.read(B + 8 * i) for i in range(3)]
+    assert vec.exit_code == ref.exit_code
+    counters = dbm.registry.counters
+    assert counters["runtime.vector.scalar_fallbacks"] >= 1
+    assert counters.get("runtime.vector.packed_invocations", 0) == 0
+
+
+def test_packed_invocation_and_epilogue_counters():
+    image = _image(_doall_body(64))
+    schedule = generate_vector_schedule(analyze_image(image))
+    dbm = JanusDBM(load(image), schedule=schedule)
+    ParallelRuntime(dbm)
+    dbm.run()
+    counters = dbm.registry.counters
+    assert counters["runtime.vector.packed_invocations"] == 1
+    # 64 trips at 4 lanes: 15 packed chunks + a 4-iteration peel.
+    assert counters["runtime.vector.epilogue_peels"] == 4
+
+
+def test_vectorised_run_reduces_cycles():
+    ref, vec, _schedule = _run_pair(_image(_doall_body(256), seed_n=256),
+                                    256)
+    assert vec.cycles < ref.cycles

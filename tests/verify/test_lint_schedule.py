@@ -6,11 +6,14 @@ from repro.isa.operands import Label
 from repro.isa.registers import R
 from repro.rewrite import (
     generate_parallel_schedule,
+    generate_prefetch_schedule,
     generate_profile_schedule,
+    generate_vector_schedule,
 )
 from repro.rewrite.gen_profile import COVERAGE_STAGE, DEPENDENCE_STAGE
-from repro.rewrite.rules import RewriteRule, RuleID
+from repro.rewrite.rules import RewriteRule, RuleID, register_rule_family
 from repro.verify import lint_schedule
+from repro.verify.findings import Severity
 
 from tests.analysis.conftest import assemble
 
@@ -24,6 +27,37 @@ def doall_image():
         a.emit(O.MOV, RCX, Imm(0))
         a.label("loop")
         a.emit(O.MOV, Mem(index=R.rcx, scale=8, disp=Label("arr")), RCX)
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("loop"))
+        a.emit(O.RET)
+
+    return assemble(build)
+
+
+def fp_doall_image():
+    """A floating-point DOALL body the vector legality whitelist accepts."""
+    def build(a):
+        a.space("src", 64 * 8)
+        a.space("dst", 64 * 8)
+        a.label("_start")
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("init")
+        a.emit(O.CVTSI2SD, Reg(R.xmm0), RCX)
+        a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=Label("src")),
+               Reg(R.xmm0))
+        a.emit(O.INC, RCX)
+        a.emit(O.CMP, RCX, Imm(64))
+        a.emit(O.JL, Label("init"))
+        a.emit(O.MOV, Reg(R.rax), Imm(3))
+        a.emit(O.CVTSI2SD, Reg(R.xmm1), Reg(R.rax))
+        a.emit(O.MOV, RCX, Imm(0))
+        a.label("loop")
+        a.emit(O.MOVSD, Reg(R.xmm0),
+               Mem(index=R.rcx, scale=8, disp=Label("src")))
+        a.emit(O.MULSD, Reg(R.xmm0), Reg(R.xmm1))
+        a.emit(O.MOVSD, Mem(index=R.rcx, scale=8, disp=Label("dst")),
+               Reg(R.xmm0))
         a.emit(O.INC, RCX)
         a.emit(O.CMP, RCX, Imm(64))
         a.emit(O.JL, Label("loop"))
@@ -51,6 +85,18 @@ class TestCleanSchedules:
     def test_parallel_schedule_lints_clean(self):
         analysis = analyze_image(doall_image())
         schedule = generate_parallel_schedule(analysis, [0])
+        assert lint_schedule(analysis, schedule) == []
+
+    def test_vector_schedule_lints_clean(self):
+        analysis = analyze_image(fp_doall_image())
+        schedule = generate_vector_schedule(analysis)
+        assert len(schedule)  # the compute loop is vectorisable
+        assert lint_schedule(analysis, schedule) == []
+
+    def test_prefetch_schedule_lints_clean(self):
+        analysis = analyze_image(fp_doall_image())
+        schedule = generate_prefetch_schedule(analysis)
+        assert len(schedule)
         assert lint_schedule(analysis, schedule) == []
 
 
@@ -115,6 +161,51 @@ class TestCorruptedSchedules:
         schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
         schedule.text_checksum ^= 0xFFFF
         assert "schedule.checksum" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_registered_extension_id_warns_instead_of_erroring(self):
+        register_rule_family("lint-extension", {88})
+        analysis = analyze_image(doall_image())
+        schedule = generate_profile_schedule(analysis, stage=COVERAGE_STAGE)
+        schedule.rules.append(RewriteRule(
+            address=schedule.rules[0].address, rule_id=88, data=0))
+        findings = lint_schedule(analysis, schedule)
+        extension = [f for f in findings if f.check == "rule.extension-id"]
+        assert len(extension) == 1
+        assert extension[0].severity is Severity.WARNING
+        assert "rule.unknown-id" not in checks(findings)
+
+    def test_missing_vect_finish(self):
+        analysis = analyze_image(fp_doall_image())
+        schedule = generate_vector_schedule(analysis)
+        schedule.rules = [r for r in schedule.rules
+                          if r.rule_id is not RuleID.VECT_FINISH]
+        assert "rule.vect-pairing" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_misplaced_vect_init(self):
+        analysis = analyze_image(fp_doall_image())
+        schedule = generate_vector_schedule(analysis)
+        moved = []
+        for rule in schedule.rules:
+            if rule.rule_id is RuleID.VECT_INIT:
+                target = next(a for a in analysis.disassembly.instructions
+                              if a != rule.address)
+                rule = RewriteRule(address=target, rule_id=rule.rule_id,
+                                   data=rule.data)
+            moved.append(rule)
+        schedule.rules = moved
+        assert "rule.vect-init-placement" in checks(
+            lint_schedule(analysis, schedule))
+
+    def test_vect_lane_count_out_of_range(self):
+        analysis = analyze_image(fp_doall_image())
+        schedule = generate_vector_schedule(analysis)
+        schedule.rules = [
+            RewriteRule(address=r.address, rule_id=r.rule_id, data=3)
+            if r.rule_id is RuleID.VECT_CONVERT else r
+            for r in schedule.rules]
+        assert "rule.operand-range" in checks(
             lint_schedule(analysis, schedule))
 
     def test_linter_never_raises_on_garbage(self):
