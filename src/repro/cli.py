@@ -433,9 +433,14 @@ def _stats_views(payload: dict) -> tuple[dict, dict, dict]:
                  for name, entry in sorted(spans.items())}
         return (metrics.get("counters", {}), metrics.get("gauges", {}),
                 spans)
+    if "metrics" in payload and isinstance(payload["metrics"], dict):
+        # BENCH_*.json perf snapshot: span aggregates + flat metrics.
+        metrics = payload["metrics"]
+        return (metrics.get("counters", {}), metrics.get("gauges", {}),
+                payload.get("spans", {}))
     if "events" in payload:
         payload = aggregate.merge([payload])
-    if "processes" in payload:
+    if isinstance(payload.get("processes"), list):
         metrics = export.metrics(payload)
         return (metrics["counters"], metrics["gauges"],
                 export.span_aggregates(payload))
@@ -455,9 +460,17 @@ def _cmd_stats(args) -> int:
     counters, gauges, spans = _stats_views(payload)
     if counters:
         print("counters")
+
+        def _namespace(key: str) -> str:
+            # The worker shadow tier gets its own section so `repro stats`
+            # surfaces recording/summarisation behaviour at a glance.
+            if key.startswith("runtime.shadow."):
+                return "runtime.shadow"
+            return key.split(".", 1)[0]
+
         group = None
-        for key in sorted(counters):
-            namespace = key.split(".", 1)[0]
+        for key in sorted(counters, key=lambda k: (_namespace(k), k)):
+            namespace = _namespace(key)
             if namespace != group:
                 group = namespace
                 print(f"  [{namespace}]")

@@ -31,10 +31,17 @@ class Block:
     # instrumented variant (mem_hook/transaction threaded through).
     jit_fast: object = field(default=None, repr=False, compare=False)
     jit_inst: object = field(default=None, repr=False, compare=False)
+    # Shadow variant: fast-tier codegen with the parallel runtime's
+    # shadow-memory filter inlined and raw events appended to the
+    # worker's ShadowSink (repro.dbm.shadow).  Compiled per worker
+    # thread (filter bounds and sink are compile-time constants), so
+    # these slots live in the per-thread cache's blocks only.
+    jit_shadow: object = field(default=None, repr=False, compare=False)
     # Superblock tier runner (repro.dbm.superblock): the whole hot loop
     # body stitched into one compiled function with side-exit guards.
     # Only ever entered from the dispatcher's fast path.
     jit_super: object = field(default=None, repr=False, compare=False)
+    jit_super_shadow: object = field(default=None, repr=False, compare=False)
     # Set by the block compiler when the fast runner was built as a
     # self-loop trace; the dispatcher counts entries to such blocks
     # toward superblock promotion (their back edges spin internally and

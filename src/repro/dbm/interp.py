@@ -62,6 +62,13 @@ class Interpreter:
         self.mem_hook = None
         # Active software transaction for the currently executing thread.
         self.active_tx = None
+        # Compiled shadow tracking (repro.dbm.shadow): when a ShadowSink
+        # is installed the dispatcher selects the shadow JIT variants
+        # instead of falling back to the instrumented tier.  Sites in
+        # shadow_summarised are statically proven affine and covered by
+        # per-chunk stride descriptors — the shadow runners skip them.
+        self.shadow_sink = None
+        self.shadow_summarised = frozenset()
         # Force the reference per-instruction dispatch (differential tests).
         self.force_reference = False
         # Trace-cache tier counters (see repro.dbm.jit.JITStats); the

@@ -24,6 +24,18 @@ Two variants exist per block:
   transaction through every memory access *dynamically* (checked per
   access, exactly like the reference ``_exec``), so profiling and STM
   worker runs also execute compiled code.
+* the **shadow** variant (``shadow=True``; selected by the dispatcher when
+  ``interp.shadow_sink`` is installed) keeps the fast variant's direct
+  memory access and linking/tracing, and additionally records shadow
+  events for the parallel runtime: the worker's stack/TLS filter bounds
+  are inlined as compile-time constants and passing addresses are
+  appended to the worker's :class:`~repro.dbm.shadow.ShadowSink` lists —
+  no closure call, no per-lane set insert.  Access sites statically
+  proven affine (``interp.shadow_summarised``) are skipped entirely; the
+  runtime covers them with per-chunk stride descriptors.  Blocks
+  containing RTCALL/SYSCALL compile a *dynamic* shadow form that
+  re-checks the open transaction per access (such a block can close the
+  STM window mid-block); the dispatcher keys on ``__shadow_dynamic__``.
 
 Indirect terminators (``ret``/``jmpi``/``calli``) keep a one-entry inline
 cache mapping the last raw target to its compiled block — DynamoRIO's
@@ -155,7 +167,81 @@ def _instrumented_helpers(interp) -> dict:
     return {"_hr": _hr, "_hw": _hw, "_rat": _rat, "_wat": _wat, "_ph": _ph}
 
 
-def compile_block_fn(block, interp, lookup=None, instrumented=False):
+def _shadow_helpers(interp, sink) -> dict:
+    """Memory helpers for *dynamic* shadow blocks (contain RTCALL/SYSCALL).
+
+    Such a block can open or close a transaction mid-block, so the tx
+    state is re-checked per access.  The hook-mode recording contract is
+    reproduced exactly: accesses under an open transaction are invisible
+    to the shadow, and the worker's own stack/TLS regions are filtered on
+    the base address.
+    """
+    memory_read = interp.machine.memory.read
+    memory_write = interp.machine.memory.write
+    stack_size = layout.THREAD_STACK_SIZE
+    tls_lo, tls_hi = sink.tls_lo, sink.tls_hi
+    stack_lo, stack_hi = sink.stack_lo, sink.stack_hi
+    reads_append = sink.reads.append
+    writes_append = sink.writes.append
+    packed_reads_append = sink.packed_reads.append
+    packed_writes_append = sink.packed_writes.append
+
+    def _sr(ctx, addr):
+        tx = interp.active_tx
+        if tx is None:
+            if (addr <= stack_lo or addr > stack_hi) and (
+                    addr < tls_lo or addr >= tls_hi):
+                reads_append(addr)
+            return memory_read(addr)
+        if not (ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            return tx.read(addr)
+        return memory_read(addr)
+
+    def _sw(ctx, addr, value):
+        tx = interp.active_tx
+        if tx is None:
+            if (addr <= stack_lo or addr > stack_hi) and (
+                    addr < tls_lo or addr >= tls_hi):
+                writes_append(addr)
+            memory_write(addr, value)
+            return
+        if not (ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            tx.write(addr, value)
+            return
+        memory_write(addr, value)
+
+    def _sp(ctx, addr, lanes, is_write):
+        # Packed probe: one base-filtered event covering all lanes (the
+        # hook records one line event at the base plus per-lane words;
+        # the view expands the lanes at query time).
+        if interp.active_tx is None and (
+                addr <= stack_lo or addr > stack_hi) and (
+                addr < tls_lo or addr >= tls_hi):
+            if is_write:
+                packed_writes_append((addr, lanes))
+            else:
+                packed_reads_append((addr, lanes))
+
+    def _rat(ctx, addr):
+        tx = interp.active_tx
+        if tx is not None and not (
+                ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            return tx.read(addr)
+        return memory_read(addr)
+
+    def _wat(ctx, addr, value):
+        tx = interp.active_tx
+        if tx is not None and not (
+                ctx.stack_top - stack_size < addr <= ctx.stack_top):
+            tx.write(addr, value)
+            return
+        memory_write(addr, value)
+
+    return {"_sr": _sr, "_sw": _sw, "_sp": _sp, "_rat": _rat, "_wat": _wat}
+
+
+def compile_block_fn(block, interp, lookup=None, instrumented=False,
+                     shadow=False):
     """Compile ``block`` into a single runner function ``run(ctx)``.
 
     The runner charges the block's static cost, executes the block, and
@@ -174,7 +260,7 @@ def compile_block_fn(block, interp, lookup=None, instrumented=False):
     from repro.dbm.interp import JXRuntimeError
 
     compiler = _BlockCompiler(block, interp, lookup, instrumented,
-                              JXRuntimeError)
+                              JXRuntimeError, shadow=shadow)
     fn = compiler.build()
     stats = interp.jit_stats
     stats.blocks_translated += 1
@@ -186,11 +272,13 @@ def compile_block_fn(block, interp, lookup=None, instrumented=False):
 class _BlockCompiler:
     """Generates the Python source of one block runner and exec-compiles it."""
 
-    def __init__(self, block, interp, lookup, instrumented, error_type):
+    def __init__(self, block, interp, lookup, instrumented, error_type,
+                 shadow=False):
         self.block = block
         self.interp = interp
         self.lookup = lookup
         self.instrumented = instrumented
+        self.shadow = shadow
         self.stats = interp.jit_stats
         process = interp.process
         self.resolve = (process.resolve_target if process is not None
@@ -206,12 +294,44 @@ class _BlockCompiler:
             "_x": interp._exec,
             "_Z4": (0.0, 0.0, 0.0, 0.0),
         }
+        if shadow:
+            # A block with RTCALL/SYSCALL can open or close a transaction
+            # mid-block: its shadow form re-checks the tx per access.  A
+            # block without either is provably tx-free for its whole run
+            # (the dispatcher only selects the static form when no tx is
+            # open at entry) and records through inlined filter constants.
+            sink = interp.shadow_sink
+            self.sink = sink
+            self.summarised = interp.shadow_summarised
+            self.shadow_dynamic = any(
+                ins.opcode in (Opcode.SYSCALL, Opcode.RTCALL)
+                for ins in block.instructions)
+            self._slo, self._shi = sink.stack_lo, sink.stack_hi
+            self._tlo, self._thi = sink.tls_lo, sink.tls_hi
+            # Most heap addresses sit below both excluded regions: one
+            # compare short-circuits the full four-compare filter.
+            self._low = min(sink.stack_lo + 1, sink.tls_lo)
+            self.n_shadow = 0
+        else:
+            self.shadow_dynamic = False
+        # Stack-word accesses (PUSH/POP/CALL/RET spill slots) are never
+        # shadow-recorded (they always hit the worker's own stack) but
+        # still need tx redirection when a transaction can be open.
+        self.stack_guarded = instrumented or self.shadow_dynamic
         if instrumented:
             self.ns.update(_instrumented_helpers(interp))
         else:
             memory = interp.machine.memory
             self.ns["_mr"] = memory.read
             self.ns["_mw"] = memory.write
+            if shadow:
+                if self.shadow_dynamic:
+                    self.ns.update(_shadow_helpers(interp, sink))
+                else:
+                    self.ns["_re"] = sink.reads.append
+                    self.ns["_we"] = sink.writes.append
+                    self.ns["_pre"] = sink.packed_reads.append
+                    self.ns["_pwe"] = sink.packed_writes.append
 
         def _rt(ctx, hid, arg, _interp=interp, _error=error_type):
             handler = _interp.rtcall_handler
@@ -257,6 +377,54 @@ class _BlockCompiler:
             parts.append(str(m.disp))
         return " + ".join(parts)
 
+    # -- shadow recording (see repro.dbm.shadow) ------------------------------
+
+    def shadow_temp(self) -> str:
+        name = f"sa{self.n_shadow}"
+        self.n_shadow += 1
+        return name
+
+    def record_cond(self, var: str) -> str:
+        """The inlined filter: record iff outside own stack and TLS."""
+        return (f"{var} < {self._low} or (({var} <= {self._slo} or "
+                f"{var} > {self._shi}) and ({var} < {self._tlo} or "
+                f"{var} >= {self._thi}))")
+
+    def emit_record(self, var: str, call: str) -> None:
+        self.emit(f"if {self.record_cond(var)}: {call}")
+
+    def shadow_read_expr(self, op, ins: Instruction) -> str:
+        """Expression for a shadow-recorded Mem read (emits the record)."""
+        ea = self.ea(op)
+        if self.addr_of(ins) in self.summarised:
+            if self.shadow_dynamic:
+                return f"_rat(ctx, {ea})"
+            return f"_mr({ea})"
+        if self.shadow_dynamic:
+            return f"_sr(ctx, {ea})"
+        sa = self.shadow_temp()
+        self.emit(f"{sa} = {ea}")
+        self.emit_record(sa, f"_re({sa})")
+        return f"_mr({sa})"
+
+    def shadow_write(self, op, ins: Instruction, value: str) -> None:
+        ea = self.ea(op)
+        if self.addr_of(ins) in self.summarised:
+            if self.shadow_dynamic:
+                self.emit(f"_wat(ctx, {ea}, {value})")
+            else:
+                self.emit(f"_mw({ea}, {value})")
+            return
+        if self.shadow_dynamic:
+            self.emit(f"_sw(ctx, {ea}, {value})")
+            return
+        sa = self.shadow_temp()
+        self.emit(f"{sa} = {ea}")
+        self.emit_record(sa, f"_we({sa})")
+        self.emit(f"_mw({sa}, {value})")
+
+    # -- operand access -------------------------------------------------------
+
     def iread(self, op, k: int, ins: Instruction) -> str:
         t = type(op)
         if t is Reg:
@@ -265,6 +433,8 @@ class _BlockCompiler:
             return repr(op.value)
         if self.instrumented:
             return f"_hr(ctx, {self.ea(op)}, {self.ins_name(k, ins)})"
+        if self.shadow:
+            return self.shadow_read_expr(op, ins)
         return f"_mr({self.ea(op)})"
 
     def istore(self, op, k: int, ins: Instruction, value: str) -> None:
@@ -273,6 +443,8 @@ class _BlockCompiler:
         elif self.instrumented:
             self.emit(f"_hw(ctx, {self.ea(op)}, "
                       f"{self.ins_name(k, ins)}, {value})")
+        elif self.shadow:
+            self.shadow_write(op, ins, value)
         else:
             self.emit(f"_mw({self.ea(op)}, {value})")
 
@@ -281,6 +453,8 @@ class _BlockCompiler:
             return f"x[{(op.id - XMM_BASE) * 4}]"
         if self.instrumented:
             return f"_i2f(_hr(ctx, {self.ea(op)}, {self.ins_name(k, ins)}))"
+        if self.shadow:
+            return f"_i2f({self.shadow_read_expr(op, ins)})"
         return f"_i2f(_mr({self.ea(op)}))"
 
     def fstore(self, op, k: int, ins: Instruction, value: str) -> None:
@@ -289,6 +463,8 @@ class _BlockCompiler:
         elif self.instrumented:
             self.emit(f"_hw(ctx, {self.ea(op)}, "
                       f"{self.ins_name(k, ins)}, _f2i({value}))")
+        elif self.shadow:
+            self.shadow_write(op, ins, f"_f2i({value})")
         else:
             self.emit(f"_mw({self.ea(op)}, _f2i({value}))")
 
@@ -482,7 +658,7 @@ class _BlockCompiler:
             self.emit(f"sp = {self.greg(STACK_REG)} - 8")
             self.emit(f"{self.greg(STACK_REG)} = sp")
             value = self.iread(ops[0], k, ins)
-            if self.instrumented:
+            if self.stack_guarded:
                 self.emit(f"_wat(ctx, sp, {value})")
             else:
                 self.emit(f"_mw(sp, {value})")
@@ -490,7 +666,7 @@ class _BlockCompiler:
             # Store happens before sp moves: a Mem destination's effective
             # address uses the old sp (matches reference order).
             self.emit(f"sp = {self.greg(STACK_REG)}")
-            if self.instrumented:
+            if self.stack_guarded:
                 self.istore(ops[0], k, ins, "_rat(ctx, sp)")
             else:
                 self.istore(ops[0], k, ins, "_mr(sp)")
@@ -606,6 +782,20 @@ class _BlockCompiler:
                 for lane in range(lanes):
                     offset = f" + {8 * lane}" if lane else ""
                     self.emit(f"s{lane} = _i2f(_rat(ctx, a{offset}))")
+            elif self.shadow:
+                summarised = self.addr_of(ins) in self.summarised
+                if self.shadow_dynamic:
+                    if not summarised:
+                        self.emit(f"_sp(ctx, a, {lanes}, False)")
+                    for lane in range(lanes):
+                        offset = f" + {8 * lane}" if lane else ""
+                        self.emit(f"s{lane} = _i2f(_rat(ctx, a{offset}))")
+                else:
+                    if not summarised:
+                        self.emit_record("a", f"_pre((a, {lanes}))")
+                    for lane in range(lanes):
+                        offset = f" + {8 * lane}" if lane else ""
+                        self.emit(f"s{lane} = _i2f(_mr(a{offset}))")
             else:
                 for lane in range(lanes):
                     offset = f" + {8 * lane}" if lane else ""
@@ -642,6 +832,21 @@ class _BlockCompiler:
                     offset = f" + {8 * lane}" if lane else ""
                     self.emit(
                         f"_wat(ctx, a2{offset}, _f2i({results[lane]}))")
+            elif self.shadow:
+                summarised = self.addr_of(ins) in self.summarised
+                if self.shadow_dynamic:
+                    if not summarised:
+                        self.emit(f"_sp(ctx, a2, {lanes}, True)")
+                    for lane in range(lanes):
+                        offset = f" + {8 * lane}" if lane else ""
+                        self.emit(
+                            f"_wat(ctx, a2{offset}, _f2i({results[lane]}))")
+                else:
+                    if not summarised:
+                        self.emit_record("a2", f"_pwe((a2, {lanes}))")
+                    for lane in range(lanes):
+                        offset = f" + {8 * lane}" if lane else ""
+                        self.emit(f"_mw(a2{offset}, _f2i({results[lane]}))")
             else:
                 for lane in range(lanes):
                     offset = f" + {8 * lane}" if lane else ""
@@ -690,7 +895,7 @@ class _BlockCompiler:
             self.emit(f"sp = {self.greg(STACK_REG)} - 8")
             self.emit(f"{self.greg(STACK_REG)} = sp")
             ret_addr = ins.address + ins.size
-            if self.instrumented:
+            if self.stack_guarded:
                 self.emit(f"_wat(ctx, sp, {ret_addr})")
             else:
                 self.emit(f"_mw(sp, {ret_addr})")
@@ -702,7 +907,7 @@ class _BlockCompiler:
             self.emit(f"sp = {self.greg(STACK_REG)} - 8")
             self.emit(f"{self.greg(STACK_REG)} = sp")
             ret_addr = ins.address + ins.size
-            if self.instrumented:
+            if self.stack_guarded:
                 self.emit(f"_wat(ctx, sp, {ret_addr})")
             else:
                 self.emit(f"_mw(sp, {ret_addr})")
@@ -714,7 +919,7 @@ class _BlockCompiler:
             self.emit_indirect_return(resolve_target=True)
         elif op is Opcode.RET:
             self.emit(f"sp = {self.greg(STACK_REG)}")
-            if self.instrumented:
+            if self.stack_guarded:
                 self.emit("t = _rat(ctx, sp)")
             else:
                 self.emit("t = _mr(sp)")
@@ -738,10 +943,12 @@ class _BlockCompiler:
     def traceable(self, term: Instruction) -> bool:
         """A self-looping block may spin inside its own compiled function.
 
-        Requires the fast variant with a dispatcher lookup (links legal at
-        all), and no SYSCALL/RTCALL in the block: those can install hooks,
-        open transactions or halt, which must re-enter the dispatcher's
-        per-block legality check.
+        Requires the fast or shadow variant with a dispatcher lookup
+        (links legal at all), and no SYSCALL/RTCALL in the block: those
+        can install hooks, open transactions or halt, which must re-enter
+        the dispatcher's per-block legality check.  (A shadow trace needs
+        no extra back-edge check: with no RTCALL inside, neither the sink
+        nor the transaction state can change mid-trace.)
         """
         if self.lookup is None or self.instrumented:
             return False
@@ -788,11 +995,18 @@ class _BlockCompiler:
         if self.n_slots:
             self.ns["_L"] = self.links
         source = "\n".join(head + self.lines) + "\n"
-        variant = "inst" if self.instrumented else "fast"
+        if self.instrumented:
+            variant = "inst"
+        elif self.shadow:
+            variant = "shadow"
+        else:
+            variant = "fast"
         code = compile(source, f"<jit {variant} {block.start:#x}>", "exec")
         exec(code, self.ns)
         fn = self.ns[fname]
         fn.__jit_source__ = source
+        if self.shadow:
+            fn.__shadow_dynamic__ = self.shadow_dynamic
         return fn
 
 

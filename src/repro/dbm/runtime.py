@@ -34,6 +34,7 @@ thread's clock along with the modelled overheads (DESIGN.md section 5).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.analysis.induction import (
@@ -48,6 +49,12 @@ from repro.dbm.checks import evaluate_bounds_check, make_read_var
 from repro.dbm.machine import ThreadContext
 from repro.dbm.memory import f64_to_i64, i64_to_f64, s64
 from repro.dbm.rtcalls import DependenceViolationError, RTCallID, WorkerYield
+from repro.dbm.shadow import (
+    ShadowSink,
+    ShadowView,
+    StrideDescriptor,
+    views_may_conflict,
+)
 from repro.dbm.tracecache import run_loop
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import SCRATCH_REG, STACK_REG, TLS_REG, XMM_BASE
@@ -70,7 +77,8 @@ TLS_BOUND = 1
 
 
 def run_parallel(process, schedule, n_threads: int = 8, cost_model=None,
-                 strict: bool = True, max_instructions: int | None = None):
+                 strict: bool = True, max_instructions: int | None = None,
+                 shadow_mode: str = "compiled"):
     """Execute a process under Janus with the parallelisation schedule.
 
     This is the paper's full system: DBM + rewrite schedule + thread pool +
@@ -81,7 +89,8 @@ def run_parallel(process, schedule, n_threads: int = 8, cost_model=None,
     from repro.dbm.modifier import JanusDBM
 
     dbm = JanusDBM(process, schedule=schedule, cost_model=cost_model,
-                   n_threads=n_threads, strict=strict)
+                   n_threads=n_threads, strict=strict,
+                   shadow_mode=shadow_mode)
     ParallelRuntime(dbm)
     limit = max_instructions if max_instructions is not None \
         else DEFAULT_INSTRUCTION_LIMIT
@@ -120,14 +129,30 @@ class WorkerState:
     # chunk under the default policy, several under round-robin.
     chunks: list
     meta: LoopMeta
-    # Shadow access sets for violation detection (word addresses).
+    # Shadow access sets for violation detection (word addresses; hook
+    # mode only — compiled mode records through ``sink``/``descriptors``).
     reads: set[int] = field(default_factory=set)
     writes: set[int] = field(default_factory=set)
     tx_covered: set[int] = field(default_factory=set)
     # write counts per cache line for the false-sharing model.
-    line_writes: dict[int, int] = field(default_factory=dict)
+    line_writes: Counter = field(default_factory=Counter)
     # (n_reads, n_writes, had_conflict_candidate) per finished transaction.
     tx_log: list = field(default_factory=list)
+    # Compiled shadow mode: the persistent per-thread event sink and the
+    # stride descriptors recorded for this invocation's chunks.
+    sink: ShadowSink | None = None
+    descriptors: list = field(default_factory=list)
+    # Query interface built after the run, consumed by detection.
+    view: ShadowView | None = None
+
+    def shadow_view(self) -> ShadowView:
+        """The detection-phase view; hook-mode workers build it lazily
+        from their exact sets (compiled-mode views are constructed by
+        the runtime, which supplies the sink and metric registry)."""
+        if self.view is None:
+            self.view = ShadowView.from_sets(
+                self.thread_id, self.reads, self.writes, self.line_writes)
+        return self.view
 
 
 class ParallelRuntime:
@@ -143,6 +168,26 @@ class ParallelRuntime:
         self.pending_checks: list[int] = []
         self.active_workers: list[WorkerState] = []
         self._current_worker: WorkerState | None = None
+        # Compiled shadow tier: persistent per-thread event sinks (the
+        # generated runners bind their list-append methods at compile
+        # time, so one sink serves every invocation on that thread) and
+        # the affine access sites summarisable per loop.  The flat set of
+        # all summarised addresses parameterises shadow codegen via
+        # ``interp.shadow_summarised``.
+        self.compiled_shadow = \
+            getattr(dbm, "shadow_mode", "hook") == "compiled"
+        self._sinks: dict[int, ShadowSink] = {}
+        self._affine_by_loop: dict[int, list] = {}
+        if self.compiled_shadow and dbm.schedule is not None:
+            summarised: set[int] = set()
+            for rec in dbm.schedule.pool:
+                if rec and rec[0] == "loop":
+                    lm = LoopMeta.from_record(rec)
+                    if lm.affine_accesses:
+                        self._affine_by_loop[lm.loop_id] = lm.affine_accesses
+                        summarised.update(
+                            a.address for a in lm.affine_accesses)
+            dbm.interp.shadow_summarised = frozenset(summarised)
         dbm.register_rtcall(RTCallID.BOUNDS_CHECK, self._rt_bounds_check)
         dbm.register_rtcall(RTCallID.LOOP_ENTER, self._rt_loop_enter)
         dbm.register_rtcall(RTCallID.THREAD_YIELD, self._rt_thread_yield)
@@ -347,9 +392,22 @@ class ParallelRuntime:
         for derived in meta.derived_ivs:
             var = decode_var(derived.var)
             iv_bases[repr(var)] = self._get_var(ctx, memory, rsp0, var)
+        # Affine base addresses are loop-invariant: evaluate each
+        # summarised site's base once per invocation against the entry
+        # context; chunk setup then derives descriptors in O(1).
+        affine_bases = []
+        for desc in self._affine_by_loop.get(meta.loop_id, ()):
+            affine_bases.append((desc, evaluate_runtime_poly(
+                desc.base_form, read_var, memory.read)))
         for worker in workers:
-            self._run_worker(worker, start_pc, meta, init, iv_bases)
+            self._run_worker(worker, start_pc, meta, init, iv_bases,
+                             affine_bases)
 
+        for worker in workers:
+            if worker.sink is not None:
+                worker.view = ShadowView.from_sink(
+                    worker.thread_id, worker.sink, worker.descriptors,
+                    self.dbm.registry)
         self._charge_stm_late_conflicts(workers)
         self._detect_violations(workers)
         self._charge_false_sharing(workers)
@@ -469,8 +527,20 @@ class ParallelRuntime:
                     memory.write(slot_addr, 0)  # identity (0 == 0.0 bits)
                 else:
                     memory.write(slot_addr, memory.read(addr))
-            workers.append(WorkerState(
-                thread_id=thread_id, ctx=wctx, chunks=blocks, meta=meta))
+            worker = WorkerState(
+                thread_id=thread_id, ctx=wctx, chunks=blocks, meta=meta)
+            if self.compiled_shadow:
+                sink = self._sinks.get(thread_id)
+                if sink is None:
+                    sink = ShadowSink(
+                        thread_id=thread_id,
+                        tls_lo=wctx.tls_base,
+                        tls_hi=wctx.tls_base + layout.TLS_THREAD_SIZE,
+                        stack_lo=wctx.stack_top - layout.THREAD_STACK_SIZE,
+                        stack_hi=wctx.stack_top)
+                    self._sinks[thread_id] = sink
+                worker.sink = sink
+            workers.append(worker)
         return workers
 
     def _prepare_chunk(self, worker: WorkerState, meta: LoopMeta,
@@ -512,40 +582,92 @@ class ParallelRuntime:
             memory.write(rsp0 + var[1], s64(value))
 
     def _run_worker(self, worker: WorkerState, start_pc: int,
-                    meta: LoopMeta, init: int, iv_bases: dict) -> None:
+                    meta: LoopMeta, init: int, iv_bases: dict,
+                    affine_bases: list) -> None:
         interp = self.dbm.interp
         self._current_worker = worker
-        hook = self._make_shadow_hook(worker)
         previous_hook = interp.mem_hook
-        interp.mem_hook = hook
-        span = get_recorder().span("runtime.worker", cat="runtime",
-                                   loop=meta.loop_id,
-                                   thread=worker.thread_id,
-                                   chunks=len(worker.chunks))
-        span.__enter__()
-        try:
-            for start, end in worker.chunks:
-                self._prepare_chunk(worker, meta, init, iv_bases, start,
-                                    end)
-                try:
-                    run_loop(interp, worker.ctx, start_pc,
-                             self._worker_lookup)
-                    # run_loop only returns on halt, which a pool thread
-                    # must never do.
-                    raise RuntimeError_(
-                        f"pool thread {worker.thread_id} halted "
-                        f"inside loop {worker.meta.loop_id}")
-                except WorkerYield:
-                    pass
-        finally:
-            span.set(cycles=worker.ctx.cycles,
-                     instructions=worker.ctx.instructions)
-            span.__exit__(None, None, None)
-            interp.mem_hook = previous_hook
-            self._current_worker = None
-            if interp.active_tx is not None:
-                # A transaction left open (e.g. worker error): drop it.
-                interp.active_tx = None
+        if worker.sink is not None:
+            # Compiled mode: no hook — the dispatcher sees the sink and
+            # keeps the worker on the shadow JIT/superblock tiers.
+            worker.sink.clear()
+            interp.shadow_sink = worker.sink
+        else:
+            interp.mem_hook = self._make_shadow_hook(worker)
+        with get_recorder().span("runtime.worker", cat="runtime",
+                                 loop=meta.loop_id,
+                                 thread=worker.thread_id,
+                                 chunks=len(worker.chunks)) as span:
+            try:
+                for start, end in worker.chunks:
+                    self._prepare_chunk(worker, meta, init, iv_bases,
+                                        start, end)
+                    if worker.sink is not None and affine_bases:
+                        self._record_descriptors(worker, meta, init,
+                                                 affine_bases, start, end)
+                    try:
+                        run_loop(interp, worker.ctx, start_pc,
+                                 self._worker_lookup)
+                        # run_loop only returns on halt, which a pool
+                        # thread must never do.
+                        raise RuntimeError_(
+                            f"pool thread {worker.thread_id} halted "
+                            f"inside loop {worker.meta.loop_id}")
+                    except WorkerYield:
+                        pass
+            finally:
+                span.set(cycles=worker.ctx.cycles,
+                         instructions=worker.ctx.instructions)
+                interp.mem_hook = previous_hook
+                interp.shadow_sink = None
+                self._current_worker = None
+                if interp.active_tx is not None:
+                    # A transaction left open (e.g. worker error): drop it.
+                    interp.active_tx = None
+        if worker.sink is not None:
+            self.dbm.registry.inc("runtime.shadow.events",
+                                  worker.sink.event_count())
+
+    def _record_descriptors(self, worker: WorkerState, meta: LoopMeta,
+                            init: int, affine_bases: list, start: int,
+                            end: int) -> None:
+        """Materialise one stride descriptor per summarised site for this
+        chunk — or, when the access progression strays into the worker's
+        own stack/TLS region, fall back to expanding it arithmetically
+        into filtered raw events (the descriptor form has no per-address
+        filter, so summaries must be provably outside the private
+        regions)."""
+        sink = worker.sink
+        registry = self.dbm.registry
+        for desc, base_val in affine_bases:
+            first = base_val + desc.theta_coeff * (init + meta.step * start)
+            stride = desc.theta_coeff * meta.step
+            trips = (end - start) + (1 if desc.header_extra else 0)
+            d = StrideDescriptor(first, stride, trips, desc.lanes,
+                                 desc.is_write)
+            lo, hi = d.interval()
+            own_stack = lo <= sink.stack_hi and hi > sink.stack_lo
+            own_tls = lo < sink.tls_hi and hi >= sink.tls_lo
+            if own_stack or own_tls:
+                registry.inc("runtime.shadow.descriptor_fallbacks")
+                if desc.lanes == 1:
+                    events = sink.writes if desc.is_write else sink.reads
+                    addr = first
+                    for _ in range(trips):
+                        if sink.passes_filter(addr):
+                            events.append(addr)
+                        addr += stride
+                else:
+                    packed = (sink.packed_writes if desc.is_write
+                              else sink.packed_reads)
+                    addr = first
+                    for _ in range(trips):
+                        if sink.passes_filter(addr):
+                            packed.append((addr, desc.lanes))
+                        addr += stride
+            else:
+                worker.descriptors.append(d)
+                registry.inc("runtime.shadow.summarised")
 
     def _make_shadow_hook(self, worker: WorkerState):
         interp = self.dbm.interp
@@ -567,7 +689,7 @@ class ParallelRuntime:
                 # is a single event: that is exactly why vectorisation
                 # relieves false sharing, paper section III-F).
                 line = addr >> _CACHE_LINE_SHIFT
-                line_writes[line] = line_writes.get(line, 0) + 1
+                line_writes[line] += 1
                 for k in range(lanes):
                     writes.add(addr + WORD * k)
             else:
@@ -577,18 +699,28 @@ class ParallelRuntime:
         return hook
 
     def _charge_stm_late_conflicts(self, workers: list[WorkerState]) -> None:
-        """Model aborts against younger threads' writes (section II-E3)."""
+        """Model aborts against younger threads' writes (section II-E3).
+
+        Younger threads' non-transactional writes are queried through
+        their :class:`ShadowView` (cheap membership, no expansion in
+        compiled mode); transactional write sets are exact either way.
+        """
         cost = self.dbm.cost
         for i, worker in enumerate(workers):
-            later_writes: set[int] = set()
-            for later in workers[i + 1:]:
-                later_writes |= later.writes
-                for tx_reads, tx_writes in later.tx_log:
-                    later_writes |= tx_writes
-            if not later_writes:
+            if not worker.tx_log:
+                continue
+            later = workers[i + 1:]
+            later_tx_writes: set[int] = set()
+            for other in later:
+                for _tx_reads, tx_writes in other.tx_log:
+                    later_tx_writes |= tx_writes
+            if not later_tx_writes \
+                    and not any(o.shadow_view().has_writes() for o in later):
                 continue
             for tx_reads, tx_writes in worker.tx_log:
-                if tx_reads & later_writes:
+                if any(addr in later_tx_writes
+                       or any(o.shadow_view().writes_contain(addr) for o in later)
+                       for addr in tx_reads):
                     self.stm.stats.aborts += 1
                     recorder = get_recorder()
                     if recorder.enabled:
@@ -604,14 +736,26 @@ class ParallelRuntime:
                     self.dbm.stats.stm_cycles += penalty
 
     def _detect_violations(self, workers: list[WorkerState]) -> None:
+        """Pairwise cross-thread conflict check over the shadow views.
+
+        The interval summaries act as a conservative prefilter: a pair
+        whose write/read extents cannot intersect is dismissed without
+        expanding any descriptor.  Positives are confirmed on the exact
+        sets, so the verdict (and the reported address) is identical to
+        the hook path's.
+        """
         for i, a in enumerate(workers):
             for b in workers[i + 1:]:
-                conflict = ((a.writes & (b.reads | b.writes))
-                            | (a.reads & b.writes))
+                if not views_may_conflict(a.shadow_view(), b.shadow_view()):
+                    continue
+                a_writes, a_reads = a.shadow_view().writes(), a.shadow_view().reads()
+                b_writes, b_reads = b.shadow_view().writes(), b.shadow_view().reads()
+                conflict = ((a_writes & (b_reads | b_writes))
+                            | (a_reads & b_writes))
                 conflict -= a.tx_covered
                 conflict -= b.tx_covered
                 if conflict:
-                    address = next(iter(conflict))
+                    address = min(conflict)
                     message = (
                         f"cross-thread conflict on {address:#x} between "
                         f"threads {a.thread_id} and {b.thread_id} in loop "
@@ -623,15 +767,18 @@ class ParallelRuntime:
         if len(workers) < 2:
             return
         cost = self.dbm.cost
+        line_counts = {w.thread_id: w.shadow_view().line_counts()
+                       for w in workers}
         touched: dict[int, int] = {}
-        for worker in workers:
-            for line in worker.line_writes:
+        for counts in line_counts.values():
+            for line in counts:
                 touched[line] = touched.get(line, 0) + 1
         contested = {line for line, count in touched.items() if count > 1}
         if not contested:
             return
         for worker in workers:
-            penalty = sum(count for line, count in worker.line_writes.items()
+            counts = line_counts[worker.thread_id]
+            penalty = sum(count for line, count in counts.items()
                           if line in contested) * cost.false_sharing_cycles
             worker.ctx.cycles += penalty
             self.dbm.stats.false_sharing_cycles += penalty

@@ -135,7 +135,8 @@ class SuperblockStats(RegistryView):
                 for name in self._FIELDS}
 
 
-def maybe_form_superblock(head, interp, lookup, ctx, last_succ):
+def maybe_form_superblock(head, interp, lookup, ctx, last_succ,
+                          shadow=False):
     """Try to form and compile a superblock rooted at ``head``.
 
     ``last_succ`` maps block start -> the most-recently-observed successor
@@ -143,20 +144,26 @@ def maybe_form_superblock(head, interp, lookup, ctx, last_succ):
     walk at conditional branches and proves that every block the walk
     visits is already in the code cache.  Returns the compiled runner, or
     ``None`` (counted) when the loop shape is not eligible.
+
+    With ``shadow=True`` the runner additionally records shadow events
+    into ``interp.shadow_sink`` (compiled shadow tracking for parallel
+    workers; see :mod:`repro.dbm.shadow`) and lands in the block's
+    ``jit_super_shadow`` slot.
     """
     from repro.dbm.interp import JXRuntimeError
 
-    segments = _walk(head, interp, lookup, ctx, last_succ)
+    segments = _walk(head, interp, lookup, ctx, last_succ, shadow)
     if segments is None:
         interp.sb_stats.formation_failures += 1
         return None
-    compiler = _SuperblockCompiler(segments, interp, lookup, JXRuntimeError)
+    compiler = _SuperblockCompiler(segments, interp, lookup, JXRuntimeError,
+                                   shadow=shadow)
     fn = compiler.build_superblock()
     interp.sb_stats.formed += 1
     return fn
 
 
-def _walk(head, interp, lookup, ctx, last_succ):
+def _walk(head, interp, lookup, ctx, last_succ, shadow=False):
     """Walk the biased path from ``head`` until it closes back on the head.
 
     Returns ``[(block, plan), ...]`` where ``plan`` describes what the
@@ -185,8 +192,8 @@ def _walk(head, interp, lookup, ctx, last_succ):
     while True:
         if block.start in seen or len(segments) >= MAX_SUPERBLOCK_BLOCKS:
             return None
-        if block is not head and (block.jit_super is not None
-                                  or block.is_self_loop):
+        slot = block.jit_super_shadow if shadow else block.jit_super
+        if block is not head and (slot is not None or block.is_self_loop):
             return None  # interior of another hot loop: its own tier owns it
         for ins in block.instructions:
             if ins.opcode in (Opcode.SYSCALL, Opcode.RTCALL):
@@ -339,13 +346,23 @@ class _SuperblockCompiler(_BlockCompiler):
     budget counter ``n``.
     """
 
-    def __init__(self, segments, interp, lookup, error_type):
+    def __init__(self, segments, interp, lookup, error_type, shadow=False):
         head = segments[0][0]
-        super().__init__(head, interp, lookup, False, error_type)
+        super().__init__(head, interp, lookup, False, error_type,
+                         shadow=shadow)
         self.segments = segments
         self.ns["_sb"] = interp.sb_stats
         self.ns["_in"] = interp
         self.ns["_self"] = head
+        if shadow:
+            # The back-edge legality check compares against the sink the
+            # runner was compiled for (the walk rejects RTCALL/SYSCALL, so
+            # every shadow superblock is the static form).
+            self.ns["_sk"] = interp.shadow_sink
+        # Per-instruction recording flag, set at the top of stmt(): False
+        # at summarised sites (covered by stride descriptors) and always
+        # False outside shadow mode.
+        self._site_record = False
         # Inline memory fast path: C-level dict methods and struct codecs.
         # The checked Python-level helpers (_mr/_mw) remain the fallback
         # wherever 8-alignment is not statically provable, preserving the
@@ -421,14 +438,20 @@ class _SuperblockCompiler(_BlockCompiler):
         expr, aligned = self.mem_ref(op)
         if not aligned:
             return f"_uD(_pQ({self.mem_read(op)}))[0]"
-        return self._fload(expr)
+        return self._fload(expr, record=self._site_record)
 
-    def _fload(self, key: str) -> str:
+    def _fload(self, key: str, record: bool = False) -> str:
         name = self._floads.get(key)
         if name is None:
             name = f"mf{self._n_addr}"
             self._n_addr += 1
-            self.emit(f"{name} = _uD(_pQ(_wg({key}, 0)))[0]")
+            if record:
+                sa = self.shadow_temp()
+                self.emit(f"{sa} = {key}")
+                self.emit_record(sa, f"_re({sa})")
+                self.emit(f"{name} = _uD(_pQ(_wg({sa}, 0)))[0]")
+            else:
+                self.emit(f"{name} = _uD(_pQ(_wg({key}, 0)))[0]")
             self._floads[key] = name
         return name
 
@@ -445,6 +468,12 @@ class _SuperblockCompiler(_BlockCompiler):
             svals = [self.flane(sbase + i) for i in range(lanes)]
         else:
             expr, aligned = self.mem_ref(src)
+            if self._site_record:
+                # One base-filtered packed event covers all lanes (the
+                # lane loads below must not raw-record individually).
+                sa = self.shadow_temp()
+                self.emit(f"{sa} = {expr}")
+                self.emit_record(sa, f"_pre(({sa}, {lanes}))")
             if aligned:
                 svals = [self._fload(expr if i == 0 else f"{expr} + {8 * i}")
                          for i in range(lanes)]
@@ -485,11 +514,18 @@ class _SuperblockCompiler(_BlockCompiler):
             return
         expr, aligned = self.mem_ref(dst)
         if aligned:
+            if self._site_record:
+                sa = self.shadow_temp()
+                self.emit(f"{sa} = {expr}")
+                self.emit_record(sa, f"_pwe(({sa}, {lanes}))")
+                expr = sa
             for i in range(lanes):
                 addr = expr if i == 0 else f"{expr} + {8 * i}"
                 self.emit(f"_ws({addr}, _uQ(_pD({results[i]}))[0])")
         else:
             self.emit(f"a2 = {expr}")
+            if self._site_record:
+                self.emit_record("a2", f"_pwe((a2, {lanes}))")
             for i in range(lanes):
                 offset = f" + {8 * i}" if i else ""
                 self.emit(f"_mw(a2{offset}, _uQ(_pD({results[i]}))[0])")
@@ -597,12 +633,24 @@ class _SuperblockCompiler(_BlockCompiler):
             if name is None:
                 name = f"mi{self._n_addr}"
                 self._n_addr += 1
-                self.emit(f"{name} = _wg({expr}, 0)")
+                if self._site_record:
+                    # A CSE hit needs no re-record: the cache key proves
+                    # the same runtime address, which is already in the
+                    # raw events, a packed expansion, or a descriptor —
+                    # the materialised read set is identical either way.
+                    sa = self.shadow_temp()
+                    self.emit(f"{sa} = {expr}")
+                    self.emit_record(sa, f"_re({sa})")
+                    self.emit(f"{name} = _wg({sa}, 0)")
+                else:
+                    self.emit(f"{name} = _wg({expr}, 0)")
                 self._iloads[expr] = name
             return name
         name = f"am{self._n_addr}"
         self._n_addr += 1
         self.emit(f"{name} = {expr}")
+        if self._site_record:
+            self.emit_record(name, f"_re({name})")
         return f"(_wg({name}, 0) if not {name} & 7 else _mr({name}))"
 
     def mem_write(self, m: Mem, value: str) -> None:
@@ -612,9 +660,20 @@ class _SuperblockCompiler(_BlockCompiler):
         self._floads.clear()
         expr, aligned = self.mem_ref(m)
         if aligned:
-            self.emit(f"_ws({expr}, {value})")
+            if self._site_record:
+                # Writes record per execution (the false-sharing charge
+                # counts line events per store instruction), so the event
+                # append is unconditional at every recordable store site.
+                sa = self.shadow_temp()
+                self.emit(f"{sa} = {expr}")
+                self.emit_record(sa, f"_we({sa})")
+                self.emit(f"_ws({sa}, {value})")
+            else:
+                self.emit(f"_ws({expr}, {value})")
             return
         self.emit(f"ad = {expr}")
+        if self._site_record:
+            self.emit_record("ad", "_we(ad)")
         self.emit("if ad & 7:")
         self.emit(f"    _mw(ad, {value})")
         self.emit(f"_ws(ad, {value})")
@@ -654,6 +713,8 @@ class _SuperblockCompiler(_BlockCompiler):
     def stmt(self, ins, k) -> None:
         op = ins.opcode
         ops = ins.operands
+        self._site_record = self.shadow \
+            and self.addr_of(ins) not in self.summarised
         dst = ops[0] if ops else None
         dst_gpr = dst is not None and type(dst) is Reg \
             and dst.id < XMM_BASE
@@ -818,8 +879,13 @@ class _SuperblockCompiler(_BlockCompiler):
         self.emit("_sb.bailouts += 1")
         self.emit("return _self")
         self.indent -= 1
-        self.emit("if _in.mem_hook is not None "
-                  "or _in.active_tx is not None:")
+        legality = "_in.mem_hook is not None or _in.active_tx is not None"
+        if self.shadow:
+            # The sink the events land in was bound at compile time: a
+            # swapped (or removed) sink must deopt to the dispatcher,
+            # which re-selects the correct variant.
+            legality += " or _in.shadow_sink is not _sk"
+        self.emit(f"if {legality}:")
         self.indent += 1
         self.emit_spill()
         self.emit("_sb.deopts += 1")
@@ -828,7 +894,9 @@ class _SuperblockCompiler(_BlockCompiler):
         if self.n_slots:
             self.ns["_L"] = self.links
         source = "\n".join(_strip_dead_stores(head + self.lines)) + "\n"
-        code = compile(source, f"<jit super {head_block.start:#x}>", "exec")
+        variant = "super shadow" if self.shadow else "super"
+        code = compile(source,
+                       f"<jit {variant} {head_block.start:#x}>", "exec")
         exec(code, self.ns)
         fn = self.ns[fname]
         fn.__jit_source__ = source

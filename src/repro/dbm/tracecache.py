@@ -14,6 +14,18 @@ e.g. a profiler external-call window — behaves exactly like the reference
 interpreter).  Listeners force per-block dispatch (never traces) because
 the coverage profiler attributes instructions block-by-block.
 
+When a :class:`~repro.dbm.shadow.ShadowSink` is installed (parallel
+workers in compiled shadow mode) the fast tier is replaced wholesale by
+the *shadow* tier — ``jit_super_shadow``/``jit_shadow`` runners that link,
+trace and form superblocks exactly like the fast tier while recording
+filtered raw events into the sink.  A block entered with an open
+transaction runs its shadow runner only if that runner is *dynamic*
+(``__shadow_dynamic__``: the block contains an RTCALL that may close the
+transaction, and post-close accesses must still be recorded); static
+blocks under an open transaction fall back to the instrumented runner,
+which with no hook installed records nothing — the hook path's exact
+behaviour under a transaction.
+
 On top of the block tier, the dispatcher drives **superblock promotion**
 (:mod:`repro.dbm.superblock`): while on the fast path it records each
 block's most-recently-taken successor and counts loop-head heat — a
@@ -73,18 +85,42 @@ def run_loop(interp, ctx, pc: int, lookup,
             continue
         fast = interp.mem_hook is None and interp.active_tx is None \
             and not listeners
+        sink = interp.shadow_sink
         if fast:
-            run = block.jit_super
-            if run is None:
-                run = block.jit_fast
+            if sink is None:
+                run = block.jit_super
                 if run is None:
-                    run = block.jit_fast = compile_block_fn(
-                        block, interp, lookup)
+                    run = block.jit_fast
+                    if run is None:
+                        run = block.jit_fast = compile_block_fn(
+                            block, interp, lookup)
+            else:
+                run = block.jit_super_shadow
+                if run is None:
+                    run = block.jit_shadow
+                    if run is None:
+                        run = block.jit_shadow = compile_block_fn(
+                            block, interp, lookup, shadow=True)
         else:
-            run = block.jit_inst
+            run = None
+            if sink is not None and interp.mem_hook is None \
+                    and not listeners:
+                # Transaction open at entry.  A dynamic shadow runner
+                # redirects pre-close accesses through the tx and records
+                # the post-TX_FINISH tail; a static block cannot close
+                # the transaction, so the instrumented runner below (hook
+                # is None) records nothing — the hook path's behaviour.
+                run = block.jit_shadow
+                if run is None:
+                    run = block.jit_shadow = compile_block_fn(
+                        block, interp, lookup, shadow=True)
+                if not run.__shadow_dynamic__:
+                    run = None
             if run is None:
-                run = block.jit_inst = compile_block_fn(
-                    block, interp, lookup, instrumented=True)
+                run = block.jit_inst
+                if run is None:
+                    run = block.jit_inst = compile_block_fn(
+                        block, interp, lookup, instrumented=True)
         nxt = run(ctx)
         if listeners:
             for listener in listeners:
@@ -97,13 +133,20 @@ def run_loop(interp, ctx, pc: int, lookup,
             if fast and counting:
                 start = nxt.start
                 last_succ[block.start] = start
-                if nxt.jit_super is None \
+                slot = (nxt.jit_super_shadow if sink is not None
+                        else nxt.jit_super)
+                if slot is None \
                         and (start <= block.start or nxt.is_self_loop):
                     count = hot.get(start, 0) + 1
                     hot[start] = count
                     if count == threshold:
-                        nxt.jit_super = maybe_form_superblock(
-                            nxt, interp, lookup, ctx, last_succ)
+                        formed = maybe_form_superblock(
+                            nxt, interp, lookup, ctx, last_succ,
+                            shadow=sink is not None)
+                        if sink is not None:
+                            nxt.jit_super_shadow = formed
+                        else:
+                            nxt.jit_super = formed
             block = nxt
         elif nxt == -1:
             return

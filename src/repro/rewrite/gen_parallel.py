@@ -27,6 +27,7 @@ from repro.analysis.analyzer import BinaryAnalysis
 from repro.analysis.classify import LoopAnalysisResult, VariableClass
 from repro.analysis.expr import Poly
 from repro.rewrite.metadata import (
+    AffineAccessDesc,
     BoundsCheckDesc,
     DerivedIVDesc,
     LoopMeta,
@@ -144,6 +145,14 @@ def _generate_for_loop(schedule: RewriteSchedule, analysis: BinaryAnalysis,
     meta.bounds_check_indices = check_indices
     meta.stm_sites = sorted(result.stm_call_sites)
 
+    # -- affine access summarisation (compiled shadow tier) ------------------------
+    # Sites whose accesses are rewritten (privatised) or interpreted
+    # specially (the iterator's cmp load) must keep recording raw events.
+    excluded = {iterator.cmp_address}
+    excluded.update(addr for addr, _slot in privatise_rules)
+    meta.affine_accesses = _collect_affine_accesses(
+        result, fa, iterator, excluded)
+
     meta_index = schedule.add_record(meta.to_record())
 
     # -- emit rules (order matters at shared addresses) ------------------------------
@@ -176,6 +185,74 @@ def _generate_for_loop(schedule: RewriteSchedule, analysis: BinaryAnalysis,
 
     schedule.add_rule(iterator.exit_target, RuleID.THREAD_YIELD, meta_index)
     schedule.add_rule(iterator.exit_target, RuleID.LOOP_FINISH, meta_index)
+
+
+def _collect_affine_accesses(result, fa, iterator, excluded) -> list:
+    """Accesses the compiled shadow tier may summarise as stride descriptors.
+
+    A site (instruction address) qualifies only if *every* access at it is
+    affine in the iterator (``theta_coeff * theta + base`` with a
+    runtime-evaluable base), executes exactly once per iteration (its block
+    dominates every latch and belongs to no inner loop), and is neither
+    rewritten by a privatisation rule nor the iterator's own cmp load.
+    The per-chunk trip count is then knowable at LOOP_INIT time, so the
+    runtime can record one ``(first, stride, trips)`` descriptor instead of
+    per-access events.  All-or-nothing per address: if one access at an
+    address fails a check, the whole site keeps raw recording.
+    """
+    from repro.analysis.expr import runtime_evaluable
+
+    loop = result.loop
+    top = iterator.test_position == "top"
+    if top and iterator.cmp_block != loop.header:
+        # The trip-count relation between header executions and body
+        # executions is only known when the test sits in the header.
+        return []
+    inner_bodies: set[int] = set()
+    for other in fa.loops:
+        if other is not loop and other.header in loop.body:
+            inner_bodies.update(other.body)
+    alias = result.alias
+    bad = set(excluded)
+    bad.update(a.address for a in alias.unanalysable)
+
+    by_address: dict[int, list] = {}
+    for group in alias.groups:
+        for access in group.accesses:
+            by_address.setdefault(access.address, []).append(access)
+
+    descs: list[AffineAccessDesc] = []
+    for address in sorted(by_address):
+        if address in bad:
+            continue
+        site = by_address[address]
+        ok = True
+        forms = []
+        for access in site:
+            if access.theta_coeff is None or access.base is None \
+                    or not runtime_evaluable(access.base) \
+                    or access.block in inner_bodies \
+                    or not all(fa.dom.dominates(access.block, latch)
+                               for latch in loop.latches):
+                ok = False
+                break
+            try:
+                forms.append(poly_to_runtime(access.base))
+            except MetadataError:
+                ok = False
+                break
+        if not ok:
+            continue
+        for access, form in zip(site, forms):
+            descs.append(AffineAccessDesc(
+                address=address,
+                is_write=access.is_write,
+                lanes=access.lanes,
+                base_form=form,
+                theta_coeff=access.theta_coeff,
+                header_extra=top and access.block == loop.header,
+            ))
+    return descs
 
 
 def _bound_form(iterator) -> tuple:

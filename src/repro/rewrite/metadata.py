@@ -298,6 +298,38 @@ class PrefetchDesc:
 
 
 @dataclass
+class AffineAccessDesc:
+    """A loop access statically proven affine in the iterator.
+
+    The compiled shadow tier (:mod:`repro.dbm.shadow`) skips the site at
+    ``address`` entirely and instead materialises one stride descriptor
+    per chunk: the access at iteration ``i`` touches
+    ``base + theta_coeff * i`` (evaluated against the worker's live-in
+    state), so a chunk of ``trips`` iterations collapses to
+    ``(first, theta_coeff * step, trips)``.  ``header_extra`` marks
+    accesses in a top-tested loop's header block, which execute once more
+    per chunk (on the failing test).
+    """
+
+    address: int
+    is_write: bool
+    lanes: int
+    base_form: list  # runtime polynomial for the iteration-0 address
+    theta_coeff: int
+    header_extra: bool = False
+
+    def to_record(self):
+        return ("aff", self.address, self.is_write, self.lanes,
+                self.base_form, self.theta_coeff, self.header_extra)
+
+    @classmethod
+    def from_record(cls, rec) -> "AffineAccessDesc":
+        return cls(address=rec[1], is_write=rec[2], lanes=rec[3],
+                   base_form=rec[4], theta_coeff=rec[5],
+                   header_extra=rec[6])
+
+
+@dataclass
 class LoopMeta:
     """Everything the runtime needs to execute one loop in parallel."""
 
@@ -330,6 +362,7 @@ class LoopMeta:
     priv_groups: list[PrivGroupDesc] = field(default_factory=list)
     bounds_check_indices: list[int] = field(default_factory=list)
     stm_sites: list[int] = field(default_factory=list)
+    affine_accesses: list[AffineAccessDesc] = field(default_factory=list)
 
     def to_record(self):
         # Positional tuple: pool bytes are measured by paper Fig. 10, so
@@ -343,14 +376,15 @@ class LoopMeta:
                 [r.to_record() for r in self.reductions],
                 self.written_slots, self.readonly_slots,
                 [p.to_record() for p in self.priv_groups],
-                self.bounds_check_indices, self.stm_sites)
+                self.bounds_check_indices, self.stm_sites,
+                [a.to_record() for a in self.affine_accesses])
 
     @classmethod
     def from_record(cls, rec) -> "LoopMeta":
         (_, loop_id, header_addr, preheader_addr, exit_target, iterator_var,
          step, cond, test_offset, test_position, bound_form, cmp_address,
          iv_operand_index, static_trips, delta_header, divs, reds, ws, rs,
-         priv, bc, stm) = rec
+         priv, bc, stm, aff) = rec
         return cls(
             loop_id=loop_id,
             header_addr=header_addr,
@@ -373,4 +407,5 @@ class LoopMeta:
             priv_groups=[PrivGroupDesc.from_record(r) for r in priv],
             bounds_check_indices=list(bc),
             stm_sites=list(stm),
+            affine_accesses=[AffineAccessDesc.from_record(r) for r in aff],
         )

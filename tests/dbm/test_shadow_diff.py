@@ -1,0 +1,270 @@
+"""Differential sweep: the compiled shadow tier vs the legacy hook path.
+
+The compiled tier (PR 8) replaces per-access shadow callbacks with
+generated shadow runners, stride-descriptor summarisation and deferred
+chunk-end detection.  Its contract is *observational equivalence*: for
+every parallelised workload and both scheduling policies, the shadow
+sets, line counters, conflict verdicts, outputs, final memory and every
+runtime counter outside the JIT tier must be identical to hook mode.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbm.executor import run_native
+from repro.dbm.jit import JITStats
+from repro.dbm.runtime import ParallelRuntime, WorkerState
+from repro.dbm.shadow import (
+    ShadowSink,
+    ShadowView,
+    StrideDescriptor,
+    views_may_conflict,
+)
+from repro.dbm.superblock import SuperblockStats
+from repro.jbin.loader import load
+from repro.pipeline import Janus, JanusConfig, SelectionMode
+from repro.workloads import FIG7_BENCHMARKS, compile_workload, get_workload
+
+# JIT-tier counters legitimately differ between modes (the whole point
+# is that workers compile different runner variants); everything else —
+# the runtime.*, stm.* and check counters — must match exactly.
+TIER_KEYS = set(JITStats._FIELDS) \
+    | {f"superblock_{name}" for name in SuperblockStats._FIELDS}
+
+WORD = 8
+
+
+def _capture_detect(captures):
+    """Wrap _detect_violations to snapshot every worker's expanded view."""
+    original = ParallelRuntime._detect_violations
+
+    def wrapper(self, workers):
+        snap = []
+        for worker in workers:
+            view = worker.shadow_view()
+            snap.append((worker.thread_id,
+                         sorted(view.reads()),
+                         sorted(view.writes()),
+                         dict(view.line_counts())))
+        captures.append(snap)
+        return original(self, workers)
+
+    return original, wrapper
+
+
+def run_mode(image, workload, training, shadow_mode, scheduling):
+    config = JanusConfig(n_threads=4, shadow_mode=shadow_mode,
+                         scheduling=scheduling)
+    janus = Janus(image, config)
+    captures: list = []
+    original, wrapper = _capture_detect(captures)
+    ParallelRuntime._detect_violations = wrapper
+    try:
+        result = janus.run(SelectionMode.JANUS,
+                           inputs=list(workload.train_inputs),
+                           training=training)
+    finally:
+        ParallelRuntime._detect_violations = original
+    return result, captures
+
+
+@pytest.fixture(scope="module")
+def trained():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            workload = get_workload(name)
+            image = compile_workload(name)
+            janus = Janus(image, JanusConfig(n_threads=4))
+            training = janus.train(train_inputs=list(workload.train_inputs))
+            cache[name] = (workload, image, training)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("scheduling", ["chunk", "round_robin"])
+@pytest.mark.parametrize("name", FIG7_BENCHMARKS)
+def test_compiled_matches_hook(trained, name, scheduling):
+    workload, image, training = trained(name)
+    hook, hook_caps = run_mode(image, workload, training, "hook", scheduling)
+    comp, comp_caps = run_mode(image, workload, training, "compiled",
+                               scheduling)
+    assert comp.outputs == hook.outputs
+    assert comp.exit_code == hook.exit_code
+    assert comp.data_snapshot() == hook.data_snapshot()
+    # Identical shadow sets, per invocation, per worker.
+    assert comp_caps == hook_caps
+    assert hook_caps, f"{name} never entered parallel detection"
+    # Identical counters outside the JIT tier.
+    hook_stats = {k: v for k, v in hook.stats.items() if k not in TIER_KEYS}
+    comp_stats = {k: v for k, v in comp.stats.items() if k not in TIER_KEYS}
+    assert comp_stats == hook_stats
+    # Outputs also match a native run (the oracle's base truth).
+    native = run_native(load(image, inputs=list(workload.train_inputs)))
+    assert comp.exit_code == native.exit_code
+
+
+def test_workers_reach_superblock_tier():
+    """Acceptance: compiled-mode workers execute on the superblock tier."""
+    from repro.dbm.modifier import JanusDBM
+
+    name = "462.libquantum"
+    workload = get_workload(name)
+    image = compile_workload(name)
+    janus = Janus(image, JanusConfig(n_threads=4))
+    training = janus.train(train_inputs=list(workload.train_inputs))
+    schedule = janus.build_schedule(SelectionMode.JANUS, training)
+    dbm = JanusDBM(load(image, inputs=list(workload.train_inputs)),
+                   schedule=schedule, n_threads=4, shadow_mode="compiled")
+    ParallelRuntime(dbm)
+    result = dbm.run(max_instructions=500_000_000)
+    assert result.stats["loop_invocations_parallel"] > 0
+    assert result.stats["superblock_entries"] > 0
+    counters = dbm.registry.as_dict()
+    assert counters.get("runtime.shadow.summarised", 0) > 0
+
+
+def test_detection_verdicts_match_across_representations():
+    """A synthetic conflict raises identically from sets and from sinks."""
+    from repro.dbm.machine import ThreadContext
+    from repro.dbm.modifier import JanusDBM
+    from repro.dbm.rtcalls import DependenceViolationError
+    from repro.jcc import CompileOptions, compile_source
+    from repro.rewrite.metadata import LoopMeta
+
+    image = compile_source("int main() { print_int(1); return 0; }",
+                           CompileOptions(opt_level=2))
+    dbm = JanusDBM(load(image))
+    runtime = ParallelRuntime(dbm)
+    meta = LoopMeta(loop_id=0, header_addr=0, preheader_addr=0,
+                    exit_target=0, iterator_var=("stack", 0), step=1,
+                    cond="l", test_offset=0, test_position="top",
+                    bound_form=("imm", 0), cmp_address=0, iv_operand_index=0,
+                    static_trips=-1, delta_header=0)
+
+    def hook_worker(thread_id, reads, writes):
+        return WorkerState(thread_id=thread_id,
+                           ctx=ThreadContext(thread_id=thread_id),
+                           chunks=[(0, 1)], meta=meta,
+                           reads=set(reads), writes=set(writes))
+
+    def sink_worker(thread_id, reads, descriptors):
+        sink = ShadowSink(thread_id=thread_id, tls_lo=1 << 40,
+                          tls_hi=(1 << 40) + 64, stack_lo=1 << 41,
+                          stack_hi=(1 << 41) + 64)
+        sink.reads.extend(reads)
+        worker = WorkerState(thread_id=thread_id,
+                             ctx=ThreadContext(thread_id=thread_id),
+                             chunks=[(0, 1)], meta=meta, sink=sink,
+                             descriptors=list(descriptors))
+        worker.view = ShadowView.from_sink(thread_id, sink,
+                                           list(descriptors))
+        return worker
+
+    # Thread 1 writes [0x1000, 0x1040); thread 2 reads 0x1020: conflict.
+    hook_pair = [hook_worker(1, [], [0x1000 + WORD * k for k in range(8)]),
+                 hook_worker(2, [0x1020], [])]
+    sink_pair = [sink_worker(1, [], [StrideDescriptor(0x1000, 8, 8, 1,
+                                                      True)]),
+                 sink_worker(2, [0x1020], [])]
+
+    messages = []
+    for pair in (hook_pair, sink_pair):
+        with pytest.raises(DependenceViolationError) as err:
+            runtime._detect_violations(pair)
+        messages.append(str(err.value))
+    assert messages[0] == messages[1]
+    assert "0x1020" in messages[0]
+
+
+# -- hypothesis: descriptor math vs brute-force expansion -------------------
+
+descriptor_st = st.builds(
+    StrideDescriptor,
+    st.integers(min_value=0x1000, max_value=0x2000).map(lambda a: a & ~7),
+    st.sampled_from([-64, -24, -16, -8, 0, 8, 16, 24, 64, 72]),
+    st.integers(min_value=1, max_value=40),
+    st.sampled_from([1, 2, 4]),
+    st.booleans(),
+)
+
+addr_st = st.integers(min_value=0x1000 // 8, max_value=0x3000 // 8) \
+    .map(lambda w: w * 8)
+
+sink_contents_st = st.tuples(
+    st.lists(addr_st, max_size=10),               # raw reads
+    st.lists(addr_st, max_size=10),               # raw writes
+    st.lists(st.tuples(addr_st, st.sampled_from([2, 4])), max_size=4),
+    st.lists(descriptor_st, max_size=4),
+)
+
+
+def build_view(thread_id, contents):
+    reads, writes, packed_writes, descriptors = contents
+    sink = ShadowSink(thread_id=thread_id, tls_lo=1 << 40,
+                      tls_hi=(1 << 40) + 64, stack_lo=1 << 41,
+                      stack_hi=(1 << 41) + 64)
+    sink.reads.extend(reads)
+    sink.writes.extend(writes)
+    sink.packed_writes.extend(packed_writes)
+    return ShadowView.from_sink(thread_id, sink, list(descriptors))
+
+
+def brute_sets(contents):
+    reads, writes, packed_writes, descriptors = contents
+    read_set = set(reads)
+    write_set = set(writes)
+    lines = Counter()
+    for addr in writes:
+        lines[addr >> 6] += 1
+    for base, lanes in packed_writes:
+        lines[base >> 6] += 1
+        write_set.update(base + WORD * k for k in range(lanes))
+    for d in descriptors:
+        target = write_set if d.is_write else read_set
+        for lane in range(d.lanes):
+            target.update(d.first + WORD * lane + d.stride * k
+                          for k in range(d.trips))
+        if d.is_write:
+            for k in range(d.trips):
+                lines[(d.first + d.stride * k) >> 6] += 1
+    return read_set, write_set, lines
+
+
+@settings(max_examples=120, deadline=None)
+@given(sink_contents_st, sink_contents_st)
+def test_view_queries_match_bruteforce(contents_a, contents_b):
+    view_a, view_b = build_view(1, contents_a), build_view(2, contents_b)
+    reads_a, writes_a, lines_a = brute_sets(contents_a)
+    reads_b, writes_b, lines_b = brute_sets(contents_b)
+    # The interval prefilter is conservative: a real conflict always
+    # passes it (expand-on-overlap can never miss an overlap).
+    conflict = bool((writes_a & (reads_b | writes_b))
+                    | (reads_a & writes_b))
+    if conflict:
+        assert views_may_conflict(view_a, view_b)
+    # Exact expansion and membership agree with brute force.
+    assert view_a.reads() == reads_a
+    assert view_a.writes() == writes_a
+    assert view_a.line_counts() == lines_a
+    assert view_b.line_counts() == lines_b
+    probe = sorted(writes_a | reads_a | writes_b)[:16]
+    for addr in probe:
+        assert view_b.writes_contain(addr) == (addr in writes_b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(descriptor_st)
+def test_descriptor_interval_and_contains(desc):
+    expanded = desc.addresses()
+    lo, hi = desc.interval()
+    assert min(expanded) == lo
+    assert max(expanded) == hi
+    for addr in list(expanded)[:32]:
+        assert desc.contains(addr)
+    assert not desc.contains(lo - WORD)
+    assert not desc.contains(hi + WORD)
