@@ -1,0 +1,225 @@
+"""Microbenchmark: the analysis service's registry and dedupe payoff.
+
+Spins up an in-process :class:`AnalysisDaemon` on a unix socket and
+measures the service-layer contract from the client side:
+
+* **cold submit** — first request for a key runs the full pipeline
+  (analyse, train, generate, lint) before the reply,
+* **warm submit** — the same key again is a registry read plus a
+  round-trip validation of the stored schedule bytes,
+* **dedupe** — 8 concurrent clients submitting the same two fresh
+  binaries: single-flight merges mean each distinct key is analysed
+  exactly once, no matter how many requesters pile in.
+
+Run as a script to print a JSON report and write ``BENCH_service.json``
+via the telemetry BENCH exporter::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [out.json]
+
+The pytest entry point runs the same scenario at a smaller size and
+asserts the acceptance floor: warm ≥ 10x faster than cold, one
+computation per distinct key, and at least one single-flight merge
+under the concurrent burst.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import AnalysisDaemon, DaemonConfig
+from repro.telemetry import core
+
+TEMPLATE = """
+int n = {n};
+double a[{n}];
+double b[{n}];
+
+int main() {{
+    int i;
+    int reps = read_int();
+    int r;
+    double s = 0.0;
+    for (i = 0; i < n; i++) {{ b[i] = {scale} * i; }}
+    for (r = 0; r < reps; r++) {{
+        for (i = 0; i < n; i++) {{ a[i] = b[i] * 3.0 + 1.0; }}
+    }}
+    for (i = 0; i < n; i++) {{ s += a[i]; }}
+    print_double(s);
+    return 0;
+}}
+"""
+
+N_CLIENTS = 8
+WARM_ROUNDS = 5
+
+
+def build_binary(n: int, scale: float) -> bytes:
+    from repro.jcc import CompileOptions, compile_source
+
+    source = TEMPLATE.format(n=n, scale=scale)
+    return compile_source(source, CompileOptions(opt_level=2)).serialize()
+
+
+class ServedDaemon:
+    """An AnalysisDaemon running on a background thread's event loop."""
+
+    def __init__(self, root: str) -> None:
+        self.config = DaemonConfig(socket_path=root + "/daemon.sock",
+                                   registry_root=root + "/registry",
+                                   jobs=0)
+        self.daemon = AnalysisDaemon(self.config)
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.serve_forever()),
+            daemon=True)
+
+    def __enter__(self) -> "ServedDaemon":
+        self.thread.start()
+        for _ in range(200):
+            try:
+                with ServiceClient(self.config.socket_path,
+                                   timeout=5.0) as client:
+                    client.ping()
+                return self
+            except OSError:
+                time.sleep(0.02)
+        raise RuntimeError("daemon did not come up")
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            with ServiceClient(self.config.socket_path,
+                               timeout=5.0) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        self.thread.join(timeout=10)
+
+    def client(self) -> ServiceClient:
+        return ServiceClient(self.config.socket_path, timeout=120.0)
+
+
+def submit_ms(client: ServiceClient, raw: bytes) -> tuple[float, dict]:
+    start = time.perf_counter()
+    reply = client.schedule(raw, mode="janus", train_inputs=[1],
+                            threads=4)
+    return (time.perf_counter() - start) * 1000.0, reply
+
+
+def measure(n: int) -> dict:
+    cold_binary = build_binary(n, 0.5)
+    burst_binaries = [build_binary(n, 0.25), build_binary(n, 0.75)]
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root, \
+            ServedDaemon(root) as served:
+        with served.client() as client:
+            cold_ms, cold_reply = submit_ms(client, cold_binary)
+            assert not cold_reply["cached"]
+            warm_samples = []
+            for _ in range(WARM_ROUNDS):
+                elapsed, reply = submit_ms(client, cold_binary)
+                assert reply["cached"]
+                assert reply["schedule_b64"] == cold_reply["schedule_b64"]
+                warm_samples.append(elapsed)
+
+        # The concurrent burst: 8 clients, 2 fresh keys each, started
+        # behind a barrier so the daemon sees them all at once.
+        barrier = threading.Barrier(N_CLIENTS)
+        replies: list[list[dict]] = [None] * N_CLIENTS
+
+        def burst(index: int) -> None:
+            with served.client() as client:
+                barrier.wait()
+                replies[index] = [
+                    submit_ms(client, raw)[1] for raw in burst_binaries]
+
+        burst_start = time.perf_counter()
+        threads = [threading.Thread(target=burst, args=(index,))
+                   for index in range(N_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        burst_seconds = time.perf_counter() - burst_start
+
+        stats = served.daemon.stats()
+
+    for per_client in replies:
+        for first, second in zip(replies[0], per_client):
+            assert first["schedule_b64"] == second["schedule_b64"], \
+                "concurrent clients disagreed on schedule bytes"
+
+    counters = stats["counters"]
+    warm_ms = statistics.median(warm_samples)
+    burst_computed = {key: count for key, count in stats["computed"].items()
+                      if key != cold_reply["key"]}
+    return {
+        "n": n,
+        "clients": N_CLIENTS,
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "warm_speedup": round(cold_ms / warm_ms, 2),
+        "burst": {
+            "seconds": round(burst_seconds, 4),
+            "requests": N_CLIENTS * len(burst_binaries),
+            "distinct_keys": len(burst_binaries),
+            "computations": len(burst_computed),
+            "computed_once_per_key":
+                all(count == 1 for count in stats["computed"].values()),
+            "single_flight_merges":
+                counters.get("service.single_flight_merges", 0),
+            "registry_hits": counters.get("service.registry.hits", 0),
+        },
+        "registry_entries": stats["registry"]["entries"],
+    }
+
+
+def test_service_smoke():
+    """CI smoke: the registry/dedupe contract must hold its floors."""
+    report = measure(n=120)
+    assert report["warm_speedup"] >= 10.0, report
+    assert report["burst"]["computed_once_per_key"], report
+    assert report["burst"]["computations"] == \
+        report["burst"]["distinct_keys"], report
+    assert report["burst"]["single_flight_merges"] > 0, report
+    merges = report["burst"]["single_flight_merges"]
+    hits = report["burst"]["registry_hits"]
+    served_without_compute = report["burst"]["requests"] - \
+        report["burst"]["computations"]
+    assert merges + hits >= served_without_compute, report
+
+
+def main(argv: list[str]) -> int:
+    from repro.telemetry import aggregate, export
+
+    out = argv[1] if len(argv) > 1 else "BENCH_service.json"
+    report = measure(n=400)
+    recorder = core.enable(label="bench_service")
+    recorder.gauge("bench.service.cold_ms", report["cold_ms"])
+    recorder.gauge("bench.service.warm_ms", report["warm_ms"])
+    recorder.gauge("bench.service.warm_speedup", report["warm_speedup"])
+    recorder.gauge("bench.service.burst_seconds",
+                   report["burst"]["seconds"])
+    recorder.gauge("bench.service.burst_requests",
+                   report["burst"]["requests"])
+    recorder.gauge("bench.service.burst_computations",
+                   report["burst"]["computations"])
+    recorder.gauge("bench.service.single_flight_merges",
+                   report["burst"]["single_flight_merges"])
+    recorder.gauge("bench.service.registry_hits",
+                   report["burst"]["registry_hits"])
+    merged = aggregate.merge([recorder.dump()])
+    core.disable()
+    export.write_bench_snapshot(out, merged, name="service")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -26,7 +26,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import uuid
 
 from dataclasses import dataclass, field
 
@@ -38,6 +37,12 @@ from repro.pipeline.janus import TrainingData
 from repro.profiling import ProfileResult, run_profiling
 from repro.rewrite import generate_profile_schedule
 from repro.telemetry.core import get_recorder, lane_label
+from repro.util import (
+    atomic_write_bytes,
+    image_digest,
+    read_digest_file,
+    write_digest_file,
+)
 from repro.workloads import compile_workload, get_workload
 from repro.workloads.suite import workload_source
 
@@ -73,6 +78,13 @@ class EvalHarness:
     # dump directory through the fan-out so worker spans can be merged
     # into one trace (see repro.telemetry.aggregate).
     telemetry: bool = False
+    # Socket path of a running analysis daemon (repro serve).  When set,
+    # schedule generation for STATIC/STATIC_PROFILE/JANUS runs routes
+    # through the daemon's content-addressed registry (warm schedules
+    # skip local training entirely); any service failure falls back to
+    # the local pipeline.  Results are identical either way because
+    # schedule bytes are deterministic.
+    service: str | None = None
     _natives: dict = field(default_factory=dict)
     _janus: dict = field(default_factory=dict)
     _trainings: dict = field(default_factory=dict)
@@ -153,8 +165,7 @@ class EvalHarness:
             side = self._digest_path(name, options)
             digest = self._read_digest(side)
         if digest is None:
-            digest = hashlib.sha256(
-                self.image(name, options).serialize()).hexdigest()
+            digest = image_digest(self.image(name, options))
             if side is not None:
                 self._write_digest(side, digest)
         self._digests[key] = digest
@@ -177,22 +188,14 @@ class EvalHarness:
 
     @staticmethod
     def _read_digest(path: str) -> str | None:
-        try:
-            with open(path, "r") as fh:
-                digest = fh.read().strip()
-        except (OSError, UnicodeDecodeError):
-            return None
-        if len(digest) == 64 and all(c in "0123456789abcdef"
-                                     for c in digest):
-            return digest
-        return None  # truncated or corrupt side-cache: recompute
+        # Truncated or corrupt side-caches read as None: recompute.
+        return read_digest_file(path)
 
-    def _write_digest(self, path: str, digest: str) -> None:
-        os.makedirs(self.cache_dir, exist_ok=True)
-        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
-        with open(tmp, "w") as fh:
-            fh.write(digest)
-        os.replace(tmp, path)
+    @staticmethod
+    def _write_digest(path: str, digest: str) -> None:
+        # Atomic (unique temp + os.replace): concurrent daemon/fan-out
+        # workers racing on one sidecar can never interleave a torn file.
+        write_digest_file(path, digest)
 
     def _cache_entry(self, kind: str, name: str, options: CompileOptions,
                      mode: str = "", threads: int = 0) -> tuple[str, str]:
@@ -217,14 +220,11 @@ class EvalHarness:
         return payload.get("result")
 
     def _disk_put(self, path: str, tag: str, result) -> None:
-        os.makedirs(self.cache_dir, exist_ok=True)
-        # The temp name must be unique per writer: concurrent workers
+        # Unique-temp-name atomic write (repro.util): concurrent workers
         # produce the same cell, and a shared "path.tmp" would let one
         # writer rename the other's half-written file into place.
-        tmp = f"{path}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
-        with open(tmp, "wb") as fh:
-            pickle.dump({"tag": tag, "result": result}, fh)
-        os.replace(tmp, path)
+        atomic_write_bytes(path, pickle.dumps({"tag": tag,
+                                               "result": result}))
 
     # -- runs ---------------------------------------------------------------------
 
@@ -275,8 +275,13 @@ class EvalHarness:
                 return result
         workload = get_workload(name)
         janus = self.janus_for(name, options)
+        schedule = None
+        if self.service is not None and mode not in (
+                SelectionMode.NATIVE, SelectionMode.DBM_ONLY):
+            schedule = self._service_schedule(name, mode, options)
         training = None
-        if mode in (SelectionMode.STATIC_PROFILE, SelectionMode.JANUS):
+        if schedule is None and mode in (SelectionMode.STATIC_PROFILE,
+                                         SelectionMode.JANUS):
             training = self.training(name, options)
         with get_recorder().span("exec.run", cat="exec",
                                  lane=lane_label("run", name, mode.name,
@@ -284,7 +289,8 @@ class EvalHarness:
                                  benchmark=name, mode=mode.name,
                                  threads=threads) as span:
             result = janus.run(mode, inputs=list(workload.ref_inputs),
-                               training=training, n_threads=threads)
+                               training=training, n_threads=threads,
+                               schedule=schedule)
             span.set(cycles=result.cycles,
                      instructions=result.instructions)
         self._runs[key] = result
@@ -327,6 +333,25 @@ class EvalHarness:
         if entry is not None:
             self._disk_put(*entry, profile)
         return profile
+
+    def _service_schedule(self, name: str, mode: SelectionMode,
+                          options: CompileOptions):
+        """Fetch this run's schedule from the daemon; None falls back.
+
+        The request mirrors exactly what the local pipeline would do:
+        STATIC builds without training, the profile-guided modes train
+        on the workload's training inputs (the daemon reruns those
+        deterministic passes on a cold key; a warm key skips them).
+        """
+        from repro.service.client import fetch_schedule
+
+        no_train = mode is SelectionMode.STATIC
+        workload = get_workload(name)
+        train_inputs = () if no_train else tuple(workload.train_inputs)
+        return fetch_schedule(self.service, self.image(name, options),
+                              mode.value, threads=self.n_threads,
+                              train_inputs=train_inputs,
+                              no_train=no_train)
 
     def speedup(self, name: str, mode: SelectionMode,
                 options: CompileOptions | None = None,

@@ -228,8 +228,15 @@ class Janus:
 
     def run(self, mode: SelectionMode, inputs: list[int] | None = None,
             training: TrainingData | None = None,
-            n_threads: int | None = None) -> ExecutionResult:
-        """Execute the binary in one of the Fig. 7 configurations."""
+            n_threads: int | None = None,
+            schedule: RewriteSchedule | None = None) -> ExecutionResult:
+        """Execute the binary in one of the Fig. 7 configurations.
+
+        ``schedule`` short-circuits stage 4 with a precomputed rewrite
+        schedule (e.g. one fetched from a running analysis daemon's
+        registry); schedule generation is deterministic, so a served
+        schedule produces the same execution as a locally-built one.
+        """
         process = load(self.image, inputs=inputs)
         threads = n_threads if n_threads is not None \
             else self.config.n_threads
@@ -240,7 +247,8 @@ class Janus:
         if mode is SelectionMode.DBM_ONLY:
             return run_under_dbm(process, cost_model=cost,
                                  max_instructions=limit)
-        schedule = self.build_schedule(mode, training)
+        if schedule is None:
+            schedule = self.build_schedule(mode, training)
         dbm = JanusDBM(process, schedule=schedule, cost_model=cost,
                        n_threads=threads, strict=self.config.strict,
                        scheduling=self.config.scheduling,

@@ -1,0 +1,33 @@
+"""Janus-as-a-service: schedule registry, analysis daemon and client.
+
+The paper's premise is that the expensive static analysis runs once and
+its product — the rewrite schedule — is a compact, reusable contract
+consumed cheaply at run time.  This package makes that product a
+*served, cached artifact*:
+
+* :mod:`repro.service.registry` — a content-addressed, sharded on-disk
+  store of schedule bytes keyed by (image digest, mode, config
+  fingerprint), with round-trip validation, corruption quarantine and an
+  LRU/size-budget eviction policy.
+* :mod:`repro.service.daemon` — an asyncio front-end over a local
+  socket (JSON-lines) that dedupes in-flight requests per key
+  (single-flight), fans distinct binaries out over a process pool,
+  serves warm hits straight from the registry, and load-sheds with a
+  typed BUSY reply when saturated.
+* :mod:`repro.service.client` — the blocking client the CLI
+  (``repro submit``) and the eval harness route through.
+* :mod:`repro.service.protocol` — the wire format shared by both ends.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import AnalysisDaemon, DaemonConfig
+from repro.service.registry import RegistryEntry, ScheduleRegistry
+
+__all__ = [
+    "AnalysisDaemon",
+    "DaemonConfig",
+    "RegistryEntry",
+    "ScheduleRegistry",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,135 @@
+"""Blocking client for the analysis daemon (CLI + eval-harness side).
+
+A :class:`ServiceClient` holds one connection and correlates replies by
+request id.  Typed daemon errors (BUSY, TIMEOUT, ...) surface as
+:class:`ServiceError` with a ``code``; transport problems surface as
+the underlying ``OSError``.  :func:`fetch_schedule` is the best-effort
+wrapper the eval harness routes through: any failure — daemon down,
+shedding load, timing out — degrades to ``None`` and the caller falls
+back to local computation.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """A typed error reply from the daemon."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """One connection to a running daemon over its unix socket."""
+
+    def __init__(self, socket_path: str, timeout: float | None = 600.0,
+                 connect_timeout: float = 5.0) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        self._sock.connect(socket_path)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def request(self, op: str, **params) -> dict:
+        """One round-trip; raises :class:`ServiceError` on a typed error."""
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"op": op, "id": request_id, **params}
+        self._file.write(protocol.encode_message(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionResetError("daemon closed the connection")
+        reply = protocol.decode_message(line)
+        if reply.get("id") != request_id:
+            raise protocol.ProtocolError(
+                f"reply id {reply.get('id')!r} does not match request "
+                f"{request_id}")
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServiceError(error.get("code", "UNKNOWN"),
+                               error.get("message", "unspecified error"))
+        return reply
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def analyze(self, binary: bytes) -> dict:
+        return self.request("analyze",
+                            binary_b64=protocol.b64encode(binary))
+
+    def schedule(self, binary: bytes, mode: str = "janus",
+                 family: str = "parallel", threads: int = 8,
+                 train_inputs=(), no_train: bool = False,
+                 **overrides) -> dict:
+        """Request one schedule; the reply gains ``schedule_bytes``."""
+        reply = self.request(
+            "schedule", binary_b64=protocol.b64encode(binary), mode=mode,
+            family=family, threads=threads,
+            train_inputs=list(train_inputs), no_train=no_train,
+            **overrides)
+        reply["schedule_bytes"] = protocol.b64decode(
+            reply.get("schedule_b64", ""))
+        return reply
+
+    def run(self, binary: bytes, mode: str = "janus", inputs=(),
+            threads: int = 8, train_inputs=(),
+            no_train: bool = False) -> dict:
+        return self.request(
+            "run", binary_b64=protocol.b64encode(binary), mode=mode,
+            inputs=list(inputs), threads=threads,
+            train_inputs=list(train_inputs), no_train=no_train)
+
+
+def fetch_schedule(socket_path: str, image, mode: str, *,
+                   family: str = "parallel", threads: int = 8,
+                   train_inputs=(), no_train: bool = False,
+                   timeout: float | None = 600.0):
+    """Best-effort schedule fetch for harness routing; None on any failure.
+
+    Returns a deserialised :class:`RewriteSchedule` (already round-trip
+    validated by the daemon's registry) or ``None`` so the caller can
+    fall back to the local pipeline — the service is an accelerator,
+    never a correctness dependency.
+    """
+    from repro.rewrite.schedule import RewriteSchedule, ScheduleError
+
+    try:
+        with ServiceClient(socket_path, timeout=timeout) as client:
+            reply = client.schedule(
+                image.serialize(), mode=mode, family=family,
+                threads=threads, train_inputs=train_inputs,
+                no_train=no_train)
+        return RewriteSchedule.deserialize(reply["schedule_bytes"])
+    except (OSError, ServiceError, protocol.ProtocolError, ScheduleError):
+        return None

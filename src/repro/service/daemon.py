@@ -1,0 +1,552 @@
+"""The async analysis daemon: analyze/schedule/run served over a socket.
+
+One long-lived process owns the schedule registry and a pool of worker
+processes.  The asyncio front-end accepts JSON-lines requests over a
+unix socket and applies, in order:
+
+1. **registry lookup** — a warm key is served straight from disk,
+2. **single-flight dedupe** — concurrent requests for one key await one
+   computation (``service.single_flight_merges`` counts the joins),
+3. **load shedding** — beyond ``max_queue`` in-flight computations new
+   keys get a typed ``BUSY`` reply instead of unbounded queueing,
+4. **worker fan-out** — distinct binaries batch across a
+   ``ProcessPoolExecutor`` (the PR 2 fan-out machinery, pointed at
+   requests instead of figure cells),
+5. **per-request timeout** — a stuck computation answers ``TIMEOUT``;
+   the underlying job is shielded so other waiters (and the registry)
+   still get its result.
+
+Every schedule is linted (:mod:`repro.verify.lint_schedule`) inside the
+worker before the daemon admits it to the registry; a schedule with
+ERROR findings is still returned to the requester (it is exactly what
+the one-shot CLI would have produced) but never cached.
+
+Telemetry lives under ``service.*`` on the daemon's metric registry and
+is served by the ``stats`` op in the flat counters/gauges shape
+``repro stats`` understands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.service import protocol
+from repro.service.registry import (
+    RegistryEntry,
+    ScheduleRegistry,
+    config_fingerprint,
+    entry_key,
+)
+from repro.telemetry.core import MetricRegistry, get_recorder
+from repro.util import cached_image_digest
+
+# Selection modes a schedule can be generated for (native/dbm_only have
+# no schedule; mirrors the one-shot `repro schedule --mode` choices).
+SCHEDULE_MODES = ("static", "static_profile", "janus")
+RUN_MODES = SCHEDULE_MODES + ("native", "dbm_only")
+FAMILIES = ("parallel", "vector", "prefetch")
+
+_LATENCY_KEEP = 1024  # per-series latency samples kept for percentiles
+
+
+class _Busy(Exception):
+    """Internal: the computation queue is full; shed this request."""
+
+
+@dataclass
+class DaemonConfig:
+    """Tunables for one daemon instance."""
+
+    socket_path: str
+    registry_root: str
+    # Worker processes for analysis/schedule/run jobs.  0 runs jobs on
+    # the event loop's default thread executor (tests, tiny workloads).
+    jobs: int = 2
+    # In-flight computation bound: a new *distinct* key beyond this gets
+    # a typed BUSY reply (duplicates still merge into the in-flight job).
+    max_queue: int = 32
+    # Seconds one request waits on its computation before TIMEOUT.
+    request_timeout: float = 300.0
+    # Registry eviction budgets (None = unbounded).
+    max_bytes: int | None = None
+    max_entries: int | None = None
+    # Lint schedules before admitting them to the registry.
+    lint: bool = True
+
+
+def schedule_params(request: dict) -> dict:
+    """The normalised, fingerprintable schedule-request parameters.
+
+    Everything that can change the schedule bytes is in here; the
+    binary itself is keyed separately by its content digest.  Raises
+    :class:`protocol.ProtocolError` on malformed input.
+    """
+    from repro.pipeline import JanusConfig
+
+    defaults = JanusConfig()
+    mode = request.get("mode", "janus")
+    if mode not in SCHEDULE_MODES:
+        raise protocol.ProtocolError(
+            f"mode must be one of {SCHEDULE_MODES}, got {mode!r}")
+    family = request.get("family", "parallel")
+    if family not in FAMILIES:
+        raise protocol.ProtocolError(
+            f"family must be one of {FAMILIES}, got {family!r}")
+    train_inputs = request.get("train_inputs", [])
+    if not isinstance(train_inputs, list) \
+            or not all(isinstance(v, int) for v in train_inputs):
+        raise protocol.ProtocolError("train_inputs must be a list of ints")
+    try:
+        params = {
+            "mode": mode,
+            "family": family,
+            "threads": int(request.get("threads", defaults.n_threads)),
+            "train_inputs": list(train_inputs),
+            "no_train": bool(request.get("no_train", False)),
+            "coverage_threshold": float(
+                request.get("coverage_threshold",
+                            defaults.coverage_threshold)),
+            "min_average_trips": float(
+                request.get("min_average_trips",
+                            defaults.min_average_trips)),
+        }
+    except (TypeError, ValueError) as exc:
+        raise protocol.ProtocolError(f"bad schedule params: {exc}") from None
+    return params
+
+
+def _binary_bytes(request: dict) -> bytes:
+    payload = request.get("binary_b64")
+    if not isinstance(payload, str):
+        raise protocol.ProtocolError("request lacks binary_b64")
+    return protocol.b64decode(payload)
+
+
+# -- worker jobs (module level: picklable into the process pool) -----------
+
+
+def _make_janus(raw: bytes, params: dict):
+    from repro.jbin.image import JELF
+    from repro.pipeline import Janus, JanusConfig
+
+    config = JanusConfig(
+        n_threads=params["threads"], mode=params["family"],
+        coverage_threshold=params["coverage_threshold"],
+        min_average_trips=params["min_average_trips"])
+    return Janus(JELF.deserialize(raw), config)
+
+
+def compute_schedule_job(payload: dict) -> dict:
+    """Full pipeline for one binary: analyse, (train,) generate, lint."""
+    from repro.pipeline import SelectionMode
+    from repro.verify.findings import Severity
+    from repro.verify.lint_schedule import lint_schedule
+
+    raw = payload["binary"]
+    params = payload["params"]
+    janus = _make_janus(raw, params)
+    training = None
+    if not params["no_train"]:
+        training = janus.train(train_inputs=list(params["train_inputs"]))
+    selection = SelectionMode(params["mode"])
+    schedule = janus.build_schedule(selection, training)
+    result = {
+        "schedule": schedule.serialize(),
+        "rules": len(schedule.rules),
+        "selected_loops": janus.select_loops(selection, training),
+        "lint_errors": 0,
+        "lint_warnings": 0,
+        "lint_messages": [],
+    }
+    if payload.get("lint", True):
+        findings = lint_schedule(janus.analysis, schedule)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        result["lint_errors"] = len(errors)
+        result["lint_warnings"] = sum(
+            1 for f in findings if f.severity is Severity.WARNING)
+        result["lint_messages"] = [str(f) for f in errors[:8]]
+    return result
+
+
+def analyze_job(payload: dict) -> dict:
+    """Static loop analysis only: the `repro analyze` table as rows."""
+    from repro.analysis import analyze_image
+    from repro.jbin.image import JELF
+
+    analysis = analyze_image(JELF.deserialize(payload["binary"]))
+    rows = []
+    for result in analysis.loops:
+        iterator = result.induction.iterator if result.induction else None
+        trips = None
+        if iterator is not None:
+            trips = iterator.static_trip_count
+        rows.append({
+            "loop_id": result.loop_id,
+            "function": result.loop.function_entry,
+            "header": result.loop.header,
+            "category": result.category.value,
+            "static_trips": trips,
+            "bounds_checks": (len(result.alias.bounds_checks)
+                              if result.alias is not None else 0),
+            "reasons": list(result.reasons),
+        })
+    return {"functions": len(analysis.functions),
+            "loops": len(analysis.loops), "rows": rows}
+
+
+def run_job(payload: dict) -> dict:
+    """Execute one binary (native / dbm_only / under a schedule)."""
+    from repro.dbm.executor import run_native
+    from repro.dbm.modifier import JanusDBM, run_under_dbm
+    from repro.dbm.runtime import ParallelRuntime
+    from repro.jbin.image import JELF
+    from repro.jbin.loader import load
+    from repro.rewrite.schedule import RewriteSchedule
+
+    image = JELF.deserialize(payload["binary"])
+    process = load(image, inputs=list(payload["inputs"]))
+    mode = payload["mode"]
+    if mode == "native":
+        result = run_native(process)
+    elif mode == "dbm_only":
+        result = run_under_dbm(process)
+    else:
+        schedule = RewriteSchedule.deserialize(payload["schedule"])
+        dbm = JanusDBM(process, schedule=schedule,
+                       n_threads=payload["threads"])
+        ParallelRuntime(dbm)
+        result = dbm.run()
+    return {"output": result.output_text, "cycles": result.cycles,
+            "instructions": result.instructions,
+            "exit_code": result.exit_code}
+
+
+# -- the daemon ------------------------------------------------------------
+
+
+class AnalysisDaemon:
+    """The asyncio front-end over one registry and one worker pool."""
+
+    def __init__(self, config: DaemonConfig) -> None:
+        self.config = config
+        self.metrics = MetricRegistry()
+        self.registry = ScheduleRegistry(
+            config.registry_root, max_bytes=config.max_bytes,
+            max_entries=config.max_entries, metrics=self.metrics)
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._computed: dict[str, int] = {}
+        self._latencies: dict[str, list[float]] = {}
+        self._peak_queue_depth = 0
+        self._pool: ProcessPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown: asyncio.Event | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        if self.config.jobs > 0:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.jobs)
+        os.makedirs(os.path.dirname(self.config.socket_path) or ".",
+                    exist_ok=True)
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.config.socket_path,
+            limit=protocol.MAX_LINE_BYTES)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._inflight.values()):
+            task.cancel()
+        self._inflight.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request arrives."""
+        await self.start()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.encode_message(
+                        protocol.error_reply(None, protocol.BAD_REQUEST,
+                                             "oversized request line")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                reply = await self._dispatch_line(line)
+                writer.write(protocol.encode_message(reply))
+                await writer.drain()
+                if self._shutdown is not None and self._shutdown.is_set():
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> dict:
+        try:
+            request = protocol.decode_message(line)
+        except protocol.ProtocolError as exc:
+            return protocol.error_reply(None, protocol.BAD_REQUEST, str(exc))
+        request_id = request.get("id")
+        op = request.get("op")
+        self._count("requests")
+        if op not in protocol.OPS:
+            self._count("bad_requests")
+            return protocol.error_reply(request_id, protocol.BAD_REQUEST,
+                                        f"unknown op {op!r}")
+        started = perf_counter()
+        try:
+            reply = await self._dispatch(op, request)
+        except _Busy:
+            self._count("busy_rejections")
+            return protocol.error_reply(
+                request_id, protocol.BUSY,
+                f"{len(self._inflight)} computations in flight "
+                f"(max_queue={self.config.max_queue}); retry or fall "
+                f"back to local analysis")
+        except asyncio.TimeoutError:
+            self._count("timeouts")
+            return protocol.error_reply(
+                request_id, protocol.TIMEOUT,
+                f"computation exceeded {self.config.request_timeout}s")
+        except protocol.ProtocolError as exc:
+            self._count("bad_requests")
+            return protocol.error_reply(request_id, protocol.BAD_REQUEST,
+                                        str(exc))
+        except Exception as exc:  # worker/compute failure: typed, not fatal
+            self._count("compute_errors")
+            return protocol.error_reply(
+                request_id, protocol.COMPUTE_ERROR,
+                f"{type(exc).__name__}: {exc}")
+        reply["id"] = request_id
+        if op in ("analyze", "schedule", "run"):
+            warm = "warm" if reply.get("cached") else "cold"
+            self._record_latency(f"{op}.{warm}", perf_counter() - started)
+        return reply
+
+    async def _dispatch(self, op: str, request: dict) -> dict:
+        if op == "ping":
+            return protocol.ok_reply(None, pong=True, pid=os.getpid())
+        if op == "stats":
+            return protocol.ok_reply(None, **self.stats())
+        if op == "shutdown":
+            self._shutdown.set()
+            return protocol.ok_reply(None, stopping=True)
+        if op == "analyze":
+            return await self._handle_analyze(request)
+        if op == "schedule":
+            return await self._handle_schedule(request)
+        return await self._handle_run(request)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        key = "service." + name
+        self.metrics.inc(key, n)
+        get_recorder().count(key, n)
+
+    def _record_latency(self, series: str, seconds: float) -> None:
+        samples = self._latencies.setdefault(series, [])
+        samples.append(seconds)
+        if len(samples) > _LATENCY_KEEP:
+            del samples[:len(samples) - _LATENCY_KEEP]
+
+    @staticmethod
+    def _percentile(samples: list[float], fraction: float) -> float:
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def stats(self) -> dict:
+        gauges = {
+            "service.queue_depth": float(len(self._inflight)),
+            "service.queue_depth_peak": float(self._peak_queue_depth),
+        }
+        for series, samples in sorted(self._latencies.items()):
+            if not samples:
+                continue
+            for name, fraction in (("p50", 0.50), ("p95", 0.95)):
+                gauges[f"service.latency.{series}.{name}_ms"] = round(
+                    self._percentile(samples, fraction) * 1000.0, 3)
+        return {
+            "pid": os.getpid(),
+            "counters": self.metrics.as_dict(),
+            "gauges": gauges,
+            "computed": dict(sorted(self._computed.items())),
+            "inflight": len(self._inflight),
+            "registry": self.registry.stats(),
+        }
+
+    # -- single-flight computation ------------------------------------------
+
+    async def _computation(self, key: str, factory):
+        """The single computation for ``key``; all requesters await this.
+
+        ``factory()`` builds the coroutine that performs the work (pool
+        job plus any follow-up such as registry admission).  The whole
+        coroutine runs inside the tracked task, so a requester timing
+        out never loses the side effects — the job finishes and the
+        registry still gets its entry.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            if len(self._inflight) >= self.config.max_queue:
+                raise _Busy
+            loop = asyncio.get_running_loop()
+            task = loop.create_task(self._tracked(key, factory()))
+            # A timeout on every waiter must not leave the exception
+            # unobserved when the job eventually fails.
+            task.add_done_callback(
+                lambda t: t.cancelled() or t.exception())
+            self._inflight[key] = task
+            self._computed[key] = self._computed.get(key, 0) + 1
+            self._count("computations")
+            self._peak_queue_depth = max(self._peak_queue_depth,
+                                         len(self._inflight))
+            get_recorder().gauge("service.queue_depth_peak",
+                                 float(self._peak_queue_depth))
+        else:
+            self._count("single_flight_merges")
+        # shield(): one waiter timing out must not cancel the shared job.
+        return await asyncio.wait_for(asyncio.shield(task),
+                                      self.config.request_timeout)
+
+    async def _tracked(self, key: str, coro):
+        try:
+            return await coro
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _run_in_pool(self, job, payload: dict):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, job, payload)
+
+    # -- ops ----------------------------------------------------------------
+
+    async def _handle_analyze(self, request: dict) -> dict:
+        raw = _binary_bytes(request)
+        digest = cached_image_digest(raw)
+        result = await self._computation(
+            "analyze|" + digest,
+            lambda: self._run_in_pool(analyze_job, {"binary": raw}))
+        return protocol.ok_reply(None, cached=False, digest=digest,
+                                 **result)
+
+    async def _compute_and_admit(self, raw: bytes, digest: str,
+                                 mode_tag: str, fingerprint: str,
+                                 params: dict) -> RegistryEntry:
+        """Compute one schedule and admit it; the single-flight body."""
+        result = await self._run_in_pool(
+            compute_schedule_job,
+            {"binary": raw, "params": params, "lint": self.config.lint})
+        entry = RegistryEntry(
+            digest=digest, mode=mode_tag, fingerprint=fingerprint,
+            schedule_bytes=result["schedule"],
+            meta={"rules": result["rules"],
+                  "selected_loops": result["selected_loops"],
+                  "lint_errors": result["lint_errors"],
+                  "lint_warnings": result["lint_warnings"],
+                  "lint_messages": result["lint_messages"],
+                  "params": params})
+        if result["lint_errors"] == 0:
+            self.registry.put(entry)
+            self._count("admitted")
+        else:
+            # The linter vetoed admission: serve the bytes (they are what
+            # the one-shot CLI would produce) but never cache them.
+            self._count("lint_rejected")
+        return entry
+
+    async def _schedule_entry(self, raw: bytes,
+                              request: dict) -> tuple[RegistryEntry, bool]:
+        """(registry entry, was_cached) for one schedule request."""
+        params = schedule_params(request)
+        digest = cached_image_digest(raw)
+        mode_tag = f"{params['mode']}/{params['family']}"
+        fingerprint = config_fingerprint(params)
+        entry = self.registry.get(digest, mode_tag, fingerprint)
+        if entry is not None:
+            return entry, True
+        key = entry_key(digest, mode_tag, fingerprint)
+        entry = await self._computation(
+            key, lambda: self._compute_and_admit(raw, digest, mode_tag,
+                                                 fingerprint, params))
+        return entry, False
+
+    async def _handle_schedule(self, request: dict) -> dict:
+        raw = _binary_bytes(request)
+        entry, cached = await self._schedule_entry(raw, request)
+        meta = entry.meta
+        return protocol.ok_reply(
+            None, cached=cached, key=entry.key, digest=entry.digest,
+            mode=entry.mode, fingerprint=entry.fingerprint,
+            schedule_b64=protocol.b64encode(entry.schedule_bytes),
+            rules=meta.get("rules"),
+            selected_loops=meta.get("selected_loops"),
+            admitted=meta.get("lint_errors", 0) == 0,
+            lint={"errors": meta.get("lint_errors", 0),
+                  "warnings": meta.get("lint_warnings", 0),
+                  "messages": meta.get("lint_messages", [])})
+
+    async def _handle_run(self, request: dict) -> dict:
+        raw = _binary_bytes(request)
+        mode = request.get("mode", "janus")
+        if mode not in RUN_MODES:
+            raise protocol.ProtocolError(
+                f"mode must be one of {RUN_MODES}, got {mode!r}")
+        inputs = request.get("inputs", [])
+        if not isinstance(inputs, list) \
+                or not all(isinstance(v, int) for v in inputs):
+            raise protocol.ProtocolError("inputs must be a list of ints")
+        digest = cached_image_digest(raw)
+        schedule_bytes = None
+        cached = False
+        if mode in SCHEDULE_MODES:
+            entry, cached = await self._schedule_entry(raw, request)
+            schedule_bytes = entry.schedule_bytes
+        try:
+            threads = int(request.get("threads", 8))
+        except (TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(str(exc)) from None
+        payload = {"binary": raw, "mode": mode, "inputs": inputs,
+                   "threads": threads, "schedule": schedule_bytes}
+        key = "|".join(("run", digest, mode, str(threads),
+                        repr(inputs)))
+        result = await self._computation(
+            key, lambda: self._run_in_pool(run_job, payload))
+        return protocol.ok_reply(None, cached=cached, digest=digest,
+                                 **result)

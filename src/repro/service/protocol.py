@@ -1,0 +1,89 @@
+"""The daemon's wire protocol: JSON lines over a local stream socket.
+
+One request per line, one reply per line, both UTF-8 JSON objects.  A
+connection may pipeline any number of requests; replies carry the
+request's ``id`` so clients can correlate them.  Binary payloads
+(serialised images, schedule bytes) travel base64-encoded.
+
+Request shape::
+
+    {"op": "<op>", "id": <any>, ...op-specific params}
+
+Reply shape::
+
+    {"id": <echoed>, "ok": true, ...payload}
+    {"id": <echoed>, "ok": false,
+     "error": {"code": "BUSY" | "TIMEOUT" | "BAD_REQUEST" | "COMPUTE_ERROR"
+                     | "SHUTDOWN",
+               "message": "..."}}
+
+Ops: ``ping``, ``stats``, ``analyze``, ``schedule``, ``run``,
+``shutdown``.  The degradation ladder is typed: a saturated daemon
+answers ``BUSY`` (bounded queue, load shedding), a stuck computation
+answers ``TIMEOUT`` (per-request budget), malformed input answers
+``BAD_REQUEST`` — clients can always fall back to local computation.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+# A serialised request/reply line may carry a whole binary; asyncio's
+# default 64 KiB StreamReader limit is far too small.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+# Typed error codes (the degradation ladder, DESIGN.md section 10).
+BUSY = "BUSY"
+TIMEOUT = "TIMEOUT"
+BAD_REQUEST = "BAD_REQUEST"
+COMPUTE_ERROR = "COMPUTE_ERROR"
+SHUTDOWN = "SHUTDOWN"
+
+OPS = ("ping", "stats", "analyze", "schedule", "run", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed wire message (bad JSON, not an object, oversized)."""
+
+
+def encode_message(obj: dict) -> bytes:
+    """One wire line for a message (sorted keys: byte-stable for tests)."""
+    line = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    data = line.encode() + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds the "
+                            f"{MAX_LINE_BYTES}-byte line limit")
+    return data
+
+
+def decode_message(line: bytes) -> dict:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("oversized message line")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("message is not a JSON object")
+    return obj
+
+
+def ok_reply(request_id, **payload) -> dict:
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_reply(request_id, code: str, message: str) -> dict:
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def b64encode(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64decode(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"bad base64 payload: {exc}") from None

@@ -1,0 +1,338 @@
+"""Content-addressed, sharded on-disk registry of rewrite schedules.
+
+The registry generalises the eval harness's image-digest side-cache
+into a served artifact store.  One *entry* is the schedule bytes for a
+key of
+
+    (binary image digest, mode, analysis-config fingerprint)
+
+where the digest is :func:`repro.util.image_digest` (sha256 of the
+serialised binary), the mode names the selection mode and rewrite
+family (e.g. ``"janus/parallel"``), and the fingerprint hashes every
+config knob that can change the schedule bytes (thresholds, thread
+count, training inputs, ...).  Keys are sha256-hashed and sharded by
+their first byte, so millions of entries spread over 256 directories
+instead of one unbounded listing.
+
+Entries are *versioned* and *validated*: the on-disk record carries a
+magic, a format version, a JSON metadata block and a sha256 trailer
+over the schedule bytes; loading re-checks all of it and round-trips
+the schedule through :class:`RewriteSchedule` plus per-record
+:meth:`RewriteRule.from_bytes` before serving a byte.  Anything that
+fails is moved into ``quarantine/`` (never deleted — corrupt entries
+are evidence) and reads as a miss.
+
+Writes use the same unique-temp-name + ``os.replace`` discipline as the
+eval cache (:func:`repro.util.atomic_write_bytes`), so concurrent
+daemon workers can race on one key safely.  An LRU/size-budget
+eviction policy (`max_bytes`/`max_entries`, mtime-ordered) keeps the
+store bounded; hits touch the entry's mtime so hot schedules survive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import uuid
+
+from dataclasses import dataclass, field
+
+from repro.rewrite.rules import RULE_SIZE, RewriteRule, ScheduleFormatError
+from repro.rewrite.schedule import RewriteSchedule, ScheduleError
+from repro.telemetry.core import MetricRegistry, get_recorder
+from repro.util import atomic_write_bytes, sha256_hex
+
+_MAGIC = b"JREG1"
+_VERSION = 1
+_HEADER = struct.Struct("<HII")  # version, meta length, schedule length
+_TRAILER_SIZE = 32               # sha256 of the schedule bytes
+_SUFFIX = ".jreg"
+
+
+class RegistryFormatError(ValueError):
+    """A malformed registry entry (magic/version/length/checksum/bytes)."""
+
+
+def config_fingerprint(params: dict) -> str:
+    """The canonical hash of the schedule-affecting config knobs.
+
+    Both the daemon (keying the registry) and clients (naming what they
+    asked for) derive this from the same request params, so one keying
+    path covers CLI, service and harness.
+    """
+    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return sha256_hex(canonical.encode())
+
+
+def entry_key(digest: str, mode: str, fingerprint: str) -> str:
+    """The content address of one registry entry."""
+    tag = "|".join(("reg", str(_VERSION), digest, mode, fingerprint))
+    return sha256_hex(tag.encode())
+
+
+def validate_schedule_bytes(data: bytes) -> RewriteSchedule:
+    """Round-trip ``data`` through the schedule format; raise if unsound.
+
+    Parses the container, re-validates every fixed-length rule record
+    through :meth:`RewriteRule.from_bytes`, and requires that
+    re-serialising reproduces the input byte-for-byte — a registry must
+    never serve bytes the consumer-side loader would reject or reorder.
+    """
+    try:
+        schedule = RewriteSchedule.deserialize(data)
+    except (ScheduleError, ScheduleFormatError, IndexError) as exc:
+        raise RegistryFormatError(f"schedule bytes: {exc}") from None
+    rules_start = 4 + 14  # magic + header (see rewrite.schedule)
+    for index in range(len(schedule.rules)):
+        offset = rules_start + index * RULE_SIZE
+        try:
+            RewriteRule.from_bytes(data[offset:offset + RULE_SIZE])
+        except ScheduleFormatError as exc:
+            raise RegistryFormatError(
+                f"rule record {index}: {exc}") from None
+    if schedule.serialize() != data:
+        raise RegistryFormatError(
+            "schedule bytes do not round-trip the serialiser")
+    return schedule
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One stored schedule plus the key facts and free-form metadata."""
+
+    digest: str        # image content digest (repro.util.image_digest)
+    mode: str          # "<selection mode>/<rewrite family>"
+    fingerprint: str   # config_fingerprint(...) of the request params
+    schedule_bytes: bytes
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return entry_key(self.digest, self.mode, self.fingerprint)
+
+    def encode(self) -> bytes:
+        meta = {"digest": self.digest, "mode": self.mode,
+                "fingerprint": self.fingerprint,
+                "schedule_sha256": sha256_hex(self.schedule_bytes),
+                "meta": self.meta}
+        meta_bytes = json.dumps(meta, sort_keys=True,
+                                separators=(",", ":")).encode()
+        out = bytearray()
+        out += _MAGIC
+        out += _HEADER.pack(_VERSION, len(meta_bytes),
+                            len(self.schedule_bytes))
+        out += meta_bytes
+        out += self.schedule_bytes
+        out += hashlib.sha256(self.schedule_bytes).digest()
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "RegistryEntry":
+        if raw[:len(_MAGIC)] != _MAGIC:
+            raise RegistryFormatError("bad magic: not a registry entry")
+        try:
+            version, meta_len, sched_len = _HEADER.unpack_from(
+                raw, len(_MAGIC))
+        except struct.error:
+            raise RegistryFormatError("truncated entry header") from None
+        if version != _VERSION:
+            raise RegistryFormatError(
+                f"unsupported entry version {version}")
+        pos = len(_MAGIC) + _HEADER.size
+        expected = pos + meta_len + sched_len + _TRAILER_SIZE
+        if len(raw) != expected:
+            raise RegistryFormatError(
+                f"entry is {len(raw)} bytes, header promises {expected}")
+        meta_bytes = raw[pos:pos + meta_len]
+        pos += meta_len
+        schedule_bytes = raw[pos:pos + sched_len]
+        pos += sched_len
+        trailer = raw[pos:pos + _TRAILER_SIZE]
+        if hashlib.sha256(schedule_bytes).digest() != trailer:
+            raise RegistryFormatError("schedule checksum mismatch")
+        try:
+            meta = json.loads(meta_bytes)
+        except ValueError as exc:
+            raise RegistryFormatError(f"bad metadata JSON: {exc}") from None
+        if not isinstance(meta, dict):
+            raise RegistryFormatError("metadata is not a JSON object")
+        for key in ("digest", "mode", "fingerprint"):
+            if not isinstance(meta.get(key), str):
+                raise RegistryFormatError(f"metadata lacks {key!r}")
+        if meta.get("schedule_sha256") != sha256_hex(schedule_bytes):
+            raise RegistryFormatError("metadata checksum mismatch")
+        validate_schedule_bytes(schedule_bytes)
+        return cls(digest=meta["digest"], mode=meta["mode"],
+                   fingerprint=meta["fingerprint"],
+                   schedule_bytes=schedule_bytes,
+                   meta=meta.get("meta") or {})
+
+
+class ScheduleRegistry:
+    """The sharded on-disk store, with metrics under ``service.registry.*``."""
+
+    def __init__(self, root: str, max_bytes: int | None = None,
+                 max_entries: int | None = None,
+                 metrics: MetricRegistry | None = None) -> None:
+        self.root = root
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        key = "service.registry." + name
+        self.metrics.inc(key, n)
+        get_recorder().count(key, n)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + _SUFFIX)
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
+    def _entries(self) -> list[tuple[str, int, float]]:
+        """Every live entry as (path, size, mtime), unordered."""
+        found = []
+        try:
+            shards = os.scandir(self.root)
+        except OSError:
+            return found
+        with shards:
+            for shard in shards:
+                if not shard.is_dir() or len(shard.name) != 2:
+                    continue
+                with os.scandir(shard.path) as files:
+                    for item in files:
+                        if not item.name.endswith(_SUFFIX):
+                            continue
+                        try:
+                            info = item.stat()
+                        except OSError:
+                            continue
+                        found.append((item.path, info.st_size,
+                                      info.st_mtime))
+        return found
+
+    def _quarantine(self, path: str) -> None:
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        target = os.path.join(self.quarantine_dir,
+                              os.path.basename(path) + "."
+                              + uuid.uuid4().hex[:8])
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        self._count("quarantined")
+
+    # -- the store ---------------------------------------------------------
+
+    def put(self, entry: RegistryEntry) -> str:
+        """Admit one validated entry; returns its key."""
+        validate_schedule_bytes(entry.schedule_bytes)
+        atomic_write_bytes(self._path(entry.key), entry.encode())
+        self._count("puts")
+        if self.max_bytes is not None or self.max_entries is not None:
+            self.gc(self.max_bytes, self.max_entries)
+        return entry.key
+
+    def get(self, digest: str, mode: str,
+            fingerprint: str) -> RegistryEntry | None:
+        """The entry for a key, or None; corrupt entries are quarantined."""
+        key = entry_key(digest, mode, fingerprint)
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            self._count("misses")
+            return None
+        try:
+            entry = RegistryEntry.decode(raw)
+        except RegistryFormatError:
+            self._count("validation_failures")
+            self._quarantine(path)
+            self._count("misses")
+            return None
+        if (entry.digest, entry.mode, entry.fingerprint) != \
+                (digest, mode, fingerprint):
+            # A hash collision or a tampered entry: either way, not ours.
+            self._count("validation_failures")
+            self._quarantine(path)
+            self._count("misses")
+            return None
+        self._count("hits")
+        try:
+            os.utime(path)  # LRU touch: hot schedules survive eviction
+        except OSError:
+            pass
+        return entry
+
+    # -- maintenance -------------------------------------------------------
+
+    def gc(self, max_bytes: int | None = None,
+           max_entries: int | None = None) -> dict:
+        """Evict least-recently-used entries beyond the budgets."""
+        entries = sorted(self._entries(), key=lambda e: (e[2], e[0]))
+        total_bytes = sum(size for _, size, _ in entries)
+        evicted = 0
+        freed = 0
+        while entries and (
+                (max_entries is not None and len(entries) > max_entries)
+                or (max_bytes is not None and total_bytes > max_bytes)):
+            path, size, _ = entries.pop(0)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            evicted += 1
+            freed += size
+            total_bytes -= size
+        if evicted:
+            self._count("evictions", evicted)
+        return {"evicted": evicted, "freed_bytes": freed,
+                "entries": len(entries), "total_bytes": total_bytes}
+
+    def verify(self) -> dict:
+        """Decode every entry; quarantine anything that fails validation."""
+        checked = ok = 0
+        quarantined = []
+        for path, _size, _mtime in sorted(self._entries()):
+            checked += 1
+            try:
+                with open(path, "rb") as fh:
+                    RegistryEntry.decode(fh.read())
+            except (OSError, RegistryFormatError):
+                self._count("validation_failures")
+                self._quarantine(path)
+                quarantined.append(os.path.basename(path))
+                continue
+            ok += 1
+        return {"checked": checked, "ok": ok,
+                "quarantined": sorted(quarantined)}
+
+    def stats(self) -> dict:
+        """On-disk shape plus this instance's counters (O(entries) scan)."""
+        entries = self._entries()
+        shards: dict[str, int] = {}
+        for path, _size, _mtime in entries:
+            shard = os.path.basename(os.path.dirname(path))
+            shards[shard] = shards.get(shard, 0) + 1
+        try:
+            quarantined = sum(1 for _ in os.scandir(self.quarantine_dir))
+        except OSError:
+            quarantined = 0
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "shards": len(shards),
+            "max_shard_entries": max(shards.values(), default=0),
+            "quarantined_files": quarantined,
+            "counters": {k: v for k, v in self.metrics.as_dict().items()
+                         if k.startswith("service.registry.")},
+        }

@@ -1,0 +1,171 @@
+"""End-to-end service tests through the CLI and the eval harness."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.eval.harness import EvalHarness
+from repro.pipeline import SelectionMode
+from repro.service.client import ServiceClient
+from repro.util import DigestCache, cached_image_digest
+
+from tests.service.test_daemon import SOURCE_A
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live `repro serve` daemon; yields (socket path, registry root)."""
+    socket_path = str(tmp_path / "daemon.sock")
+    registry_root = str(tmp_path / "registry")
+    thread = threading.Thread(
+        target=main,
+        args=(["serve", "--socket", socket_path, "--registry",
+               registry_root, "--jobs", "0", "--timeout", "120"],),
+        daemon=True)
+    thread.start()
+    deadline = 100
+    for _ in range(deadline):
+        try:
+            with ServiceClient(socket_path, timeout=5.0) as client:
+                client.ping()
+            break
+        except OSError:
+            threading.Event().wait(0.05)
+    else:
+        pytest.fail("daemon did not come up")
+    yield socket_path, registry_root
+    try:
+        with ServiceClient(socket_path, timeout=5.0) as client:
+            client.shutdown()
+    except OSError:
+        pass
+    thread.join(timeout=10)
+
+
+def test_submit_roundtrip_and_registry_cli(served, tmp_path, capsys):
+    socket_path, registry_root = served
+    source = tmp_path / "app.jc"
+    source.write_text(SOURCE_A)
+    binary = tmp_path / "app.jelf"
+    assert main(["compile", str(source), "-o", str(binary), "-O", "2"]) == 0
+    capsys.readouterr()
+
+    out_dir = tmp_path / "schedules"
+    submit = ["submit", str(binary), "--socket", socket_path,
+              "--train-input", "1", "--out-dir", str(out_dir)]
+    assert main(submit) == 0
+    cold_out = capsys.readouterr().out
+    assert "cold" in cold_out
+    served_schedule = (out_dir / "app.jrs").read_bytes()
+    assert served_schedule
+
+    # Warm resubmit: same bytes, served from the registry.
+    assert main(submit) == 0
+    assert "warm" in capsys.readouterr().out
+    assert (out_dir / "app.jrs").read_bytes() == served_schedule
+
+    # One-shot CLI parity on the identical binary.
+    reference = tmp_path / "ref.jrs"
+    assert main(["schedule", str(binary), "-o", str(reference),
+                 "--train-input", "1"]) == 0
+    capsys.readouterr()
+    assert reference.read_bytes() == served_schedule
+
+    # Daemon stats via the CLI, with the JSON payload on disk.
+    stats_path = tmp_path / "service-stats.json"
+    assert main(["submit", "--socket", socket_path, "--stats",
+                 "-o", str(stats_path)]) == 0
+    assert "registry: 1 entries" in capsys.readouterr().out
+    payload = json.loads(stats_path.read_text())
+    assert payload["counters"]["service.registry.hits"] >= 1
+    assert payload["computed"]
+    assert all(count == 1 for count in payload["computed"].values())
+
+    # Offline registry maintenance over the same root.
+    assert main(["registry", "stats", "--registry", registry_root]) == 0
+    assert "entries" in capsys.readouterr().out
+    assert main(["registry", "verify", "--registry", registry_root]) == 0
+    capsys.readouterr()
+    assert main(["registry", "gc", "--registry", registry_root,
+                 "--max-entries", "0"]) == 0
+    capsys.readouterr()
+    assert main(["registry", "stats", "--registry", registry_root,
+                 "-o", str(tmp_path / "reg.json")]) == 0
+    capsys.readouterr()
+    report = json.loads((tmp_path / "reg.json").read_text())
+    assert report["entries"] == 0
+
+
+def test_submit_errors(tmp_path, capsys):
+    missing_socket = str(tmp_path / "nowhere.sock")
+    assert main(["submit", "--socket", missing_socket, "--ping"]) == 2
+    assert "cannot reach daemon" in capsys.readouterr().err
+    assert main(["submit", "no-such-target", "--socket",
+                 missing_socket]) == 2
+    capsys.readouterr()
+
+
+def test_harness_routes_schedules_through_service(served):
+    socket_path, _ = served
+    name = "429.mcf"
+    direct = EvalHarness(n_threads=4)
+    routed = EvalHarness(n_threads=4, service=socket_path)
+    mode = SelectionMode.STATIC
+    baseline = direct.run(name, mode)
+    cold = routed.run(name, mode)
+    assert cold.output_text == baseline.output_text
+    assert cold.cycles == baseline.cycles
+    assert cold.instructions == baseline.instructions
+    # The daemon registry now holds the schedule: a fresh harness gets a
+    # warm hit and skips local schedule generation entirely.
+    warm_harness = EvalHarness(n_threads=4, service=socket_path)
+    warm = warm_harness.run(name, mode)
+    assert warm.cycles == baseline.cycles
+    with ServiceClient(socket_path, timeout=30.0) as client:
+        stats = client.stats()
+    assert stats["counters"]["service.registry.hits"] >= 1
+    assert all(count == 1 for count in stats["computed"].values())
+
+
+def test_digest_cache_shared_keying(tmp_path):
+    from repro.jcc import CompileOptions, compile_source
+    from repro.util import _DIGEST_MEMO, image_digest
+
+    image = compile_source(SOURCE_A, CompileOptions(opt_level=2))
+    raw = image.serialize()
+    cache = DigestCache(str(tmp_path / "digests"))
+    first = cached_image_digest(raw, cache=cache)
+    assert first == image_digest(image)
+
+    # Drop the in-process memo: the next lookup must come from the disk
+    # cache, never from deserialising (the poisoned deserializer proves
+    # it).
+    _DIGEST_MEMO.clear()
+
+    def explode(_raw):
+        raise AssertionError("digest should come from the cache")
+
+    second = cached_image_digest(raw, cache=DigestCache(
+        str(tmp_path / "digests")), deserialize=explode)
+    assert first == second
+
+
+def test_cli_digest_cache_flag(tmp_path, capsys):
+    source = tmp_path / "app.jc"
+    source.write_text(SOURCE_A)
+    binary = tmp_path / "app.jelf"
+    assert main(["compile", str(source), "-o", str(binary), "-O", "2"]) == 0
+    capsys.readouterr()
+    cache_dir = tmp_path / "digests"
+    assert main(["analyze", str(binary),
+                 "--digest-cache", str(cache_dir)]) == 0
+    first = capsys.readouterr().out
+    assert "[sha256:" in first
+    digest_files = list(cache_dir.glob("digest-*.txt"))
+    assert len(digest_files) == 1
+    # Second run reuses the persisted digest and prints the same key.
+    assert main(["analyze", str(binary),
+                 "--digest-cache", str(cache_dir)]) == 0
+    assert capsys.readouterr().out == first

@@ -1,0 +1,363 @@
+"""Daemon tests: single-flight dedupe, degradation ladder, CLI parity.
+
+Everything is driven through real unix-socket connections inside
+``asyncio.run`` scenarios (the daemon with ``jobs=0`` runs its compute
+jobs on the default thread executor, so no worker processes spawn).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cli import main
+from repro.jcc import CompileOptions, compile_source
+from repro.service import protocol
+from repro.service.daemon import AnalysisDaemon, DaemonConfig
+
+SOURCE_A = """
+int n = 200;
+double a[200];
+double b[200];
+
+int main() {
+    int i;
+    int reps = read_int();
+    int r;
+    double s = 0.0;
+    for (i = 0; i < n; i++) { b[i] = 0.5 * i; }
+    for (r = 0; r < reps; r++) {
+        for (i = 0; i < n; i++) { a[i] = b[i] * 3.0 + 1.0; }
+    }
+    for (i = 0; i < n; i++) { s += a[i]; }
+    print_double(s);
+    return 0;
+}
+"""
+
+SOURCE_B = """
+int n = 160;
+double x[160];
+
+int main() {
+    int i;
+    int reps = read_int();
+    int r;
+    double s = 0.0;
+    for (i = 0; i < n; i++) { x[i] = 1.5 * i + 2.0; }
+    for (r = 0; r < reps; r++) {
+        for (i = 0; i < n; i++) { x[i] = x[i] * 0.5 + 1.0; }
+    }
+    for (i = 0; i < n; i++) { s += x[i]; }
+    print_double(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def binary_a():
+    return compile_source(SOURCE_A, CompileOptions(opt_level=2)).serialize()
+
+
+@pytest.fixture(scope="module")
+def binary_b():
+    return compile_source(SOURCE_B, CompileOptions(opt_level=2)).serialize()
+
+
+def daemon_config(tmp_path, **overrides) -> DaemonConfig:
+    settings = {"socket_path": str(tmp_path / "daemon.sock"),
+                "registry_root": str(tmp_path / "registry"),
+                "jobs": 0}
+    settings.update(overrides)
+    return DaemonConfig(**settings)
+
+
+async def connect(path):
+    return await asyncio.open_unix_connection(
+        path, limit=protocol.MAX_LINE_BYTES)
+
+
+async def roundtrip(connection, message):
+    reader, writer = connection
+    writer.write(protocol.encode_message(message))
+    await writer.drain()
+    return protocol.decode_message(await reader.readline())
+
+
+async def close_all(connections):
+    for _, writer in connections:
+        writer.close()
+    for _, writer in connections:
+        try:
+            await writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+
+def schedule_request(raw, request_id, **params):
+    message = {"op": "schedule", "id": request_id,
+               "binary_b64": protocol.b64encode(raw),
+               "mode": "janus", "train_inputs": [1], "threads": 4}
+    message.update(params)
+    return message
+
+
+def test_eight_clients_single_flight(tmp_path, binary_a, binary_b):
+    """8 concurrent clients, 2 distinct keys: each analysed exactly once."""
+
+    async def scenario():
+        daemon = AnalysisDaemon(daemon_config(tmp_path))
+        await daemon.start()
+        try:
+            connections = [await connect(daemon.config.socket_path)
+                           for _ in range(8)]
+            requests = [
+                roundtrip(conn,
+                          schedule_request(
+                              binary_a if index % 2 == 0 else binary_b,
+                              index))
+                for index, conn in enumerate(connections)]
+            replies = await asyncio.gather(*requests)
+            stats = daemon.stats()
+            await close_all(connections)
+            return replies, stats
+        finally:
+            await daemon.stop()
+
+    replies, stats = asyncio.run(scenario())
+    assert all(reply["ok"] for reply in replies)
+    # Byte-identical answers per distinct binary.
+    bytes_a = {replies[i]["schedule_b64"] for i in range(0, 8, 2)}
+    bytes_b = {replies[i]["schedule_b64"] for i in range(1, 8, 2)}
+    assert len(bytes_a) == 1 and len(bytes_b) == 1
+    assert bytes_a != bytes_b
+    # Exactly one analysis per distinct (digest, mode, config) key.
+    assert stats["computed"]
+    assert all(count == 1 for count in stats["computed"].values())
+    counters = stats["counters"]
+    assert counters["service.computations"] == 2
+    # The other 6 requests were either merged into the in-flight job or
+    # served warm from the registry: nothing was computed twice.
+    merges = counters.get("service.single_flight_merges", 0)
+    hits = counters.get("service.registry.hits", 0)
+    assert merges + hits == 6
+    assert counters["service.admitted"] == 2
+    assert stats["registry"]["entries"] == 2
+    assert stats["inflight"] == 0
+
+
+def test_warm_resubmit_and_restart_persistence(tmp_path, binary_a):
+    config = daemon_config(tmp_path)
+
+    async def scenario(expect_cached):
+        daemon = AnalysisDaemon(config)
+        await daemon.start()
+        try:
+            connection = await connect(config.socket_path)
+            reply = await roundtrip(connection,
+                                    schedule_request(binary_a, 1))
+            await close_all([connection])
+            return reply, daemon.stats()
+        finally:
+            await daemon.stop()
+
+    cold, cold_stats = asyncio.run(scenario(False))
+    assert cold["ok"] and cold["cached"] is False
+    assert cold["admitted"] is True
+    assert cold["rules"] > 0
+    # A second daemon over the same registry root serves the entry warm:
+    # the registry, not daemon memory, is the source of truth.
+    warm, warm_stats = asyncio.run(scenario(True))
+    assert warm["ok"] and warm["cached"] is True
+    assert warm["schedule_b64"] == cold["schedule_b64"]
+    assert warm_stats["counters"].get("service.computations", 0) == 0
+    assert warm_stats["counters"]["service.registry.hits"] == 1
+    # Warm replies recorded under their own latency series.
+    assert any(key.startswith("service.latency.schedule.warm")
+               for key in warm_stats["gauges"])
+
+
+def test_schedule_bytes_identical_to_one_shot_cli(tmp_path, binary_a,
+                                                  capsys):
+    """The served bytes diff clean against `repro schedule` output."""
+
+    async def scenario():
+        daemon = AnalysisDaemon(daemon_config(tmp_path))
+        await daemon.start()
+        try:
+            connection = await connect(daemon.config.socket_path)
+            reply = await roundtrip(
+                connection,
+                schedule_request(binary_a, 1, threads=8))
+            await close_all([connection])
+            return reply
+        finally:
+            await daemon.stop()
+
+    reply = asyncio.run(scenario())
+    assert reply["ok"]
+    served = protocol.b64decode(reply["schedule_b64"])
+
+    binary_path = tmp_path / "a.jelf"
+    binary_path.write_bytes(binary_a)
+    schedule_path = tmp_path / "a.jrs"
+    assert main(["schedule", str(binary_path), "-o", str(schedule_path),
+                 "--train-input", "1"]) == 0
+    capsys.readouterr()
+    assert schedule_path.read_bytes() == served
+
+
+def test_busy_when_queue_full(tmp_path, binary_a):
+    async def scenario():
+        daemon = AnalysisDaemon(daemon_config(tmp_path, max_queue=0))
+        await daemon.start()
+        try:
+            connection = await connect(daemon.config.socket_path)
+            reply = await roundtrip(connection,
+                                    schedule_request(binary_a, 1))
+            await close_all([connection])
+            return reply, daemon.stats()
+        finally:
+            await daemon.stop()
+
+    reply, stats = asyncio.run(scenario())
+    assert reply["ok"] is False
+    assert reply["error"]["code"] == protocol.BUSY
+    assert stats["counters"]["service.busy_rejections"] == 1
+
+
+def test_timeout_then_warm_recovery(tmp_path, binary_a):
+    """A timed-out requester still leaves a registry entry behind."""
+
+    async def scenario():
+        daemon = AnalysisDaemon(daemon_config(tmp_path,
+                                              request_timeout=1e-6))
+        await daemon.start()
+        try:
+            connection = await connect(daemon.config.socket_path)
+            first = await roundtrip(connection,
+                                    schedule_request(binary_a, 1))
+            # The shielded computation keeps running; wait it out.
+            for _ in range(2000):
+                if not daemon._inflight:
+                    break
+                await asyncio.sleep(0.01)
+            second = await roundtrip(connection,
+                                     schedule_request(binary_a, 2))
+            await close_all([connection])
+            return first, second, daemon.stats()
+        finally:
+            await daemon.stop()
+
+    first, second, stats = asyncio.run(scenario())
+    assert first["ok"] is False
+    assert first["error"]["code"] == protocol.TIMEOUT
+    # Warm hits never touch the computation path, so the tiny timeout
+    # does not apply: the entry the doomed request produced is served.
+    assert second["ok"] is True
+    assert second["cached"] is True
+    assert stats["counters"]["service.timeouts"] == 1
+    assert stats["counters"]["service.computations"] == 1
+
+
+def test_corrupt_registry_entry_recomputed(tmp_path, binary_a):
+    import os
+
+    async def scenario(daemon):
+        await daemon.start()
+        try:
+            connection = await connect(daemon.config.socket_path)
+            reply = await roundtrip(connection,
+                                    schedule_request(binary_a, 1))
+            await close_all([connection])
+            return reply
+        finally:
+            await daemon.stop()
+
+    config = daemon_config(tmp_path)
+    first = asyncio.run(scenario(AnalysisDaemon(config)))
+    assert first["ok"] and not first["cached"]
+    # Garble every stored entry in place.
+    root = config.registry_root
+    entry_paths = [os.path.join(dirpath, name)
+                   for dirpath, _, names in os.walk(root)
+                   for name in names if name.endswith(".jreg")]
+    assert entry_paths
+    for path in entry_paths:
+        with open(path, "r+b") as handle:
+            handle.seek(-16, os.SEEK_END)
+            handle.write(b"\xff" * 16)
+    daemon = AnalysisDaemon(config)
+    second = asyncio.run(scenario(daemon))
+    # Corruption is quarantined, the schedule recomputed, and the bytes
+    # are the deterministic ones from the first run.
+    assert second["ok"] and not second["cached"]
+    assert second["schedule_b64"] == first["schedule_b64"]
+    stats = daemon.stats()
+    assert stats["counters"]["service.registry.quarantined"] >= 1
+    assert stats["counters"]["service.computations"] == 1
+    assert os.path.isdir(os.path.join(root, "quarantine"))
+    assert os.listdir(os.path.join(root, "quarantine"))
+
+
+def test_bad_requests_are_typed(tmp_path, binary_a):
+    async def scenario():
+        daemon = AnalysisDaemon(daemon_config(tmp_path))
+        await daemon.start()
+        try:
+            connection = await connect(daemon.config.socket_path)
+            replies = [
+                await roundtrip(connection, {"op": "frobnicate", "id": 1}),
+                await roundtrip(connection, {"op": "schedule", "id": 2}),
+                await roundtrip(connection, schedule_request(
+                    binary_a, 3, mode="warp_speed")),
+                await roundtrip(connection, {"op": "run", "id": 4,
+                                             "binary_b64": "!!!"}),
+            ]
+            reader, writer = connection
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            replies.append(protocol.decode_message(await reader.readline()))
+            await close_all([connection])
+            return replies
+        finally:
+            await daemon.stop()
+
+    replies = asyncio.run(scenario())
+    for reply in replies:
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.BAD_REQUEST
+
+
+def test_analyze_and_run_ops(tmp_path, binary_a):
+    async def scenario():
+        daemon = AnalysisDaemon(daemon_config(tmp_path))
+        await daemon.start()
+        try:
+            connection = await connect(daemon.config.socket_path)
+            analyze = await roundtrip(connection, {
+                "op": "analyze", "id": 1,
+                "binary_b64": protocol.b64encode(binary_a)})
+            run = await roundtrip(connection, {
+                "op": "run", "id": 2,
+                "binary_b64": protocol.b64encode(binary_a),
+                "mode": "janus", "inputs": [2], "threads": 4,
+                "train_inputs": [1]})
+            native = await roundtrip(connection, {
+                "op": "run", "id": 3,
+                "binary_b64": protocol.b64encode(binary_a),
+                "mode": "native", "inputs": [2]})
+            await close_all([connection])
+            return analyze, run, native
+        finally:
+            await daemon.stop()
+
+    analyze, run, native = asyncio.run(scenario())
+    assert analyze["ok"]
+    assert analyze["loops"] > 0
+    assert any(row["category"] == "static_doall"
+               for row in analyze["rows"])
+    assert run["ok"] and native["ok"]
+    assert run["exit_code"] == 0
+    # The parallelised run computes what the native run computes.
+    assert run["output"] == native["output"]

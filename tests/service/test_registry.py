@@ -1,0 +1,239 @@
+"""Registry store tests: round-trip, quarantine, eviction, entry format."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rewrite.rules import RuleID
+from repro.rewrite.schedule import RewriteSchedule
+from repro.service.registry import (
+    RegistryEntry,
+    RegistryFormatError,
+    ScheduleRegistry,
+    config_fingerprint,
+    entry_key,
+    validate_schedule_bytes,
+)
+
+DIGEST = "ab" * 32
+OTHER_DIGEST = "cd" * 32
+FP = config_fingerprint({"mode": "janus", "family": "parallel"})
+
+
+def make_schedule_bytes(n_rules: int = 3, checksum: int = 7) -> bytes:
+    schedule = RewriteSchedule(text_checksum=checksum)
+    for index in range(n_rules):
+        schedule.add_rule(0x1000 + 4 * index, RuleID.PROF_LOOP_START,
+                          data=index)
+    return schedule.serialize()
+
+
+def make_entry(digest=DIGEST, mode="janus/parallel", fp=FP,
+               n_rules=3, meta=None) -> RegistryEntry:
+    return RegistryEntry(digest=digest, mode=mode, fingerprint=fp,
+                         schedule_bytes=make_schedule_bytes(n_rules),
+                         meta=meta or {"rules": n_rules})
+
+
+def test_put_get_roundtrip(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    entry = make_entry()
+    key = registry.put(entry)
+    assert key == entry_key(DIGEST, "janus/parallel", FP)
+    got = registry.get(DIGEST, "janus/parallel", FP)
+    assert got is not None
+    assert got.schedule_bytes == entry.schedule_bytes
+    assert got.meta == entry.meta
+    assert registry.metrics.get("service.registry.hits") == 1
+    assert registry.metrics.get("service.registry.puts") == 1
+
+
+def test_miss_counts(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    assert registry.get(DIGEST, "janus/parallel", FP) is None
+    assert registry.metrics.get("service.registry.misses") == 1
+
+
+def test_sharding_layout(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    entry = make_entry()
+    key = registry.put(entry)
+    path = os.path.join(str(tmp_path), key[:2], key + ".jreg")
+    assert os.path.exists(path)
+    stats = registry.stats()
+    assert stats["entries"] == 1
+    assert stats["shards"] == 1
+
+
+def test_key_distinguishes_all_components():
+    keys = {
+        entry_key(DIGEST, "janus/parallel", FP),
+        entry_key(OTHER_DIGEST, "janus/parallel", FP),
+        entry_key(DIGEST, "static/parallel", FP),
+        entry_key(DIGEST, "janus/parallel",
+                  config_fingerprint({"threads": 4})),
+    }
+    assert len(keys) == 4
+
+
+def test_corrupt_entry_quarantined(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    entry = make_entry()
+    key = registry.put(entry)
+    path = os.path.join(str(tmp_path), key[:2], key + ".jreg")
+    raw = open(path, "rb").read()
+    with open(path, "wb") as fh:          # flip bytes inside the payload
+        fh.write(raw[:-10] + b"X" * 10)
+    assert registry.get(DIGEST, "janus/parallel", FP) is None
+    assert not os.path.exists(path)
+    quarantined = os.listdir(registry.quarantine_dir)
+    assert len(quarantined) == 1
+    assert registry.metrics.get("service.registry.quarantined") == 1
+    assert registry.metrics.get("service.registry.validation_failures") == 1
+    # The slot is usable again: re-put, then a clean hit.
+    registry.put(entry)
+    assert registry.get(DIGEST, "janus/parallel", FP) is not None
+
+
+def test_wrong_key_contents_quarantined(tmp_path):
+    """A validly-encoded entry under the wrong key must not be served."""
+    registry = ScheduleRegistry(str(tmp_path))
+    entry = make_entry()
+    key_a = registry.put(entry)
+    impostor_key = entry_key(OTHER_DIGEST, "janus/parallel", FP)
+    src = os.path.join(str(tmp_path), key_a[:2], key_a + ".jreg")
+    dst = os.path.join(str(tmp_path), impostor_key[:2],
+                       impostor_key + ".jreg")
+    os.makedirs(os.path.dirname(dst), exist_ok=True)
+    with open(src, "rb") as fh_in, open(dst, "wb") as fh_out:
+        fh_out.write(fh_in.read())
+    assert registry.get(OTHER_DIGEST, "janus/parallel", FP) is None
+    assert os.listdir(registry.quarantine_dir)
+
+
+def test_lru_eviction_then_refetch(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path), max_entries=2)
+    entries = [make_entry(fp=config_fingerprint({"i": i}), n_rules=i + 1)
+               for i in range(3)]
+    for index, entry in enumerate(entries):
+        key = registry.put(entry)
+        # Deterministic LRU order regardless of filesystem timestamp
+        # resolution: back-date older entries explicitly.
+        path = os.path.join(str(tmp_path), key[:2], key + ".jreg")
+        os.utime(path, (1000.0 + index, 1000.0 + index))
+        if index < 2:
+            continue
+    report = registry.gc(max_entries=2)
+    assert report["entries"] == 2
+    # Entry 0 was least recently used: evicted.
+    assert registry.get(DIGEST, "janus/parallel",
+                        config_fingerprint({"i": 0})) is None
+    assert registry.get(DIGEST, "janus/parallel",
+                        config_fingerprint({"i": 2})) is not None
+    # Refetch correctness: re-admitting the evicted key serves the same
+    # bytes again.
+    registry.put(entries[0])
+    refetched = registry.get(DIGEST, "janus/parallel",
+                             config_fingerprint({"i": 0}))
+    assert refetched is not None
+    assert refetched.schedule_bytes == entries[0].schedule_bytes
+
+
+def test_hit_touch_protects_hot_entries(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    fps = [config_fingerprint({"i": i}) for i in range(2)]
+    for index, fp in enumerate(fps):
+        key = registry.put(make_entry(fp=fp))
+        path = os.path.join(str(tmp_path), key[:2], key + ".jreg")
+        os.utime(path, (1000.0 + index, 1000.0 + index))
+    # Touch the older entry via a hit; now the *newer* one is LRU.
+    assert registry.get(DIGEST, "janus/parallel", fps[0]) is not None
+    registry.gc(max_entries=1)
+    assert registry.get(DIGEST, "janus/parallel", fps[0]) is not None
+    assert registry.get(DIGEST, "janus/parallel", fps[1]) is None
+
+
+def test_size_budget_eviction(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    for i in range(4):
+        key = registry.put(make_entry(fp=config_fingerprint({"i": i})))
+        path = os.path.join(str(tmp_path), key[:2], key + ".jreg")
+        os.utime(path, (1000.0 + i, 1000.0 + i))
+    total = registry.stats()["total_bytes"]
+    report = registry.gc(max_bytes=total - 1)
+    assert report["evicted"] >= 1
+    assert registry.stats()["total_bytes"] < total
+
+
+def test_verify_walks_and_quarantines(tmp_path):
+    registry = ScheduleRegistry(str(tmp_path))
+    for i in range(3):
+        registry.put(make_entry(fp=config_fingerprint({"i": i})))
+    victim_key = entry_key(DIGEST, "janus/parallel",
+                           config_fingerprint({"i": 1}))
+    path = os.path.join(str(tmp_path), victim_key[:2],
+                        victim_key + ".jreg")
+    with open(path, "wb") as fh:
+        fh.write(b"JREG1 garbage")
+    report = registry.verify()
+    assert report["checked"] == 3
+    assert report["ok"] == 2
+    assert len(report["quarantined"]) == 1
+
+
+def test_validate_rejects_non_schedules():
+    with pytest.raises(RegistryFormatError):
+        validate_schedule_bytes(b"not a schedule")
+    with pytest.raises(RegistryFormatError):
+        validate_schedule_bytes(make_schedule_bytes()[:-3])
+
+
+def test_decode_rejects_truncation_and_tampering():
+    raw = make_entry().encode()
+    with pytest.raises(RegistryFormatError):
+        RegistryEntry.decode(raw[:-1])
+    with pytest.raises(RegistryFormatError):
+        RegistryEntry.decode(b"XXXX" + raw[4:])
+    # Flip one schedule byte: checksum trailer must catch it.
+    mutated = bytearray(raw)
+    mutated[-40] ^= 0xFF
+    with pytest.raises(RegistryFormatError):
+        RegistryEntry.decode(bytes(mutated))
+
+
+# -- property: entry encode/decode round-trips ---------------------------------
+
+_rule_ids = st.sampled_from([RuleID.PROF_LOOP_START, RuleID.PROF_LOOP_ITER,
+                             RuleID.THREAD_SCHEDULE, RuleID.LOOP_INIT,
+                             RuleID.MEM_PREFETCH, RuleID.VECT_CONVERT])
+_rules = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2 ** 64 - 1), _rule_ids,
+              st.integers(min_value=-2 ** 63, max_value=2 ** 63 - 1)),
+    max_size=24)
+_meta = st.dictionaries(
+    st.text(max_size=12),
+    st.one_of(st.integers(min_value=-2 ** 31, max_value=2 ** 31),
+              st.text(max_size=16), st.booleans(), st.none()),
+    max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=_rules, checksum=st.integers(min_value=0,
+                                          max_value=2 ** 32 - 1),
+       meta=_meta, mode=st.sampled_from(["janus/parallel", "static/vector",
+                                         "static_profile/prefetch"]))
+def test_entry_roundtrip_property(rules, checksum, meta, mode):
+    schedule = RewriteSchedule(text_checksum=checksum)
+    for address, rule_id, data in rules:
+        schedule.add_rule(address, rule_id, data)
+    entry = RegistryEntry(digest=DIGEST, mode=mode, fingerprint=FP,
+                          schedule_bytes=schedule.serialize(), meta=meta)
+    decoded = RegistryEntry.decode(entry.encode())
+    assert decoded.digest == entry.digest
+    assert decoded.mode == entry.mode
+    assert decoded.fingerprint == entry.fingerprint
+    assert decoded.schedule_bytes == entry.schedule_bytes
+    assert decoded.meta == meta
+    assert decoded.key == entry.key
