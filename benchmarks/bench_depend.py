@@ -1,0 +1,123 @@
+"""Cost and payoff of the interprocedural dependence engine.
+
+Per workload: static-analysis wall-clock without the engine (the seed
+baseline: ``interproc=False``) and with it, measured best-of-3 with
+alternating order so allocator and cache state cannot bias one side;
+plus what the extra cycles buy — loops promoted from DYNAMIC_DOALL to
+STATIC_DOALL, STM call sites released, and access pairs discharged with
+engine verdicts.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_depend.py [--all] [-o out.json]
+
+The committed ``BENCH_depend.json`` at the repo root records the full
+suite.  The pytest entry point keeps CI honest: the engine must promote
+loops on the representative set and its aggregate analysis overhead must
+stay under the 25% budget.
+"""
+
+import argparse
+import json
+import time
+
+from repro.analysis import LoopCategory, analyze_image
+from repro.workloads.suite import all_benchmarks, compile_workload
+
+# DOALL-heavy, dependence-heavy and STM-call-heavy representatives.
+DEFAULT_BENCHMARKS = ("470.lbm", "462.libquantum", "453.povray")
+
+ROUNDS = 3
+
+
+def _time_analysis(image, interproc: bool) -> float:
+    started = time.perf_counter()
+    analyze_image(image, interproc=interproc)
+    return time.perf_counter() - started
+
+
+def bench_workload(name: str) -> dict:
+    image = compile_workload(name)
+    # Best-of-N with alternating order: the winner of each pair is the
+    # same code path, so one-sided warm-up cannot manufacture overhead.
+    seed_times, engine_times = [], []
+    for round_index in range(ROUNDS):
+        if round_index % 2 == 0:
+            seed_times.append(_time_analysis(image, interproc=False))
+            engine_times.append(_time_analysis(image, interproc=True))
+        else:
+            engine_times.append(_time_analysis(image, interproc=True))
+            seed_times.append(_time_analysis(image, interproc=False))
+    seed_s, engine_s = min(seed_times), min(engine_times)
+
+    seed = analyze_image(image, interproc=False)
+    engine = analyze_image(image, interproc=True)
+    seed_cats = {r.loop_id: r.category for r in seed.loops}
+    promoted = [r.loop_id for r in engine.loops
+                if r.category is LoopCategory.STATIC_DOALL
+                and seed_cats.get(r.loop_id) is LoopCategory.DYNAMIC_DOALL]
+    released = sum(len(r.released_call_sites) for r in engine.loops)
+    discharged = sum(len(r.alias.discharged) for r in engine.loops
+                     if r.alias is not None)
+    return {
+        "benchmark": name,
+        "seed_analysis_s": round(seed_s, 4),
+        "engine_analysis_s": round(engine_s, 4),
+        "overhead_pct": round(100.0 * (engine_s - seed_s) / seed_s, 1)
+        if seed_s else 0.0,
+        "loops": len(engine.loops),
+        "promoted_loops": promoted,
+        "released_call_sites": released,
+        "discharged_pairs": discharged,
+    }
+
+
+def aggregate(rows: list[dict]) -> dict:
+    seed = sum(r["seed_analysis_s"] for r in rows)
+    engine = sum(r["engine_analysis_s"] for r in rows)
+    return {
+        "seed_analysis_s": round(seed, 3),
+        "engine_analysis_s": round(engine, 3),
+        "overhead_pct": round(100.0 * (engine - seed) / seed, 1)
+        if seed else 0.0,
+        "promoted_loops": sum(len(r["promoted_loops"]) for r in rows),
+        "workloads_with_promotion":
+            sum(1 for r in rows if r["promoted_loops"]),
+        "released_call_sites":
+            sum(r["released_call_sites"] for r in rows),
+        "discharged_pairs": sum(r["discharged_pairs"] for r in rows),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--all", action="store_true",
+                        help="measure every bundled workload")
+    parser.add_argument("-o", "--output", help="write JSON here")
+    parser.add_argument("benchmarks", nargs="*",
+                        default=list(DEFAULT_BENCHMARKS))
+    args = parser.parse_args()
+    names = all_benchmarks() if args.all else args.benchmarks
+    rows = [bench_workload(name) for name in names]
+    payload = {"bench": "depend", "rounds": ROUNDS,
+               "workloads": rows, "aggregate": aggregate(rows)}
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0 if payload["aggregate"]["overhead_pct"] < 25.0 else 1
+
+
+def test_engine_pays_for_itself():
+    rows = [bench_workload(name) for name in DEFAULT_BENCHMARKS]
+    agg = aggregate(rows)
+    # The interprocedural engine must promote loops on the
+    # representative set...
+    assert agg["promoted_loops"] >= 1
+    assert agg["workloads_with_promotion"] >= 1
+    assert agg["discharged_pairs"] >= 1
+    # ...within the analysis-time budget (25% over the seed analysis).
+    assert agg["overhead_pct"] < 25.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

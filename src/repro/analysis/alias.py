@@ -23,12 +23,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.operands import Mem
+from repro.analysis.depend import (
+    DependContext,
+    Verdict,
+    coefficient_verdict,
+    delta_range,
+    make_context,
+)
 from repro.analysis.dominators import DominatorInfo
 from repro.analysis.expr import ExprBuilder, Poly, runtime_evaluable
 from repro.analysis.induction import InductionAnalysis
 from repro.analysis.loops import Loop
 from repro.analysis.ssa import SSAForm
 from repro.analysis.stack import slot_of
+from repro.analysis.vrange import FunctionRanges, Interval
 
 WORD = 8
 
@@ -106,6 +114,19 @@ class Dependence:
 
 
 @dataclass
+class DischargedPair:
+    """A pair the dependence engine proved conflict-free, with evidence.
+
+    These feed ``repro racecheck``: every discharged pair surfaces as a
+    PROVEN_DISJOINT finding whose explanation chain is the verdict's.
+    """
+
+    source: MemAccess
+    sink: MemAccess
+    verdict: Verdict
+
+
+@dataclass
 class MemReduction:
     """A load-op-store reduction on one loop-invariant word."""
 
@@ -135,6 +156,8 @@ class AliasAnalysis:
     unprovable_pairs: int = 0
     reductions: list[MemReduction] = field(default_factory=list)
     privatisable: list[PrivatisableGroup] = field(default_factory=list)
+    # Pairs the symbolic dependence engine proved disjoint, with evidence.
+    discharged: list[DischargedPair] = field(default_factory=list)
 
 
 def collect_accesses(ssa: SSAForm, loop: Loop,
@@ -160,10 +183,17 @@ def collect_accesses(ssa: SSAForm, loop: Loop,
 
 def analyse_aliases(ssa: SSAForm, loop: Loop, dom: DominatorInfo,
                     induction: InductionAnalysis,
-                    builder: ExprBuilder) -> AliasAnalysis:
-    """Run the full alias pipeline for one loop."""
+                    builder: ExprBuilder,
+                    ranges: FunctionRanges | None = None) -> AliasAnalysis:
+    """Run the full alias pipeline for one loop.
+
+    ``ranges`` feeds the symbolic dependence engine with iterator and
+    live-in intervals; without it the engine still works off the loop's
+    static induction facts alone.
+    """
     result = AliasAnalysis()
     result.accesses = collect_accesses(ssa, loop, builder)
+    ctx = make_context(induction, ranges)
 
     iterator = induction.iterator
     theta = None
@@ -198,20 +228,21 @@ def analyse_aliases(ssa: SSAForm, loop: Loop, dom: DominatorInfo,
                            key=lambda g: g.accesses[0].address)
 
     for group in result.groups:
-        _within_group(result, group, step, trips)
-    _across_groups(result, dom, induction)
+        _within_group(result, group, step, trips, ctx)
+    _across_groups(result, dom, induction, ctx)
     _invariant_groups(result, ssa, loop, dom, builder)
     return result
 
 
 def _within_group(result: AliasAnalysis, group: AccessGroup, step: int,
-                  trips: int | None) -> None:
+                  trips: int | None, ctx: DependContext) -> None:
     """Distance-vector test for every write/other pair sharing a base.
 
     A pair whose distance could only be bridged by a long-enough iteration
     space (trip count unknown statically) becomes a *runtime* range check
-    rather than a hard dependence — the same mechanism as unproven array
-    bases, just with both ranges anchored to one base.
+    rather than a hard dependence — unless the dependence engine can bound
+    the iteration space from the value-range analysis and discharge the
+    pair outright.
     """
     flagged_writes: list[MemAccess] = []
     flagged_others: list[MemAccess] = []
@@ -225,6 +256,12 @@ def _within_group(result: AliasAnalysis, group: AccessGroup, step: int,
                 continue  # each write-write pair once
             verdict = _pair_dependence(write, other, step, trips)
             if verdict is None:
+                continue
+            engine = _engine_pair_verdict(ctx, write, other)
+            if engine.independent:
+                result.discharged.append(
+                    DischargedPair(source=write, sink=other,
+                                   verdict=engine))
                 continue
             kind, payload = verdict
             if kind == "dep":
@@ -285,10 +322,45 @@ def _pair_dependence(a: MemAccess, b: MemAccess, step: int,
     return None
 
 
+def _engine_pair_verdict(ctx: DependContext, a: MemAccess,
+                         b: MemAccess) -> Verdict:
+    """Run the symbolic dependence engine on one decomposed access pair."""
+    if a.base is None or b.base is None \
+            or a.theta_coeff is None or b.theta_coeff is None:
+        return Verdict.dependent("access not decomposed over the iterator")
+    delta = delta_range(ctx, a.base, b.base)
+    return coefficient_verdict(ctx, a.theta_coeff, b.theta_coeff, delta,
+                               WORD * a.lanes, WORD * b.lanes)
+
+
+def _engine_group_discharge(ctx: DependContext, ga: AccessGroup,
+                            gb: AccessGroup
+                            ) -> list[DischargedPair] | None:
+    """Discharge every write/other pair across two groups, or ``None``.
+
+    All pairs must prove disjoint for the group pair to need no runtime
+    check; a single surviving pair keeps the conservative treatment.
+    """
+    discharged: list[DischargedPair] = []
+    for x in ga.accesses:
+        for y in gb.accesses:
+            if not (x.is_write or y.is_write):
+                continue
+            verdict = _engine_pair_verdict(ctx, x, y)
+            if not verdict.independent:
+                return None
+            discharged.append(DischargedPair(source=x, sink=y,
+                                             verdict=verdict))
+    return discharged
+
+
 def _across_groups(result: AliasAnalysis, dom: DominatorInfo,
-                   induction: InductionAnalysis) -> None:
-    """Resolve cross-group pairs: statically when the iteration space and
-    relative bases are known, otherwise by planning a MEM_BOUNDS_CHECK."""
+                   induction: InductionAnalysis,
+                   ctx: DependContext) -> None:
+    """Resolve cross-group pairs: statically via the dependence engine
+    (GCD / Banerjee / range separation over symbolic bases), then by the
+    legacy whole-range comparison, otherwise by planning a
+    MEM_BOUNDS_CHECK."""
     iterator = induction.iterator
     theta_first = theta_last = None
     if (iterator is not None and iterator.static_trip_count
@@ -302,6 +374,13 @@ def _across_groups(result: AliasAnalysis, dom: DominatorInfo,
             if not (ga.has_write or gb.has_write):
                 continue
             write_group, other = (ga, gb) if ga.has_write else (gb, ga)
+            # The symbolic engine sees through constant *and* symbolic
+            # base differences (shared symbols cancel; residual ranges
+            # come from the value-range analysis).
+            discharged = _engine_group_discharge(ctx, write_group, other)
+            if discharged is not None:
+                result.discharged.extend(discharged)
+                continue
             # Same symbolic base and a concrete iteration space: the two
             # ranges differ only by constants -- decide statically.
             if (write_group.base_struct == other.base_struct

@@ -36,6 +36,7 @@ from repro.analysis.loops import Loop, find_loops
 from repro.analysis.ssa import SSAForm, build_ssa
 from repro.analysis.stack import track_stack
 from repro.analysis.summaries import FunctionSummary, summarise_functions
+from repro.analysis.vrange import entry_livein_values
 from repro.telemetry.core import get_recorder
 
 
@@ -77,7 +78,9 @@ class BinaryAnalysis:
 
 
 def _analyze_function(cfg: FunctionCFG,
-                      summaries: dict[int, FunctionSummary]
+                      summaries: dict[int, FunctionSummary],
+                      known_liveins: dict | None = None,
+                      engine: bool = True
                       ) -> tuple[FunctionAnalysis, list[LoopAnalysisResult]]:
     """Everything per-function: dominators, stack, SSA, loops, classify.
 
@@ -101,7 +104,9 @@ def _analyze_function(cfg: FunctionCFG,
         with rec.span("analysis.loops", cat="analysis"):
             fa.loops = find_loops(cfg, dom)
         with rec.span("analysis.classify", cat="analysis"):
-            results = [classify_loop(loop, cfg, dom, ssa, summaries)
+            results = [classify_loop(loop, cfg, dom, ssa, summaries,
+                                     known_liveins=known_liveins,
+                                     engine=engine)
                        for loop in fa.loops]
         span.set(loops=len(fa.loops))
     return fa, results
@@ -115,16 +120,25 @@ def _analyze_function_task(args) -> tuple[FunctionAnalysis,
 class BinaryAnalyzer:
     """Runs the static analysis pipeline over one image."""
 
-    def __init__(self, image: JELF, jobs: int | None = None) -> None:
+    def __init__(self, image: JELF, jobs: int | None = None,
+                 interproc: bool = True) -> None:
         self.image = image
         self.jobs = jobs if jobs is not None else 1
+        self.interproc = interproc
 
     def run(self) -> BinaryAnalysis:
         dis = disassemble(self.image)
         cfgs = build_cfgs(dis)
         summaries = summarise_functions(cfgs)
+        liveins = (entry_livein_values(cfgs, self.image.entry)
+                   if self.interproc else {})
 
         entries = list(cfgs)
+        # The entry-state feed is only sound in the entry function itself.
+        tasks = [(cfgs[entry], summaries,
+                  liveins if entry == self.image.entry else None,
+                  self.interproc)
+                 for entry in entries]
         if self.jobs > 1 and len(entries) > 1:
             # Worker results carry their own copies of the CFG (mutated by
             # stack tracking) and loops; use those copies throughout so
@@ -132,12 +146,10 @@ class BinaryAnalyzer:
             with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(entries))) as pool:
                 analysed = list(pool.map(
-                    _analyze_function_task,
-                    [(cfgs[entry], summaries) for entry in entries],
+                    _analyze_function_task, tasks,
                     chunksize=max(1, len(entries) // (4 * self.jobs))))
         else:
-            analysed = [_analyze_function(cfgs[entry], summaries)
-                        for entry in entries]
+            analysed = [_analyze_function(*task) for task in tasks]
 
         functions: dict[int, FunctionAnalysis] = {}
         all_loops: list[tuple[Loop, LoopAnalysisResult]] = []
@@ -157,10 +169,13 @@ class BinaryAnalyzer:
         return analysis
 
 
-def analyze_image(image: JELF, jobs: int | None = None) -> BinaryAnalysis:
+def analyze_image(image: JELF, jobs: int | None = None,
+                  interproc: bool = True) -> BinaryAnalysis:
     """Convenience wrapper: run the full static analysis on an image.
 
     ``jobs > 1`` distributes the per-function pipeline over worker
     processes; the result is identical to the serial analysis.
+    ``interproc=False`` disables the symbolic dependence engine and the
+    interprocedural call release (the purely local classification).
     """
-    return BinaryAnalyzer(image, jobs=jobs).run()
+    return BinaryAnalyzer(image, jobs=jobs, interproc=interproc).run()

@@ -29,12 +29,25 @@ from dataclasses import dataclass, field
 from repro.isa.instructions import Opcode
 from repro.analysis.alias import AliasAnalysis, analyse_aliases
 from repro.analysis.cfg import FunctionCFG
+from repro.analysis.depend import (
+    DependContext,
+    RegionInterval,
+    Verdict,
+    make_context,
+    regions_disjoint,
+)
 from repro.analysis.dominators import DominatorInfo
 from repro.analysis.expr import ExprBuilder, Poly, runtime_evaluable
 from repro.analysis.induction import InductionAnalysis, analyse_induction
 from repro.analysis.loops import Loop
 from repro.analysis.ssa import Phi, SSAForm
-from repro.analysis.summaries import FunctionSummary
+from repro.analysis.summaries import FunctionSummary, reaching_name
+from repro.analysis.vrange import (
+    FunctionRanges,
+    Interval,
+    allocation_site,
+    disjoint,
+)
 
 
 class LoopCategory(enum.Enum):
@@ -84,6 +97,10 @@ class LoopAnalysisResult:
     internal_calls: list[tuple[int, int]] = field(default_factory=list)
     # Call sites (addresses) that must run under the JIT STM.
     stm_call_sites: list[int] = field(default_factory=list)
+    # Call sites the interprocedural region summaries proved conflict-free
+    # (they run bare, outside any STM scope), with the proof chains.
+    released_call_sites: list[int] = field(default_factory=list)
+    call_release_chains: dict[int, list[str]] = field(default_factory=dict)
     # True when some unprovable base pair exists (cannot even bounds-check).
     has_unprovable_aliasing: bool = False
     static_instruction_count: int = 0
@@ -119,9 +136,16 @@ class LoopAnalysisResult:
 
 def classify_loop(loop: Loop, cfg: FunctionCFG, dom: DominatorInfo,
                   ssa: SSAForm | None,
-                  summaries: dict[int, FunctionSummary]
-                  ) -> LoopAnalysisResult:
-    """Full static classification of one loop."""
+                  summaries: dict[int, FunctionSummary],
+                  known_liveins: dict | None = None,
+                  engine: bool = True) -> LoopAnalysisResult:
+    """Full static classification of one loop.
+
+    ``known_liveins`` feeds exact version-0 register values (the entry
+    state) into induction solving and the value-range analysis; ``engine``
+    gates the symbolic dependence engine and interprocedural call release
+    (off reproduces the purely local classification).
+    """
     result = LoopAnalysisResult(loop=loop,
                                 category=LoopCategory.STATIC_DOALL)
     body_instructions = []
@@ -178,14 +202,16 @@ def classify_loop(loop: Loop, cfg: FunctionCFG, dom: DominatorInfo,
             return result
 
     # -- induction --------------------------------------------------------------
-    induction = analyse_induction(ssa, loop)
+    induction = analyse_induction(ssa, loop, known_liveins=known_liveins)
     result.induction = induction
     if induction.iterator is None:
         _mark_incompatible(result, "no recognisable induction variable")
         return result
 
     builder = ExprBuilder(ssa, loop)
-    result.alias = analyse_aliases(ssa, loop, dom, induction, builder)
+    ranges = _function_ranges(ssa, dom, known_liveins) if engine else None
+    result.alias = analyse_aliases(ssa, loop, dom, induction, builder,
+                                   ranges=ranges)
 
     dynamic = False
     dependent = False
@@ -235,6 +261,17 @@ def classify_loop(loop: Loop, cfg: FunctionCFG, dom: DominatorInfo,
     for addr, target in result.internal_calls:
         summary = summaries[target]
         if not summary.is_pure_enough:
+            chain = None
+            if engine and ranges is not None:
+                chain = _try_release_call(result, ssa, builder, ranges,
+                                          addr, target, summaries)
+            if chain is not None:
+                result.released_call_sites.append(addr)
+                result.call_release_chains[addr] = chain
+                result.reasons.append(
+                    f"call to {target:#x} released from STM: region "
+                    f"summaries proved it conflict-free")
+                continue
             result.stm_call_sites.append(addr)
             dynamic = True
             result.reasons.append(
@@ -247,6 +284,274 @@ def classify_loop(loop: Loop, cfg: FunctionCFG, dom: DominatorInfo,
     else:
         result.category = LoopCategory.STATIC_DOALL
     return result
+
+
+def _function_ranges(ssa: SSAForm, dom: DominatorInfo,
+                     known_liveins: dict | None) -> FunctionRanges:
+    """One FunctionRanges per SSA form, cached on the form itself (the
+    same idiom as ``_phi_is_live``'s liveness cache)."""
+    cached = getattr(ssa, "_function_ranges_cache", None)
+    if cached is not None:
+        return cached
+    ranges = FunctionRanges(ssa, dom, known_liveins=known_liveins)
+    ssa._function_ranges_cache = ranges
+    return ranges
+
+
+def _try_release_call(result: LoopAnalysisResult, ssa: SSAForm,
+                      builder: ExprBuilder, ranges: FunctionRanges,
+                      addr: int, target: int,
+                      summaries: dict[int, FunctionSummary]
+                      ) -> list[str] | None:
+    """Prove one in-loop call conflict-free from its region summary.
+
+    Returns the explanation chain on success, ``None`` when any proof
+    obligation fails.  Obligations (all cross-iteration unless noted):
+
+    * the callee's transitive access regions are exact;
+    * every other loop access is analysable, and there are no external
+      calls (whose effects have no region summary);
+    * the callee's write-involving region pairs are self-disjoint across
+      iterations;
+    * write-involving (region, plain access group) pairs are disjoint
+      across iterations — same-iteration overlap is sequential execution;
+    * write-involving pairs against privatised and reduction groups are
+      *fully* disjoint, same iteration included: the body redirects those
+      addresses to a private copy, the callee would still hit the shared
+      original;
+    * write-involving pairs against every other non-pure call's regions
+      are disjoint across iterations (requiring those regions exact too).
+    """
+    alias = result.alias
+    summary = summaries[target]
+    if not summary.regions_exact:
+        return None
+    if alias is None or alias.unanalysable:
+        return None
+    if result.external_calls:
+        return None
+    ctx = make_context(result.induction, ranges)
+    if ctx.theta is None:
+        return None
+
+    site = _call_instruction_site(ssa, result.loop, addr)
+    if site is None:
+        return None
+    regions = _instantiate_regions(ssa, result.loop, builder, site,
+                                   summary.regions)
+
+    chain: list[str] = [
+        f"callee {target:#x} access regions exact "
+        f"({len(summary.regions)} regions)"]
+    if not regions:
+        chain.append("callee performs no non-stack memory accesses")
+        return chain
+
+    # Self-disjointness across iterations (including each write region
+    # against itself at iteration distance d != 0).
+    for i, ri in enumerate(regions):
+        for rj in regions[i:]:
+            if not (ri.is_write or rj.is_write):
+                continue
+            verdict = _callee_pair_verdict(ctx, ri, rj)
+            if not verdict.independent:
+                return None
+            chain.extend(verdict.chain)
+
+    # Against the loop body's access groups.
+    special = ({id(p.group) for p in alias.privatisable}
+               | {id(r.group) for r in alias.reductions})
+    for group in alias.groups:
+        lo, hi = group.extent_offsets()
+        gbase = Poly.sym(ctx.theta).scale(group.theta_coeff) \
+            + group.base_struct
+        greg = RegionInterval(base=gbase, span=Interval(lo, hi))
+        for ri in regions:
+            if not (ri.is_write or group.has_write):
+                continue
+            if id(group) in special:
+                if not _fully_disjoint(ranges, ri, greg):
+                    return None
+                chain.append(
+                    f"callee region {ri.fn_ri.describe()} fully disjoint "
+                    f"from privatised/reduction group at {greg.describe()}")
+            else:
+                verdict = _region_vs_group_verdict(ctx, ri, greg)
+                if not verdict.independent:
+                    return None
+                chain.extend(verdict.chain)
+
+    # Against every other non-pure call in the loop.
+    for other_addr, other_target in result.internal_calls:
+        if other_addr == addr:
+            continue
+        other = summaries[other_target]
+        if other.is_pure_enough:
+            continue
+        if not other.regions_exact:
+            return None
+        other_site = _call_instruction_site(ssa, result.loop, other_addr)
+        if other_site is None:
+            return None
+        other_regions = _instantiate_regions(ssa, result.loop, builder,
+                                             other_site, other.regions)
+        for ri in regions:
+            for rj in other_regions:
+                if not (ri.is_write or rj.is_write):
+                    continue
+                verdict = _callee_pair_verdict(ctx, ri, rj)
+                if not verdict.independent:
+                    return None
+                chain.extend(verdict.chain)
+
+    deduped: list[str] = []
+    for line in chain:
+        if line not in deduped:
+            deduped.append(line)
+    return deduped
+
+
+def _call_instruction_site(ssa: SSAForm, loop: Loop,
+                           addr: int) -> tuple[int, int] | None:
+    for start in loop.body:
+        block = ssa.cfg.blocks[start]
+        for index, ins in enumerate(block.instructions):
+            if ins.address == addr:
+                return start, index
+    return None
+
+
+@dataclass
+class _CalleeRegion:
+    """One callee region instantiated at a call site, in both scopes.
+
+    The loop-scope base lets symbols shared with the loop's own access
+    groups cancel; the function-scope base resolves loop-invariant values
+    further (to constants or heap-allocation identities).
+    """
+
+    loop_ri: RegionInterval
+    fn_ri: RegionInterval
+    is_write: bool
+    # (alloc sym, byte offset into the block, requested size) when the
+    # function-scope base is a bump-allocator result.
+    alloc: tuple | None = None
+
+    @property
+    def within_alloc(self) -> bool:
+        """Does the region stay inside its allocation's requested bytes?"""
+        if self.alloc is None:
+            return False
+        _, offset, size = self.alloc
+        span = self.fn_ri.span
+        return (span.lo is not None and span.hi is not None
+                and offset + span.lo >= 0 and offset + span.hi <= size)
+
+
+def _instantiate_regions(ssa: SSAForm, loop: Loop, builder: ExprBuilder,
+                         site: tuple[int, int], regions
+                         ) -> list[_CalleeRegion]:
+    """Rebase callee regions onto the caller's value space at one call
+    site, through the argument registers' reaching definitions."""
+    block, index = site
+    fn_builder = _fn_scope_builder(ssa, loop)
+    instantiated: list[_CalleeRegion] = []
+    for region in regions:
+        span = Interval(region.lo, region.hi)
+        if region.var is None:
+            base = fn_base = Poly.const(0)
+        else:
+            name = reaching_name(ssa, block, index, region.var)
+            base = builder.value_of(name)
+            fn_base = fn_builder.value_of(name)
+            if region.scale != 1:
+                base = base.scale(region.scale)
+                fn_base = fn_base.scale(region.scale)
+        instantiated.append(_CalleeRegion(
+            loop_ri=RegionInterval(base=base, span=span),
+            fn_ri=RegionInterval(base=fn_base, span=span),
+            is_write=region.is_write,
+            alloc=_alloc_info(ssa, loop, fn_builder, fn_base)))
+    return instantiated
+
+
+def _fn_scope_builder(ssa: SSAForm, loop: Loop) -> ExprBuilder:
+    cache = getattr(ssa, "_fn_builder_cache", None)
+    if cache is None:
+        cache = {}
+        ssa._fn_builder_cache = cache
+    builder = cache.get(loop.header)
+    if builder is None:
+        builder = ExprBuilder(ssa, loop, scope="function")
+        cache[loop.header] = builder
+    return builder
+
+
+def _alloc_info(ssa: SSAForm, loop: Loop, fn_builder: ExprBuilder,
+                fn_base: Poly) -> tuple | None:
+    """(sym, offset, size) when ``fn_base`` is ``malloc_result + offset``
+    for a malloc call outside the loop with a constant requested size."""
+    terms = {m: c for m, c in fn_base.terms.items() if m != ()}
+    offset = fn_base.terms.get((), 0)
+    if len(terms) != 1:
+        return None
+    (mono, coeff), = terms.items()
+    if coeff != 1 or len(mono) != 1:
+        return None
+    sym = mono[0]
+    site = allocation_site(ssa.cfg, sym)
+    if site is None:
+        return None
+    block, index = site
+    if block in loop.body:
+        return None  # a fresh block per iteration: identity is not stable
+    from repro.isa.registers import ARG_REGS
+
+    size_name = reaching_name(ssa, block, index, ARG_REGS[0])
+    size_poly = fn_builder.value_of(size_name)
+    if not size_poly.is_constant:
+        return None
+    return sym, offset, size_poly.constant_value
+
+
+def _callee_pair_verdict(ctx: DependContext, a: _CalleeRegion,
+                         b: _CalleeRegion) -> Verdict:
+    """Disjointness of two instantiated callee regions, strongest first:
+    distinct-heap-allocation separation, then the symbolic engine at loop
+    scope (shared loop symbols cancel), then at function scope (constants
+    and heap intervals resolve)."""
+    if (a.alloc is not None and b.alloc is not None
+            and a.alloc[0] != b.alloc[0]
+            and a.within_alloc and b.within_alloc):
+        return Verdict(True, "separation", (
+            f"regions live in distinct heap allocations "
+            f"({a.alloc[2]} and {b.alloc[2]} bytes; the bump allocator "
+            f"never reuses memory) and stay within their blocks",))
+    verdict = regions_disjoint(ctx, a.loop_ri, b.loop_ri)
+    if verdict.independent:
+        return verdict
+    return regions_disjoint(ctx, a.fn_ri, b.fn_ri)
+
+
+def _region_vs_group_verdict(ctx: DependContext, region: _CalleeRegion,
+                             greg: RegionInterval) -> Verdict:
+    verdict = regions_disjoint(ctx, region.loop_ri, greg)
+    if verdict.independent:
+        return verdict
+    return regions_disjoint(ctx, region.fn_ri, greg)
+
+
+def _fully_disjoint(ranges: FunctionRanges, region: _CalleeRegion,
+                    greg: RegionInterval) -> bool:
+    """Absolute-interval disjointness over ALL iterations (d = 0 too)."""
+    for ri in (region.loop_ri, region.fn_ri):
+        if ri.span.lo is None or greg.span.lo is None:
+            continue
+        ia = ranges.poly_range(ri.base).add(ri.span)
+        ib = ranges.poly_range(greg.base).add(greg.span)
+        if disjoint(ia, ib):
+            return True
+    return False
 
 
 @dataclass

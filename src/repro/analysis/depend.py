@@ -1,0 +1,265 @@
+"""Symbolic cross-iteration dependence tests (GCD / Banerjee / separation).
+
+``alias.py`` decomposes every loop access as ``coeff * theta + base``.  Two
+accesses from iterations ``i != j`` of a DOALL candidate conflict iff their
+byte ranges intersect:
+
+    B(j) - A(i)  in  [-(width_a - 1), width_b - 1]
+
+with ``A(i) = ca*theta_i + base_a`` and ``B(j) = cb*theta_j + base_b``.
+This module decides that condition symbolically, with the iterator range
+and the base-difference range supplied by :mod:`repro.analysis.vrange`:
+
+* **equal coefficients** (``ca == cb``): the difference collapses to
+  ``ca*step*d - delta`` with ``d = j - i != 0``, so the feasible set of
+  iteration distances is an integer interval — an exact combined
+  GCD/iteration-distance test (the classic GCD test falls out when the
+  delta window contains no multiple of the stride);
+* **differing coefficients**: a Banerjee-style bound — evaluate the
+  extreme values of the difference over the iterator interval and test the
+  overlap window against them.
+
+Every verdict carries an explanation chain naming the facts it used; the
+chains become the PROVEN_DISJOINT evidence in ``repro racecheck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.expr import Poly
+from repro.analysis.vrange import FunctionRanges, Interval, max_trip_distance
+
+WORD = 8
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of one dependence test."""
+
+    independent: bool
+    test: str  # "gcd" | "distance" | "banerjee" | "separation" | "assumed"
+    chain: tuple[str, ...] = ()
+
+    @classmethod
+    def dependent(cls, reason: str) -> "Verdict":
+        return cls(False, "assumed", (reason,))
+
+
+@dataclass
+class DependContext:
+    """Everything the pair tests need about one loop's iteration space."""
+
+    theta: Optional[tuple]  # the iterator's phi symbol, None when unknown
+    step: int
+    theta_range: Interval
+    max_distance: Optional[int]  # max |j - i| across iterations
+    ranges: Optional[FunctionRanges] = None
+
+    def describe(self) -> str:
+        md = "unbounded" if self.max_distance is None else self.max_distance
+        return (f"iterator range {self.theta_range}, step {self.step}, "
+                f"max iteration distance {md}")
+
+
+def make_context(induction, ranges: FunctionRanges | None) -> DependContext:
+    """Build a :class:`DependContext` from the loop's induction facts."""
+    iterator = induction.iterator
+    if iterator is None:
+        return DependContext(theta=None, step=1,
+                             theta_range=Interval.top(),
+                             max_distance=None, ranges=ranges)
+    theta = ("phi", iterator.iv.phi.var, iterator.iv.phi.dest)
+    step = iterator.iv.step
+    if iterator.static_init is not None and iterator.static_trip_count:
+        first = iterator.static_init
+        last = first + step * (iterator.static_trip_count - 1)
+        theta_range = Interval(min(first, last), max(first, last))
+        max_distance = iterator.static_trip_count - 1
+    else:
+        theta_range = (ranges.phi_range(theta) if ranges is not None
+                       else Interval.top())
+        max_distance = max_trip_distance(theta_range, step)
+    return DependContext(theta=theta, step=step, theta_range=theta_range,
+                         max_distance=max_distance, ranges=ranges)
+
+
+def delta_range(ctx: DependContext, base_a: Poly, base_b: Poly) -> Interval:
+    """Range of ``base_a - base_b`` (shared symbols cancel exactly)."""
+    diff = base_a - base_b
+    if diff.is_constant:
+        return Interval.const(diff.constant_value)
+    if ctx.ranges is None:
+        return Interval.top()
+    return ctx.ranges.poly_range(diff)
+
+
+def pair_verdict(ctx: DependContext, poly_a: Poly, width_a: int,
+                 poly_b: Poly, width_b: int) -> Verdict:
+    """Can accesses at ``poly_a``/``poly_b`` touch common bytes in two
+    *different* iterations?  ``width_*`` are access widths in bytes."""
+    if ctx.theta is None:
+        return Verdict.dependent("no recognisable loop iterator")
+    dec_a = poly_a.linear_in(ctx.theta)
+    dec_b = poly_b.linear_in(ctx.theta)
+    if dec_a is None or dec_b is None:
+        return Verdict.dependent("address is non-linear in the iterator")
+    ca, base_a = dec_a
+    cb, base_b = dec_b
+    delta = delta_range(ctx, base_a, base_b)
+    return coefficient_verdict(ctx, ca, cb, delta, width_a, width_b)
+
+
+def coefficient_verdict(ctx: DependContext, ca: int, cb: int,
+                        delta: Interval, width_a: int,
+                        width_b: int) -> Verdict:
+    """Decide a pair given coefficients and the base-difference range.
+
+    ``delta`` is the range of ``base_a - base_b``.  The tested value
+    ``cb*theta_j - ca*theta_i - delta`` equals ``B - A``, and the byte
+    ranges ``[A, A+width_a)`` / ``[B, B+width_b)`` intersect iff
+    ``B - A in [-(width_b - 1), width_a - 1]``.
+    """
+    window_lo = -(width_b - 1)
+    window_hi = width_a - 1
+    if ctx.max_distance == 0:
+        return Verdict(True, "distance", (
+            "single-iteration loop: no cross-iteration pairs exist",))
+    if ca == cb:
+        return _equal_coefficient_verdict(ctx, ca, delta,
+                                          window_lo, window_hi)
+    return _banerjee_verdict(ctx, ca, cb, delta, window_lo, window_hi)
+
+
+def _equal_coefficient_verdict(ctx: DependContext, c: int, delta: Interval,
+                               window_lo: int, window_hi: int) -> Verdict:
+    """Exact test for ``c*step*d in [delta.lo + wlo, delta.hi + whi]``
+    with integer ``d != 0`` and ``|d| <= max_distance``."""
+    if c == 0:
+        # Invariant addresses: they conflict across iterations iff the
+        # bases themselves can coincide.
+        if delta.lo is not None and delta.hi is not None:
+            if delta.lo + window_lo <= 0 <= delta.hi + window_hi:
+                return Verdict.dependent(
+                    f"invariant addresses with overlapping offsets "
+                    f"(delta {delta})")
+            return Verdict(True, "separation", (
+                f"invariant addresses separated: base delta {delta} "
+                f"outside overlap window [{window_lo}, {window_hi}]",))
+        return Verdict.dependent("invariant addresses, unbounded delta")
+    stride = c * ctx.step
+    if stride == 0:
+        return Verdict.dependent("zero per-iteration stride")
+    if delta.lo is None or delta.hi is None:
+        return Verdict.dependent(f"unbounded base delta {delta}")
+    # Feasible byte distances: t = c*step*d must land in the window.
+    t_lo = delta.lo + window_lo
+    t_hi = delta.hi + window_hi
+    d_candidates = _integer_quotients(t_lo, t_hi, stride)
+    if d_candidates is None:
+        return Verdict(True, "gcd", (
+            f"stride {stride} divides no byte distance in "
+            f"[{t_lo}, {t_hi}] (GCD test)",))
+    lo, hi = d_candidates
+    # Clip to the iteration space, then look for any non-zero distance.
+    md = ctx.max_distance
+    if md is not None:
+        lo = max(lo, -md)
+        hi = min(hi, md)
+    if lo > hi:
+        return Verdict(True, "distance", (
+            f"stride {stride}, base delta {delta}: every feasible "
+            f"iteration distance exceeds the iteration space "
+            f"({ctx.describe()})",))
+    if lo == 0 == hi:
+        return Verdict(True, "distance", (
+            f"stride {stride}, base delta {delta}: only the "
+            f"same-iteration distance d=0 is feasible",))
+    example = lo if lo != 0 else hi
+    return Verdict.dependent(
+        f"stride {stride} reaches byte window [{t_lo}, {t_hi}] at "
+        f"iteration distance {example}")
+
+
+def _integer_quotients(t_lo: int, t_hi: int,
+                       stride: int) -> tuple[int, int] | None:
+    """Integer ``d`` values with ``stride*d in [t_lo, t_hi]``, as an
+    inclusive interval; ``None`` when no integer quotient exists."""
+    if stride < 0:
+        t_lo, t_hi, stride = -t_hi, -t_lo, -stride
+    d_lo = -((-t_lo) // stride)  # ceil(t_lo / stride)
+    d_hi = t_hi // stride        # floor(t_hi / stride)
+    if d_lo > d_hi:
+        return None
+    return d_lo, d_hi
+
+
+def _banerjee_verdict(ctx: DependContext, ca: int, cb: int, delta: Interval,
+                      window_lo: int, window_hi: int) -> Verdict:
+    """Banerjee-style extreme-value bound for differing coefficients.
+
+    Evaluate ``cb*theta_j - ca*theta_i - delta`` over the iterator
+    interval (i and j range independently — a sound superset of the
+    ``i != j`` pairs) and compare with the overlap window.
+    """
+    theta = ctx.theta_range
+    diff = theta.scale(cb).sub(theta.scale(ca)).sub(delta)
+    if diff.lo is not None and diff.lo > window_hi:
+        return Verdict(True, "banerjee", (
+            f"coefficients {ca} vs {cb} over {ctx.describe()}: "
+            f"minimum byte distance {diff.lo} exceeds overlap window "
+            f"[{window_lo}, {window_hi}] (Banerjee lower bound)",))
+    if diff.hi is not None and diff.hi < window_lo:
+        return Verdict(True, "banerjee", (
+            f"coefficients {ca} vs {cb} over {ctx.describe()}: "
+            f"maximum byte distance {diff.hi} stays below overlap window "
+            f"[{window_lo}, {window_hi}] (Banerjee upper bound)",))
+    return Verdict.dependent(
+        f"byte distance range {diff} intersects overlap window "
+        f"[{window_lo}, {window_hi}]")
+
+
+# ---------------------------------------------------------------------------
+# Region tests (interprocedural summaries)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionInterval:
+    """A callee access region instantiated at a call site: a byte interval
+    anchored to an argument-scaled base, ``arg_poly + [lo, hi)``."""
+
+    base: Poly  # symbolic base (may be constant)
+    span: Interval  # byte extent relative to the base, hi exclusive
+
+    def describe(self) -> str:
+        return f"{self.base!r} + {self.span}"
+
+
+def regions_disjoint(ctx: DependContext, a: RegionInterval,
+                     b: RegionInterval) -> Verdict:
+    """Can two instantiated regions overlap in *different* iterations?
+
+    Works on the half-open byte intervals ``base + span``; widths are
+    already folded into the spans, so the overlap window is ``(-wa, wb)``
+    expressed through span arithmetic directly.
+    """
+    if a.span.lo is None or a.span.hi is None \
+            or b.span.lo is None or b.span.hi is None:
+        return Verdict.dependent("region extent unbounded")
+    wa = a.span.hi - a.span.lo
+    wb = b.span.hi - b.span.lo
+    if wa <= 0 or wb <= 0:
+        return Verdict(True, "separation", ("empty region",))
+    if ctx.theta is None:
+        return Verdict.dependent("no recognisable loop iterator")
+    dec_a = a.base.linear_in(ctx.theta)
+    dec_b = b.base.linear_in(ctx.theta)
+    if dec_a is None or dec_b is None:
+        return Verdict.dependent("region base non-linear in the iterator")
+    ca, rest_a = dec_a
+    cb, rest_b = dec_b
+    delta = delta_range(ctx, rest_a + Poly.const(a.span.lo),
+                        rest_b + Poly.const(b.span.lo))
+    return coefficient_verdict(ctx, ca, cb, delta, wa, wb)

@@ -206,8 +206,14 @@ def round_robin_bounds(total_trips: int, n_threads: int,
     return assignments
 
 
-def analyse_induction(ssa: SSAForm, loop: Loop) -> InductionAnalysis:
-    """Find basic IVs, pick the controlling iterator, solve its range."""
+def analyse_induction(ssa: SSAForm, loop: Loop,
+                      known_liveins: dict | None = None) -> InductionAnalysis:
+    """Find basic IVs, pick the controlling iterator, solve its range.
+
+    ``known_liveins`` maps variables to exact version-0 values (e.g. the
+    machine's boot register state in the entry function); they are
+    substituted when solving for a static initial value and trip count.
+    """
     result = InductionAnalysis()
     builder = ExprBuilder(ssa, loop)
     header_phis = ssa.phis.get(loop.header, [])
@@ -232,7 +238,8 @@ def analyse_induction(ssa: SSAForm, loop: Loop) -> InductionAnalysis:
     if iterator_exits:
         result.iterator = iterator_exits[0]
         result.has_side_exits = bool(other_exits) or len(iterator_exits) > 1
-        _solve_static_trip_count(ssa, loop, builder, result.iterator)
+        _solve_static_trip_count(ssa, loop, builder, result.iterator,
+                                 known_liveins)
     else:
         result.has_side_exits = bool(other_exits)
     return result
@@ -346,16 +353,26 @@ def _match_iterator_exit(ssa: SSAForm, loop: Loop, builder: ExprBuilder,
 
 
 def _solve_static_trip_count(ssa: SSAForm, loop: Loop, builder: ExprBuilder,
-                             info: IteratorInfo) -> None:
+                             info: IteratorInfo,
+                             known_liveins: dict | None = None) -> None:
+    from repro.analysis.vrange import substitute_liveins
+
     info.init_poly = builder.value_of((info.iv.var, info.iv.init_version))
     # Re-canonicalise init and bound at function scope: values set up in the
-    # preheader (e.g. "mov rcx, 0") resolve to constants there.
+    # preheader (e.g. "mov rcx, 0") resolve to constants there.  Known
+    # live-in values (the boot register state in the entry function) make
+    # loops whose init/bound come straight from function arguments constant.
     fn_builder = ExprBuilder(ssa, loop, scope="function")
-    init_fn = fn_builder.value_of((info.iv.var, info.iv.init_version))
-    bound_fn = fn_builder.operand_value(info.cmp_block, info.cmp_index,
-                                        info.bound_operand)
-    if init_fn.is_constant and bound_fn.is_constant:
+    init_fn = substitute_liveins(
+        fn_builder.value_of((info.iv.var, info.iv.init_version)),
+        known_liveins)
+    bound_fn = substitute_liveins(
+        fn_builder.operand_value(info.cmp_block, info.cmp_index,
+                                 info.bound_operand),
+        known_liveins)
+    if init_fn.is_constant:
         info.static_init = init_fn.constant_value
+    if init_fn.is_constant and bound_fn.is_constant:
         try:
             info.static_trip_count = loop_iterations(
                 init_fn.constant_value, bound_fn.constant_value,

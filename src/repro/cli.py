@@ -290,6 +290,46 @@ def _cmd_verify(args) -> int:
     return exit_code(reports)
 
 
+def _cmd_racecheck(args) -> int:
+    from repro.verify.racecheck import (
+        RaceVerdict,
+        exit_code,
+        racecheck_workload,
+    )
+    from repro.workloads import all_benchmarks
+
+    names = args.workloads or all_benchmarks()
+    modes = args.mode or ["parallel", "vector"]
+    reports = []
+    for name in names:
+        for mode in modes:
+            report = racecheck_workload(name, mode=mode)
+            reports.append(report)
+            d = report.to_dict()
+            verdict = "ok" if report.ok else "RACE"
+            print(f"{name:18s} {mode:9s} {verdict:5s} "
+                  f"loops={d['loops_checked']} pairs={d['pairs_total']} "
+                  f"proven={d['proven_disjoint']} guarded={d['guarded']} "
+                  f"possible={d['possible_races']}")
+            for pair in report.by_verdict(RaceVerdict.POSSIBLE_RACE):
+                print(f"  possible race: fn {pair.function:#x} "
+                      f"loop {pair.loop_id} {pair.source:#x}/{pair.sink:#x}")
+    if args.output:
+        payload = {
+            "reports": [report.to_dict() for report in reports],
+            "possible_races": sum(
+                len(r.by_verdict(RaceVerdict.POSSIBLE_RACE))
+                for r in reports),
+            "unsound_static_loops": sum(
+                len(r.unsound_static_loops) for r in reports),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return exit_code(reports)
+
+
 def _cmd_modediff(args) -> int:
     """Differential check: vector/prefetch runs must match scalar exactly.
 
@@ -795,6 +835,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="demote confirmed-unsound loops "
                         "(JanusConfig.verify_demote)")
     v.set_defaults(func=_cmd_verify)
+
+    rc = sub.add_parser("racecheck",
+                        help="static race check over the loops a schedule "
+                             "family parallelises: classify every residual "
+                             "shared access pair as proven-disjoint, "
+                             "guarded, or a possible race (exit 1 on a "
+                             "possible race in a claimed STATIC_DOALL "
+                             "loop)")
+    rc.add_argument("workloads", nargs="*",
+                    help="suite workload names (default: all)")
+    rc.add_argument("--mode", action="append", default=[],
+                    choices=("parallel", "vector"),
+                    help="schedule families to check (default: both)")
+    rc.add_argument("-o", "--output",
+                    help="write the deterministic findings JSON to this "
+                         "file")
+    rc.set_defaults(func=_cmd_racecheck)
 
     md = sub.add_parser("modediff",
                         help="check that vector/prefetch rewrite modes "

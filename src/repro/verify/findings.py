@@ -33,11 +33,20 @@ class Severity(enum.Enum):
 class Finding:
     """One verification finding."""
 
-    tier: str       # "invariants" | "schedule" | "oracle"
+    tier: str       # "invariants" | "schedule" | "oracle" | "racecheck"
     check: str      # dotted check name, e.g. "cfg.edge-target"
     severity: Severity
     location: str   # human-readable anchor: function/block/loop/rule
     message: str
+    # Structured anchors: fill these when known so JSON artifacts sort
+    # deterministically (function, loop id, address) and diff cleanly.
+    function: str = ""
+    loop_id: int = -1
+    address: int = 0
+
+    def sort_key(self) -> tuple:
+        return (self.function, self.loop_id, self.address, self.tier,
+                self.check, self.location, self.message)
 
     def to_dict(self) -> dict:
         return {
@@ -46,6 +55,9 @@ class Finding:
             "severity": self.severity.value,
             "location": self.location,
             "message": self.message,
+            "function": self.function,
+            "loop_id": self.loop_id,
+            "address": self.address,
         }
 
     def __str__(self) -> str:
@@ -94,7 +106,9 @@ class VerifyReport:
             "confirmed_unsound": len(self.confirmed),
             "errors": len(self.errors),
             "warnings": len(self.by_severity(Severity.WARNING)),
-            "findings": [f.to_dict() for f in self.findings],
+            # Sorted (function, loop id, address) so artifacts diff cleanly.
+            "findings": [f.to_dict() for f in
+                         sorted(self.findings, key=Finding.sort_key)],
         }
 
 

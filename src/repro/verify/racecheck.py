@@ -1,0 +1,393 @@
+"""Static race detector over a generated rewrite schedule.
+
+``repro racecheck`` takes the loops a schedule family would parallelise
+and enumerates every *residual* shared access pair across iterations —
+including pairs whose traffic the transformation removes (privatised
+words, reductions) and pairs only a runtime mechanism protects (bounds
+checks, STM call windows, the dependence-profiling gate).  Each pair is
+classified:
+
+* ``PROVEN_DISJOINT`` — the symbolic dependence engine (or an exact
+  interprocedural region summary) proved the pair conflict-free; the
+  explanation chain names the test that discharged it and the facts it
+  used.
+* ``GUARDED`` — no static proof, but a runtime guard makes the pair safe
+  (or detects the conflict): privatisation, reduction rewrite, a
+  ``MEM_BOUNDS_CHECK``, an STM call window, or the profiling gate that
+  keeps a Dynamic DOALL loop serial when training observed a dependence.
+* ``POSSIBLE_RACE`` — neither proof nor guard.  On a claimed
+  STATIC_DOALL loop this is a classifier soundness bug and the check
+  exits non-zero.
+
+Findings flow through :mod:`repro.verify.findings`; counters land on the
+``verify.race.*`` telemetry namespace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.alias import _engine_pair_verdict, _pair_dependence
+from repro.analysis.analyzer import BinaryAnalysis
+from repro.analysis.classify import LoopCategory, _function_ranges
+from repro.analysis.depend import make_context
+from repro.telemetry.core import RegistryView, get_recorder
+from repro.verify.findings import Finding, Severity
+
+
+class RaceVerdict(enum.Enum):
+    PROVEN_DISJOINT = "proven_disjoint"
+    GUARDED = "guarded"
+    POSSIBLE_RACE = "possible_race"
+
+
+# Guard kinds a GUARDED pair may cite.
+GUARD_PRIVATISATION = "privatisation"
+GUARD_REDUCTION = "reduction"
+GUARD_BOUNDS_CHECK = "bounds-check"
+GUARD_STM_WINDOW = "stm-window"
+GUARD_PROFILE_GATE = "profile-gate"
+
+
+@dataclass(frozen=True)
+class RacePair:
+    """One cross-iteration access pair and its classification."""
+
+    function: int       # owning function's entry address
+    loop_id: int
+    source: int         # instruction address of the (first) access
+    sink: int           # instruction address of the paired access
+    kind: str           # "ww" | "wr" | "call"
+    verdict: RaceVerdict
+    guard: str | None = None       # guard kind for GUARDED pairs
+    chain: tuple[str, ...] = ()    # explanation chain (never empty for
+                                   # PROVEN_DISJOINT)
+
+    def to_dict(self) -> dict:
+        return {
+            "function": f"{self.function:#x}",
+            "loop_id": self.loop_id,
+            "source": f"{self.source:#x}",
+            "sink": f"{self.sink:#x}",
+            "kind": self.kind,
+            "verdict": self.verdict.value,
+            "guard": self.guard,
+            "chain": list(self.chain),
+        }
+
+
+@dataclass
+class RaceReport:
+    """Everything one racecheck invocation learned about one schedule."""
+
+    workload: str
+    mode: str
+    loops_checked: int = 0
+    pairs: list[RacePair] = field(default_factory=list)
+    # loop ids claimed STATIC_DOALL with at least one POSSIBLE_RACE pair.
+    unsound_static_loops: list[int] = field(default_factory=list)
+
+    def by_verdict(self, verdict: RaceVerdict) -> list[RacePair]:
+        return [p for p in self.pairs if p.verdict is verdict]
+
+    @property
+    def ok(self) -> bool:
+        """No POSSIBLE_RACE on a loop the schedule claims proven-DOALL."""
+        return not self.unsound_static_loops
+
+    def findings(self) -> list[Finding]:
+        out = []
+        for pair in self.pairs:
+            if pair.verdict is RaceVerdict.POSSIBLE_RACE:
+                severity = (Severity.ERROR
+                            if pair.loop_id in self.unsound_static_loops
+                            else Severity.WARNING)
+                message = "no static proof and no runtime guard"
+            elif pair.verdict is RaceVerdict.GUARDED:
+                severity = Severity.INFO
+                message = f"guarded by {pair.guard}"
+            else:
+                severity = Severity.INFO
+                message = "; ".join(pair.chain)
+            out.append(Finding(
+                tier="racecheck",
+                check=f"race.{pair.verdict.value}",
+                severity=severity,
+                location=(f"fn {pair.function:#x} loop {pair.loop_id} "
+                          f"{pair.source:#x}/{pair.sink:#x}"),
+                message=message,
+                function=f"{pair.function:#x}",
+                loop_id=pair.loop_id,
+                address=pair.source))
+        return out
+
+    def to_dict(self) -> dict:
+        ordered = sorted(
+            self.pairs,
+            key=lambda p: (p.function, p.loop_id, p.source, p.sink, p.kind))
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "loops_checked": self.loops_checked,
+            "pairs_total": len(self.pairs),
+            "proven_disjoint":
+                len(self.by_verdict(RaceVerdict.PROVEN_DISJOINT)),
+            "guarded": len(self.by_verdict(RaceVerdict.GUARDED)),
+            "possible_races":
+                len(self.by_verdict(RaceVerdict.POSSIBLE_RACE)),
+            "unsound_static_loops": sorted(self.unsound_static_loops),
+            "pairs": [p.to_dict() for p in ordered],
+        }
+
+
+class RaceStats(RegistryView):
+    """``verify.race.*`` counters on the shared telemetry registry."""
+
+    _NAMESPACE = "verify.race"
+    _FIELDS = ("loops_checked", "pairs_total", "proven_disjoint",
+               "guarded", "possible_races", "released_calls", "stm_calls")
+
+
+def selected_loop_ids(analysis: BinaryAnalysis, mode: str) -> list[int]:
+    """The loops the ``mode`` schedule family would transform.
+
+    Mirrors the pipeline's untrained selection: STATIC_DOALL and
+    DYNAMIC_DOALL candidates, one per nest, restricted to the legally
+    vectorisable subset in vector mode.
+    """
+    from repro.pipeline.janus import Janus, JanusConfig, SelectionMode
+
+    if mode == "vector":
+        # Mirror generate_vector_schedule's default: every legally
+        # vectorisable loop (nest selection does not apply to lane
+        # widening, which composes across nest levels).
+        from repro.rewrite.gen_vector import vector_candidates
+
+        return sorted(v.loop_id for v in vector_candidates(analysis)
+                      if v.ok)
+    janus = Janus(analysis.image, JanusConfig(mode=mode))
+    janus._analysis = analysis  # reuse instead of re-analysing
+    return janus.select_loops(SelectionMode.JANUS)
+
+
+def racecheck_analysis(analysis: BinaryAnalysis, mode: str = "parallel",
+                       loop_ids=None, workload: str = "") -> RaceReport:
+    """Classify every residual access pair of the selected loops."""
+    if loop_ids is None:
+        loop_ids = selected_loop_ids(analysis, mode)
+    report = RaceReport(workload=workload, mode=mode)
+    stats = RaceStats()
+    recorder = get_recorder()
+    with recorder.span("verify.racecheck", cat="verify", mode=mode,
+                       workload=workload) as span:
+        for loop_id in sorted(loop_ids):
+            result = analysis.loop(loop_id)
+            fa = analysis.function_of_loop(result)
+            pairs = _check_loop(result, fa, analysis)
+            report.pairs.extend(pairs)
+            report.loops_checked += 1
+            if (result.category is LoopCategory.STATIC_DOALL
+                    and any(p.verdict is RaceVerdict.POSSIBLE_RACE
+                            for p in pairs)):
+                report.unsound_static_loops.append(loop_id)
+            stats.released_calls += len(result.released_call_sites)
+            stats.stm_calls += len(result.stm_call_sites)
+        stats.loops_checked += report.loops_checked
+        stats.pairs_total += len(report.pairs)
+        stats.proven_disjoint += \
+            len(report.by_verdict(RaceVerdict.PROVEN_DISJOINT))
+        stats.guarded += len(report.by_verdict(RaceVerdict.GUARDED))
+        stats.possible_races += \
+            len(report.by_verdict(RaceVerdict.POSSIBLE_RACE))
+        span.set(loops=report.loops_checked, pairs=len(report.pairs),
+                 possible=stats.possible_races)
+    if recorder.enabled:
+        recorder.absorb(stats.registry)
+    return report
+
+
+def racecheck_workload(name: str, mode: str = "parallel") -> RaceReport:
+    """Compile and analyse one suite workload, then racecheck it."""
+    from repro.analysis.analyzer import analyze_image
+    from repro.workloads.suite import compile_workload
+
+    image = compile_workload(name)
+    analysis = analyze_image(image)
+    return racecheck_analysis(analysis, mode=mode, workload=name)
+
+
+def exit_code(reports) -> int:
+    """``repro racecheck`` contract: 1 iff a claimed STATIC_DOALL loop
+    has a POSSIBLE_RACE pair."""
+    return 1 if any(not report.ok for report in reports) else 0
+
+
+# -- per-loop pair enumeration ------------------------------------------------
+
+
+def _check_loop(result, fa, analysis) -> list[RacePair]:
+    alias = result.alias
+    if alias is None:
+        return []
+    function = result.loop.function_entry
+    loop_id = result.loop_id
+    dynamic = result.category is LoopCategory.DYNAMIC_DOALL
+
+    # Accesses whose cross-iteration traffic the transformation removes.
+    removed: dict[int, str] = {}
+    for reduction in alias.reductions:
+        removed.update((id(a), GUARD_REDUCTION)
+                       for a in reduction.group.accesses)
+    for priv in alias.privatisable:
+        removed.update((id(a), GUARD_PRIVATISATION)
+                       for a in priv.group.accesses)
+
+    # Accesses a MEM_BOUNDS_CHECK plan covers.
+    checked: set[int] = set()
+    for plan in alias.bounds_checks:
+        checked.update(id(a) for a in plan.write_group.accesses)
+        checked.update(id(a) for a in plan.other_group.accesses)
+
+    # Pairs the engine already discharged during classification.
+    discharged = {(id(p.source), id(p.sink)): p.verdict
+                  for p in alias.discharged}
+
+    ranges = None
+    if fa.ssa is not None:
+        ranges = _function_ranges(fa.ssa, fa.dom, None)
+    ctx = make_context(result.induction, ranges) \
+        if result.induction is not None else None
+
+    iterator = result.induction.iterator if result.induction else None
+    step = iterator.iv.step if iterator else 1
+    trips = iterator.static_trip_count if iterator else None
+
+    group_of = {}
+    for group in alias.groups:
+        for access in group.accesses:
+            group_of[id(access)] = group
+
+    pairs: list[RacePair] = []
+
+    def classify(write, other) -> RacePair:
+        kind = "ww" if (write.is_write and other.is_write) else "wr"
+        base = dict(function=function, loop_id=loop_id,
+                    source=write.address, sink=other.address, kind=kind)
+        guard = removed.get(id(write)) or removed.get(id(other))
+        if guard is not None:
+            return RacePair(verdict=RaceVerdict.GUARDED, guard=guard,
+                            **base)
+        verdict = (discharged.get((id(write), id(other)))
+                   or discharged.get((id(other), id(write))))
+        if verdict is not None:
+            return RacePair(verdict=RaceVerdict.PROVEN_DISJOINT,
+                            chain=tuple(verdict.chain), **base)
+        if ctx is not None:
+            engine = _engine_pair_verdict(ctx, write, other)
+            if engine.independent:
+                return RacePair(verdict=RaceVerdict.PROVEN_DISJOINT,
+                                chain=tuple(engine.chain), **base)
+        same_group = (group_of.get(id(write)) is not None
+                      and group_of.get(id(write)) is group_of.get(id(other)))
+        if same_group:
+            legacy = _pair_dependence(write, other, step, trips)
+            if legacy is None:
+                delta = other.const_offset - write.const_offset
+                return RacePair(
+                    verdict=RaceVerdict.PROVEN_DISJOINT,
+                    chain=(f"constant distance vector: byte offset {delta} "
+                           f"with per-iteration stride "
+                           f"{(write.theta_coeff or 0) * step} never "
+                           f"coincides within the iteration space "
+                           f"(trip count "
+                           f"{trips if trips is not None else 'bounded'})",),
+                    **base)
+        if id(write) in checked and id(other) in checked:
+            return RacePair(verdict=RaceVerdict.GUARDED,
+                            guard=GUARD_BOUNDS_CHECK, **base)
+        if dynamic:
+            return RacePair(verdict=RaceVerdict.GUARDED,
+                            guard=GUARD_PROFILE_GATE, **base)
+        return RacePair(verdict=RaceVerdict.POSSIBLE_RACE, **base)
+
+    analysed = [a for a in alias.accesses if a not in alias.unanalysable]
+    for wi, write in enumerate(analysed):
+        if not write.is_write:
+            continue
+        for oi, other in enumerate(analysed):
+            if oi == wi:
+                continue
+            if other.is_write and oi < wi:
+                continue  # each write-write pair once
+            pairs.append(classify(write, other))
+
+    # Unanalysable accesses conflict with everything until a guard steps in.
+    for access in alias.unanalysable:
+        peers = [a for a in analysed if a.is_write or access.is_write]
+        if not peers and not access.is_write:
+            continue
+        guard = GUARD_PROFILE_GATE if dynamic else None
+        verdict = (RaceVerdict.GUARDED if guard
+                   else RaceVerdict.POSSIBLE_RACE)
+        sink = peers[0].address if peers else access.address
+        pairs.append(RacePair(
+            function=function, loop_id=loop_id, source=access.address,
+            sink=sink, kind="ww" if access.is_write else "wr",
+            verdict=verdict, guard=guard))
+
+    pairs.extend(_check_calls(result, analysis, function, loop_id, dynamic))
+    return pairs
+
+
+def _check_calls(result, analysis, function: int, loop_id: int,
+                 dynamic: bool) -> list[RacePair]:
+    """Classify every call site inside the loop body.
+
+    Released calls carry the interprocedural release chain as proof;
+    calls still inside STM windows are guarded; pure callees touch no
+    shared memory at all.
+    """
+    pairs: list[RacePair] = []
+    released = set(result.released_call_sites)
+    stm = set(result.stm_call_sites)
+    external = {addr for addr, _name in result.external_calls}
+    for addr, target in result.internal_calls:
+        if addr in released:
+            chain = tuple(result.call_release_chains.get(addr, ()))
+            pairs.append(RacePair(
+                function=function, loop_id=loop_id, source=addr,
+                sink=target, kind="call",
+                verdict=RaceVerdict.PROVEN_DISJOINT, chain=chain))
+        elif addr in stm:
+            pairs.append(RacePair(
+                function=function, loop_id=loop_id, source=addr,
+                sink=target, kind="call", verdict=RaceVerdict.GUARDED,
+                guard=GUARD_STM_WINDOW))
+        else:
+            summary = analysis.summaries.get(target)
+            if summary is not None and summary.is_pure_enough:
+                pairs.append(RacePair(
+                    function=function, loop_id=loop_id, source=addr,
+                    sink=target, kind="call",
+                    verdict=RaceVerdict.PROVEN_DISJOINT,
+                    chain=(f"callee {target:#x} is pure: no memory "
+                           f"writes, syscalls or indirect control flow",)))
+            else:
+                guard = GUARD_PROFILE_GATE if dynamic else None
+                pairs.append(RacePair(
+                    function=function, loop_id=loop_id, source=addr,
+                    sink=target, kind="call",
+                    verdict=(RaceVerdict.GUARDED if guard
+                             else RaceVerdict.POSSIBLE_RACE),
+                    guard=guard))
+    for addr in sorted(external):
+        guard = GUARD_STM_WINDOW if addr in stm else (
+            GUARD_PROFILE_GATE if dynamic else None)
+        pairs.append(RacePair(
+            function=function, loop_id=loop_id, source=addr, sink=addr,
+            kind="call",
+            verdict=(RaceVerdict.GUARDED if guard
+                     else RaceVerdict.POSSIBLE_RACE),
+            guard=guard))
+    return pairs

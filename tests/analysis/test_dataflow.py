@@ -151,3 +151,115 @@ class TestReaching:
                       if b.terminator.opcode is O.JLE][0]
         assert len(reaching.definitions_of(loop_block, R.rcx)) == 2
         assert ssa.phi_for(loop_block, R.rcx) is not None
+
+
+class TestMultiLatchLoops:
+    """A loop body with two back edges (continue from two arms)."""
+
+    @staticmethod
+    def build(a):
+        # for (rcx = 0; rcx <= 9; ) { if (rcx odd) rax += rcx; rcx++ }
+        # with two separate latch blocks, each holding its own back edge.
+        a.label("_start")
+        a.emit(O.MOV, Reg(R.rax), Imm(0))
+        a.emit(O.MOV, Reg(R.rcx), Imm(0))
+        a.label("head")
+        a.emit(O.MOV, Reg(R.rdx), Reg(R.rcx))
+        a.emit(O.AND, Reg(R.rdx), Imm(1))
+        a.emit(O.CMP, Reg(R.rdx), Imm(0))
+        a.emit(O.JE, Label("even"))
+        a.emit(O.ADD, Reg(R.rax), Reg(R.rcx))   # odd arm / latch 1
+        a.emit(O.INC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(9))
+        a.emit(O.JLE, Label("head"))
+        a.emit(O.RET)
+        a.label("even")                          # even arm / latch 2
+        a.emit(O.INC, Reg(R.rcx))
+        a.emit(O.CMP, Reg(R.rcx), Imm(9))
+        a.emit(O.JLE, Label("head"))
+        a.emit(O.RET)
+
+    def _cfg(self):
+        return make_cfg(self.build)
+
+    def test_liveness_flows_through_both_latches(self):
+        cfg = self._cfg()
+        info = compute_liveness(cfg)
+        latches = [s for s, b in cfg.blocks.items()
+                   if b.terminator.opcode is O.JLE]
+        assert len(latches) == 2
+        head = min(b for b in cfg.blocks if b != cfg.entry)
+        for latch in latches:
+            # The iterator survives each back edge; the accumulator is
+            # live through both latches because the odd arm reads it.
+            assert info.is_live_in(latch, R.rcx)
+            assert info.is_live_out(latch, R.rcx)
+            assert info.is_live_out(latch, R.rax)
+        assert info.is_live_in(head, R.rax)
+        assert info.is_live_in(head, R.rcx)
+
+    def test_reaching_defs_from_every_latch(self):
+        cfg = self._cfg()
+        info = compute_reaching(cfg)
+        head = min(b for b in cfg.blocks if b != cfg.entry)
+        sites = info.definitions_of(head, R.rcx)
+        # init + one INC per latch: three distinct reaching definitions.
+        assert len(sites) == 3
+        assert len({block for _, block, _ in sites}) == 3
+
+    def test_ssa_phi_merges_all_latches(self):
+        cfg = self._cfg()
+        dom = compute_dominators(cfg)
+        deltas = track_stack(cfg)
+        ssa = build_ssa(cfg, dom, deltas)
+        head = min(b for b in cfg.blocks if b != cfg.entry)
+        phi = ssa.phi_for(head, R.rcx)
+        assert phi is not None
+        assert len(phi.sources) == 3  # entry + two latch predecessors
+
+
+class TestUnreachableBlocks:
+    """Code after an unconditional jump that nothing targets."""
+
+    @staticmethod
+    def build(a):
+        a.label("_start")
+        a.emit(O.MOV, Reg(R.rax), Imm(1))
+        a.emit(O.JMP, Label("tail"))
+        a.label("dead")                      # never targeted
+        a.emit(O.MOV, Reg(R.rbx), Reg(R.rsi))
+        a.emit(O.MOV, Reg(R.rax), Imm(99))
+        a.label("tail")
+        a.emit(O.MOV, Reg(R.rbx), Reg(R.rax))
+        a.emit(O.RET)
+
+    def _cfg(self):
+        return make_cfg(self.build)
+
+    def test_dead_defs_do_not_reach(self):
+        cfg = self._cfg()
+        info = compute_reaching(cfg)
+        tail = max(cfg.blocks)
+        sites = info.definitions_of(tail, R.rax)
+        # Only the entry-block def reaches; the dead block's MOV rax, 99
+        # must not leak into the live CFG.
+        assert len(sites) == 1
+        (_, block, _), = sites
+        assert block == cfg.entry
+
+    def test_dead_uses_do_not_pollute_liveness(self):
+        cfg = self._cfg()
+        info = compute_liveness(cfg)
+        # rsi is only read in the unreachable block: it must not become
+        # live into the entry block through any dataflow path.
+        assert not info.is_live_in(cfg.entry, R.rsi)
+
+    def test_fixpoints_terminate_with_dead_code(self):
+        cfg = self._cfg()
+        # Smoke: both analyses converge and answer queries for every block
+        # that the CFG kept, reachable or not.
+        live = compute_liveness(cfg)
+        reach = compute_reaching(cfg)
+        for start in cfg.blocks:
+            live.is_live_in(start, R.rax)
+            reach.definitions_of(start, R.rax)

@@ -1,0 +1,190 @@
+"""Unit + differential tests for the symbolic dependence engine.
+
+The hypothesis differential is the soundness anchor: for random affine
+access pairs, whenever brute-force address-set intersection finds a
+cross-iteration overlap, the engine must NOT report independence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.depend import (
+    DependContext,
+    RegionInterval,
+    Verdict,
+    coefficient_verdict,
+    make_context,
+    pair_verdict,
+    regions_disjoint,
+)
+from repro.analysis.expr import Poly
+from repro.analysis.vrange import Interval
+
+THETA = ("phi", 1, 3)
+
+
+def make_ctx(init, step, trips, ranges=None):
+    last = init + step * (trips - 1)
+    return DependContext(
+        theta=THETA, step=step,
+        theta_range=Interval(min(init, last), max(init, last)),
+        max_distance=trips - 1, ranges=ranges)
+
+
+def brute_force_overlap(ca, cb, delta, wa, wb, init, step, trips):
+    """True iff some delta value lets the byte ranges of iterations
+    i != j intersect: A(i) = ca*theta_i, B(j) = cb*theta_j - delta."""
+    thetas = [init + step * i for i in range(trips)]
+    for d in range(delta[0], delta[1] + 1):
+        for i, ti in enumerate(thetas):
+            a_bytes = range(ca * ti, ca * ti + wa)
+            for j, tj in enumerate(thetas):
+                if i == j:
+                    continue
+                b_lo = cb * tj - d
+                if a_bytes.start < b_lo + wb and b_lo < a_bytes.stop:
+                    return True
+    return False
+
+
+coeffs = st.integers(min_value=-4, max_value=4)
+widths = st.sampled_from([8, 16, 32])
+
+
+@settings(max_examples=300, deadline=None)
+@given(ca=coeffs, cb=coeffs,
+       delta_lo=st.integers(min_value=-80, max_value=80),
+       delta_span=st.integers(min_value=0, max_value=24),
+       wa=widths, wb=widths,
+       init=st.integers(min_value=-8, max_value=8),
+       step=st.sampled_from([-3, -2, -1, 1, 2, 3]),
+       trips=st.integers(min_value=1, max_value=10))
+def test_differential_never_unsound(ca, cb, delta_lo, delta_span, wa, wb,
+                                    init, step, trips):
+    ctx = make_ctx(init, step, trips)
+    delta = Interval(delta_lo, delta_lo + delta_span)
+    verdict = coefficient_verdict(ctx, ca, cb, delta, wa, wb)
+    if verdict.independent:
+        assert not brute_force_overlap(
+            ca, cb, (delta_lo, delta_lo + delta_span), wa, wb,
+            init, step, trips), (
+            f"engine claimed independent but brute force overlaps: "
+            f"{verdict}")
+        assert verdict.chain, "independence must carry an explanation"
+
+
+@settings(max_examples=150, deadline=None)
+@given(ca=coeffs,
+       delta=st.integers(min_value=-120, max_value=120),
+       wa=widths, wb=widths,
+       init=st.integers(min_value=-4, max_value=4),
+       step=st.sampled_from([-2, -1, 1, 2]),
+       trips=st.integers(min_value=1, max_value=12))
+def test_differential_equal_coeff_exact(ca, delta, wa, wb, init, step,
+                                        trips):
+    """For equal coefficients and a constant delta the test is exact:
+    the verdict must match brute force in BOTH directions."""
+    ctx = make_ctx(init, step, trips)
+    verdict = coefficient_verdict(ctx, ca, ca, Interval.const(delta),
+                                  wa, wb)
+    overlap = brute_force_overlap(ca, ca, (delta, delta), wa, wb,
+                                  init, step, trips)
+    assert verdict.independent == (not overlap)
+
+
+def test_gcd_discharge():
+    ctx = make_ctx(init=0, step=2, trips=100)
+    # stride 16, bases 8 bytes apart: never on the same lattice point.
+    verdict = coefficient_verdict(ctx, 8, 8, Interval.const(8), 8, 8)
+    assert verdict.independent and verdict.test == "gcd"
+    assert any("GCD" in s for s in verdict.chain)
+
+
+def test_distance_discharge_outside_iteration_space():
+    # Byte distance 6400 at stride 16 needs d=400, space has only 399.
+    ctx = make_ctx(init=0, step=2, trips=400)
+    verdict = coefficient_verdict(ctx, 8, 8, Interval.const(6400), 8, 8)
+    assert verdict.independent and verdict.test == "distance"
+
+
+def test_distance_dependence_inside_iteration_space():
+    ctx = make_ctx(init=0, step=2, trips=401)
+    verdict = coefficient_verdict(ctx, 8, 8, Interval.const(6400), 8, 8)
+    assert not verdict.independent
+
+
+def test_banerjee_discharge_differing_coefficients():
+    # A reads 8*theta, B writes 16*theta + 16384; theta in [0, 62]:
+    # B's minimum (16384) is far above A's maximum (496 + 7).
+    ctx = make_ctx(init=0, step=2, trips=32)
+    verdict = coefficient_verdict(ctx, 8, 16, Interval.const(-16384), 8, 8)
+    assert verdict.independent and verdict.test == "banerjee"
+
+
+def test_banerjee_respects_unbounded_range():
+    ctx = DependContext(theta=THETA, step=1, theta_range=Interval.top(),
+                        max_distance=None)
+    verdict = coefficient_verdict(ctx, 8, 16, Interval.const(-16384), 8, 8)
+    assert not verdict.independent
+
+
+def test_invariant_addresses_separated_and_overlapping():
+    ctx = make_ctx(init=0, step=1, trips=10)
+    apart = coefficient_verdict(ctx, 0, 0, Interval.const(64), 8, 8)
+    assert apart.independent and apart.test == "separation"
+    same = coefficient_verdict(ctx, 0, 0, Interval.const(0), 8, 8)
+    assert not same.independent
+
+
+def test_pair_verdict_symbolic_bases_cancel():
+    """Shared symbols in the two bases cancel exactly, leaving a constant
+    delta that the equal-coefficient test decides without range info."""
+    ctx = make_ctx(init=0, step=1, trips=4)
+    base = Poly.sym(("livein", 7, 0))
+    a = Poly.sym(THETA).scale(8) + base
+    b = Poly.sym(THETA).scale(8) + base + Poly.const(1024)
+    verdict = pair_verdict(ctx, a, 8, b, 8)
+    assert verdict.independent  # distance 128 iterations > space of 4
+
+
+def test_pair_verdict_rejects_nonlinear():
+    ctx = make_ctx(init=0, step=1, trips=4)
+    quad = Poly.sym(THETA) * Poly.sym(THETA)
+    assert quad is not None
+    verdict = pair_verdict(ctx, quad, 8, Poly.const(0), 8)
+    assert not verdict.independent
+
+
+def test_make_context_uses_static_facts(counting_loop_image):
+    from repro.analysis.analyzer import analyze_image
+
+    analysis = analyze_image(counting_loop_image)
+    result = analysis.loops[0]
+    ctx = make_context(result.induction, None)
+    assert ctx.theta is not None
+    assert ctx.theta_range == Interval(0, 9)
+    assert ctx.max_distance == 9
+
+
+def test_regions_disjoint_arg_scaled():
+    """Regions 72*theta + [0, 72) never self-overlap across iterations."""
+    ctx = make_ctx(init=0, step=1, trips=64)
+    base = Poly.sym(THETA).scale(72)
+    region = RegionInterval(base=base, span=Interval(0, 72))
+    verdict = regions_disjoint(ctx, region, region)
+    assert verdict.independent, verdict
+
+    wide = RegionInterval(base=base, span=Interval(0, 80))
+    verdict = regions_disjoint(ctx, wide, wide)
+    assert not verdict.independent
+
+
+def test_regions_disjoint_constant_base_conflicts():
+    ctx = make_ctx(init=0, step=1, trips=8)
+    region = RegionInterval(base=Poly.const(4096), span=Interval(0, 64))
+    verdict = regions_disjoint(ctx, region, region)
+    assert not verdict.independent
+
+
+def test_verdict_dependent_has_reason():
+    v = Verdict.dependent("because")
+    assert not v.independent and v.chain == ("because",)

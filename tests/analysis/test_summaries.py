@@ -117,3 +117,68 @@ class TestTransitive:
         rec_entry = [e for e in cfgs if e != image.entry][0]
         assert not summaries[rec_entry].writes_memory
         assert summaries[rec_entry].is_pure_enough
+
+
+class TestAccessRegions:
+    """Parameterised access regions on compiled jcc callees."""
+
+    ROW_CALLEE = """
+    double A[512];
+    double B[512];
+
+    void add_row(int i) {
+        int j;
+        for (j = 0; j < 8; j = j + 1) {
+            A[i * 8 + j] = B[i * 8 + j] + 1.0;
+        }
+    }
+
+    int main() {
+        int i;
+        for (i = 0; i < 64; i = i + 1) {
+            add_row(i);
+        }
+        print_int(0);
+        return 0;
+    }
+    """
+
+    def _callee_summary(self, source, opt_level=2):
+        from repro.jcc import CompileOptions, compile_source
+
+        image = compile_source(source, CompileOptions(opt_level=opt_level))
+        cfgs = build_cfgs(disassemble(image))
+        summaries = summarise_functions(cfgs)
+        exact = [s for s in summaries.values() if s.regions_exact]
+        assert len(exact) == 1, "expected exactly one region-exact callee"
+        return exact[0]
+
+    def test_row_callee_regions_are_tight(self):
+        summary = self._callee_summary(self.ROW_CALLEE)
+        writes = summary.write_regions
+        assert len(writes) == 1
+        region = writes[0]
+        # A[i*8 + j] with j in [0, 8): a 64-byte window at stride 64 per
+        # unit of the argument register.  Branch-refined iterator ranges
+        # must give exactly 8 doubles, not 9.
+        assert region.scale == 64
+        assert region.var is not None
+        assert region.hi - region.lo == 64
+
+    def test_row_callee_regions_tight_under_unrolling(self):
+        # opt_level=3 unrolls the inner loop 2x (step-2 main + remainder);
+        # the merged region hull must still be exactly 64 bytes wide.
+        summary = self._callee_summary(self.ROW_CALLEE, opt_level=3)
+        writes = summary.write_regions
+        assert len(writes) == 1
+        assert writes[0].hi - writes[0].lo == 64
+
+    def test_read_and_write_regions_separate(self):
+        summary = self._callee_summary(self.ROW_CALLEE)
+        reads = [r for r in summary.regions if not r.is_write]
+        assert reads, "expected read regions for B"
+        strided = [r for r in reads if r.var is not None]
+        assert strided and all(r.scale == 64 for r in strided)
+        # Read and write windows must not be merged together.
+        assert all(not r.is_write for r in reads)
+        assert summary.writes_memory

@@ -1,0 +1,168 @@
+"""Unit tests for the value-range lattice and iterator-range solver."""
+
+from repro.analysis.classify import _function_ranges
+from repro.analysis.induction import BasicIV, IteratorInfo
+from repro.analysis.vrange import (
+    Interval,
+    disjoint,
+    iterator_range,
+    max_trip_distance,
+)
+from repro.analysis import analyze_image
+from repro.jcc import CompileOptions, compile_source
+
+
+def iv(step):
+    return BasicIV(var=1, phi=None, step=step, init_version=0)
+
+
+def make_info(step=1, cond="l", test_offset=0, test_position="top",
+              static_trip_count=None, static_init=None):
+    return IteratorInfo(
+        iv=iv(step), cmp_block=0, cmp_index=0, cmp_address=0,
+        jcc_address=0, iv_operand_index=0, bound_operand=None,
+        bound_poly=None, cond=cond, test_offset=test_offset,
+        test_position=test_position, exit_target=0,
+        static_trip_count=static_trip_count, static_init=static_init)
+
+
+class TestIntervalLattice:
+    def test_constructors_and_predicates(self):
+        assert Interval.top() == Interval(None, None)
+        assert Interval.const(5) == Interval(5, 5)
+        assert Interval.const(5).is_const
+        assert Interval(0, 3).is_bounded
+        assert not Interval(0, None).is_bounded
+        assert Interval(2, 7).width == 5
+        assert Interval(2, None).width is None
+        assert Interval(1, 4).contains(4)
+        assert not Interval(1, 4).contains(5)
+        assert Interval(None, 4).contains(-1000)
+
+    def test_arithmetic(self):
+        a, b = Interval(1, 3), Interval(10, 20)
+        assert a.add(b) == Interval(11, 23)
+        assert a.add(Interval(None, 5)) == Interval(None, 8)
+        assert a.shift(100) == Interval(101, 103)
+        assert Interval(None, 3).shift(-1) == Interval(None, 2)
+        assert a.neg() == Interval(-3, -1)
+        assert Interval(None, 3).neg() == Interval(-3, None)
+        assert b.sub(a) == Interval(7, 19)
+
+    def test_scale(self):
+        a = Interval(1, 3)
+        assert a.scale(0) == Interval.const(0)
+        assert a.scale(8) == Interval(8, 24)
+        # Negative factors swap the bounds.
+        assert a.scale(-2) == Interval(-6, -2)
+        assert Interval(None, 3).scale(-1) == Interval(-3, None)
+
+    def test_mul_corner_analysis(self):
+        assert Interval(2, 2).mul(Interval(-1, 5)) == Interval(-2, 10)
+        assert Interval(-1, 5).mul(Interval(2, 2)) == Interval(-2, 10)
+        assert Interval(-2, 3).mul(Interval(-4, 5)) == Interval(-12, 15)
+        assert Interval(0, None).mul(Interval(1, 2)) == Interval.top()
+
+    def test_join_meet(self):
+        a, b = Interval(0, 4), Interval(2, 9)
+        assert a.join(b) == Interval(0, 9)
+        assert a.join(Interval(None, 1)) == Interval(None, 4)
+        assert a.meet(b) == Interval(2, 4)
+        assert a.meet(Interval(5, 9)) is None       # empty intersection
+        assert a.meet(Interval.top()) == a
+
+    def test_widen_drops_moving_bounds(self):
+        old, new = Interval(0, 10), Interval(0, 20)
+        assert old.widen(new) == Interval(0, None)
+        assert old.widen(Interval(-5, 10)) == Interval(None, 10)
+        assert old.widen(Interval(2, 9)) == old     # nothing moved outward
+
+    def test_disjoint_half_open(self):
+        # [0, 8) vs [8, 16): touching half-open ranges are disjoint.
+        assert disjoint(Interval(0, 8), Interval(8, 16))
+        assert disjoint(Interval(8, 16), Interval(0, 8))
+        assert not disjoint(Interval(0, 9), Interval(8, 16))
+        assert not disjoint(Interval(0, None), Interval(8, 16))
+
+
+class TestIteratorRange:
+    def test_top_tested_forward(self):
+        # for (i = 0; i < n; i++) with n in [1, 64]: header value <= 63.
+        info = make_info(step=1, cond="l", test_position="top")
+        theta = iterator_range(info, Interval.const(0), Interval(1, 64))
+        assert theta == Interval(0, 63)
+
+    def test_bottom_test_joins_init(self):
+        # do { ... } while (i < 8) with init up to 8: the first header
+        # value runs unchecked, so init joins the bound-derived limit.
+        info = make_info(step=1, cond="l", test_position="bottom")
+        theta = iterator_range(info, Interval(0, 8), Interval.const(8))
+        # tested_max = 7; bottom test constrains the previous iteration,
+        # so limit = 7 + 1 = 8; join with init.hi = 8.
+        assert theta == Interval(0, 8)
+
+    def test_le_condition(self):
+        info = make_info(step=1, cond="le", test_position="top")
+        theta = iterator_range(info, Interval.const(0), Interval.const(9))
+        assert theta == Interval(0, 9)
+
+    def test_backward_step(self):
+        # for (i = 63; i > 0; i--)
+        info = make_info(step=-1, cond="g", test_position="top")
+        theta = iterator_range(info, Interval.const(63), Interval.const(0))
+        assert theta == Interval(1, 63)
+
+    def test_static_trip_count_is_exact(self):
+        info = make_info(step=2, cond="l", test_position="top",
+                         static_init=0, static_trip_count=32)
+        theta = iterator_range(info, Interval.const(0), Interval.top())
+        assert theta == Interval(0, 62)
+
+    def test_unknown_bound_is_open(self):
+        info = make_info(step=1, cond="l", test_position="top")
+        theta = iterator_range(info, Interval.const(0), Interval.top())
+        assert theta == Interval(0, None)
+
+    def test_max_trip_distance(self):
+        assert max_trip_distance(Interval(0, 63), 1) == 63
+        assert max_trip_distance(Interval(0, 62), 2) == 31
+        assert max_trip_distance(Interval(0, None), 1) is None
+        assert max_trip_distance(Interval(0, 63), 0) is None
+
+
+class TestEntryGuardRefinement:
+    """jcc unrolled loops: the remainder loop's entry edge is guarded by
+    ``cmp i, bound; jl``, so its header phi never exceeds bound - 1 even
+    though its init value is a join of main-loop exit values."""
+
+    SOURCE = """
+    double A[512];
+
+    int main() {
+        int i;
+        for (i = 0; i < 64; i = i + 1) {
+            A[i] = 1.0;
+        }
+        print_int(0);
+        return 0;
+    }
+    """
+
+    def test_remainder_phi_clipped_by_entry_guard(self):
+        image = compile_source(self.SOURCE, CompileOptions(opt_level=3))
+        analysis = analyze_image(image)
+        checked = 0
+        for result in analysis.loops:
+            info = result.induction.iterator
+            if info is None:
+                continue
+            fa = analysis.function_of_loop(result)
+            ranges = _function_ranges(fa.ssa, fa.dom, None)
+            sym = ("phi", info.iv.phi.var, info.iv.phi.dest)
+            theta = ranges.phi_range(sym)
+            assert theta.lo is not None and theta.lo >= 0
+            assert theta.hi is not None and theta.hi <= 63, \
+                f"loop {result.loop_id}: phi range {theta} exceeds bound"
+            checked += 1
+        # 2x unrolling produces at least a main loop and a remainder loop.
+        assert checked >= 2

@@ -198,3 +198,20 @@ def test_trace_and_stats_commands(capsys, tmp_path):
     missing = tmp_path / "missing.json"
     assert main(["stats", str(missing)]) == 2
     assert "cannot read" in capsys.readouterr().err
+
+
+def test_racecheck_command(capsys, tmp_path):
+    out = tmp_path / "racecheck.json"
+    assert main(["racecheck", "470.lbm", "--mode", "parallel",
+                 "-o", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "470.lbm" in captured.out
+    payload = json.loads(out.read_text())
+    assert payload["possible_races"] == 0
+    assert payload["unsound_static_loops"] == 0
+    assert payload["reports"]
+    report = payload["reports"][0]
+    assert report["workload"] == "470.lbm"
+    proven = [p for p in report["pairs"]
+              if p["verdict"] == "proven_disjoint"]
+    assert all(p["chain"] for p in proven)

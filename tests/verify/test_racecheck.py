@@ -1,0 +1,162 @@
+"""Tests for the static race detector (``repro racecheck``)."""
+
+import pytest
+
+from repro.analysis import LoopCategory, analyze_image
+from repro.jcc import CompileOptions, compile_source
+from repro.verify.findings import Finding, Severity, VerifyReport
+from repro.verify.racecheck import (
+    RaceVerdict,
+    exit_code,
+    racecheck_analysis,
+    racecheck_workload,
+)
+
+ROW_SOURCE = """
+double A[512];
+double B[512];
+
+void add_row(int i) {
+    int j;
+    for (j = 0; j < 8; j = j + 1) {
+        A[i * 8 + j] = B[i * 8 + j] + 1.0;
+    }
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        add_row(i);
+    }
+    print_int(0);
+    return 0;
+}
+"""
+
+CLASH_SOURCE = ROW_SOURCE.replace("A[i * 8 + j]", "A[j]", 1)
+
+
+@pytest.fixture(scope="module")
+def row_analysis():
+    image = compile_source(ROW_SOURCE, CompileOptions(opt_level=2))
+    return analyze_image(image)
+
+
+class TestRacecheckAnalysis:
+    def test_released_calls_prove_disjoint_with_chain(self, row_analysis):
+        report = racecheck_analysis(row_analysis, mode="parallel",
+                                    workload="row")
+        assert report.ok
+        assert report.loops_checked >= 1
+        call_pairs = [p for p in report.pairs if p.kind == "call"]
+        proven_calls = [p for p in call_pairs
+                        if p.verdict is RaceVerdict.PROVEN_DISJOINT]
+        assert proven_calls, "released call should report PROVEN_DISJOINT"
+        for pair in proven_calls:
+            assert pair.chain, "PROVEN_DISJOINT call with empty chain"
+
+    def test_every_proven_pair_has_explanation(self, row_analysis):
+        report = racecheck_analysis(row_analysis, mode="parallel")
+        proven = report.by_verdict(RaceVerdict.PROVEN_DISJOINT)
+        assert proven
+        for pair in proven:
+            assert pair.chain and all(step for step in pair.chain)
+
+    def test_no_possible_race_on_static_doall(self, row_analysis):
+        report = racecheck_analysis(row_analysis, mode="parallel")
+        static_ids = {r.loop_id for r in row_analysis.loops
+                      if r.category is LoopCategory.STATIC_DOALL}
+        bad = [p for p in report.pairs
+               if p.loop_id in static_ids
+               and p.verdict is RaceVerdict.POSSIBLE_RACE]
+        assert not bad
+        assert not report.unsound_static_loops
+
+    def test_to_dict_is_deterministic_and_sorted(self, row_analysis):
+        first = racecheck_analysis(row_analysis, mode="parallel",
+                                   workload="row").to_dict()
+        second = racecheck_analysis(row_analysis, mode="parallel",
+                                    workload="row").to_dict()
+        assert first == second
+        keys = [(p["function"], p["loop_id"], p["source"], p["sink"],
+                 p["kind"]) for p in first["pairs"]]
+        assert keys == sorted(keys)
+
+    def test_tampered_static_claim_is_flagged_unsound(self):
+        image = compile_source(CLASH_SOURCE, CompileOptions(opt_level=2))
+        analysis = analyze_image(image)
+        tampered = [r for r in analysis.loops
+                    if r.internal_calls and not r.released_call_sites]
+        assert tampered, "expected an outer loop with an unreleased call"
+        for result in tampered:
+            # Simulate a classifier bug: claim the loop proven-DOALL and
+            # drop the STM window that actually guards the call.
+            result.category = LoopCategory.STATIC_DOALL
+            result.stm_call_sites = []
+        ids = [r.loop_id for r in tampered]
+        report = racecheck_analysis(analysis, mode="parallel",
+                                    loop_ids=ids, workload="tampered")
+        assert not report.ok
+        assert sorted(report.unsound_static_loops) == sorted(ids)
+        races = report.by_verdict(RaceVerdict.POSSIBLE_RACE)
+        assert races
+        assert exit_code([report]) == 1
+        errors = [f for f in report.findings()
+                  if f.severity is Severity.ERROR]
+        assert errors
+
+    def test_exit_code_contract(self, row_analysis):
+        clean = racecheck_analysis(row_analysis, mode="parallel")
+        assert exit_code([clean]) == 0
+        assert exit_code([clean, clean]) == 0
+
+    def test_vector_mode_runs_clean(self, row_analysis):
+        # The suite's jcc output has no vector-legal loops (2x unrolling
+        # produces non-unit steps); the report must still be well-formed.
+        report = racecheck_analysis(row_analysis, mode="vector")
+        assert report.ok
+        assert exit_code([report]) == 0
+
+
+class TestSuiteWorkload:
+    def test_suite_workload_clean_with_chains(self):
+        report = racecheck_workload("470.lbm", mode="parallel")
+        assert report.ok
+        assert report.loops_checked >= 1
+        assert report.pairs
+        assert not report.by_verdict(RaceVerdict.POSSIBLE_RACE)
+        for pair in report.by_verdict(RaceVerdict.PROVEN_DISJOINT):
+            assert pair.chain
+        for pair in report.by_verdict(RaceVerdict.GUARDED):
+            assert pair.guard
+
+
+class TestFindingsIntegration:
+    def test_findings_carry_anchors(self, row_analysis):
+        report = racecheck_analysis(row_analysis, mode="parallel")
+        findings = report.findings()
+        assert findings
+        for finding in findings:
+            assert finding.tier == "racecheck"
+            assert finding.loop_id >= 0
+            assert finding.function.startswith("0x")
+
+    def test_verify_report_sorts_findings(self):
+        low = Finding(tier="racecheck", check="race.guarded",
+                      severity=Severity.INFO, location="a", message="m",
+                      function="0x400000", loop_id=1, address=0x10)
+        high = Finding(tier="racecheck", check="race.guarded",
+                       severity=Severity.INFO, location="b", message="m",
+                       function="0x400000", loop_id=2, address=0x8)
+        other_fn = Finding(tier="racecheck", check="race.guarded",
+                           severity=Severity.INFO, location="c", message="m",
+                           function="0x3fffff", loop_id=9, address=0x90)
+        report = VerifyReport(workload="w",
+                              findings=[high, low, other_fn])
+        dumped = report.to_dict()["findings"]
+        assert [(f["function"], f["loop_id"], f["address"])
+                for f in dumped] == [
+            ("0x3fffff", 9, 0x90),
+            ("0x400000", 1, 0x10),
+            ("0x400000", 2, 0x8),
+        ]
