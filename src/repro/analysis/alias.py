@@ -193,7 +193,7 @@ def analyse_aliases(ssa: SSAForm, loop: Loop, dom: DominatorInfo,
     """
     result = AliasAnalysis()
     result.accesses = collect_accesses(ssa, loop, builder)
-    ctx = make_context(induction, ranges)
+    ctx = make_context(induction, ranges, loop=loop)
 
     iterator = induction.iterator
     theta = None

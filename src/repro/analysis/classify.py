@@ -330,7 +330,7 @@ def _try_release_call(result: LoopAnalysisResult, ssa: SSAForm,
         return None
     if result.external_calls:
         return None
-    ctx = make_context(result.induction, ranges)
+    ctx = make_context(result.induction, ranges, loop=result.loop)
     if ctx.theta is None:
         return None
 
@@ -370,7 +370,8 @@ def _try_release_call(result: LoopAnalysisResult, ssa: SSAForm,
             if not (ri.is_write or group.has_write):
                 continue
             if id(group) in special:
-                if not _fully_disjoint(ranges, ri, greg):
+                if not _fully_disjoint(ranges, ri, greg,
+                                       at_block=site[0]):
                     return None
                 chain.append(
                     f"callee region {ri.fn_ri.describe()} fully disjoint "
@@ -542,13 +543,19 @@ def _region_vs_group_verdict(ctx: DependContext, region: _CalleeRegion,
 
 
 def _fully_disjoint(ranges: FunctionRanges, region: _CalleeRegion,
-                    greg: RegionInterval) -> bool:
-    """Absolute-interval disjointness over ALL iterations (d = 0 too)."""
+                    greg: RegionInterval,
+                    at_block: int | None = None) -> bool:
+    """Absolute-interval disjointness over ALL iterations (d = 0 too).
+
+    ``at_block`` (the call-site block) keeps the iterator symbols on
+    their tight in-body ranges now that the raw phi range includes the
+    loop's exit evaluation.
+    """
     for ri in (region.loop_ri, region.fn_ri):
         if ri.span.lo is None or greg.span.lo is None:
             continue
-        ia = ranges.poly_range(ri.base).add(ri.span)
-        ib = ranges.poly_range(greg.base).add(greg.span)
+        ia = ranges.poly_range(ri.base, at_block).add(ri.span)
+        ib = ranges.poly_range(greg.base, at_block).add(greg.span)
         if disjoint(ia, ib):
             return True
     return False

@@ -53,9 +53,10 @@ class DependContext:
 
     theta: Optional[tuple]  # the iterator's phi symbol, None when unknown
     step: int
-    theta_range: Interval
+    theta_range: Interval  # header values of body-executing iterations
     max_distance: Optional[int]  # max |j - i| across iterations
     ranges: Optional[FunctionRanges] = None
+    loop: Optional[object] = None  # analysis.loops.Loop, for variance tests
 
     def describe(self) -> str:
         md = "unbounded" if self.max_distance is None else self.max_distance
@@ -63,13 +64,19 @@ class DependContext:
                 f"max iteration distance {md}")
 
 
-def make_context(induction, ranges: FunctionRanges | None) -> DependContext:
-    """Build a :class:`DependContext` from the loop's induction facts."""
+def make_context(induction, ranges: FunctionRanges | None,
+                 loop=None) -> DependContext:
+    """Build a :class:`DependContext` from the loop's induction facts.
+
+    ``loop`` enables the loop-variance classification of symbols (see
+    :func:`loop_variant`); without it every opaque symbol is conservatively
+    treated as varying per iteration.
+    """
     iterator = induction.iterator
     if iterator is None:
         return DependContext(theta=None, step=1,
                              theta_range=Interval.top(),
-                             max_distance=None, ranges=ranges)
+                             max_distance=None, ranges=ranges, loop=loop)
     theta = ("phi", iterator.iv.phi.var, iterator.iv.phi.dest)
     step = iterator.iv.step
     if iterator.static_init is not None and iterator.static_trip_count:
@@ -78,21 +85,82 @@ def make_context(induction, ranges: FunctionRanges | None) -> DependContext:
         theta_range = Interval(min(first, last), max(first, last))
         max_distance = iterator.static_trip_count - 1
     else:
-        theta_range = (ranges.phi_range(theta) if ranges is not None
-                       else Interval.top())
+        # Body-executing evaluations only: the accesses under test run in
+        # the loop body, never with the final failing-test header value.
+        theta_range = (ranges.iterator_body_range(theta)
+                       if ranges is not None else Interval.top())
         max_distance = max_trip_distance(theta_range, step)
     return DependContext(theta=theta, step=step, theta_range=theta_range,
-                         max_distance=max_distance, ranges=ranges)
+                         max_distance=max_distance, ranges=ranges, loop=loop)
 
 
 def delta_range(ctx: DependContext, base_a: Poly, base_b: Poly) -> Interval:
-    """Range of ``base_a - base_b`` (shared symbols cancel exactly)."""
+    """Range of ``base_a - base_b`` (shared symbols cancel exactly).
+
+    Cancellation is only sound for loop-invariant symbols; callers must
+    reject pairs whose shared symbols are loop-variant (see
+    :func:`variant_shared_symbols`) before trusting this range in a
+    cross-iteration test.
+    """
     diff = base_a - base_b
     if diff.is_constant:
         return Interval.const(diff.constant_value)
     if ctx.ranges is None:
         return Interval.top()
     return ctx.ranges.poly_range(diff)
+
+
+def loop_variant(ctx: DependContext, sym: tuple) -> bool:
+    """Could ``sym`` take different values in different loop iterations?
+
+    In a cross-iteration test the two operands are evaluated at iterations
+    ``i != j``: a shared symbol ``q`` denotes ``q_i`` on one side and
+    ``q_j`` on the other, so letting it cancel is only sound when the
+    symbol is loop-invariant.  ``theta`` itself is excluded — the tests
+    model it explicitly.
+    """
+    kind = sym[0]
+    if kind == "livein":
+        return False  # the value at loop entry, by construction
+    if kind == "phi":
+        # A header phi of the analysed loop; only theta is modelled.
+        return sym != ctx.theta
+    if kind == "load":
+        # The value at a loop-invariant address: stable only if nothing in
+        # the loop or its callees writes that address, which is not
+        # tracked here — assume it varies.
+        return True
+    # Opaque symbols vary iff their defining instruction is in the loop.
+    if ctx.loop is None:
+        return True
+    return _opaque_variant(ctx, sym)
+
+
+def _opaque_variant(ctx: DependContext, sym: tuple) -> bool:
+    sub = sym[1] if len(sym) > 1 else None
+    if sub in ("phi", "depth"):
+        ssa = ctx.ranges.ssa if ctx.ranges is not None else None
+        name = (sym[2], sym[3]) if sub == "phi" else sym[2]
+        if ssa is None or not isinstance(name, tuple):
+            return True
+        site = ssa.def_sites.get(name)
+        if site is None:
+            return True
+        if site[0] == "entry":
+            return False  # defined at function entry: loop-invariant
+        return site[1] in ctx.loop.body
+    # call / load / pop / mul / <opcode>: the defining block is element 2.
+    block = sym[2] if len(sym) > 2 else None
+    if not isinstance(block, int):
+        return True
+    return block in ctx.loop.body
+
+
+def variant_shared_symbols(ctx: DependContext, base_a: Poly,
+                           base_b: Poly) -> list:
+    """Loop-variant symbols appearing in both pre-cancellation supports."""
+    shared = base_a.symbols() & base_b.symbols()
+    return sorted((s for s in shared if loop_variant(ctx, s)), key=repr)
 
 
 def pair_verdict(ctx: DependContext, poly_a: Poly, width_a: int,
@@ -107,6 +175,11 @@ def pair_verdict(ctx: DependContext, poly_a: Poly, width_a: int,
         return Verdict.dependent("address is non-linear in the iterator")
     ca, base_a = dec_a
     cb, base_b = dec_b
+    variant = variant_shared_symbols(ctx, base_a, base_b)
+    if variant:
+        return Verdict.dependent(
+            f"loop-variant symbol {variant[0]!r} appears in both bases: "
+            f"its per-iteration values cannot cancel across iterations")
     delta = delta_range(ctx, base_a, base_b)
     return coefficient_verdict(ctx, ca, cb, delta, width_a, width_b)
 
@@ -260,6 +333,12 @@ def regions_disjoint(ctx: DependContext, a: RegionInterval,
         return Verdict.dependent("region base non-linear in the iterator")
     ca, rest_a = dec_a
     cb, rest_b = dec_b
+    variant = variant_shared_symbols(ctx, rest_a, rest_b)
+    if variant:
+        return Verdict.dependent(
+            f"loop-variant symbol {variant[0]!r} appears in both region "
+            f"bases: its per-iteration values cannot cancel across "
+            f"iterations")
     delta = delta_range(ctx, rest_a + Poly.const(a.span.lo),
                         rest_b + Poly.const(b.span.lo))
     return coefficient_verdict(ctx, ca, cb, delta, wa, wb)

@@ -249,7 +249,13 @@ def _poly_region_base(poly, ranges, at_block: int | None = None):
             var = sym[1]
             scale += coeff
             continue
-        if sym[0] == "phi" and ranges is not None:
+        is_phi = sym[0] == "phi" or (sym[0] == "opaque" and len(sym) == 4
+                                     and sym[1] == "phi")
+        if is_phi and ranges is not None:
+            # Either spelling resolves through phi_range; outside the
+            # loop body that range includes the phi's final failing-test
+            # evaluation, so post-loop uses of the exit value stay inside
+            # the span.
             rng = ranges.symbol_range(sym, at_block)
             if rng.is_bounded:
                 span = span.add(rng.scale(coeff))

@@ -171,13 +171,23 @@ def disjoint(a: Interval, b: Interval) -> bool:
 
 
 def iterator_range(info, init_range: Interval,
-                   bound_range: Interval) -> Interval:
-    """Sound range of the iterator's *header value* across all iterations.
+                   bound_range: Interval,
+                   include_exit: bool = True) -> Interval:
+    """Sound range of the iterator's *header value*.
 
     ``info`` is an :class:`repro.analysis.induction.IteratorInfo`.  The
     continue condition is ``(theta + test_offset) <cond> bound``; for a
     bottom test the first iteration runs unchecked, so the bound-derived
     limit is joined with the initial value.
+
+    With ``include_exit`` (the default) the result covers *every*
+    evaluation of the header phi: a top-tested loop evaluates it once more
+    with the value that fails the test — one step past the limit, or the
+    initial value itself when the loop never runs — and post-loop uses of
+    the phi observe exactly that value.  Pass ``include_exit=False`` for
+    the range over iterations that execute the loop body (the test already
+    passed); a bottom-tested loop never re-evaluates the header phi after
+    a failing test, so the two variants coincide there.
     """
     step = info.iv.step
     lo: Optional[int] = None
@@ -191,6 +201,11 @@ def iterator_range(info, init_range: Interval,
                 hi = None
             elif hi is not None and init_range.hi is not None:
                 hi = max(hi, init_range.hi)
+        elif include_exit and hi is not None:
+            # The failing evaluation: one step past the last passing
+            # value, or init itself when even the first test fails.
+            hi = None if init_range.hi is None \
+                else max(hi + step, init_range.hi)
     elif step < 0:
         hi = init_range.hi
         lo = _backward_limit(info, bound_range)
@@ -199,11 +214,17 @@ def iterator_range(info, init_range: Interval,
                 lo = None
             elif lo is not None and init_range.lo is not None:
                 lo = min(lo, init_range.lo)
+        elif include_exit and lo is not None:
+            lo = None if init_range.lo is None \
+                else min(lo + step, init_range.lo)
     # Exact range when the trip count resolved statically.
     if info.static_init is not None and info.static_trip_count:
         first = info.static_init
         last = first + step * (info.static_trip_count - 1)
-        exact = Interval(min(first, last), max(first, last))
+        values = [first, last]
+        if include_exit and info.test_position != "bottom":
+            values.append(last + step)
+        exact = Interval(min(values), max(values))
         met = exact.meet(Interval(lo, hi))
         return met if met is not None else exact
     return Interval(lo, hi)
@@ -366,6 +387,7 @@ class FunctionRanges:
         self.ssa = ssa
         self.dom = dom
         self.known = dict(known_liveins or {})
+        # Keyed by (phi symbol, body-only flag).
         self._phi_cache: dict[tuple, Interval] = {}
         self._phi_in_progress: dict[tuple, Interval] = {}
         self._builders: dict[int, ExprBuilder] = {}
@@ -446,11 +468,11 @@ class FunctionRanges:
             base = Interval.top()
             return self._refine((var, version), base, at_block)
         if kind == "phi":
-            base = self.phi_range(sym)
+            base = self.phi_range(sym, at_block)
             return self._refine((sym[1], sym[2]), base, at_block)
         if kind == "opaque" and len(sym) == 4 and sym[1] == "phi":
             # A phi outside the builder's scope: same phi, opaque spelling.
-            return self.phi_range(("phi", sym[2], sym[3]))
+            return self.phi_range(("phi", sym[2], sym[3]), at_block)
         if kind == "opaque" and len(sym) == 5 and sym[1] == "call":
             alloc = allocation_site(self.ssa.cfg, sym)
             if alloc is not None:
@@ -459,10 +481,33 @@ class FunctionRanges:
                 return Interval(HEAP_BASE, LIB_DATA_BASE - 1)
         return Interval.top()  # load / opaque
 
-    def phi_range(self, sym: tuple) -> Interval:
-        """Range of a loop-header phi: iterator bounds when recognisable,
-        otherwise an ascending fixpoint with widening."""
-        cached = self._phi_cache.get(sym)
+    def phi_range(self, sym: tuple, at_block: int | None = None) -> Interval:
+        """Range of a loop-header phi over *every* evaluation — including
+        the final failing-test value of a top-tested loop, which post-loop
+        uses of the phi observe.
+
+        When ``at_block`` lies in the part of the loop body that only runs
+        after the iterator test passed, the failing evaluation is excluded
+        and the tight in-body range is returned instead (see
+        :meth:`iterator_body_range`).  Iterator bounds are used when
+        recognisable, otherwise an ascending fixpoint with widening.
+        """
+        body = at_block is not None and self._executes_body_at(sym, at_block)
+        return self._phi_range_variant(sym, body)
+
+    def iterator_body_range(self, sym: tuple) -> Interval:
+        """Header-value range over iterations that execute the loop body.
+
+        Excludes the final failing-test evaluation of a top-tested loop —
+        the sound iterator range for cross-iteration dependence tests over
+        in-body accesses.  Falls back to the general evaluation range for
+        phis that are not recognised loop iterators.
+        """
+        return self._phi_range_variant(sym, True)
+
+    def _phi_range_variant(self, sym: tuple, body: bool) -> Interval:
+        key = (sym, body)
+        cached = self._phi_cache.get(key)
         if cached is not None:
             return cached
         if sym in self._phi_in_progress:
@@ -470,19 +515,42 @@ class FunctionRanges:
         provisional = bool(self._phi_in_progress)
         entry = self._iterator_map().get(sym)
         if entry is not None and entry[0] == "iter":
-            result = self._iterator_phi_range(sym, entry[1], entry[2])
+            result = self._iterator_phi_range(sym, entry[1], entry[2],
+                                              include_exit=not body)
         elif entry is not None and entry[0] == "biv":
-            result = self._basic_iv_range(sym, entry[1], entry[2], entry[3])
+            result = self._basic_iv_range(sym, entry[1], entry[2], entry[3],
+                                          body)
         else:
             result = self._general_phi_range(sym)
         if not provisional:
             # A result computed while another phi was mid-fixpoint may rest
             # on a provisional estimate; recompute it on the next toplevel
             # query instead of caching it.
-            self._phi_cache[sym] = result
+            self._phi_cache[key] = result
         return result
 
-    def _iterator_phi_range(self, sym: tuple, info, loop: Loop) -> Interval:
+    def _executes_body_at(self, sym: tuple, block: int) -> bool:
+        """True when ``block`` runs only in iterations whose test passed,
+        so the header phi cannot hold the final failing-test value there."""
+        entry = self._iterator_map().get(sym)
+        if entry is None:
+            return False
+        info = entry[1] if entry[0] == "iter" else entry[2]
+        loop = entry[2] if entry[0] == "iter" else entry[3]
+        if info is None or block not in loop.body:
+            return False
+        if info.test_position == "bottom":
+            return True  # every header evaluation runs the body
+        branch = self.ssa.cfg.blocks.get(info.cmp_block)
+        if branch is None:
+            return False
+        cont = [s for s in branch.succs if s in loop.body]
+        if len(cont) != 1 or block == info.cmp_block:
+            return False
+        return self.dom.dominates(cont[0], block)
+
+    def _iterator_phi_range(self, sym: tuple, info, loop: Loop,
+                            include_exit: bool = True) -> Interval:
         builder = self._builder_for(loop)
         # Guard against self-reference through an outer construct.
         self._phi_in_progress[sym] = Interval.top()
@@ -495,7 +563,8 @@ class FunctionRanges:
             bound_range = self.poly_range(info.bound_poly)
         finally:
             del self._phi_in_progress[sym]
-        return iterator_range(info, init_range, bound_range)
+        return iterator_range(info, init_range, bound_range,
+                              include_exit=include_exit)
 
     def _entry_value_range(self, phi, loop: Loop,
                            builder: ExprBuilder) -> Interval | None:
@@ -521,10 +590,13 @@ class FunctionRanges:
             joined = value if joined is None else joined.join(value)
         return joined
 
-    def _basic_iv_range(self, sym: tuple, iv, info, loop: Loop) -> Interval:
+    def _basic_iv_range(self, sym: tuple, iv, info, loop: Loop,
+                        body: bool = False) -> Interval:
         """Range of a non-controlling basic IV: its header value at
-        iteration ``i`` is exactly ``init + step*i``, and ``i`` is bounded
-        by the controlling iterator's trip distance."""
+        evaluation ``i`` is exactly ``init + step*i``, and ``i`` is
+        bounded by the controlling iterator's evaluation distance (every
+        header phi advances once more on a top-tested loop's failing
+        evaluation, so the ``body`` flag follows the iterator's)."""
         builder = self._builder_for(loop)
         init_poly = builder.value_of((iv.var, iv.init_version))
         self._phi_in_progress[sym] = Interval.top()
@@ -532,8 +604,8 @@ class FunctionRanges:
             init_range = self.poly_range(init_poly)
             if info is not None:
                 iter_sym = ("phi", info.iv.phi.var, info.iv.phi.dest)
-                n_max = max_trip_distance(self.phi_range(iter_sym),
-                                          info.iv.step)
+                n_max = max_trip_distance(
+                    self._phi_range_variant(iter_sym, body), info.iv.step)
             else:
                 n_max = None
         finally:

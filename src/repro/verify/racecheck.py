@@ -243,11 +243,8 @@ def _check_loop(result, fa, analysis) -> list[RacePair]:
         removed.update((id(a), GUARD_PRIVATISATION)
                        for a in priv.group.accesses)
 
-    # Accesses a MEM_BOUNDS_CHECK plan covers.
-    checked: set[int] = set()
-    for plan in alias.bounds_checks:
-        checked.update(id(a) for a in plan.write_group.accesses)
-        checked.update(id(a) for a in plan.other_group.accesses)
+    # Pairs a single MEM_BOUNDS_CHECK plan compares at runtime.
+    checked_pairs = _bounds_checked_pairs(alias)
 
     # Pairs the engine already discharged during classification.
     discharged = {(id(p.source), id(p.sink)): p.verdict
@@ -256,7 +253,7 @@ def _check_loop(result, fa, analysis) -> list[RacePair]:
     ranges = None
     if fa.ssa is not None:
         ranges = _function_ranges(fa.ssa, fa.dom, None)
-    ctx = make_context(result.induction, ranges) \
+    ctx = make_context(result.induction, ranges, loop=result.loop) \
         if result.induction is not None else None
 
     iterator = result.induction.iterator if result.induction else None
@@ -291,19 +288,11 @@ def _check_loop(result, fa, analysis) -> list[RacePair]:
         same_group = (group_of.get(id(write)) is not None
                       and group_of.get(id(write)) is group_of.get(id(other)))
         if same_group:
-            legacy = _pair_dependence(write, other, step, trips)
-            if legacy is None:
-                delta = other.const_offset - write.const_offset
-                return RacePair(
-                    verdict=RaceVerdict.PROVEN_DISJOINT,
-                    chain=(f"constant distance vector: byte offset {delta} "
-                           f"with per-iteration stride "
-                           f"{(write.theta_coeff or 0) * step} never "
-                           f"coincides within the iteration space "
-                           f"(trip count "
-                           f"{trips if trips is not None else 'bounded'})",),
-                    **base)
-        if id(write) in checked and id(other) in checked:
+            proof = _constant_distance_proof(write, other, step, trips)
+            if proof is not None:
+                return RacePair(verdict=RaceVerdict.PROVEN_DISJOINT,
+                                chain=proof, **base)
+        if (id(write), id(other)) in checked_pairs:
             return RacePair(verdict=RaceVerdict.GUARDED,
                             guard=GUARD_BOUNDS_CHECK, **base)
         if dynamic:
@@ -338,6 +327,45 @@ def _check_loop(result, fa, analysis) -> list[RacePair]:
 
     pairs.extend(_check_calls(result, analysis, function, loop_id, dynamic))
     return pairs
+
+
+def _constant_distance_proof(write, other, step: int,
+                             trips: int | None) -> tuple[str, ...] | None:
+    """Chain for a same-group pair the constant distance-vector test
+    proves disjoint, or ``None`` when that test does not apply.
+
+    ``_pair_dependence`` returning ``None`` conflates two cases: the
+    strided test found no feasible iteration distance, and the
+    invariant-address case (``theta_coeff == 0`` on both sides) it defers
+    to ``_invariant_groups``.  Only the former is a proof; invariant pairs
+    must be classified by the reduction/privatisation guards or reported
+    as possible races.
+    """
+    if (write.theta_coeff or 0) == 0 and (other.theta_coeff or 0) == 0:
+        return None
+    if _pair_dependence(write, other, step, trips) is not None:
+        return None
+    delta = other.const_offset - write.const_offset
+    return (f"constant distance vector: byte offset {delta} with "
+            f"per-iteration stride {(write.theta_coeff or 0) * step} "
+            f"never coincides within the iteration space (trip count "
+            f"{trips if trips is not None else 'bounded'})",)
+
+
+def _bounds_checked_pairs(alias) -> set[tuple[int, int]]:
+    """Access pairs a single MEM_BOUNDS_CHECK plan compares at runtime.
+
+    A pair is guarded only when ONE plan covers both of its sides:
+    membership in the union of all plans is not enough, because two
+    different plans never compare their ranges against each other.
+    """
+    covered: set[tuple[int, int]] = set()
+    for plan in alias.bounds_checks:
+        for a in plan.write_group.accesses:
+            for b in plan.other_group.accesses:
+                covered.add((id(a), id(b)))
+                covered.add((id(b), id(a)))
+    return covered
 
 
 def _check_calls(result, analysis, function: int, loop_id: int,

@@ -62,6 +62,31 @@ int main() {
 """
 
 
+# The callee stores once more after its loop, through the iterator's exit
+# value (j == 8): the summarised write window must stretch to 72 bytes per
+# iteration and the call is still releasable at stride 72.
+EXIT_STORE_SOURCE = """
+double A[576];
+
+void fill(int n) {
+    int j;
+    for (j = 0; j < 8; j = j + 1) {
+        A[n * 9 + j] = 1.0;
+    }
+    A[n * 9 + j] = 2.0;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        fill(i);
+    }
+    print_int(0);
+    return 0;
+}
+"""
+
+
 def _outer_loops(analysis):
     """Loops (in main) that contain at least one internal call site."""
     return [r for r in analysis.loops if r.internal_calls]
@@ -105,6 +130,28 @@ class TestCallRelease:
             assert not result.released_call_sites, \
                 f"loop {result.loop_id} wrongly released a clashing call"
             assert result.category is not LoopCategory.STATIC_DOALL
+
+    def test_post_loop_exit_store_released_and_correct(self):
+        image = compile_source(EXIT_STORE_SOURCE, CompileOptions(opt_level=2))
+        analysis = analyze_image(image)
+        outer = _outer_loops(analysis)
+        assert outer
+        released = [r for r in outer if r.released_call_sites]
+        assert released, "exit-store callee should still be releasable"
+        for result in released:
+            assert result.category is LoopCategory.STATIC_DOALL
+            assert not result.stm_call_sites
+        native = run_native(load(image))
+        janus = Janus(image, JanusConfig(n_threads=4,
+                                         coverage_threshold=0.0))
+        released_ids = [r.loop_id for r in janus.analysis.loops
+                        if r.released_call_sites]
+        assert released_ids
+        schedule = generate_parallel_schedule(janus.analysis, released_ids)
+        result = janus.run(SelectionMode.JANUS, schedule=schedule)
+        assert result.outputs == native.outputs
+        assert result.data_snapshot() == native.data_snapshot()
+        assert result.exit_code == native.exit_code
 
     def test_released_schedule_runs_byte_identical(self):
         image = compile_source(ROW_SOURCE, CompileOptions(opt_level=2))

@@ -5,6 +5,8 @@ access pairs, whenever brute-force address-set intersection finds a
 cross-iteration overlap, the engine must NOT report independence.
 """
 
+from types import SimpleNamespace
+
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.depend import (
@@ -12,6 +14,7 @@ from repro.analysis.depend import (
     RegionInterval,
     Verdict,
     coefficient_verdict,
+    loop_variant,
     make_context,
     pair_verdict,
     regions_disjoint,
@@ -22,12 +25,12 @@ from repro.analysis.vrange import Interval
 THETA = ("phi", 1, 3)
 
 
-def make_ctx(init, step, trips, ranges=None):
+def make_ctx(init, step, trips, ranges=None, loop=None):
     last = init + step * (trips - 1)
     return DependContext(
         theta=THETA, step=step,
         theta_range=Interval(min(init, last), max(init, last)),
-        max_distance=trips - 1, ranges=ranges)
+        max_distance=trips - 1, ranges=ranges, loop=loop)
 
 
 def brute_force_overlap(ca, cb, delta, wa, wb, init, step, trips):
@@ -188,3 +191,87 @@ def test_regions_disjoint_constant_base_conflicts():
 def test_verdict_dependent_has_reason():
     v = Verdict.dependent("because")
     assert not v.independent and v.chain == ("because",)
+
+
+class TestVariantSymbolCancellation:
+    """Loop-variant symbols must never cancel between the two operands of
+    a cross-iteration test: a symbol q that varies per iteration stands
+    for q_i on one side and q_j on the other, so ``A + 8*theta + x`` is
+    NOT self-disjoint when x is produced inside the loop."""
+
+    @staticmethod
+    def loop(body):
+        return SimpleNamespace(body=frozenset(body))
+
+    def test_in_loop_opaque_blocks_region_self_disjointness(self):
+        ctx = make_ctx(init=0, step=1, trips=64, loop=self.loop({5, 6, 7}))
+        x = Poly.sym(("opaque", "call", 6, 0, 2))  # defined in the loop
+        base = Poly.sym(THETA).scale(8) + x
+        region = RegionInterval(base=base, span=Interval(0, 8))
+        verdict = regions_disjoint(ctx, region, region)
+        assert not verdict.independent
+        assert any("loop-variant" in s for s in verdict.chain)
+
+    def test_out_of_loop_opaque_still_cancels(self):
+        ctx = make_ctx(init=0, step=1, trips=64, loop=self.loop({5, 6, 7}))
+        x = Poly.sym(("opaque", "call", 2, 0, 2))  # defined before it
+        base = Poly.sym(THETA).scale(8) + x
+        region = RegionInterval(base=base, span=Interval(0, 8))
+        assert regions_disjoint(ctx, region, region).independent
+
+    def test_without_loop_opaque_is_conservatively_variant(self):
+        ctx = make_ctx(init=0, step=1, trips=64)  # loop unknown
+        x = Poly.sym(("opaque", "call", 2, 0, 2))
+        base = Poly.sym(THETA).scale(8) + x
+        region = RegionInterval(base=base, span=Interval(0, 8))
+        assert not regions_disjoint(ctx, region, region).independent
+
+    def test_non_theta_header_phi_blocks_pair(self):
+        ctx = make_ctx(init=0, step=1, trips=64, loop=self.loop({5}))
+        q = Poly.sym(("phi", 2, 9))  # secondary IV, not the iterator
+        a = Poly.sym(THETA).scale(8) + q
+        b = Poly.sym(THETA).scale(8) + q + Poly.const(1024)
+        verdict = pair_verdict(ctx, a, 8, b, 8)
+        assert not verdict.independent
+        assert any("loop-variant" in s for s in verdict.chain)
+
+    def test_livein_still_cancels_with_loop_set(self):
+        ctx = make_ctx(init=0, step=1, trips=4, loop=self.loop({5}))
+        base = Poly.sym(("livein", 7, 0))
+        a = Poly.sym(THETA).scale(8) + base
+        b = Poly.sym(THETA).scale(8) + base + Poly.const(1024)
+        assert pair_verdict(ctx, a, 8, b, 8).independent
+
+    def test_load_value_symbol_is_variant(self):
+        # The value AT a loop-invariant address may be rewritten during
+        # the loop, so it must not cancel either.
+        ctx = make_ctx(init=0, step=1, trips=64, loop=self.loop({5}))
+        v = Poly.sym(("load", ("livein", 7, 0)))
+        a = Poly.sym(THETA).scale(8) + v
+        b = Poly.sym(THETA).scale(8) + v + Poly.const(1024)
+        assert not pair_verdict(ctx, a, 8, b, 8).independent
+
+    def test_unshared_variant_symbol_does_not_trigger_guard(self):
+        # Only SHARED variant symbols are the cancellation hazard; a
+        # variant symbol on one side alone flows into the delta range and
+        # is handled (conservatively) by the range machinery.
+        ctx = make_ctx(init=0, step=1, trips=64, loop=self.loop({5, 6}))
+        x = Poly.sym(("opaque", "call", 6, 0, 2))
+        a = Poly.sym(THETA).scale(8) + x
+        b = Poly.sym(THETA).scale(8)
+        verdict = pair_verdict(ctx, a, 8, b, 8)
+        # No ranges: unbounded delta, still dependent — but through the
+        # delta path, not the shared-symbol guard.
+        assert not verdict.independent
+        assert not any("loop-variant" in s for s in verdict.chain)
+
+    def test_loop_variant_classification(self):
+        ctx = make_ctx(init=0, step=1, trips=8, loop=self.loop({4, 5}))
+        assert not loop_variant(ctx, ("livein", 7, 0))
+        assert not loop_variant(ctx, THETA)
+        assert loop_variant(ctx, ("phi", 2, 9))
+        assert loop_variant(ctx, ("load", ("livein", 7, 0)))
+        assert loop_variant(ctx, ("opaque", "load", 4, 3))
+        assert not loop_variant(ctx, ("opaque", "load", 1, 3))
+        # Opaque phi with no SSA context available: conservative.
+        assert loop_variant(ctx, ("opaque", "phi", 2, 9))

@@ -173,6 +173,40 @@ class TestAccessRegions:
         assert len(writes) == 1
         assert writes[0].hi - writes[0].lo == 64
 
+    EXIT_STORE_CALLEE = """
+    double A[576];
+
+    void fill(int n) {
+        int j;
+        for (j = 0; j < 8; j = j + 1) {
+            A[n * 9 + j] = 1.0;
+        }
+        A[n * 9 + j] = 2.0;
+    }
+
+    int main() {
+        int i;
+        for (i = 0; i < 64; i = i + 1) {
+            fill(i);
+        }
+        print_int(0);
+        return 0;
+    }
+    """
+
+    def test_post_loop_store_at_exit_value_is_inside_region(self):
+        # After the loop, j holds the failing-test value 8: the store
+        # A[n*9 + 8] must be covered by the summarised write window, so
+        # the hull is 72 bytes, not the in-body 64.  (The header-phi
+        # range includes the exit evaluation for post-loop uses.)
+        summary = self._callee_summary(self.EXIT_STORE_CALLEE)
+        writes = summary.write_regions
+        assert len(writes) == 1
+        region = writes[0]
+        assert region.scale == 72
+        assert region.hi - region.lo == 72, \
+            f"write window [{region.lo}, {region.hi}) misses the exit store"
+
     def test_read_and_write_regions_separate(self):
         summary = self._callee_summary(self.ROW_CALLEE)
         reads = [r for r in summary.regions if not r.is_write]

@@ -87,36 +87,58 @@ class TestIntervalLattice:
 
 class TestIteratorRange:
     def test_top_tested_forward(self):
-        # for (i = 0; i < n; i++) with n in [1, 64]: header value <= 63.
+        # for (i = 0; i < n; i++) with n in [1, 64]: the header phi is
+        # evaluated one final time with the failing value, so the full
+        # range reaches 64 while the body-only range stops at 63.
         info = make_info(step=1, cond="l", test_position="top")
         theta = iterator_range(info, Interval.const(0), Interval(1, 64))
-        assert theta == Interval(0, 63)
+        assert theta == Interval(0, 64)
+        body = iterator_range(info, Interval.const(0), Interval(1, 64),
+                              include_exit=False)
+        assert body == Interval(0, 63)
 
     def test_bottom_test_joins_init(self):
         # do { ... } while (i < 8) with init up to 8: the first header
         # value runs unchecked, so init joins the bound-derived limit.
+        # A bottom test never re-evaluates the phi after failing, so the
+        # exit-inclusive and body ranges coincide.
         info = make_info(step=1, cond="l", test_position="bottom")
         theta = iterator_range(info, Interval(0, 8), Interval.const(8))
         # tested_max = 7; bottom test constrains the previous iteration,
         # so limit = 7 + 1 = 8; join with init.hi = 8.
         assert theta == Interval(0, 8)
+        assert iterator_range(info, Interval(0, 8), Interval.const(8),
+                              include_exit=False) == Interval(0, 8)
 
     def test_le_condition(self):
         info = make_info(step=1, cond="le", test_position="top")
         theta = iterator_range(info, Interval.const(0), Interval.const(9))
-        assert theta == Interval(0, 9)
+        assert theta == Interval(0, 10)
+        assert iterator_range(info, Interval.const(0), Interval.const(9),
+                              include_exit=False) == Interval(0, 9)
 
     def test_backward_step(self):
-        # for (i = 63; i > 0; i--)
+        # for (i = 63; i > 0; i--): the failing evaluation sees 0.
         info = make_info(step=-1, cond="g", test_position="top")
         theta = iterator_range(info, Interval.const(63), Interval.const(0))
-        assert theta == Interval(1, 63)
+        assert theta == Interval(0, 63)
+        assert iterator_range(info, Interval.const(63), Interval.const(0),
+                              include_exit=False) == Interval(1, 63)
+
+    def test_zero_trip_exit_is_init(self):
+        # When even the first test can fail, the exit evaluation is the
+        # init value itself: init up to 100 keeps hi at 100, not limit+1.
+        info = make_info(step=1, cond="l", test_position="top")
+        theta = iterator_range(info, Interval(0, 100), Interval.const(8))
+        assert theta == Interval(0, 100)
 
     def test_static_trip_count_is_exact(self):
         info = make_info(step=2, cond="l", test_position="top",
                          static_init=0, static_trip_count=32)
         theta = iterator_range(info, Interval.const(0), Interval.top())
-        assert theta == Interval(0, 62)
+        assert theta == Interval(0, 64)
+        assert iterator_range(info, Interval.const(0), Interval.top(),
+                              include_exit=False) == Interval(0, 62)
 
     def test_unknown_bound_is_open(self):
         info = make_info(step=1, cond="l", test_position="top")
@@ -159,10 +181,19 @@ class TestEntryGuardRefinement:
             fa = analysis.function_of_loop(result)
             ranges = _function_ranges(fa.ssa, fa.dom, None)
             sym = ("phi", info.iv.phi.var, info.iv.phi.dest)
+            # Body-executing iterations stay under the bound ...
+            body = ranges.iterator_body_range(sym)
+            assert body.lo is not None and body.lo >= 0
+            assert body.hi is not None and body.hi <= 63, \
+                f"loop {result.loop_id}: body range {body} exceeds bound"
+            # ... while the full phi range also covers the one failing
+            # evaluation, at most one step past the bound.
             theta = ranges.phi_range(sym)
             assert theta.lo is not None and theta.lo >= 0
-            assert theta.hi is not None and theta.hi <= 63, \
-                f"loop {result.loop_id}: phi range {theta} exceeds bound"
+            assert theta.hi is not None \
+                and theta.hi <= 63 + abs(info.iv.step), \
+                f"loop {result.loop_id}: phi range {theta} exceeds exit"
+            assert theta.hi >= body.hi
             checked += 1
         # 2x unrolling produces at least a main loop and a remainder loop.
         assert checked >= 2

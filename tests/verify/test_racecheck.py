@@ -1,5 +1,7 @@
 """Tests for the static race detector (``repro racecheck``)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.analysis import LoopCategory, analyze_image
@@ -7,6 +9,8 @@ from repro.jcc import CompileOptions, compile_source
 from repro.verify.findings import Finding, Severity, VerifyReport
 from repro.verify.racecheck import (
     RaceVerdict,
+    _bounds_checked_pairs,
+    _constant_distance_proof,
     exit_code,
     racecheck_analysis,
     racecheck_workload,
@@ -129,6 +133,51 @@ class TestSuiteWorkload:
             assert pair.chain
         for pair in report.by_verdict(RaceVerdict.GUARDED):
             assert pair.guard
+
+
+def _access(theta_coeff, const_offset, lanes=1):
+    return SimpleNamespace(theta_coeff=theta_coeff,
+                           const_offset=const_offset, lanes=lanes)
+
+
+class TestConstantDistanceProof:
+    def test_invariant_pair_is_not_a_proof(self):
+        # theta_coeff == 0 on both sides: _pair_dependence defers this to
+        # the invariant-group machinery; claiming a constant-distance
+        # proof here would fabricate a test that never ran.
+        write = _access(theta_coeff=0, const_offset=0)
+        other = _access(theta_coeff=0, const_offset=64)
+        assert _constant_distance_proof(write, other, 1, 64) is None
+
+    def test_infeasible_strided_pair_yields_chain(self):
+        # Stride 8, byte distance 1024 needs d = 128; only 4 iterations.
+        write = _access(theta_coeff=8, const_offset=0)
+        other = _access(theta_coeff=8, const_offset=1024)
+        proof = _constant_distance_proof(write, other, 1, 4)
+        assert proof and any("constant distance" in s for s in proof)
+
+    def test_feasible_strided_pair_is_not_proven(self):
+        write = _access(theta_coeff=8, const_offset=0)
+        other = _access(theta_coeff=8, const_offset=8)
+        assert _constant_distance_proof(write, other, 1, 4) is None
+
+
+class TestBoundsCheckedPairs:
+    def test_pair_split_across_plans_is_not_covered(self):
+        a1, b1 = _access(8, 0), _access(8, 8)
+        a2, b2 = _access(8, 16), _access(8, 24)
+        plan = lambda w, o: SimpleNamespace(  # noqa: E731
+            write_group=SimpleNamespace(accesses=[w]),
+            other_group=SimpleNamespace(accesses=[o]))
+        alias = SimpleNamespace(bounds_checks=[plan(a1, b1), plan(a2, b2)])
+        covered = _bounds_checked_pairs(alias)
+        assert (id(a1), id(b1)) in covered
+        assert (id(b1), id(a1)) in covered
+        assert (id(a2), id(b2)) in covered
+        # Both sides appear in SOME plan, but no single plan compares
+        # them — must not be reported as bounds-check guarded.
+        assert (id(a1), id(b2)) not in covered
+        assert (id(a1), id(a2)) not in covered
 
 
 class TestFindingsIntegration:
